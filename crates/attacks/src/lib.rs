@@ -1,0 +1,27 @@
+//! # ng-attacks
+//!
+//! Adversarial strategies against Nakamoto-consensus protocols, used to check the
+//! security arguments of §5 of the Bitcoin-NG paper quantitatively:
+//!
+//! * [`selfish`] — selfish mining (Eyal & Sirer), whose 1/4 threshold is the reason the
+//!   paper bounds the adversary below 25% of the mining power (§2).
+//! * [`doublespend`] — microblock equivocation double spends and the confirmation-time
+//!   rule that defeats them (§4.3, §4.5).
+//! * [`censorship`] — leader censorship / crash-DoS and the expected wait until an
+//!   honest leader serializes a censored transaction (§5.2).
+//! * [`powdrop`] — sensitivity to sudden mining-power variation: how Bitcoin-style
+//!   chains stall when difficulty is mistuned, and how Bitcoin-NG's microblock
+//!   processing continues at full rate (§5.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod censorship;
+pub mod doublespend;
+pub mod powdrop;
+pub mod selfish;
+
+pub use censorship::{censorship_delay_blocks, simulate_censorship, CensorshipOutcome};
+pub use doublespend::{simulate_equivocation, EquivocationConfig, EquivocationOutcome};
+pub use powdrop::{simulate_power_drop, PowerDropConfig, PowerDropOutcome};
+pub use selfish::{simulate_selfish_mining, SelfishConfig, SelfishOutcome};

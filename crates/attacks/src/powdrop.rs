@@ -1,0 +1,138 @@
+//! Resilience to sudden mining-power variation (§5.2).
+//!
+//! When the mining power backing a proof-of-work chain drops (miners leave for a more
+//! profitable coin) while the difficulty is still tuned for the old power, block
+//! production slows by the same factor until the next difficulty retarget. For Bitcoin
+//! this stalls *transaction processing*; for Bitcoin-NG only *key blocks* slow down —
+//! microblocks keep being produced at the protocol rate, so throughput is unaffected
+//! while censorship resistance temporarily degrades.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a mining-power-drop scenario.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PowerDropConfig {
+    /// Fraction of the original mining power that remains after the drop (0, 1].
+    pub remaining_power: f64,
+    /// Target interval between proof-of-work blocks before the drop, in ms.
+    pub pow_interval_ms: u64,
+    /// Number of blocks between difficulty retargets (Bitcoin: 2016, Ethereum-style: 1).
+    pub retarget_interval_blocks: u64,
+    /// Bitcoin-NG microblock interval in ms (unaffected by difficulty).
+    pub microblock_interval_ms: u64,
+    /// Transactions carried per block / microblock (for throughput accounting).
+    pub txs_per_block: u64,
+}
+
+impl Default for PowerDropConfig {
+    fn default() -> Self {
+        PowerDropConfig {
+            remaining_power: 0.25,
+            pow_interval_ms: 600_000,
+            retarget_interval_blocks: 2016,
+            microblock_interval_ms: 10_000,
+            txs_per_block: 4_000,
+        }
+    }
+}
+
+/// Consequences of the power drop until the next difficulty retarget.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PowerDropOutcome {
+    /// Effective proof-of-work block interval after the drop, in ms.
+    pub effective_pow_interval_ms: f64,
+    /// Virtual time until the next retarget completes, in ms.
+    pub time_to_retarget_ms: f64,
+    /// Bitcoin transaction throughput during the stall, relative to before (0, 1].
+    pub bitcoin_relative_throughput: f64,
+    /// Bitcoin-NG transaction throughput during the stall, relative to before.
+    pub ng_relative_throughput: f64,
+    /// Bitcoin-NG censorship exposure during the stall: the factor by which a single
+    /// malicious leader's epoch lengthens.
+    pub ng_epoch_lengthening: f64,
+}
+
+/// Computes the effect of a sudden mining-power drop under stale difficulty.
+pub fn simulate_power_drop(config: PowerDropConfig) -> PowerDropOutcome {
+    assert!(
+        config.remaining_power > 0.0 && config.remaining_power <= 1.0,
+        "remaining power must be in (0, 1]"
+    );
+    let slowdown = 1.0 / config.remaining_power;
+    let effective_interval = config.pow_interval_ms as f64 * slowdown;
+    let time_to_retarget = effective_interval * config.retarget_interval_blocks as f64;
+
+    // Bitcoin serializes transactions only in proof-of-work blocks: throughput drops by
+    // the slowdown factor.
+    let bitcoin_relative_throughput = config.remaining_power;
+    // Bitcoin-NG serializes transactions in microblocks, which are timer-driven and do
+    // not depend on difficulty: throughput is unchanged.
+    let ng_relative_throughput = 1.0;
+    // But each leader now reigns `slowdown` times longer before the next key block.
+    let ng_epoch_lengthening = slowdown;
+
+    PowerDropOutcome {
+        effective_pow_interval_ms: effective_interval,
+        time_to_retarget_ms: time_to_retarget,
+        bitcoin_relative_throughput,
+        ng_relative_throughput,
+        ng_epoch_lengthening,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarter_power_means_four_times_slower_blocks() {
+        let outcome = simulate_power_drop(PowerDropConfig::default());
+        assert!((outcome.effective_pow_interval_ms - 2_400_000.0).abs() < 1e-6);
+        // 2016 blocks at 40 minutes each ≈ 56 days until Bitcoin retargets.
+        let days = outcome.time_to_retarget_ms / (24.0 * 3600.0 * 1000.0);
+        assert!(days > 55.0 && days < 57.0, "days = {days}");
+    }
+
+    #[test]
+    fn ng_throughput_unaffected_bitcoin_throughput_drops() {
+        let outcome = simulate_power_drop(PowerDropConfig {
+            remaining_power: 0.1,
+            ..Default::default()
+        });
+        assert_eq!(outcome.ng_relative_throughput, 1.0);
+        assert!((outcome.bitcoin_relative_throughput - 0.1).abs() < 1e-12);
+        assert!((outcome.ng_epoch_lengthening - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_block_retargeting_recovers_quickly() {
+        // Ethereum-style retargeting (every block) bounds the stall to one slow block.
+        let outcome = simulate_power_drop(PowerDropConfig {
+            retarget_interval_blocks: 1,
+            remaining_power: 0.5,
+            pow_interval_ms: 12_000,
+            ..Default::default()
+        });
+        assert!((outcome.time_to_retarget_ms - 24_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_drop_changes_nothing() {
+        let outcome = simulate_power_drop(PowerDropConfig {
+            remaining_power: 1.0,
+            ..Default::default()
+        });
+        assert_eq!(outcome.effective_pow_interval_ms, 600_000.0);
+        assert_eq!(outcome.bitcoin_relative_throughput, 1.0);
+        assert_eq!(outcome.ng_epoch_lengthening, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "remaining power")]
+    fn zero_power_rejected() {
+        simulate_power_drop(PowerDropConfig {
+            remaining_power: 0.0,
+            ..Default::default()
+        });
+    }
+}

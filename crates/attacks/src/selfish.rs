@@ -1,0 +1,273 @@
+//! Selfish mining (Eyal & Sirer, FC 2014).
+//!
+//! The Bitcoin-NG paper bounds the adversary below 1/4 of the mining power "because
+//! proof-of-work blockchains, Bitcoin-NG included, are vulnerable to selfish mining by
+//! attackers larger than 1/4 of the network" (§2). This module simulates the selfish
+//! mining strategy as a Markov process over the attacker's private lead and measures
+//! the attacker's share of main-chain blocks, so the 1/4 (γ = 1/2) and 1/3 (γ = 0)
+//! thresholds can be verified empirically.
+
+use ng_crypto::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a selfish-mining simulation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SelfishConfig {
+    /// Attacker's fraction of the total mining power (0 < α < 1/2).
+    pub alpha: f64,
+    /// Fraction of the honest network that mines on the attacker's block during a
+    /// 1-vs-1 race (the "rushing" parameter γ of the original analysis).
+    pub gamma: f64,
+    /// Number of blocks to mine in total.
+    pub blocks: u64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for SelfishConfig {
+    fn default() -> Self {
+        SelfishConfig {
+            alpha: 0.25,
+            gamma: 0.5,
+            blocks: 200_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a selfish-mining simulation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SelfishOutcome {
+    /// The configuration that produced this outcome.
+    pub config: SelfishConfig,
+    /// Main-chain blocks won by the attacker.
+    pub attacker_blocks: u64,
+    /// Main-chain blocks won by honest miners.
+    pub honest_blocks: u64,
+    /// Blocks mined but eventually pruned (both sides).
+    pub pruned_blocks: u64,
+}
+
+impl SelfishOutcome {
+    /// The attacker's share of the main chain (its revenue share).
+    pub fn attacker_revenue_share(&self) -> f64 {
+        let total = self.attacker_blocks + self.honest_blocks;
+        if total == 0 {
+            0.0
+        } else {
+            self.attacker_blocks as f64 / total as f64
+        }
+    }
+
+    /// True if selfish mining beat honest mining (revenue share above mining share).
+    pub fn profitable(&self) -> bool {
+        self.attacker_revenue_share() > self.config.alpha
+    }
+
+    /// Mining power utilization of the whole system under attack: main-chain blocks
+    /// over all blocks mined.
+    pub fn mining_power_utilization(&self) -> f64 {
+        let main = self.attacker_blocks + self.honest_blocks;
+        let all = main + self.pruned_blocks;
+        if all == 0 {
+            1.0
+        } else {
+            main as f64 / all as f64
+        }
+    }
+}
+
+/// Simulates the selfish-mining strategy for `config.blocks` block-generation events.
+///
+/// State machine (lead = attacker's private chain length minus the public chain length
+/// since the last common block):
+///
+/// * lead 0, attacker mines → withhold (lead 1); honest mines → honest block accepted.
+/// * lead 1, honest mines → race: attacker publishes; attacker wins the race with its
+///   own next block (prob. α), or the γ fraction of honest power mining on the
+///   attacker's block wins it, otherwise the honest block wins.
+/// * lead 2, honest mines → attacker publishes everything and takes both blocks.
+/// * lead ≥ 2: attacker keeps the lead, publishing one block for every honest block.
+pub fn simulate_selfish_mining(config: SelfishConfig) -> SelfishOutcome {
+    let mut rng = SimRng::seed_from_u64(config.seed);
+    let mut attacker_blocks = 0u64;
+    let mut honest_blocks = 0u64;
+    let mut pruned_blocks = 0u64;
+
+    // Attacker's private (unpublished) lead over the public chain.
+    let mut private_lead = 0u64;
+
+    for _ in 0..config.blocks {
+        let attacker_mined = rng.chance(config.alpha);
+        if attacker_mined {
+            private_lead += 1;
+            continue;
+        }
+        // An honest miner found a block.
+        match private_lead {
+            0 => {
+                honest_blocks += 1;
+            }
+            1 => {
+                // 1-vs-1 race: attacker publishes its withheld block.
+                if rng.chance(config.alpha) {
+                    // The attacker mines next on its own branch and wins both.
+                    attacker_blocks += 2;
+                    pruned_blocks += 1; // the honest racer is pruned
+                } else if rng.chance(config.gamma) {
+                    // An honest miner extends the attacker's branch: attacker keeps its
+                    // block, that honest miner keeps the new one.
+                    attacker_blocks += 1;
+                    honest_blocks += 1;
+                    pruned_blocks += 1;
+                } else {
+                    // The honest branch wins; the attacker's withheld block is pruned.
+                    honest_blocks += 2;
+                    pruned_blocks += 1;
+                }
+                private_lead = 0;
+            }
+            2 => {
+                // The attacker publishes the whole private chain and orphans the honest
+                // block.
+                attacker_blocks += 2;
+                pruned_blocks += 1;
+                private_lead = 0;
+            }
+            _ => {
+                // Long lead: the attacker reveals one block, keeping its advantage; the
+                // honest block will eventually be pruned.
+                attacker_blocks += 1;
+                pruned_blocks += 1;
+                private_lead -= 1;
+            }
+        }
+    }
+    // Any remaining private blocks are published at the end and win (the attacker has
+    // the longest chain).
+    attacker_blocks += private_lead;
+
+    SelfishOutcome {
+        config,
+        attacker_blocks,
+        honest_blocks,
+        pruned_blocks,
+    }
+}
+
+/// Convenience: sweeps α and returns (α, revenue share) pairs for a fixed γ.
+pub fn revenue_curve(alphas: &[f64], gamma: f64, blocks: u64, seed: u64) -> Vec<(f64, f64)> {
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let outcome = simulate_selfish_mining(SelfishConfig {
+                alpha,
+                gamma,
+                blocks,
+                seed,
+            });
+            (alpha, outcome.attacker_revenue_share())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BLOCKS: u64 = 400_000;
+
+    #[test]
+    fn small_attacker_gains_nothing() {
+        // Below the γ=0.5 threshold of 25%, selfish mining loses revenue.
+        let outcome = simulate_selfish_mining(SelfishConfig {
+            alpha: 0.15,
+            gamma: 0.5,
+            blocks: BLOCKS,
+            seed: 3,
+        });
+        assert!(
+            !outcome.profitable(),
+            "15% attacker should not profit: share {}",
+            outcome.attacker_revenue_share()
+        );
+    }
+
+    #[test]
+    fn attacker_above_quarter_profits_with_half_gamma() {
+        // The paper's 1/4 bound: above 25% with γ = 1/2, selfish mining pays.
+        let outcome = simulate_selfish_mining(SelfishConfig {
+            alpha: 0.33,
+            gamma: 0.5,
+            blocks: BLOCKS,
+            seed: 4,
+        });
+        assert!(
+            outcome.profitable(),
+            "33% attacker should profit: share {} vs α {}",
+            outcome.attacker_revenue_share(),
+            0.33
+        );
+    }
+
+    #[test]
+    fn attacker_above_third_profits_even_with_zero_gamma() {
+        // With γ = 0 (the optimal-network assumption of §5.1) the threshold rises to
+        // 1/3; a 40% attacker still profits.
+        let outcome = simulate_selfish_mining(SelfishConfig {
+            alpha: 0.40,
+            gamma: 0.0,
+            blocks: BLOCKS,
+            seed: 5,
+        });
+        assert!(outcome.profitable());
+
+        // ... while a 25% attacker does not.
+        let outcome = simulate_selfish_mining(SelfishConfig {
+            alpha: 0.25,
+            gamma: 0.0,
+            blocks: BLOCKS,
+            seed: 6,
+        });
+        assert!(!outcome.profitable());
+    }
+
+    #[test]
+    fn selfish_mining_wastes_mining_power() {
+        let honest_like = simulate_selfish_mining(SelfishConfig {
+            alpha: 0.01,
+            gamma: 0.5,
+            blocks: BLOCKS,
+            seed: 7,
+        });
+        let attacked = simulate_selfish_mining(SelfishConfig {
+            alpha: 0.35,
+            gamma: 0.5,
+            blocks: BLOCKS,
+            seed: 7,
+        });
+        assert!(attacked.mining_power_utilization() < honest_like.mining_power_utilization());
+        assert!(attacked.mining_power_utilization() < 1.0);
+    }
+
+    #[test]
+    fn revenue_curve_is_monotone_in_alpha() {
+        let curve = revenue_curve(&[0.1, 0.2, 0.3, 0.4], 0.5, 200_000, 9);
+        for window in curve.windows(2) {
+            assert!(window[1].1 > window[0].1, "revenue must grow with α: {curve:?}");
+        }
+    }
+
+    #[test]
+    fn zero_attacker_never_wins_blocks() {
+        let outcome = simulate_selfish_mining(SelfishConfig {
+            alpha: 0.0,
+            gamma: 0.5,
+            blocks: 10_000,
+            seed: 1,
+        });
+        assert_eq!(outcome.attacker_blocks, 0);
+        assert_eq!(outcome.honest_blocks, 10_000);
+        assert_eq!(outcome.pruned_blocks, 0);
+    }
+}

@@ -1,0 +1,397 @@
+//! The Nakamoto (Bitcoin) baseline full node.
+//!
+//! This is the protocol Bitcoin-NG is compared against in the evaluation: miners build
+//! blocks of bounded size on the heaviest chain they know, blocks carry all the
+//! transactions of their interval, and forks are resolved by the heaviest-chain rule
+//! (§3). A GHOST variant differs only in the fork-choice rule (§9).
+
+use crate::btc_block::{genesis_block, BtcBlock};
+use ng_chain::chainstore::{ChainStore, InsertOutcome};
+use ng_chain::error::BlockError;
+use ng_chain::forkchoice::{ForkChoice, ForkRule, TieBreak};
+use ng_chain::payload::Payload;
+use ng_crypto::pow::Target;
+use ng_crypto::sha256::Hash256;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a baseline node.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BtcConfig {
+    /// Proof-of-work target for new blocks.
+    pub target: Target,
+    /// Maximum serialized block size in bytes (1 MB in the operational system).
+    pub max_block_bytes: u64,
+    /// Whether proof-of-work is validated (the paper's testbed skips it, §7).
+    pub check_pow: bool,
+    /// How far in the future a block timestamp may lie (milliseconds).
+    pub max_future_drift_ms: u64,
+    /// Chain selection rule and tie-break.
+    pub fork_choice: ForkChoice,
+}
+
+impl Default for BtcConfig {
+    fn default() -> Self {
+        BtcConfig {
+            target: Target::regtest(),
+            max_block_bytes: 1_000_000,
+            check_pow: true,
+            max_future_drift_ms: 2 * 60 * 60 * 1000,
+            fork_choice: ForkChoice::bitcoin_operational(),
+        }
+    }
+}
+
+impl BtcConfig {
+    /// The configuration used for GHOST experiments: identical except for the rule.
+    pub fn ghost() -> Self {
+        BtcConfig {
+            fork_choice: ForkChoice::ghost(),
+            ..Default::default()
+        }
+    }
+}
+
+/// A Nakamoto-consensus full node (Bitcoin when configured with the heaviest-chain
+/// rule, GHOST when configured with the subtree rule).
+#[derive(Clone, Debug)]
+pub struct BitcoinNode {
+    /// Stable node identity (miner id recorded in blocks it produces).
+    pub id: u64,
+    config: BtcConfig,
+    store: ChainStore<BtcBlock>,
+    /// Blocks waiting for a missing parent, keyed by that parent.
+    pending: HashMap<Hash256, Vec<BtcBlock>>,
+}
+
+impl BitcoinNode {
+    /// Creates a node. All nodes constructed with the same `config` share the same
+    /// deterministic genesis block.
+    pub fn new(id: u64, config: BtcConfig, tie_break_seed: u64) -> Self {
+        let tie = match config.fork_choice.tie {
+            TieBreak::FirstSeen => TieBreak::FirstSeen,
+            TieBreak::Random { .. } => TieBreak::Random {
+                seed: tie_break_seed,
+            },
+        };
+        let store = ChainStore::new(genesis_block(config.target), config.fork_choice.rule, tie);
+        BitcoinNode {
+            id,
+            config,
+            store,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Creates a GHOST node.
+    pub fn new_ghost(id: u64, tie_break_seed: u64) -> Self {
+        Self::new(id, BtcConfig::ghost(), tie_break_seed)
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &BtcConfig {
+        &self.config
+    }
+
+    /// The underlying block tree.
+    pub fn store(&self) -> &ChainStore<BtcBlock> {
+        &self.store
+    }
+
+    /// The fork-choice rule this node runs.
+    pub fn rule(&self) -> ForkRule {
+        self.store.rule()
+    }
+
+    /// Current main-chain tip.
+    pub fn tip(&self) -> Hash256 {
+        self.store.tip()
+    }
+
+    /// Current main-chain height.
+    pub fn tip_height(&self) -> u64 {
+        self.store.tip_height()
+    }
+
+    /// Number of blocks buffered waiting for parents.
+    pub fn pending_count(&self) -> usize {
+        self.pending.values().map(|v| v.len()).sum()
+    }
+
+    /// Validates a block whose parent is known.
+    pub fn validate(&self, block: &BtcBlock, now_ms: u64) -> Result<(), BlockError> {
+        if self.config.check_pow && !block.meets_target() {
+            return Err(BlockError::PowNotMet(block.id()));
+        }
+        if block.size_bytes() > self.config.max_block_bytes {
+            return Err(BlockError::OversizedBlock {
+                size: block.size_bytes() as usize,
+                max: self.config.max_block_bytes as usize,
+            });
+        }
+        if block.time_ms > now_ms + self.config.max_future_drift_ms {
+            return Err(BlockError::BadTimestamp);
+        }
+        Ok(())
+    }
+
+    /// Handles a block received from the network.
+    pub fn on_block(&mut self, block: BtcBlock, now_ms: u64) -> Result<InsertOutcome, BlockError> {
+        let id = block.id();
+        if self.store.contains(&id) {
+            return Ok(InsertOutcome::Duplicate);
+        }
+        if !self.store.contains(&block.prev) {
+            let missing = block.prev;
+            self.pending.entry(missing).or_default().push(block);
+            return Ok(InsertOutcome::Orphaned {
+                missing_parent: missing,
+            });
+        }
+        self.validate(&block, now_ms)?;
+        let mut outcome = self.store.insert(block);
+        let mut ready = vec![id];
+        while let Some(parent) = ready.pop() {
+            let Some(children) = self.pending.remove(&parent) else {
+                continue;
+            };
+            for child in children {
+                let child_id = child.id();
+                if self.store.contains(&child_id) {
+                    continue;
+                }
+                if self.validate(&child, now_ms).is_ok() {
+                    let child_outcome = self.store.insert(child);
+                    if let InsertOutcome::Accepted {
+                        tip_changed: true, ..
+                    } = &child_outcome
+                    {
+                        outcome = child_outcome;
+                    }
+                    ready.push(child_id);
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Builds a block on the current tip carrying `payload`, searching for a valid
+    /// nonce. Simulations use easy targets so the search terminates immediately; the
+    /// large-scale experiments bypass this entirely via the mining scheduler.
+    pub fn mine_block(&self, now_ms: u64, payload: Payload) -> BtcBlock {
+        let mut block = BtcBlock {
+            prev: self.tip(),
+            time_ms: now_ms,
+            target: self.config.target,
+            nonce: 0,
+            miner: self.id,
+            payload,
+        };
+        if self.config.check_pow {
+            while !block.meets_target() {
+                block.nonce += 1;
+            }
+        }
+        block
+    }
+
+    /// Mines a block on the current tip and adopts it locally, returning it for
+    /// broadcast.
+    pub fn mine_and_adopt(&mut self, now_ms: u64, payload: Payload) -> BtcBlock {
+        let block = self.mine_block(now_ms, payload);
+        self.on_block(block.clone(), now_ms)
+            .expect("locally mined block is valid");
+        block
+    }
+
+    /// Total transactions on the main chain (throughput accounting).
+    pub fn main_chain_tx_count(&self) -> u64 {
+        self.store
+            .main_chain()
+            .iter()
+            .filter_map(|id| self.store.get(id))
+            .map(|s| s.block.tx_count())
+            .sum()
+    }
+
+    /// Blocks on the main chain produced by `miner` (fairness accounting).
+    pub fn main_chain_blocks_by(&self, miner: u64) -> u64 {
+        self.store
+            .main_chain()
+            .iter()
+            .filter_map(|id| self.store.get(id))
+            .filter(|s| s.block.miner == miner)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_chain::amount::Amount;
+
+    fn synthetic(tag: u64, bytes: u64) -> Payload {
+        Payload::Synthetic {
+            bytes,
+            tx_count: bytes / 250,
+            total_fees: Amount::ZERO,
+            tag,
+        }
+    }
+
+    fn node(id: u64) -> BitcoinNode {
+        BitcoinNode::new(
+            id,
+            BtcConfig {
+                check_pow: false,
+                ..Default::default()
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn mining_extends_own_chain() {
+        let mut n = node(1);
+        let b1 = n.mine_and_adopt(1_000, synthetic(1, 1_000));
+        let b2 = n.mine_and_adopt(2_000, synthetic(2, 1_000));
+        assert_eq!(n.tip(), b2.id());
+        assert_eq!(n.tip_height(), 2);
+        assert_eq!(b2.prev, b1.id());
+        assert_eq!(n.main_chain_blocks_by(1), 2);
+    }
+
+    #[test]
+    fn blocks_propagate_between_nodes() {
+        let mut a = node(1);
+        let mut b = node(2);
+        let block = a.mine_and_adopt(1_000, synthetic(1, 500));
+        b.on_block(block.clone(), 1_050).unwrap();
+        assert_eq!(b.tip(), block.id());
+    }
+
+    #[test]
+    fn orphans_connected_when_parent_arrives() {
+        let mut a = node(1);
+        let mut b = node(2);
+        let b1 = a.mine_and_adopt(1_000, synthetic(1, 100));
+        let b2 = a.mine_and_adopt(2_000, synthetic(2, 100));
+        // b2 arrives first at node b.
+        assert!(matches!(
+            b.on_block(b2.clone(), 2_010),
+            Ok(InsertOutcome::Orphaned { .. })
+        ));
+        assert_eq!(b.pending_count(), 1);
+        b.on_block(b1, 2_020).unwrap();
+        assert_eq!(b.tip(), b2.id());
+        assert_eq!(b.pending_count(), 0);
+    }
+
+    #[test]
+    fn heaviest_chain_reorg() {
+        let mut observer = node(9);
+        let mut a = node(1);
+        let mut b = node(2);
+        // Miner a finds one block; miner b finds two on its own fork.
+        let a1 = a.mine_and_adopt(1_000, synthetic(1, 100));
+        let b1 = b.mine_and_adopt(1_100, synthetic(2, 100));
+        let b2 = b.mine_and_adopt(2_100, synthetic(3, 100));
+        observer.on_block(a1.clone(), 1_500).unwrap();
+        assert_eq!(observer.tip(), a1.id());
+        observer.on_block(b1, 2_500).unwrap();
+        let outcome = observer.on_block(b2.clone(), 2_600).unwrap();
+        assert!(matches!(
+            outcome,
+            InsertOutcome::Accepted {
+                tip_changed: true,
+                reorg: Some(_),
+                ..
+            }
+        ));
+        assert_eq!(observer.tip(), b2.id());
+        assert!(!observer.store().is_in_main_chain(&a1.id()));
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let mut n = node(1);
+        let huge = BtcBlock {
+            prev: n.tip(),
+            time_ms: 1_000,
+            target: Target::regtest(),
+            nonce: 0,
+            miner: 2,
+            payload: synthetic(1, 2_000_000),
+        };
+        assert!(matches!(
+            n.on_block(huge, 1_000),
+            Err(BlockError::OversizedBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn pow_enforced_when_enabled() {
+        let mut strict = BitcoinNode::new(
+            1,
+            BtcConfig {
+                check_pow: true,
+                target: Target(ng_crypto::u256::U256::ONE.shl_by(200)),
+                ..Default::default()
+            },
+            7,
+        );
+        let bogus = BtcBlock {
+            prev: strict.tip(),
+            time_ms: 1_000,
+            target: Target(ng_crypto::u256::U256::ONE.shl_by(200)),
+            nonce: 0,
+            miner: 2,
+            payload: Payload::empty(),
+        };
+        // With a 2^-56 target the unmined block almost surely fails.
+        assert!(matches!(
+            strict.on_block(bogus, 1_000),
+            Err(BlockError::PowNotMet(_))
+        ));
+    }
+
+    #[test]
+    fn future_timestamp_rejected() {
+        let mut n = node(1);
+        let block = BtcBlock {
+            prev: n.tip(),
+            time_ms: 10 * 60 * 60 * 1000,
+            target: Target::regtest(),
+            nonce: 0,
+            miner: 2,
+            payload: Payload::empty(),
+        };
+        assert_eq!(n.on_block(block, 0), Err(BlockError::BadTimestamp));
+    }
+
+    #[test]
+    fn ghost_node_uses_subtree_rule() {
+        let ghost = BitcoinNode::new_ghost(1, 7);
+        assert_eq!(ghost.rule(), ForkRule::Ghost);
+        // GHOST reorg behaviour is covered by the chainstore tests; here we check the
+        // node-level plumbing produces a working node.
+        let mut g = BitcoinNode::new(
+            2,
+            BtcConfig {
+                check_pow: false,
+                ..BtcConfig::ghost()
+            },
+            7,
+        );
+        let b1 = g.mine_and_adopt(1_000, synthetic(1, 10));
+        assert_eq!(g.tip(), b1.id());
+    }
+
+    #[test]
+    fn tx_count_accumulates_on_main_chain() {
+        let mut n = node(1);
+        n.mine_and_adopt(1_000, synthetic(1, 2_500));
+        n.mine_and_adopt(2_000, synthetic(2, 2_500));
+        assert_eq!(n.main_chain_tx_count(), 2 * (2_500 / 250));
+    }
+}

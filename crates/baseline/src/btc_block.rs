@@ -1,0 +1,142 @@
+//! Bitcoin-style blocks used by the baseline protocols.
+//!
+//! These are the blocks of §3: every block carries proof of work and the transactions
+//! of its interval. The payload may be a real transaction list or a synthetic summary
+//! (see [`ng_chain::payload::Payload`]), matching the paper's experimental methodology.
+
+use ng_chain::chainstore::BlockLike;
+use ng_chain::payload::Payload;
+use ng_crypto::pow::{Target, Work};
+use ng_crypto::sha256::{double_sha256, Hash256};
+use serde::{Deserialize, Serialize};
+
+/// A Bitcoin block as used by the Nakamoto and GHOST baselines.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BtcBlock {
+    /// Hash of the previous block.
+    pub prev: Hash256,
+    /// Timestamp in milliseconds.
+    pub time_ms: u64,
+    /// Proof-of-work target.
+    pub target: Target,
+    /// Mining nonce.
+    pub nonce: u64,
+    /// Identity of the miner (metrics attribution).
+    pub miner: u64,
+    /// Block contents.
+    pub payload: Payload,
+}
+
+impl BtcBlock {
+    /// Canonical header serialisation (the proof-of-work preimage).
+    pub fn header_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(b"BTC/block");
+        out.extend_from_slice(&self.prev.0);
+        out.extend_from_slice(&self.time_ms.to_le_bytes());
+        out.extend_from_slice(&self.target.0.to_be_bytes());
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&self.miner.to_le_bytes());
+        out.extend_from_slice(&self.payload.digest().0);
+        out
+    }
+
+    /// The block id.
+    pub fn id(&self) -> Hash256 {
+        double_sha256(&self.header_bytes())
+    }
+
+    /// True if the block's hash satisfies its target.
+    pub fn meets_target(&self) -> bool {
+        self.target.is_met_by(&self.id())
+    }
+
+    /// Serialized size in bytes: header plus payload.
+    pub fn size_bytes(&self) -> u64 {
+        self.header_bytes().len() as u64 + self.payload.size_bytes()
+    }
+
+    /// Number of transactions carried.
+    pub fn tx_count(&self) -> u64 {
+        self.payload.tx_count()
+    }
+}
+
+impl BlockLike for BtcBlock {
+    fn id(&self) -> Hash256 {
+        BtcBlock::id(self)
+    }
+    fn parent(&self) -> Hash256 {
+        self.prev
+    }
+    fn work(&self) -> Work {
+        self.target.work()
+    }
+    fn timestamp(&self) -> u64 {
+        self.time_ms
+    }
+    fn miner(&self) -> u64 {
+        self.miner
+    }
+}
+
+/// Deterministic genesis block shared by all baseline nodes.
+pub fn genesis_block(target: Target) -> BtcBlock {
+    BtcBlock {
+        prev: Hash256::ZERO,
+        time_ms: 0,
+        target,
+        nonce: 0,
+        miner: u64::MAX,
+        payload: Payload::empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_chain::amount::Amount;
+
+    #[test]
+    fn id_changes_with_payload() {
+        let a = genesis_block(Target::regtest());
+        let mut b = a.clone();
+        b.payload = Payload::Synthetic {
+            bytes: 10,
+            tx_count: 1,
+            total_fees: Amount::ZERO,
+            tag: 1,
+        };
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn blocklike_impl() {
+        let g = genesis_block(Target::regtest());
+        assert_eq!(BlockLike::parent(&g), Hash256::ZERO);
+        assert!(BlockLike::work(&g) > Work::ZERO);
+        assert_eq!(BlockLike::miner(&g), u64::MAX);
+    }
+
+    #[test]
+    fn size_includes_payload() {
+        let mut b = genesis_block(Target::MAX);
+        let header_only = b.size_bytes();
+        b.payload = Payload::Synthetic {
+            bytes: 50_000,
+            tx_count: 200,
+            total_fees: Amount::ZERO,
+            tag: 0,
+        };
+        assert_eq!(b.size_bytes(), header_only + 50_000);
+        assert_eq!(b.tx_count(), 200);
+    }
+
+    #[test]
+    fn genesis_is_deterministic() {
+        assert_eq!(
+            genesis_block(Target::regtest()).id(),
+            genesis_block(Target::regtest()).id()
+        );
+    }
+}

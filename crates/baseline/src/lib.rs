@@ -1,0 +1,16 @@
+//! # ng-baseline
+//!
+//! Baseline protocols the paper compares against:
+//!
+//! * [`btc_block`] — Bitcoin-style blocks (proof of work over every block).
+//! * [`bitcoin_node`] — the Nakamoto full node (heaviest-chain rule) and its GHOST
+//!   variant (subtree rule), both event-driven so the `ng-sim` network can drive them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitcoin_node;
+pub mod btc_block;
+
+pub use bitcoin_node::{BitcoinNode, BtcConfig};
+pub use btc_block::{genesis_block, BtcBlock};

@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the ledger substrate: UTXO application, transaction validation
+//! and chain-store insertion / fork choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ng_chain::amount::Amount;
+use ng_chain::chainstore::{BlockLike, ChainStore};
+use ng_chain::forkchoice::{ForkRule, TieBreak};
+use ng_chain::transaction::{OutPoint, Transaction, TransactionBuilder, TxOutput};
+use ng_chain::utxo::UtxoSet;
+use ng_crypto::keys::KeyPair;
+use ng_crypto::pow::Work;
+use ng_crypto::sha256::{sha256, Hash256};
+use ng_crypto::signer::SchnorrSigner;
+use std::hint::black_box;
+
+#[derive(Clone)]
+struct MiniBlock {
+    id: Hash256,
+    parent: Hash256,
+}
+
+impl BlockLike for MiniBlock {
+    fn id(&self) -> Hash256 {
+        self.id
+    }
+    fn parent(&self) -> Hash256 {
+        self.parent
+    }
+    fn work(&self) -> Work {
+        Work(ng_crypto::u256::U256::ONE)
+    }
+    fn timestamp(&self) -> u64 {
+        0
+    }
+    fn miner(&self) -> u64 {
+        0
+    }
+}
+
+fn bench_utxo(c: &mut Criterion) {
+    let alice = KeyPair::from_id(1);
+    let bob = KeyPair::from_id(2);
+    let mut utxo = UtxoSet::with_maturity(0);
+    let coinbase = Transaction::coinbase(
+        vec![TxOutput::new(Amount::from_coins(1000), alice.address())],
+        b"bench",
+    );
+    let funding = OutPoint::new(coinbase.txid(), 0);
+    utxo.apply(&coinbase, 0);
+    let mut tx = TransactionBuilder::new()
+        .input(funding)
+        .output(Amount::from_coins(999), bob.address())
+        .build();
+    tx.sign_all_inputs(&SchnorrSigner::new(alice));
+
+    c.bench_function("utxo_validate_signed_tx", |b| {
+        b.iter(|| black_box(&utxo).validate(black_box(&tx), 1))
+    });
+    c.bench_function("utxo_apply_unapply", |b| {
+        b.iter(|| {
+            let undo = utxo.apply(black_box(&tx), 1);
+            utxo.unapply(&undo);
+        })
+    });
+}
+
+fn bench_chainstore(c: &mut Criterion) {
+    // Pre-build a 1000-block linear chain plus periodic forks.
+    let genesis = MiniBlock {
+        id: sha256(b"genesis"),
+        parent: Hash256::ZERO,
+    };
+    let gid = genesis.id;
+    let mut blocks = Vec::new();
+    let mut parent = gid;
+    for i in 0..1000u64 {
+        let block = MiniBlock {
+            id: sha256(&i.to_le_bytes()),
+            parent,
+        };
+        if i % 10 != 0 {
+            parent = block.id;
+        }
+        blocks.push(block);
+    }
+
+    c.bench_function("chainstore_insert_1000_blocks", |b| {
+        b.iter(|| {
+            let mut store =
+                ChainStore::new(genesis.clone(), ForkRule::HeaviestChain, TieBreak::FirstSeen);
+            for block in &blocks {
+                store.insert(black_box(block.clone()));
+            }
+            store.tip()
+        })
+    });
+
+    let mut store = ChainStore::new(genesis.clone(), ForkRule::Ghost, TieBreak::FirstSeen);
+    for block in &blocks {
+        store.insert(block.clone());
+    }
+    c.bench_function("ghost_tip_selection_1000_blocks", |b| {
+        b.iter(|| black_box(&store).ghost_tip())
+    });
+}
+
+criterion_group!(benches, bench_utxo, bench_chainstore);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the cryptographic substrate: SHA-256 throughput, Merkle roots,
+//! secp256k1 scalar multiplication and Schnorr sign/verify.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ng_crypto::keys::KeyPair;
+use ng_crypto::merkle::merkle_root;
+use ng_crypto::point::Point;
+use ng_crypto::scalar::Scalar;
+use ng_crypto::schnorr;
+use ng_crypto::sha256::{double_sha256, sha256};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(black_box(&data)))
+        });
+    }
+    group.bench_function("double_sha256_80B_header", |b| {
+        let header = vec![0x11u8; 80];
+        b.iter(|| double_sha256(black_box(&header)))
+    });
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_root");
+    for leaves in [16usize, 256, 4096] {
+        let hashes: Vec<_> = (0..leaves)
+            .map(|i| sha256(&(i as u64).to_le_bytes()))
+            .collect();
+        group.bench_function(format!("{leaves}_leaves"), |b| {
+            b.iter(|| merkle_root(black_box(&hashes)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_curve_and_schnorr(c: &mut Criterion) {
+    let kp = KeyPair::from_id(1);
+    let msg = sha256(b"a microblock header");
+    let sig = schnorr::sign(&kp.secret, &msg);
+    let k = Scalar::from_u64(0xdead_beef_cafe);
+
+    c.bench_function("secp256k1_scalar_mul_generator", |b| {
+        b.iter(|| Point::mul_generator(black_box(&k)))
+    });
+    c.bench_function("schnorr_sign", |b| {
+        b.iter(|| schnorr::sign(black_box(&kp.secret), black_box(&msg)))
+    });
+    c.bench_function("schnorr_verify", |b| {
+        b.iter(|| schnorr::verify(black_box(&kp.public), black_box(&msg), black_box(&sig)))
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_merkle, bench_curve_and_schnorr);
+criterion_main!(benches);

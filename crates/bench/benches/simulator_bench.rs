@@ -1,0 +1,38 @@
+//! Benchmarks of the discrete-event simulator itself: events per second for small
+//! Bitcoin and Bitcoin-NG networks, and metric computation over a finished log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ng_metrics::report::compute_report;
+use ng_sim::config::{ExperimentConfig, Protocol};
+use ng_sim::runner::run_experiment;
+use std::hint::black_box;
+
+fn small_config(protocol: Protocol) -> ExperimentConfig {
+    let mut config = ExperimentConfig::small_test(protocol);
+    config.nodes = 40;
+    config.target_pow_blocks = 15;
+    config.target_microblocks = 30;
+    config
+}
+
+fn bench_simulation_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("bitcoin_40_nodes_15_blocks", |b| {
+        b.iter(|| run_experiment(black_box(small_config(Protocol::Bitcoin))))
+    });
+    group.bench_function("bitcoin_ng_40_nodes_30_microblocks", |b| {
+        b.iter(|| run_experiment(black_box(small_config(Protocol::BitcoinNg))))
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let log = run_experiment(small_config(Protocol::Bitcoin));
+    c.bench_function("compute_full_metric_report", |b| {
+        b.iter(|| compute_report(black_box(&log)))
+    });
+}
+
+criterion_group!(benches, bench_simulation_runs, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Figure 6: weekly mining-pool power by rank (25th/50th/75th percentiles)
+//! under the exponential model with exponent −0.27.
+
+use ng_bench::cli;
+use ng_bench::experiments::fig6_mining_power;
+
+fn main() {
+    let options = cli::parse_args();
+    let rows = fig6_mining_power(52, 20, options.scale.seed);
+    println!("# Figure 6 — ratio of mining power by pool rank (52 synthetic weeks)");
+    println!("{:<6} {:>10} {:>10} {:>10}", "rank", "p25", "p50", "p75");
+    for row in &rows {
+        println!(
+            "{:<6} {:>9.2}% {:>9.2}% {:>9.2}%",
+            row.rank,
+            row.p25 * 100.0,
+            row.p50 * 100.0,
+            row.p75 * 100.0
+        );
+    }
+    cli::maybe_write_json(&options, &rows);
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figure 7: block propagation latency versus block size (25th/50th/75th
+//! percentiles) on the simulated 100 kbit/s overlay, holding the transaction load
+//! constant.
+
+use ng_bench::cli;
+use ng_bench::experiments::fig7_propagation;
+
+fn main() {
+    let options = cli::parse_args();
+    let sizes = [20_000u64, 40_000, 60_000, 80_000, 100_000];
+    eprintln!(
+        "# running {} block sizes at {} nodes / {} blocks each (use --full for paper scale)",
+        sizes.len(),
+        options.scale.nodes,
+        options.scale.blocks
+    );
+    let rows = fig7_propagation(options.scale, &sizes);
+    println!("# Figure 7 — propagation latency vs block size");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        "size[B]", "p25[s]", "p50[s]", "p75[s]"
+    );
+    for row in &rows {
+        println!(
+            "{:<12} {:>14.2} {:>14.2} {:>14.2}",
+            row.block_size, row.propagation.p25, row.propagation.p50, row.propagation.p75
+        );
+    }
+    cli::maybe_write_json(&options, &rows);
+}

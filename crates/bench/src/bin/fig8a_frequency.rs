@@ -1,0 +1,25 @@
+//! Regenerates Figure 8a: the block-frequency sweep. Bitcoin's block interval is swept
+//! from 100 s down to 1 s (block size scaled to keep payload throughput at the
+//! operational rate); Bitcoin-NG keeps key blocks at one per 100 s and sweeps the
+//! microblock interval instead. Reports all six metrics for both protocols.
+
+use ng_bench::cli;
+use ng_bench::experiments::{fig8a_frequency, print_fig8_table};
+
+fn main() {
+    let options = cli::parse_args();
+    let frequencies = [0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0];
+    eprintln!(
+        "# running {} frequencies x 2 protocols at {} nodes / {} blocks each (use --full for paper scale)",
+        frequencies.len(),
+        options.scale.nodes,
+        options.scale.blocks
+    );
+    let rows = fig8a_frequency(options.scale, &frequencies);
+    print_fig8_table(
+        "Figure 8a — block-frequency sweep",
+        "freq[1/s]",
+        &rows,
+    );
+    cli::maybe_write_json(&options, &rows);
+}

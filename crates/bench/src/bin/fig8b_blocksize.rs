@@ -1,0 +1,21 @@
+//! Regenerates Figure 8b: the block-size sweep. Bitcoin blocks arrive once per 10 s,
+//! Bitcoin-NG microblocks once per 10 s with key blocks once per 100 s; the block
+//! (microblock) size is swept from 1.28 kB to 80 kB. Reports all six metrics for both
+//! protocols.
+
+use ng_bench::cli;
+use ng_bench::experiments::{fig8b_blocksize, print_fig8_table};
+
+fn main() {
+    let options = cli::parse_args();
+    let sizes = [1_280u64, 2_500, 5_000, 10_000, 20_000, 40_000, 80_000];
+    eprintln!(
+        "# running {} sizes x 2 protocols at {} nodes / {} blocks each (use --full for paper scale)",
+        sizes.len(),
+        options.scale.nodes,
+        options.scale.blocks
+    );
+    let rows = fig8b_blocksize(options.scale, &sizes);
+    print_fig8_table("Figure 8b — block-size sweep", "size[B]", &rows);
+    cli::maybe_write_json(&options, &rows);
+}

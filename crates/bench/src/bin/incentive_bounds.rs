@@ -1,0 +1,44 @@
+//! Tabulates the §5.1 closed-form bounds on the fee split: for a range of attacker
+//! sizes α, the admissible interval for r_leader, whether it is non-empty, and whether
+//! the protocol's 40% split lies inside it. Also prints the optimal-network case where
+//! the interval vanishes.
+
+use ng_incentives::bounds::{bounds, max_feasible_alpha};
+
+fn main() {
+    println!("# Section 5.1 — admissible fee split r_leader vs attacker size alpha");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>12}",
+        "alpha", "lower", "upper", "feasible", "admits 40%"
+    );
+    for i in 0..=35 {
+        let alpha = i as f64 / 100.0;
+        let b = bounds(alpha);
+        println!(
+            "{:<8.2} {:>11.2}% {:>11.2}% {:>10} {:>12}",
+            alpha,
+            b.lower * 100.0,
+            b.upper * 100.0,
+            b.feasible(),
+            b.admits(0.40)
+        );
+    }
+    let quarter = bounds(0.25);
+    println!();
+    println!(
+        "alpha = 1/4  → r_leader ∈ ({:.1}%, {:.1}%); 40% admissible: {}",
+        quarter.lower * 100.0,
+        quarter.upper * 100.0,
+        quarter.admits(0.40)
+    );
+    let third = bounds(1.0 / 3.0);
+    println!(
+        "alpha = 1/3 (optimal-network assumption) → lower {:.1}% > upper {:.1}%: no feasible split",
+        third.lower * 100.0,
+        third.upper * 100.0
+    );
+    println!(
+        "largest attacker with a non-empty interval: alpha ≈ {:.3}",
+        max_feasible_alpha()
+    );
+}

@@ -1,0 +1,86 @@
+//! Security-analysis tables backing §2 and §5.2 of the paper: the selfish-mining
+//! threshold that motivates the 1/4 adversary bound, censorship delay under a
+//! censoring leader, equivocation double-spend economics, and the effect of sudden
+//! mining-power drops on Bitcoin versus Bitcoin-NG.
+
+use ng_attacks::censorship::{censorship_delay_blocks, simulate_censorship};
+use ng_attacks::doublespend::{simulate_equivocation, EquivocationConfig};
+use ng_attacks::powdrop::{simulate_power_drop, PowerDropConfig};
+use ng_attacks::selfish::{revenue_curve, simulate_selfish_mining, SelfishConfig};
+
+fn main() {
+    println!("# Selfish mining — attacker revenue share vs mining power (motivates the 1/4 bound, §2)");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12}",
+        "alpha", "share(γ=0.5)", "share(γ=0)", "honest share"
+    );
+    let alphas = [0.10, 0.15, 0.20, 0.25, 0.30, 0.33, 0.40, 0.45];
+    let gamma_half = revenue_curve(&alphas, 0.5, 300_000, 1);
+    let gamma_zero = revenue_curve(&alphas, 0.0, 300_000, 1);
+    for ((alpha, half), (_, zero)) in gamma_half.iter().zip(&gamma_zero) {
+        println!(
+            "{:<8.2} {:>14.3} {:>14.3} {:>12.3}",
+            alpha, half, zero, alpha
+        );
+    }
+    let threshold = simulate_selfish_mining(SelfishConfig {
+        alpha: 0.26,
+        gamma: 0.5,
+        blocks: 300_000,
+        seed: 2,
+    });
+    println!(
+        "\njust above 1/4 (α=0.26, γ=0.5): revenue share {:.3} > α → selfish mining pays; \
+         mining power utilization degrades to {:.3}",
+        threshold.attacker_revenue_share(),
+        threshold.mining_power_utilization()
+    );
+
+    println!("\n# Censorship resistance (§5.2) — wait until an honest leader serializes a censored transaction");
+    println!(
+        "{:<10} {:>16} {:>16} {:>18}",
+        "adversary", "mean blocks", "closed form", "mean wait @10min"
+    );
+    for &beta in &[0.0, 0.10, 0.25, 0.40] {
+        let outcome = simulate_censorship(beta, 600_000, 100_000, 7);
+        println!(
+            "{:<10.2} {:>16.3} {:>16.3} {:>15.1} min",
+            beta,
+            outcome.mean_blocks_waited,
+            censorship_delay_blocks(beta),
+            outcome.mean_wait_ms / 60_000.0
+        );
+    }
+
+    println!("\n# Microblock equivocation double spend (§4.3/§4.5)");
+    for (wait_ms, label) in [(500u64, "impatient victim"), (3_000, "victim waits for propagation")] {
+        let outcome = simulate_equivocation(EquivocationConfig {
+            victim_wait_ms: wait_ms,
+            propagation_delay_ms: 2_000,
+            ..Default::default()
+        });
+        println!(
+            "{label:<30} fooled: {:<5} poison available: {:<5} attacker net: {} sats",
+            outcome.victim_fooled, outcome.poison_available, outcome.attacker_net_sats
+        );
+    }
+
+    println!("\n# Mining-power drop (§5.2) — stale difficulty after miners leave");
+    println!(
+        "{:<16} {:>18} {:>18} {:>22}",
+        "remaining power", "btc throughput", "ng throughput", "ng epoch lengthening"
+    );
+    for &remaining in &[1.0, 0.5, 0.25, 0.10] {
+        let outcome = simulate_power_drop(PowerDropConfig {
+            remaining_power: remaining,
+            ..Default::default()
+        });
+        println!(
+            "{:<16.2} {:>17.0}% {:>17.0}% {:>21.1}x",
+            remaining,
+            outcome.bitcoin_relative_throughput * 100.0,
+            outcome.ng_relative_throughput * 100.0,
+            outcome.ng_epoch_lengthening
+        );
+    }
+}

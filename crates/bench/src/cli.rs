@@ -1,0 +1,105 @@
+//! Tiny argument parsing shared by the experiment binaries (no external CLI crate).
+
+use crate::experiments::Scale;
+
+/// Options common to every experiment binary.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Scale of the simulated network.
+    pub scale: Scale,
+    /// Optional path to dump the raw rows as JSON.
+    pub json_out: Option<String>,
+}
+
+/// Parses `--nodes N`, `--blocks N`, `--seed N`, `--full` and `--json PATH` from the
+/// process arguments. Unknown arguments are ignored so binaries stay forgiving.
+pub fn parse_args() -> Options {
+    parse(std::env::args().skip(1).collect())
+}
+
+/// Parses from an explicit argument vector (testable).
+pub fn parse(args: Vec<String>) -> Options {
+    let mut scale = Scale::default();
+    let mut json_out = None;
+    let mut iter = args.into_iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::full(),
+            "--nodes" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    scale.nodes = v;
+                }
+            }
+            "--blocks" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    scale.blocks = v;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = iter.next().and_then(|v| v.parse().ok()) {
+                    scale.seed = v;
+                }
+            }
+            "--json" => {
+                json_out = iter.next();
+            }
+            _ => {}
+        }
+    }
+    Options { scale, json_out }
+}
+
+/// Writes rows as pretty JSON if `--json` was given.
+pub fn maybe_write_json<T: serde::Serialize>(options: &Options, rows: &T) {
+    if let Some(path) = &options.json_out {
+        match serde_json::to_string_pretty(rows) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("failed to write {path}: {e}");
+                } else {
+                    println!("# wrote {path}");
+                }
+            }
+            Err(e) => eprintln!("failed to serialise rows: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_no_args() {
+        let o = parse(vec![]);
+        assert_eq!(o.scale.nodes, Scale::default().nodes);
+        assert!(o.json_out.is_none());
+    }
+
+    #[test]
+    fn parses_scale_overrides() {
+        let o = parse(
+            ["--nodes", "500", "--blocks", "80", "--seed", "9", "--json", "out.json"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(o.scale.nodes, 500);
+        assert_eq!(o.scale.blocks, 80);
+        assert_eq!(o.scale.seed, 9);
+        assert_eq!(o.json_out.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn full_flag_uses_paper_scale() {
+        let o = parse(vec!["--full".to_string()]);
+        assert_eq!(o.scale.nodes, 1000);
+        assert_eq!(o.scale.blocks, 100);
+    }
+
+    #[test]
+    fn unknown_arguments_ignored() {
+        let o = parse(vec!["--bogus".into(), "--nodes".into(), "64".into()]);
+        assert_eq!(o.scale.nodes, 64);
+    }
+}

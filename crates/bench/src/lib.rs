@@ -1,0 +1,15 @@
+//! # ng-bench
+//!
+//! Experiment harness regenerating every data figure of the Bitcoin-NG paper, plus
+//! Criterion micro-benchmarks.
+//!
+//! * [`experiments`] — drivers producing the rows of Figures 6, 7, 8a and 8b and the
+//!   incentive tables.
+//! * [`cli`] — minimal argument parsing (`--nodes`, `--blocks`, `--seed`, `--full`,
+//!   `--json PATH`) shared by the `src/bin/*` binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;

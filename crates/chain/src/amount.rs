@@ -1,0 +1,161 @@
+//! Coin amounts.
+//!
+//! Amounts are measured in the smallest indivisible unit (a "satoshi"); one coin is
+//! 10^8 units, as in Bitcoin. All arithmetic is checked or saturating — overflow is a
+//! consensus bug, never silent wraparound.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A quantity of coins in base units.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Amount(pub u64);
+
+/// Base units per whole coin.
+pub const COIN: u64 = 100_000_000;
+
+impl Amount {
+    /// Zero coins.
+    pub const ZERO: Amount = Amount(0);
+
+    /// Constructs an amount from base units.
+    pub const fn from_sats(sats: u64) -> Self {
+        Amount(sats)
+    }
+
+    /// Constructs an amount from whole coins.
+    pub const fn from_coins(coins: u64) -> Self {
+        Amount(coins * COIN)
+    }
+
+    /// The value in base units.
+    pub const fn sats(&self) -> u64 {
+        self.0
+    }
+
+    /// The value in whole coins (fractional).
+    pub fn coins(&self) -> f64 {
+        self.0 as f64 / COIN as f64
+    }
+
+    /// Checked addition.
+    pub fn checked_add(&self, other: Amount) -> Option<Amount> {
+        self.0.checked_add(other.0).map(Amount)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(&self, other: Amount) -> Option<Amount> {
+        self.0.checked_sub(other.0).map(Amount)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(&self, other: Amount) -> Amount {
+        Amount(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies by a rational `num/den` with rounding toward zero. Used for fee
+    /// splitting (e.g. the 40%/60% distribution of Bitcoin-NG, §4.4).
+    pub fn mul_ratio(&self, num: u64, den: u64) -> Amount {
+        assert!(den > 0, "denominator must be positive");
+        Amount(((self.0 as u128 * num as u128) / den as u128) as u64)
+    }
+
+    /// Returns true for a zero amount.
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Amount {
+    type Output = Amount;
+    fn add(self, rhs: Amount) -> Amount {
+        self.checked_add(rhs).expect("amount overflow")
+    }
+}
+
+impl AddAssign for Amount {
+    fn add_assign(&mut self, rhs: Amount) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Amount {
+    type Output = Amount;
+    fn sub(self, rhs: Amount) -> Amount {
+        self.checked_sub(rhs).expect("amount underflow")
+    }
+}
+
+impl Sum for Amount {
+    fn sum<I: Iterator<Item = Amount>>(iter: I) -> Amount {
+        iter.fold(Amount::ZERO, |acc, a| acc + a)
+    }
+}
+
+impl fmt::Debug for Amount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} sats", self.0)
+    }
+}
+
+impl fmt::Display for Amount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.8} coins", self.coins())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(Amount::from_coins(2).sats(), 2 * COIN);
+        assert_eq!(Amount::from_sats(150_000_000).coins(), 1.5);
+        assert!(Amount::ZERO.is_zero());
+    }
+
+    #[test]
+    fn checked_arithmetic() {
+        let a = Amount::from_sats(u64::MAX);
+        assert!(a.checked_add(Amount::from_sats(1)).is_none());
+        assert!(Amount::ZERO.checked_sub(Amount::from_sats(1)).is_none());
+        assert_eq!(
+            Amount::from_sats(5).checked_sub(Amount::from_sats(3)),
+            Some(Amount::from_sats(2))
+        );
+        assert_eq!(Amount::ZERO.saturating_sub(Amount::from_sats(9)), Amount::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "amount overflow")]
+    fn add_panics_on_overflow() {
+        let _ = Amount::from_sats(u64::MAX) + Amount::from_sats(1);
+    }
+
+    #[test]
+    fn ratio_split_matches_paper_fee_distribution() {
+        let fee = Amount::from_sats(1000);
+        let leader = fee.mul_ratio(40, 100);
+        let next = fee.mul_ratio(60, 100);
+        assert_eq!(leader, Amount::from_sats(400));
+        assert_eq!(next, Amount::from_sats(600));
+        assert_eq!(leader + next, fee);
+    }
+
+    #[test]
+    fn ratio_rounds_down() {
+        let fee = Amount::from_sats(101);
+        assert_eq!(fee.mul_ratio(40, 100), Amount::from_sats(40));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Amount = [1u64, 2, 3].iter().map(|&v| Amount::from_sats(v)).sum();
+        assert_eq!(total, Amount::from_sats(6));
+    }
+}

@@ -1,0 +1,440 @@
+//! Block headers and Bitcoin blocks.
+//!
+//! "A valid block contains (1) a solution to a cryptopuzzle involving the hash of the
+//! previous block, (2) the hash (specifically, the Merkle root) of the transactions in
+//! the current block, which have to be valid, and (3) a special transaction, called the
+//! coinbase, crediting the miner with the reward" (§3).
+
+use crate::amount::Amount;
+use crate::error::BlockError;
+use crate::transaction::Transaction;
+use crate::utxo::{TxUndo, UtxoSet};
+use ng_crypto::merkle::merkle_root;
+use ng_crypto::pow::{Target, Work};
+use ng_crypto::sha256::{double_sha256, Hash256};
+use serde::{Deserialize, Serialize};
+
+/// A Bitcoin-style block header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockHeader {
+    /// Hash of the previous block's header.
+    pub prev: Hash256,
+    /// Merkle root of the block's transactions.
+    pub merkle_root: Hash256,
+    /// Block timestamp in seconds (the paper uses GMT time, §4.1).
+    pub time: u64,
+    /// Proof-of-work target this block claims to satisfy.
+    pub target: Target,
+    /// Nonce iterated during mining.
+    pub nonce: u64,
+    /// Identity of the miner that produced the block. The operational protocol derives
+    /// this from the coinbase; carrying it in the header simplifies the fairness and
+    /// mining-power-utilization metrics (§6), which need per-miner attribution.
+    pub miner: u64,
+}
+
+impl BlockHeader {
+    /// Canonical serialisation of the header (the preimage of the block id).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 32 + 8 + 32 + 8 + 8);
+        out.extend_from_slice(&self.prev.0);
+        out.extend_from_slice(&self.merkle_root.0);
+        out.extend_from_slice(&self.time.to_le_bytes());
+        out.extend_from_slice(&self.target.0.to_be_bytes());
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&self.miner.to_le_bytes());
+        out
+    }
+
+    /// The block id: double SHA-256 of the serialised header.
+    pub fn id(&self) -> Hash256 {
+        double_sha256(&self.serialize())
+    }
+
+    /// True if the header's own hash satisfies its target.
+    pub fn meets_target(&self) -> bool {
+        self.target.is_met_by(&self.id())
+    }
+
+    /// The expected work represented by this header.
+    pub fn work(&self) -> Work {
+        self.target.work()
+    }
+}
+
+/// A full Bitcoin block: header plus ordered transactions (coinbase first).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The block header.
+    pub header: BlockHeader,
+    /// The transactions, coinbase first.
+    pub transactions: Vec<Transaction>,
+}
+
+/// Consensus limits applied during block validation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BlockLimits {
+    /// Maximum serialized block size in bytes (1 MB in the operational system, §1).
+    pub max_block_size: usize,
+    /// Block subsidy paid to the miner in addition to fees.
+    pub subsidy: Amount,
+    /// Whether proof-of-work is checked. The paper's testbed runs in regression-test
+    /// mode where "the client skips the block difficulty validation" (§7).
+    pub check_pow: bool,
+}
+
+impl Default for BlockLimits {
+    fn default() -> Self {
+        BlockLimits {
+            max_block_size: 1_000_000,
+            subsidy: Amount::from_coins(25),
+            check_pow: true,
+        }
+    }
+}
+
+impl Block {
+    /// Assembles a block from parts, computing the merkle root.
+    pub fn new(
+        prev: Hash256,
+        time: u64,
+        target: Target,
+        nonce: u64,
+        miner: u64,
+        transactions: Vec<Transaction>,
+    ) -> Self {
+        let txids: Vec<Hash256> = transactions.iter().map(|t| t.txid()).collect();
+        let header = BlockHeader {
+            prev,
+            merkle_root: merkle_root(&txids),
+            time,
+            target,
+            nonce,
+            miner,
+        };
+        Block {
+            header,
+            transactions,
+        }
+    }
+
+    /// The block id.
+    pub fn id(&self) -> Hash256 {
+        self.header.id()
+    }
+
+    /// Serialized size in bytes: header plus transactions.
+    pub fn serialized_size(&self) -> usize {
+        self.header.serialize().len()
+            + 4
+            + self
+                .transactions
+                .iter()
+                .map(|t| t.serialized_size())
+                .sum::<usize>()
+    }
+
+    /// Transaction ids in block order.
+    pub fn txids(&self) -> Vec<Hash256> {
+        self.transactions.iter().map(|t| t.txid()).collect()
+    }
+
+    /// Searches for a nonce satisfying the target. Intended for tests and examples with
+    /// easy targets — the simulator replaces mining with a scheduler, like the paper.
+    pub fn mine(&mut self, max_attempts: u64) -> bool {
+        for nonce in 0..max_attempts {
+            self.header.nonce = nonce;
+            if self.header.meets_target() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Structural validation: proof of work (optional), merkle commitment, coinbase
+    /// placement and size limits. Does not touch the UTXO set.
+    pub fn validate_structure(&self, limits: &BlockLimits) -> Result<(), BlockError> {
+        if limits.check_pow && !self.header.meets_target() {
+            return Err(BlockError::PowNotMet(self.id()));
+        }
+        let txids = self.txids();
+        if merkle_root(&txids) != self.header.merkle_root {
+            return Err(BlockError::MerkleMismatch);
+        }
+        if self.transactions.is_empty() || !self.transactions[0].is_coinbase() {
+            return Err(BlockError::MissingCoinbase);
+        }
+        if self.transactions[1..].iter().any(|t| t.is_coinbase()) {
+            return Err(BlockError::MisplacedCoinbase);
+        }
+        let size = self.serialized_size();
+        if size > limits.max_block_size {
+            return Err(BlockError::OversizedBlock {
+                size,
+                max: limits.max_block_size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Full contextual validation and application against a UTXO set at `height`.
+    ///
+    /// On success the UTXO set is advanced and the per-transaction undo log returned;
+    /// on failure the UTXO set is left exactly as it was.
+    pub fn connect(
+        &self,
+        utxo: &mut UtxoSet,
+        height: u64,
+        limits: &BlockLimits,
+    ) -> Result<Vec<TxUndo>, BlockError> {
+        self.validate_structure(limits)?;
+
+        let mut undos: Vec<TxUndo> = Vec::with_capacity(self.transactions.len());
+        let mut total_fees = Amount::ZERO;
+        // Apply non-coinbase transactions first (validating each against the evolving
+        // set); roll back on any failure.
+        for (index, tx) in self.transactions.iter().enumerate().skip(1) {
+            match utxo.validate(tx, height) {
+                Ok(fee) => {
+                    total_fees += fee;
+                    undos.push(utxo.apply(tx, height));
+                }
+                Err(error) => {
+                    for undo in undos.iter().rev() {
+                        utxo.unapply(undo);
+                    }
+                    return Err(BlockError::BadTransaction { index, error });
+                }
+            }
+        }
+        // Coinbase may claim subsidy + fees.
+        let allowed = limits.subsidy + total_fees;
+        let claimed = self.transactions[0].total_output();
+        if claimed > allowed {
+            for undo in undos.iter().rev() {
+                utxo.unapply(undo);
+            }
+            return Err(BlockError::ExcessiveCoinbase { claimed, allowed });
+        }
+        let coinbase_undo = utxo.apply(&self.transactions[0], height);
+        let mut all = vec![coinbase_undo];
+        all.extend(undos);
+        Ok(all)
+    }
+
+    /// Disconnects a previously connected block using its undo log (reorg handling).
+    pub fn disconnect(&self, utxo: &mut UtxoSet, undos: &[TxUndo]) {
+        for undo in undos.iter().rev() {
+            utxo.unapply(undo);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{OutPoint, TransactionBuilder, TxOutput};
+    use ng_crypto::keys::KeyPair;
+    use ng_crypto::signer::SchnorrSigner;
+    use ng_crypto::u256::U256;
+
+    fn easy_limits() -> BlockLimits {
+        BlockLimits {
+            max_block_size: 1_000_000,
+            subsidy: Amount::from_coins(50),
+            check_pow: false,
+        }
+    }
+
+    fn coinbase_block(prev: Hash256, miner: &KeyPair, reward: Amount, tag: &[u8]) -> Block {
+        let cb = Transaction::coinbase(vec![TxOutput::new(reward, miner.address())], tag);
+        Block::new(prev, 1000, Target::MAX, 0, 1, vec![cb])
+    }
+
+    #[test]
+    fn header_id_changes_with_nonce() {
+        let miner = KeyPair::from_id(1);
+        let mut block = coinbase_block(Hash256::ZERO, &miner, Amount::from_coins(50), b"a");
+        let id1 = block.id();
+        block.header.nonce = 7;
+        assert_ne!(block.id(), id1);
+    }
+
+    #[test]
+    fn mining_meets_easy_target() {
+        let miner = KeyPair::from_id(2);
+        let mut block = coinbase_block(Hash256::ZERO, &miner, Amount::from_coins(50), b"b");
+        // Target of 2^252 gives a 1/16 chance per nonce; 10k attempts is plenty.
+        block.header.target = Target(U256::ONE.shl_by(252));
+        assert!(block.mine(10_000));
+        assert!(block.header.meets_target());
+        assert!(block
+            .validate_structure(&BlockLimits {
+                check_pow: true,
+                ..easy_limits()
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn pow_failure_detected() {
+        let miner = KeyPair::from_id(3);
+        let mut block = coinbase_block(Hash256::ZERO, &miner, Amount::from_coins(50), b"c");
+        block.header.target = Target(U256::from_u64(1));
+        let result = block.validate_structure(&BlockLimits {
+            check_pow: true,
+            ..easy_limits()
+        });
+        assert!(matches!(result, Err(BlockError::PowNotMet(_))));
+    }
+
+    #[test]
+    fn merkle_mismatch_detected() {
+        let miner = KeyPair::from_id(4);
+        let mut block = coinbase_block(Hash256::ZERO, &miner, Amount::from_coins(50), b"d");
+        block.header.merkle_root = Hash256::ZERO;
+        assert_eq!(
+            block.validate_structure(&easy_limits()),
+            Err(BlockError::MerkleMismatch)
+        );
+    }
+
+    #[test]
+    fn missing_and_misplaced_coinbase_detected() {
+        let miner = KeyPair::from_id(5);
+        let regular = TransactionBuilder::new()
+            .input(OutPoint::new(Hash256::ZERO, 0))
+            .output(Amount::from_coins(1), miner.address())
+            .build();
+        let no_cb = Block::new(Hash256::ZERO, 0, Target::MAX, 0, 1, vec![regular.clone()]);
+        assert_eq!(
+            no_cb.validate_structure(&easy_limits()),
+            Err(BlockError::MissingCoinbase)
+        );
+
+        let cb1 = Transaction::coinbase(
+            vec![TxOutput::new(Amount::from_coins(50), miner.address())],
+            b"1",
+        );
+        let cb2 = Transaction::coinbase(
+            vec![TxOutput::new(Amount::from_coins(50), miner.address())],
+            b"2",
+        );
+        let two_cb = Block::new(Hash256::ZERO, 0, Target::MAX, 0, 1, vec![cb1, cb2]);
+        assert_eq!(
+            two_cb.validate_structure(&easy_limits()),
+            Err(BlockError::MisplacedCoinbase)
+        );
+    }
+
+    #[test]
+    fn oversize_block_rejected() {
+        let miner = KeyPair::from_id(6);
+        let block = coinbase_block(Hash256::ZERO, &miner, Amount::from_coins(50), b"e");
+        let limits = BlockLimits {
+            max_block_size: 10,
+            ..easy_limits()
+        };
+        assert!(matches!(
+            block.validate_structure(&limits),
+            Err(BlockError::OversizedBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn connect_applies_transactions_and_fees() {
+        let alice = KeyPair::from_id(7);
+        let bob = KeyPair::from_id(8);
+        let mut utxo = UtxoSet::with_maturity(0);
+        let limits = easy_limits();
+
+        // Genesis block funds alice.
+        let genesis = coinbase_block(Hash256::ZERO, &alice, Amount::from_coins(50), b"g");
+        genesis.connect(&mut utxo, 0, &limits).unwrap();
+        let funding = OutPoint::new(genesis.transactions[0].txid(), 0);
+
+        // Alice pays bob 49, 1 coin fee; the miner claims subsidy + fee.
+        let mut pay = TransactionBuilder::new()
+            .input(funding)
+            .output(Amount::from_coins(49), bob.address())
+            .build();
+        pay.sign_all_inputs(&SchnorrSigner::new(alice));
+        let miner = KeyPair::from_id(9);
+        let cb = Transaction::coinbase(
+            vec![TxOutput::new(Amount::from_coins(51), miner.address())],
+            b"h1",
+        );
+        let block = Block::new(genesis.id(), 2000, Target::MAX, 0, 9, vec![cb, pay]);
+        let undo = block.connect(&mut utxo, 1, &limits).unwrap();
+        assert_eq!(utxo.balance_of(&bob.address()), Amount::from_coins(49));
+        assert_eq!(utxo.balance_of(&miner.address()), Amount::from_coins(51));
+
+        // Disconnect restores the pre-block state.
+        block.disconnect(&mut utxo, &undo);
+        assert_eq!(utxo.balance_of(&bob.address()), Amount::ZERO);
+        assert_eq!(utxo.balance_of(&alice.address()), Amount::from_coins(50));
+    }
+
+    #[test]
+    fn excessive_coinbase_rejected_and_state_unchanged() {
+        let alice = KeyPair::from_id(10);
+        let mut utxo = UtxoSet::with_maturity(0);
+        let limits = easy_limits();
+        let genesis = coinbase_block(Hash256::ZERO, &alice, Amount::from_coins(50), b"g2");
+        genesis.connect(&mut utxo, 0, &limits).unwrap();
+        let before = utxo.total_value();
+
+        let greedy = coinbase_block(genesis.id(), &alice, Amount::from_coins(51), b"greedy");
+        assert!(matches!(
+            greedy.connect(&mut utxo, 1, &limits),
+            Err(BlockError::ExcessiveCoinbase { .. })
+        ));
+        assert_eq!(utxo.total_value(), before);
+    }
+
+    #[test]
+    fn bad_transaction_rolls_back_partial_application() {
+        let alice = KeyPair::from_id(11);
+        let bob = KeyPair::from_id(12);
+        let mut utxo = UtxoSet::with_maturity(0);
+        let limits = easy_limits();
+        let genesis = coinbase_block(Hash256::ZERO, &alice, Amount::from_coins(50), b"g3");
+        genesis.connect(&mut utxo, 0, &limits).unwrap();
+        let funding = OutPoint::new(genesis.transactions[0].txid(), 0);
+        let before = utxo.clone();
+
+        let mut good = TransactionBuilder::new()
+            .input(funding)
+            .output(Amount::from_coins(50), bob.address())
+            .build();
+        good.sign_all_inputs(&SchnorrSigner::new(alice));
+        // The second tx spends the same outpoint (double spend inside the block).
+        let mut bad = TransactionBuilder::new()
+            .input(funding)
+            .output(Amount::from_coins(50), alice.address())
+            .build();
+        bad.sign_all_inputs(&SchnorrSigner::new(alice));
+
+        let cb = Transaction::coinbase(
+            vec![TxOutput::new(Amount::from_coins(50), alice.address())],
+            b"h",
+        );
+        let block = Block::new(genesis.id(), 0, Target::MAX, 0, 1, vec![cb, good, bad]);
+        assert!(matches!(
+            block.connect(&mut utxo, 1, &limits),
+            Err(BlockError::BadTransaction { index: 2, .. })
+        ));
+        assert_eq!(utxo.len(), before.len());
+        assert_eq!(utxo.balance_of(&alice.address()), Amount::from_coins(50));
+    }
+
+    #[test]
+    fn serialized_size_accounts_for_all_transactions() {
+        let miner = KeyPair::from_id(13);
+        let block = coinbase_block(Hash256::ZERO, &miner, Amount::from_coins(50), b"s");
+        let expected = block.header.serialize().len()
+            + 4
+            + block.transactions[0].serialized_size();
+        assert_eq!(block.serialized_size(), expected);
+    }
+}

@@ -1,0 +1,126 @@
+//! Difficulty adjustment.
+//!
+//! "To maintain a set average rate, the difficulty is adjusted by deterministically
+//! changing the target value based on the GMT time in the key block headers" (§4.1).
+//! Bitcoin retargets every 2016 blocks, Litecoin every 2016 (faster) blocks, Ethereum
+//! every block (§5.2, "Resilience to Mining Power Variation"). This module implements
+//! the epoch-based rule with the standard 4×/¼ clamp, parameterised by window length
+//! and target spacing so all of those regimes can be simulated.
+
+use ng_crypto::pow::Target;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of an epoch-based difficulty adjustment rule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DifficultyParams {
+    /// Number of blocks per adjustment window (Bitcoin: 2016).
+    pub window: u64,
+    /// Desired spacing between blocks in seconds (Bitcoin: 600).
+    pub target_spacing_secs: u64,
+    /// Maximum factor by which the target may move in one adjustment (Bitcoin: 4).
+    pub max_adjustment_factor: u64,
+}
+
+impl Default for DifficultyParams {
+    fn default() -> Self {
+        DifficultyParams {
+            window: 2016,
+            target_spacing_secs: 600,
+            max_adjustment_factor: 4,
+        }
+    }
+}
+
+impl DifficultyParams {
+    /// Bitcoin-NG key-block parameters used in the evaluation: one key block every
+    /// 100 seconds (§8.1), retargeted over a modest window.
+    pub fn ng_keyblocks() -> Self {
+        DifficultyParams {
+            window: 100,
+            target_spacing_secs: 100,
+            max_adjustment_factor: 4,
+        }
+    }
+
+    /// Expected seconds covered by a full window.
+    pub fn target_timespan(&self) -> u64 {
+        self.window * self.target_spacing_secs
+    }
+
+    /// True if a block at `height` is the last of a window (the adjustment point).
+    pub fn is_adjustment_height(&self, height: u64) -> bool {
+        height > 0 && height % self.window == 0
+    }
+
+    /// Computes the next target from the current target and the actual time the last
+    /// window took. Clamped so the target moves at most by `max_adjustment_factor` in
+    /// either direction.
+    pub fn retarget(&self, current: Target, actual_timespan_secs: u64) -> Target {
+        let target_timespan = self.target_timespan().max(1);
+        let clamped = actual_timespan_secs
+            .max(target_timespan / self.max_adjustment_factor)
+            .min(target_timespan * self.max_adjustment_factor)
+            .max(1);
+        // new_target = current * actual / expected.
+        current.scale(clamped, target_timespan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_crypto::u256::U256;
+
+    fn base_target() -> Target {
+        Target(U256::ONE.shl_by(224))
+    }
+
+    #[test]
+    fn on_schedule_leaves_target_unchanged() {
+        let params = DifficultyParams::default();
+        let next = params.retarget(base_target(), params.target_timespan());
+        assert_eq!(next, base_target());
+    }
+
+    #[test]
+    fn fast_blocks_lower_target() {
+        let params = DifficultyParams::default();
+        // Blocks came twice as fast as desired → difficulty doubles → target halves.
+        let next = params.retarget(base_target(), params.target_timespan() / 2);
+        assert_eq!(next.0, base_target().0.shr_by(1));
+    }
+
+    #[test]
+    fn slow_blocks_raise_target() {
+        let params = DifficultyParams::default();
+        let next = params.retarget(base_target(), params.target_timespan() * 2);
+        assert_eq!(next.0, base_target().0.shl_by(1));
+    }
+
+    #[test]
+    fn adjustment_is_clamped() {
+        let params = DifficultyParams::default();
+        let very_fast = params.retarget(base_target(), 1);
+        assert_eq!(very_fast.0, base_target().0.shr_by(2), "clamped to 1/4");
+        let very_slow = params.retarget(base_target(), params.target_timespan() * 1000);
+        assert_eq!(very_slow.0, base_target().0.shl_by(2), "clamped to 4x");
+    }
+
+    #[test]
+    fn adjustment_heights() {
+        let params = DifficultyParams {
+            window: 10,
+            ..Default::default()
+        };
+        assert!(!params.is_adjustment_height(0));
+        assert!(!params.is_adjustment_height(9));
+        assert!(params.is_adjustment_height(10));
+        assert!(params.is_adjustment_height(20));
+    }
+
+    #[test]
+    fn ng_keyblock_params_match_evaluation_setup() {
+        let p = DifficultyParams::ng_keyblocks();
+        assert_eq!(p.target_spacing_secs, 100);
+    }
+}

@@ -1,0 +1,93 @@
+//! Fork-choice rules and tie-breaking policies.
+//!
+//! * **Heaviest chain** — "the winning chain is the heaviest one, that is, the one that
+//!   required (in expectancy) the most mining power to generate" (§3). Used by Bitcoin
+//!   and, over key blocks only, by Bitcoin-NG (§4.1).
+//! * **Longest chain** — height-based selection, kept as an explicitly weaker baseline
+//!   (equivalent to heaviest when all blocks share one difficulty).
+//! * **GHOST** — selects at each fork the side "whose sub-tree contains more work"
+//!   (§9); implemented by [`crate::ChainStore::ghost_tip`].
+
+use serde::{Deserialize, Serialize};
+
+/// Which chain-selection rule a node runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForkRule {
+    /// Most accumulated proof of work wins.
+    HeaviestChain,
+    /// Greatest height wins.
+    LongestChain,
+    /// Greedy heaviest-observed subtree.
+    Ghost,
+}
+
+/// How ties between equally good branches are resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TieBreak {
+    /// Keep the branch heard of first (the operational Bitcoin client's behaviour, §3).
+    FirstSeen,
+    /// Choose pseudo-randomly, keyed by `seed` (the paper's recommendation, §3 fn. 2,
+    /// after Eyal & Sirer's selfish-mining analysis).
+    Random {
+        /// Seed for the deterministic pseudo-random priority.
+        seed: u64,
+    },
+}
+
+/// A configured fork choice: rule plus tie-break.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForkChoice {
+    /// The chain-selection rule.
+    pub rule: ForkRule,
+    /// The tie-breaking policy.
+    pub tie: TieBreak,
+}
+
+impl ForkChoice {
+    /// Bitcoin's operational behaviour: heaviest chain, first-seen tie-break.
+    pub fn bitcoin_operational() -> Self {
+        ForkChoice {
+            rule: ForkRule::HeaviestChain,
+            tie: TieBreak::FirstSeen,
+        }
+    }
+
+    /// The paper's recommended configuration: heaviest chain with random tie-breaking.
+    pub fn bitcoin_random_tiebreak(seed: u64) -> Self {
+        ForkChoice {
+            rule: ForkRule::HeaviestChain,
+            tie: TieBreak::Random { seed },
+        }
+    }
+
+    /// GHOST with first-seen tie-break.
+    pub fn ghost() -> Self {
+        ForkChoice {
+            rule: ForkRule::Ghost,
+            tie: TieBreak::FirstSeen,
+        }
+    }
+}
+
+impl Default for ForkChoice {
+    fn default() -> Self {
+        Self::bitcoin_operational()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_rules() {
+        assert_eq!(ForkChoice::bitcoin_operational().rule, ForkRule::HeaviestChain);
+        assert_eq!(ForkChoice::bitcoin_operational().tie, TieBreak::FirstSeen);
+        assert_eq!(
+            ForkChoice::bitcoin_random_tiebreak(3).tie,
+            TieBreak::Random { seed: 3 }
+        );
+        assert_eq!(ForkChoice::ghost().rule, ForkRule::Ghost);
+        assert_eq!(ForkChoice::default(), ForkChoice::bitcoin_operational());
+    }
+}

@@ -1,0 +1,118 @@
+//! Genesis construction helpers.
+//!
+//! "The first block, dubbed the genesis block, is defined as part of the protocol"
+//! (§3). Tests, examples and experiments all start from a deterministic genesis that
+//! optionally pre-funds a set of addresses (the paper's experiments "initialize the
+//! blockchain with artificial transactions", §7).
+
+use crate::amount::Amount;
+use crate::block::{Block, BlockLimits};
+use crate::transaction::{Transaction, TxOutput};
+use crate::utxo::UtxoSet;
+use ng_crypto::keys::Address;
+use ng_crypto::pow::Target;
+use ng_crypto::sha256::Hash256;
+
+/// Configuration for building a genesis block.
+#[derive(Clone, Debug)]
+pub struct GenesisConfig {
+    /// Timestamp of the genesis block.
+    pub time: u64,
+    /// Initial proof-of-work target for the chain.
+    pub target: Target,
+    /// Initial coin allocations.
+    pub allocations: Vec<(Address, Amount)>,
+}
+
+impl Default for GenesisConfig {
+    fn default() -> Self {
+        GenesisConfig {
+            time: 0,
+            target: Target::regtest(),
+            allocations: Vec::new(),
+        }
+    }
+}
+
+impl GenesisConfig {
+    /// Creates a config with the given pre-funded addresses.
+    pub fn with_allocations(allocations: Vec<(Address, Amount)>) -> Self {
+        GenesisConfig {
+            allocations,
+            ..Default::default()
+        }
+    }
+
+    /// Builds the genesis block.
+    pub fn build_block(&self) -> Block {
+        let outputs: Vec<TxOutput> = self
+            .allocations
+            .iter()
+            .map(|(addr, amount)| TxOutput::new(*amount, *addr))
+            .collect();
+        let coinbase = Transaction::coinbase(outputs, b"bitcoin-ng genesis");
+        Block::new(Hash256::ZERO, self.time, self.target, 0, 0, vec![coinbase])
+    }
+
+    /// Builds the genesis block together with the UTXO set resulting from it.
+    pub fn build(&self) -> (Block, UtxoSet) {
+        let block = self.build_block();
+        let mut utxo = UtxoSet::new();
+        // The genesis coinbase is conventionally unspendable in Bitcoin; here we make it
+        // spendable (maturity still applies) so examples can fund wallets from it.
+        let limits = BlockLimits {
+            check_pow: false,
+            subsidy: self
+                .allocations
+                .iter()
+                .map(|(_, a)| *a)
+                .sum::<Amount>(),
+            ..Default::default()
+        };
+        block
+            .connect(&mut utxo, 0, &limits)
+            .expect("genesis block is always valid");
+        (block, utxo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_crypto::keys::KeyPair;
+
+    #[test]
+    fn genesis_is_deterministic() {
+        let kp = KeyPair::from_id(1);
+        let config = GenesisConfig::with_allocations(vec![(kp.address(), Amount::from_coins(100))]);
+        assert_eq!(config.build_block().id(), config.build_block().id());
+    }
+
+    #[test]
+    fn allocations_appear_in_utxo_set() {
+        let a = KeyPair::from_id(1);
+        let b = KeyPair::from_id(2);
+        let config = GenesisConfig::with_allocations(vec![
+            (a.address(), Amount::from_coins(10)),
+            (b.address(), Amount::from_coins(20)),
+        ]);
+        let (_, utxo) = config.build();
+        assert_eq!(utxo.balance_of(&a.address()), Amount::from_coins(10));
+        assert_eq!(utxo.balance_of(&b.address()), Amount::from_coins(20));
+        assert_eq!(utxo.total_value(), Amount::from_coins(30));
+    }
+
+    #[test]
+    fn empty_genesis_has_empty_utxo() {
+        let (_, utxo) = GenesisConfig::default().build();
+        assert!(utxo.is_empty());
+    }
+
+    #[test]
+    fn different_allocations_different_genesis_id() {
+        let a = KeyPair::from_id(1);
+        let g1 = GenesisConfig::with_allocations(vec![(a.address(), Amount::from_coins(1))]);
+        let g2 = GenesisConfig::with_allocations(vec![(a.address(), Amount::from_coins(2))]);
+        assert_ne!(g1.build_block().id(), g2.build_block().id());
+    }
+}

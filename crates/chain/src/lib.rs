@@ -1,0 +1,42 @@
+//! # ng-chain
+//!
+//! Ledger substrate shared by Bitcoin, GHOST and Bitcoin-NG in this reproduction:
+//!
+//! * [`amount`] — coin amounts with checked arithmetic.
+//! * [`transaction`] — UTXO transactions, outpoints, coinbase construction, fees and
+//!   serialized-size accounting.
+//! * [`utxo`] — the unspent-transaction-output set and double-spend prevention.
+//! * [`mempool`] — pending transactions ordered by fee rate (the paper's experiments
+//!   pre-fill mempools with independent transactions, §7).
+//! * [`block`] — block headers, Bitcoin blocks and proof-of-work/merkle validation.
+//! * [`chainstore`] — a generic block tree with work accounting, reorg computation and
+//!   orphan handling, reused by every protocol in the workspace.
+//! * [`forkchoice`] — heaviest-chain, longest-chain and GHOST tip selection.
+//! * [`difficulty`] — epoch-based difficulty adjustment.
+//! * [`genesis`] — genesis block/chain construction helpers.
+//! * [`error`] — validation error types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amount;
+pub mod block;
+pub mod chainstore;
+pub mod difficulty;
+pub mod error;
+pub mod forkchoice;
+pub mod genesis;
+pub mod mempool;
+pub mod payload;
+pub mod transaction;
+pub mod utxo;
+
+pub use amount::Amount;
+pub use block::{Block, BlockHeader, BlockLimits};
+pub use chainstore::{BlockLike, ChainStore, InsertOutcome, Reorg, StoredBlock};
+pub use error::{BlockError, TxError};
+pub use forkchoice::{ForkChoice, ForkRule, TieBreak};
+pub use mempool::Mempool;
+pub use payload::Payload;
+pub use transaction::{OutPoint, Transaction, TxInput, TxOutput};
+pub use utxo::UtxoSet;

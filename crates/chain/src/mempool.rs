@@ -1,0 +1,341 @@
+//! The memory pool of pending transactions.
+//!
+//! The paper's experiments "top up the mempools ... of all nodes with the same set of
+//! independent transactions that can be serialized in arbitrary order" (§7). The
+//! mempool here supports that workflow (bulk pre-fill, size-bounded selection) as well
+//! as ordinary fee-rate-ordered selection used by the examples.
+
+use crate::amount::Amount;
+use crate::transaction::{OutPoint, Transaction};
+use crate::utxo::UtxoSet;
+use ng_crypto::sha256::Hash256;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A pending transaction together with cached fee and size.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MempoolEntry {
+    /// The transaction.
+    pub tx: Transaction,
+    /// Fee it pays (0 when unknown, e.g. synthetic experiment transactions).
+    pub fee: Amount,
+    /// Serialized size in bytes.
+    pub size: usize,
+}
+
+/// A set of pending transactions awaiting serialization into blocks or microblocks.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Mempool {
+    entries: HashMap<Hash256, MempoolEntry>,
+    /// Insertion order, used for deterministic iteration and FIFO selection.
+    order: Vec<Hash256>,
+    /// Outpoints consumed by pending transactions, mapped to the consumer. Used to
+    /// reject in-mempool double spends ("Miners accept transactions only if their
+    /// sources have not been spent", §3).
+    spent: HashMap<OutPoint, Hash256>,
+}
+
+impl Mempool {
+    /// Creates an empty mempool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no transactions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if the given transaction id is pending.
+    pub fn contains(&self, txid: &Hash256) -> bool {
+        self.entries.contains_key(txid)
+    }
+
+    /// Inserts a transaction, computing its fee against the supplied UTXO set. Returns
+    /// false if it was already present or spends unknown inputs.
+    pub fn insert(&mut self, tx: Transaction, utxo: &UtxoSet) -> bool {
+        let Some(fee) = utxo.fee_unchecked(&tx) else {
+            return false;
+        };
+        self.insert_with_fee(tx, fee)
+    }
+
+    /// Inserts a transaction with a pre-computed fee (used when pre-filling experiment
+    /// mempools with synthetic transactions). Returns false if already present or if it
+    /// spends an outpoint already consumed by a pending transaction (double spend).
+    pub fn insert_with_fee(&mut self, tx: Transaction, fee: Amount) -> bool {
+        let txid = tx.txid();
+        if self.entries.contains_key(&txid) {
+            return false;
+        }
+        if self.conflicts_with(&tx).is_some() {
+            return false;
+        }
+        let size = tx.serialized_size();
+        for input in &tx.inputs {
+            self.spent.insert(input.outpoint, txid);
+        }
+        self.entries.insert(txid, MempoolEntry { tx, fee, size });
+        self.order.push(txid);
+        true
+    }
+
+    /// Returns the id of a pending transaction that already spends one of `tx`'s
+    /// inputs, if any (the conflict that makes `tx` an in-mempool double spend).
+    pub fn conflicts_with(&self, tx: &Transaction) -> Option<Hash256> {
+        tx.inputs
+            .iter()
+            .find_map(|input| self.spent.get(&input.outpoint).copied())
+    }
+
+    /// Removes a transaction (e.g. once it is included in the main chain).
+    pub fn remove(&mut self, txid: &Hash256) -> Option<MempoolEntry> {
+        let removed = self.entries.remove(txid);
+        if let Some(entry) = &removed {
+            self.order.retain(|id| id != txid);
+            for input in &entry.tx.inputs {
+                if self.spent.get(&input.outpoint) == Some(txid) {
+                    self.spent.remove(&input.outpoint);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Removes every transaction that appears in the given list (block connection).
+    pub fn remove_all<'a>(&mut self, txids: impl IntoIterator<Item = &'a Hash256>) {
+        let to_remove: HashSet<Hash256> = txids.into_iter().copied().collect();
+        if to_remove.is_empty() {
+            return;
+        }
+        self.order.retain(|id| !to_remove.contains(id));
+        for txid in &to_remove {
+            if let Some(entry) = self.entries.remove(txid) {
+                for input in &entry.tx.inputs {
+                    if self.spent.get(&input.outpoint) == Some(txid) {
+                        self.spent.remove(&input.outpoint);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-inserts transactions from a disconnected block (reorg handling).
+    pub fn reinsert(&mut self, txs: impl IntoIterator<Item = Transaction>, utxo: &UtxoSet) {
+        for tx in txs {
+            if tx.is_coinbase() {
+                continue;
+            }
+            let fee = utxo.fee_unchecked(&tx).unwrap_or(Amount::ZERO);
+            self.insert_with_fee(tx, fee);
+        }
+    }
+
+    /// Selects transactions by descending fee rate until `max_bytes` is filled.
+    ///
+    /// Selection is greedy and does not consider in-mempool dependencies; the paper's
+    /// experiment transactions are independent by construction.
+    pub fn select_by_fee_rate(&self, max_bytes: usize) -> Vec<Transaction> {
+        let mut entries: Vec<&MempoolEntry> = self.entries.values().collect();
+        entries.sort_by(|a, b| {
+            let rate_a = a.fee.sats() as f64 / a.size.max(1) as f64;
+            let rate_b = b.fee.sats() as f64 / b.size.max(1) as f64;
+            rate_b
+                .partial_cmp(&rate_a)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.tx.txid().cmp(&b.tx.txid()))
+        });
+        let mut selected = Vec::new();
+        let mut used = 0usize;
+        for entry in entries {
+            if used + entry.size > max_bytes {
+                continue;
+            }
+            used += entry.size;
+            selected.push(entry.tx.clone());
+        }
+        selected
+    }
+
+    /// Selects transactions in insertion (FIFO) order until `max_bytes` is filled —
+    /// the behaviour used in the experiments, where all transactions pay equal fees.
+    pub fn select_fifo(&self, max_bytes: usize) -> Vec<Transaction> {
+        let mut selected = Vec::new();
+        let mut used = 0usize;
+        for txid in &self.order {
+            let entry = &self.entries[txid];
+            if used + entry.size > max_bytes {
+                break;
+            }
+            used += entry.size;
+            selected.push(entry.tx.clone());
+        }
+        selected
+    }
+
+    /// Iterates over pending transaction ids in insertion order.
+    pub fn txids(&self) -> impl Iterator<Item = &Hash256> {
+        self.order.iter()
+    }
+
+    /// Total size of all pending transactions in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{OutPoint, TransactionBuilder, TxOutput};
+    use ng_crypto::keys::KeyPair;
+
+    fn synthetic_tx(id: u64, fee: u64) -> (Transaction, Amount) {
+        let kp = KeyPair::from_id(id);
+        let tx = TransactionBuilder::new()
+            .input(OutPoint::new(ng_crypto::sha256::sha256(&id.to_le_bytes()), 0))
+            .output(Amount::from_sats(1000), kp.address())
+            .payload(id.to_le_bytes().to_vec())
+            .build();
+        (tx, Amount::from_sats(fee))
+    }
+
+    #[test]
+    fn insert_and_duplicate_detection() {
+        let mut pool = Mempool::new();
+        let (tx, fee) = synthetic_tx(1, 10);
+        assert!(pool.insert_with_fee(tx.clone(), fee));
+        assert!(!pool.insert_with_fee(tx, fee));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_remove_all() {
+        let mut pool = Mempool::new();
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            let (tx, fee) = synthetic_tx(i, 10);
+            ids.push(tx.txid());
+            pool.insert_with_fee(tx, fee);
+        }
+        assert!(pool.remove(&ids[0]).is_some());
+        assert!(pool.remove(&ids[0]).is_none());
+        pool.remove_all(ids[1..3].iter());
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.contains(&ids[1]));
+        assert!(pool.contains(&ids[4]));
+    }
+
+    #[test]
+    fn fee_rate_selection_prefers_higher_fees() {
+        let mut pool = Mempool::new();
+        let (low, _) = synthetic_tx(1, 0);
+        let (high, _) = synthetic_tx(2, 0);
+        pool.insert_with_fee(low.clone(), Amount::from_sats(1));
+        pool.insert_with_fee(high.clone(), Amount::from_sats(1000));
+        let selected = pool.select_by_fee_rate(high.serialized_size());
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].txid(), high.txid());
+    }
+
+    #[test]
+    fn fifo_selection_respects_insertion_order_and_size() {
+        let mut pool = Mempool::new();
+        let mut order = Vec::new();
+        for i in 0..10 {
+            let (tx, fee) = synthetic_tx(i, 10);
+            order.push(tx.txid());
+            pool.insert_with_fee(tx, fee);
+        }
+        let one_size = pool.entries.values().next().unwrap().size;
+        let selected = pool.select_fifo(one_size * 3 + 1);
+        assert_eq!(selected.len(), 3);
+        assert_eq!(selected[0].txid(), order[0]);
+        assert_eq!(selected[2].txid(), order[2]);
+    }
+
+    #[test]
+    fn selection_never_exceeds_budget() {
+        let mut pool = Mempool::new();
+        for i in 0..20 {
+            let (tx, fee) = synthetic_tx(i, i);
+            pool.insert_with_fee(tx, fee);
+        }
+        for budget in [0usize, 50, 100, 500, 10_000] {
+            let total: usize = pool
+                .select_by_fee_rate(budget)
+                .iter()
+                .map(|t| t.serialized_size())
+                .sum();
+            assert!(total <= budget, "budget {budget} exceeded with {total}");
+        }
+    }
+
+    #[test]
+    fn reinsert_skips_coinbase() {
+        let mut pool = Mempool::new();
+        let utxo = UtxoSet::new();
+        let kp = KeyPair::from_id(9);
+        let cb = Transaction::coinbase(
+            vec![TxOutput::new(Amount::from_coins(50), kp.address())],
+            b"cb",
+        );
+        let (regular, _) = synthetic_tx(3, 5);
+        pool.reinsert(vec![cb, regular.clone()], &utxo);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.contains(&regular.txid()));
+    }
+
+    #[test]
+    fn in_mempool_double_spend_rejected() {
+        let mut pool = Mempool::new();
+        let kp = KeyPair::from_id(1);
+        let shared_input = OutPoint::new(ng_crypto::sha256::sha256(b"funding"), 0);
+        let first = TransactionBuilder::new()
+            .input(shared_input)
+            .output(Amount::from_sats(900), kp.address())
+            .build();
+        let conflicting = TransactionBuilder::new()
+            .input(shared_input)
+            .output(Amount::from_sats(800), KeyPair::from_id(2).address())
+            .build();
+        assert!(pool.insert_with_fee(first.clone(), Amount::from_sats(100)));
+        assert_eq!(pool.conflicts_with(&conflicting), Some(first.txid()));
+        assert!(!pool.insert_with_fee(conflicting.clone(), Amount::from_sats(200)));
+        assert_eq!(pool.len(), 1);
+
+        // Once the first spender leaves the pool, the outpoint is free again.
+        pool.remove(&first.txid());
+        assert!(pool.conflicts_with(&conflicting).is_none());
+        assert!(pool.insert_with_fee(conflicting, Amount::from_sats(200)));
+    }
+
+    #[test]
+    fn remove_all_releases_spent_outpoints() {
+        let mut pool = Mempool::new();
+        let input = OutPoint::new(ng_crypto::sha256::sha256(b"x"), 3);
+        let tx = TransactionBuilder::new()
+            .input(input)
+            .output(Amount::from_sats(10), KeyPair::from_id(3).address())
+            .build();
+        let txid = tx.txid();
+        pool.insert_with_fee(tx.clone(), Amount::ZERO);
+        pool.remove_all([txid].iter());
+        assert!(pool.is_empty());
+        assert!(pool.insert_with_fee(tx, Amount::ZERO));
+    }
+
+    #[test]
+    fn total_bytes_tracks_entries() {
+        let mut pool = Mempool::new();
+        let (tx, fee) = synthetic_tx(1, 1);
+        let size = tx.serialized_size();
+        pool.insert_with_fee(tx, fee);
+        assert_eq!(pool.total_bytes(), size);
+    }
+}

@@ -1,0 +1,161 @@
+//! Block payloads: real transaction lists or synthetic summaries.
+//!
+//! The paper's large-scale experiments deliberately avoid generating and propagating
+//! real transactions: mempools are pre-filled and "the transactions are of identical
+//! size" (§7, "No Transaction Propagation"). What matters to the measured quantities is
+//! the *byte size* of blocks (propagation/bandwidth) and the *number of transactions*
+//! they carry (throughput). [`Payload`] therefore has two forms: a real transaction
+//! list (used by the library API, examples and integration tests) and a synthetic
+//! summary (used by the 1000-node simulations), both presenting the same interface.
+
+use crate::amount::Amount;
+use crate::transaction::Transaction;
+use ng_crypto::merkle::merkle_root;
+use ng_crypto::sha256::{sha256, Hash256};
+use serde::{Deserialize, Serialize};
+
+/// The contents of a block or microblock.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Payload {
+    /// A real list of transactions.
+    Transactions(Vec<Transaction>),
+    /// A synthetic summary standing in for `tx_count` identical transactions totalling
+    /// `bytes` bytes and paying `total_fees` in fees.
+    Synthetic {
+        /// Total serialized size of the represented transactions.
+        bytes: u64,
+        /// Number of transactions represented.
+        tx_count: u64,
+        /// Total fees paid by the represented transactions.
+        total_fees: Amount,
+        /// Distinguishes otherwise identical synthetic payloads (e.g. a sequence
+        /// number), so two blocks with the same parent do not collide.
+        tag: u64,
+    },
+}
+
+impl Payload {
+    /// An empty real payload.
+    pub fn empty() -> Self {
+        Payload::Transactions(Vec::new())
+    }
+
+    /// Serialized size in bytes of the payload contents.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Payload::Transactions(txs) => {
+                txs.iter().map(|t| t.serialized_size() as u64).sum()
+            }
+            Payload::Synthetic { bytes, .. } => *bytes,
+        }
+    }
+
+    /// Number of transactions carried.
+    pub fn tx_count(&self) -> u64 {
+        match self {
+            Payload::Transactions(txs) => txs.len() as u64,
+            Payload::Synthetic { tx_count, .. } => *tx_count,
+        }
+    }
+
+    /// Commitment hash over the payload (merkle root for real transactions, a content
+    /// hash for synthetic summaries).
+    pub fn digest(&self) -> Hash256 {
+        match self {
+            Payload::Transactions(txs) => {
+                let ids: Vec<Hash256> = txs.iter().map(|t| t.txid()).collect();
+                merkle_root(&ids)
+            }
+            Payload::Synthetic {
+                bytes,
+                tx_count,
+                total_fees,
+                tag,
+            } => {
+                let mut data = Vec::with_capacity(32);
+                data.extend_from_slice(&bytes.to_le_bytes());
+                data.extend_from_slice(&tx_count.to_le_bytes());
+                data.extend_from_slice(&total_fees.sats().to_le_bytes());
+                data.extend_from_slice(&tag.to_le_bytes());
+                sha256(&data)
+            }
+        }
+    }
+
+    /// The real transactions, when present.
+    pub fn transactions(&self) -> Option<&[Transaction]> {
+        match self {
+            Payload::Transactions(txs) => Some(txs),
+            Payload::Synthetic { .. } => None,
+        }
+    }
+
+    /// True if the payload carries no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.tx_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{OutPoint, TransactionBuilder};
+    use ng_crypto::keys::KeyPair;
+
+    fn tx(i: u64) -> Transaction {
+        TransactionBuilder::new()
+            .input(OutPoint::new(sha256(&i.to_le_bytes()), 0))
+            .output(Amount::from_sats(100), KeyPair::from_id(i).address())
+            .build()
+    }
+
+    #[test]
+    fn real_payload_size_and_count() {
+        let txs = vec![tx(1), tx(2), tx(3)];
+        let expected_size: u64 = txs.iter().map(|t| t.serialized_size() as u64).sum();
+        let p = Payload::Transactions(txs);
+        assert_eq!(p.tx_count(), 3);
+        assert_eq!(p.size_bytes(), expected_size);
+        assert!(p.transactions().is_some());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn synthetic_payload_reports_declared_values() {
+        let p = Payload::Synthetic {
+            bytes: 100_000,
+            tx_count: 400,
+            total_fees: Amount::from_sats(4000),
+            tag: 7,
+        };
+        assert_eq!(p.size_bytes(), 100_000);
+        assert_eq!(p.tx_count(), 400);
+        assert!(p.transactions().is_none());
+    }
+
+    #[test]
+    fn digests_differ_between_payloads() {
+        let a = Payload::Synthetic {
+            bytes: 100,
+            tx_count: 1,
+            total_fees: Amount::ZERO,
+            tag: 0,
+        };
+        let b = Payload::Synthetic {
+            bytes: 100,
+            tx_count: 1,
+            total_fees: Amount::ZERO,
+            tag: 1,
+        };
+        assert_ne!(a.digest(), b.digest());
+        let real = Payload::Transactions(vec![tx(1)]);
+        assert_ne!(real.digest(), a.digest());
+    }
+
+    #[test]
+    fn empty_payloads() {
+        assert!(Payload::empty().is_empty());
+        assert_eq!(Payload::empty().size_bytes(), 0);
+        assert_eq!(Payload::empty().digest(), Hash256::ZERO);
+    }
+}

@@ -1,0 +1,361 @@
+//! The unspent transaction output (UTXO) set.
+//!
+//! "Miners accept transactions only if their sources have not been spent, thereby
+//! preventing users from double-spending their funds" (§3). The UTXO set is the state
+//! of the replicated state machine; applying a block advances it, disconnecting a block
+//! (during a reorg) rewinds it.
+
+use crate::amount::Amount;
+use crate::error::TxError;
+use crate::transaction::{OutPoint, Transaction, TxOutput};
+use ng_crypto::keys::Address;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Metadata kept for every unspent output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UtxoEntry {
+    /// The output itself.
+    pub output: TxOutput,
+    /// Height of the block that created it.
+    pub height: u64,
+    /// Whether it came from a coinbase transaction (subject to the maturity rule).
+    pub coinbase: bool,
+}
+
+/// The set of unspent outputs, keyed by outpoint.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UtxoSet {
+    entries: HashMap<OutPoint, UtxoEntry>,
+    /// Coinbase maturity: minted outputs may only be spent this many blocks after they
+    /// were created ("this transaction can only be spent after a maturity period of 100
+    /// blocks", §4.4).
+    pub coinbase_maturity: u64,
+}
+
+/// Undo information for one applied transaction, sufficient to rewind it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TxUndo {
+    /// The transaction id (whose created outputs must be removed on rewind).
+    pub txid: ng_crypto::sha256::Hash256,
+    /// Number of outputs the transaction created.
+    pub output_count: u32,
+    /// The entries that were consumed, so they can be restored.
+    pub spent: Vec<(OutPoint, UtxoEntry)>,
+}
+
+impl UtxoSet {
+    /// Creates an empty set with the standard 100-block coinbase maturity.
+    pub fn new() -> Self {
+        UtxoSet {
+            entries: HashMap::new(),
+            coinbase_maturity: 100,
+        }
+    }
+
+    /// Creates an empty set with a custom coinbase maturity (small-scale tests use 0).
+    pub fn with_maturity(maturity: u64) -> Self {
+        UtxoSet {
+            entries: HashMap::new(),
+            coinbase_maturity: maturity,
+        }
+    }
+
+    /// Number of unspent outputs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no unspent outputs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an unspent output.
+    pub fn get(&self, outpoint: &OutPoint) -> Option<&UtxoEntry> {
+        self.entries.get(outpoint)
+    }
+
+    /// True if the outpoint is currently unspent.
+    pub fn contains(&self, outpoint: &OutPoint) -> bool {
+        self.entries.contains_key(outpoint)
+    }
+
+    /// Total value held by an address.
+    pub fn balance_of(&self, address: &Address) -> Amount {
+        self.entries
+            .values()
+            .filter(|e| e.output.address == *address)
+            .map(|e| e.output.amount)
+            .sum()
+    }
+
+    /// All unspent outpoints owned by an address (for wallet-style coin selection).
+    pub fn outpoints_of(&self, address: &Address) -> Vec<(OutPoint, UtxoEntry)> {
+        let mut found: Vec<(OutPoint, UtxoEntry)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.output.address == *address)
+            .map(|(op, e)| (*op, *e))
+            .collect();
+        found.sort_by_key(|(op, _)| *op);
+        found
+    }
+
+    /// Total value of every unspent output (supply conservation checks).
+    pub fn total_value(&self) -> Amount {
+        self.entries.values().map(|e| e.output.amount).sum()
+    }
+
+    /// Validates a non-coinbase transaction against the current set without modifying
+    /// it: inputs must exist, be mature if coinbase, carry valid signatures, and the
+    /// outputs must not exceed the inputs.
+    ///
+    /// Returns the transaction fee on success.
+    pub fn validate(&self, tx: &Transaction, height: u64) -> Result<Amount, TxError> {
+        if tx.is_coinbase() {
+            return Err(TxError::UnexpectedCoinbase);
+        }
+        if tx.outputs.is_empty() {
+            return Err(TxError::NoOutputs);
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut total_in = Amount::ZERO;
+        for (i, input) in tx.inputs.iter().enumerate() {
+            if !seen.insert(input.outpoint) {
+                return Err(TxError::DuplicateInput(input.outpoint));
+            }
+            let entry = self
+                .entries
+                .get(&input.outpoint)
+                .ok_or(TxError::MissingInput(input.outpoint))?;
+            if entry.coinbase && height < entry.height + self.coinbase_maturity {
+                return Err(TxError::ImmatureCoinbase {
+                    outpoint: input.outpoint,
+                    created_at: entry.height,
+                    spend_height: height,
+                });
+            }
+            if !tx.verify_input(i, &entry.output) {
+                return Err(TxError::BadSignature(input.outpoint));
+            }
+            total_in = total_in
+                .checked_add(entry.output.amount)
+                .ok_or(TxError::ValueOverflow)?;
+        }
+        let total_out = tx
+            .outputs
+            .iter()
+            .try_fold(Amount::ZERO, |acc, o| acc.checked_add(o.amount))
+            .ok_or(TxError::ValueOverflow)?;
+        total_in
+            .checked_sub(total_out)
+            .ok_or(TxError::InsufficientInputValue {
+                inputs: total_in,
+                outputs: total_out,
+            })
+    }
+
+    /// Computes the fee a transaction would pay without checking signatures — used by
+    /// the mempool for ordering (signatures are validated at block application time).
+    pub fn fee_unchecked(&self, tx: &Transaction) -> Option<Amount> {
+        if tx.is_coinbase() {
+            return None;
+        }
+        let mut total_in = Amount::ZERO;
+        for input in &tx.inputs {
+            total_in = total_in.checked_add(self.entries.get(&input.outpoint)?.output.amount)?;
+        }
+        total_in.checked_sub(tx.total_output())
+    }
+
+    /// Applies a validated transaction: consumes its inputs and inserts its outputs.
+    /// The caller must have validated the transaction first (debug-asserted).
+    pub fn apply(&mut self, tx: &Transaction, height: u64) -> TxUndo {
+        let txid = tx.txid();
+        let mut spent = Vec::with_capacity(tx.inputs.len());
+        for input in &tx.inputs {
+            let entry = self
+                .entries
+                .remove(&input.outpoint)
+                .expect("apply called with missing input; validate first");
+            spent.push((input.outpoint, entry));
+        }
+        let coinbase = tx.is_coinbase();
+        for (vout, output) in tx.outputs.iter().enumerate() {
+            self.entries.insert(
+                OutPoint::new(txid, vout as u32),
+                UtxoEntry {
+                    output: *output,
+                    height,
+                    coinbase,
+                },
+            );
+        }
+        TxUndo {
+            txid,
+            output_count: tx.outputs.len() as u32,
+            spent,
+        }
+    }
+
+    /// Rewinds a previously applied transaction using its undo record.
+    pub fn unapply(&mut self, undo: &TxUndo) {
+        for vout in 0..undo.output_count {
+            self.entries.remove(&OutPoint::new(undo.txid, vout));
+        }
+        for (outpoint, entry) in &undo.spent {
+            self.entries.insert(*outpoint, *entry);
+        }
+    }
+
+    /// Directly inserts an output (used for genesis allocations and simulator set-up).
+    pub fn insert_unchecked(&mut self, outpoint: OutPoint, entry: UtxoEntry) {
+        self.entries.insert(outpoint, entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::TransactionBuilder;
+    use ng_crypto::keys::KeyPair;
+    use ng_crypto::signer::SchnorrSigner;
+
+    fn funded_set(owner: &KeyPair, coins: u64) -> (UtxoSet, OutPoint) {
+        let mut set = UtxoSet::with_maturity(0);
+        let coinbase = Transaction::coinbase(
+            vec![TxOutput::new(Amount::from_coins(coins), owner.address())],
+            b"genesis",
+        );
+        let outpoint = OutPoint::new(coinbase.txid(), 0);
+        set.apply(&coinbase, 0);
+        (set, outpoint)
+    }
+
+    fn spend(owner: &KeyPair, from: OutPoint, to: Address, amount: Amount) -> Transaction {
+        let mut tx = TransactionBuilder::new().input(from).output(amount, to).build();
+        tx.sign_all_inputs(&SchnorrSigner::new(*owner));
+        tx
+    }
+
+    #[test]
+    fn apply_and_balance() {
+        let alice = KeyPair::from_id(1);
+        let bob = KeyPair::from_id(2);
+        let (mut set, outpoint) = funded_set(&alice, 50);
+        assert_eq!(set.balance_of(&alice.address()), Amount::from_coins(50));
+
+        let tx = spend(&alice, outpoint, bob.address(), Amount::from_coins(49));
+        let fee = set.validate(&tx, 1).unwrap();
+        assert_eq!(fee, Amount::from_coins(1));
+        set.apply(&tx, 1);
+        assert_eq!(set.balance_of(&bob.address()), Amount::from_coins(49));
+        assert_eq!(set.balance_of(&alice.address()), Amount::ZERO);
+    }
+
+    #[test]
+    fn double_spend_rejected() {
+        let alice = KeyPair::from_id(3);
+        let bob = KeyPair::from_id(4);
+        let (mut set, outpoint) = funded_set(&alice, 10);
+        let tx1 = spend(&alice, outpoint, bob.address(), Amount::from_coins(9));
+        let tx2 = spend(&alice, outpoint, alice.address(), Amount::from_coins(9));
+        set.apply(&tx1, 1);
+        assert!(matches!(
+            set.validate(&tx2, 2),
+            Err(TxError::MissingInput(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_input_within_tx_rejected() {
+        let alice = KeyPair::from_id(5);
+        let (set, outpoint) = funded_set(&alice, 10);
+        let mut tx = TransactionBuilder::new()
+            .input(outpoint)
+            .input(outpoint)
+            .output(Amount::from_coins(15), alice.address())
+            .build();
+        tx.sign_all_inputs(&SchnorrSigner::new(alice));
+        assert!(matches!(
+            set.validate(&tx, 1),
+            Err(TxError::DuplicateInput(_))
+        ));
+    }
+
+    #[test]
+    fn output_exceeding_input_rejected() {
+        let alice = KeyPair::from_id(6);
+        let (set, outpoint) = funded_set(&alice, 10);
+        let tx = spend(&alice, outpoint, alice.address(), Amount::from_coins(11));
+        assert!(matches!(
+            set.validate(&tx, 1),
+            Err(TxError::InsufficientInputValue { .. })
+        ));
+    }
+
+    #[test]
+    fn immature_coinbase_rejected_then_accepted() {
+        let alice = KeyPair::from_id(7);
+        let mut set = UtxoSet::with_maturity(100);
+        let coinbase = Transaction::coinbase(
+            vec![TxOutput::new(Amount::from_coins(50), alice.address())],
+            b"cb",
+        );
+        let outpoint = OutPoint::new(coinbase.txid(), 0);
+        set.apply(&coinbase, 10);
+        let tx = spend(&alice, outpoint, alice.address(), Amount::from_coins(50));
+        assert!(matches!(
+            set.validate(&tx, 50),
+            Err(TxError::ImmatureCoinbase { .. })
+        ));
+        assert!(set.validate(&tx, 110).is_ok());
+    }
+
+    #[test]
+    fn unapply_restores_previous_state() {
+        let alice = KeyPair::from_id(8);
+        let bob = KeyPair::from_id(9);
+        let (mut set, outpoint) = funded_set(&alice, 20);
+        let before = set.clone();
+        let tx = spend(&alice, outpoint, bob.address(), Amount::from_coins(20));
+        let undo = set.apply(&tx, 1);
+        assert_ne!(set.balance_of(&alice.address()), before.balance_of(&alice.address()));
+        set.unapply(&undo);
+        assert_eq!(set.balance_of(&alice.address()), Amount::from_coins(20));
+        assert_eq!(set.balance_of(&bob.address()), Amount::ZERO);
+        assert_eq!(set.len(), before.len());
+    }
+
+    #[test]
+    fn coinbase_not_validated_as_regular_tx() {
+        let alice = KeyPair::from_id(10);
+        let (set, _) = funded_set(&alice, 1);
+        let cb = Transaction::coinbase(
+            vec![TxOutput::new(Amount::from_coins(1), alice.address())],
+            b"x",
+        );
+        assert!(matches!(set.validate(&cb, 1), Err(TxError::UnexpectedCoinbase)));
+    }
+
+    #[test]
+    fn fee_unchecked_matches_validate() {
+        let alice = KeyPair::from_id(11);
+        let bob = KeyPair::from_id(12);
+        let (set, outpoint) = funded_set(&alice, 5);
+        let tx = spend(&alice, outpoint, bob.address(), Amount::from_coins(4));
+        assert_eq!(set.fee_unchecked(&tx), Some(Amount::from_coins(1)));
+        assert_eq!(set.validate(&tx, 1).unwrap(), Amount::from_coins(1));
+    }
+
+    #[test]
+    fn outpoints_of_lists_owned_outputs() {
+        let alice = KeyPair::from_id(13);
+        let (set, outpoint) = funded_set(&alice, 5);
+        let owned = set.outpoints_of(&alice.address());
+        assert_eq!(owned.len(), 1);
+        assert_eq!(owned[0].0, outpoint);
+        assert_eq!(set.total_value(), Amount::from_coins(5));
+    }
+}

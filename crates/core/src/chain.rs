@@ -1,0 +1,586 @@
+//! The Bitcoin-NG chain state: validation of key blocks and microblocks, epoch/leader
+//! tracking and fee accounting, layered over the generic [`ChainStore`].
+
+use crate::block::{KeyBlock, MicroBlock, NgBlock};
+use crate::fees::{max_coinbase_value, CoinbasePlan};
+use crate::params::NgParams;
+use ng_chain::amount::Amount;
+use ng_chain::chainstore::{BlockLike, ChainStore, InsertOutcome};
+use ng_chain::error::BlockError;
+use ng_chain::forkchoice::{ForkRule, TieBreak};
+use ng_crypto::keys::Address;
+use ng_crypto::sha256::Hash256;
+use ng_crypto::signer::verify_signature;
+use ng_crypto::PublicKey;
+use std::collections::{HashMap, HashSet};
+
+/// A convenience bundle describing the epoch a new key block would close.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClosingEpoch {
+    /// The key block that opened the epoch (none if the tip is the genesis key block
+    /// and it opened the first epoch itself).
+    pub key_block: Hash256,
+    /// Miner id of the epoch's leader.
+    pub leader: u64,
+    /// Address the epoch leader's fee share should be paid to.
+    pub leader_address: Address,
+    /// Total fees carried by the epoch's microblocks (on the branch being extended).
+    pub fees: Amount,
+    /// Number of microblocks in the epoch.
+    pub microblocks: u64,
+}
+
+/// The Bitcoin-NG chain state machine.
+#[derive(Clone, Debug)]
+pub struct NgChainState {
+    params: NgParams,
+    store: ChainStore<NgBlock>,
+    /// Blocks whose parent has not been validated yet, keyed by the missing parent.
+    pending: HashMap<Hash256, Vec<NgBlock>>,
+    /// Leaders already hit by an accepted poison transaction, per epoch key block
+    /// ("Only one poison transaction can be placed per cheater", §4.5).
+    poisoned: HashSet<(u64, Hash256)>,
+}
+
+/// Builds the deterministic genesis key block shared by every node.
+pub fn genesis_key_block(params: &NgParams) -> KeyBlock {
+    let kp = ng_crypto::keys::KeyPair::from_seed(b"bitcoin-ng genesis leader");
+    KeyBlock {
+        prev: Hash256::ZERO,
+        time_ms: 0,
+        target: params.key_block_target,
+        nonce: 0,
+        miner: u64::MAX, // the genesis "leader" is nobody
+        leader_pubkey: kp.public,
+        coinbase: Vec::new(),
+    }
+}
+
+impl NgChainState {
+    /// Creates a chain state rooted at the deterministic genesis key block.
+    pub fn new(params: NgParams, tie_break_seed: u64) -> Self {
+        let genesis = NgBlock::Key(genesis_key_block(&params));
+        NgChainState {
+            params,
+            store: ChainStore::new(
+                genesis,
+                ForkRule::HeaviestChain,
+                TieBreak::Random {
+                    seed: tie_break_seed,
+                },
+            ),
+            pending: HashMap::new(),
+            poisoned: HashSet::new(),
+        }
+    }
+
+    /// The protocol parameters.
+    pub fn params(&self) -> &NgParams {
+        &self.params
+    }
+
+    /// The underlying block tree.
+    pub fn store(&self) -> &ChainStore<NgBlock> {
+        &self.store
+    }
+
+    /// Genesis block id.
+    pub fn genesis_id(&self) -> Hash256 {
+        self.store.genesis()
+    }
+
+    /// Current main-chain tip (may be a key block or a microblock).
+    pub fn tip(&self) -> Hash256 {
+        self.store.tip()
+    }
+
+    /// Number of blocks known (key blocks + microblocks, excluding pending orphans).
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True if only the genesis is known.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Number of blocks waiting for a missing parent.
+    pub fn pending_count(&self) -> usize {
+        self.pending.values().map(|v| v.len()).sum()
+    }
+
+    /// Looks up a block.
+    pub fn get(&self, id: &Hash256) -> Option<&NgBlock> {
+        self.store.get(id).map(|s| &s.block)
+    }
+
+    /// Walks up from `start` (inclusive) to the nearest key block and returns it.
+    pub fn epoch_key_block(&self, start: &Hash256) -> Option<(Hash256, &KeyBlock)> {
+        let mut cursor = *start;
+        loop {
+            let stored = self.store.get(&cursor)?;
+            if let NgBlock::Key(k) = &stored.block {
+                return Some((cursor, k));
+            }
+            cursor = stored.block.parent();
+        }
+    }
+
+    /// The leader currently entitled to produce microblocks on the main chain: the
+    /// miner and public key of the latest key block at or before the tip.
+    pub fn current_leader(&self) -> Option<(u64, PublicKey)> {
+        let (_, key) = self.epoch_key_block(&self.tip())?;
+        Some((key.miner, key.leader_pubkey))
+    }
+
+    /// Fees and metadata of the epoch that a key block built on `parent` would close.
+    pub fn closing_epoch(&self, parent: &Hash256) -> Option<ClosingEpoch> {
+        let (key_id, key) = self.epoch_key_block(parent)?;
+        let mut fees = Amount::ZERO;
+        let mut microblocks = 0u64;
+        let mut cursor = *parent;
+        while cursor != key_id {
+            let stored = self.store.get(&cursor)?;
+            if let NgBlock::Micro(m) = &stored.block {
+                fees += match &m.payload {
+                    ng_chain::payload::Payload::Synthetic { total_fees, .. } => *total_fees,
+                    ng_chain::payload::Payload::Transactions(_) => {
+                        // Without a UTXO context the fee of real transactions is not
+                        // recomputed here; the node layer tracks it when building blocks.
+                        Amount::ZERO
+                    }
+                };
+                microblocks += 1;
+            }
+            cursor = stored.block.parent();
+        }
+        Some(ClosingEpoch {
+            key_block: key_id,
+            leader: key.miner,
+            leader_address: key.leader_pubkey.address(),
+            fees,
+            microblocks,
+        })
+    }
+
+    /// Validates a block whose parent is already known.
+    pub fn validate(&self, block: &NgBlock, now_ms: u64) -> Result<(), BlockError> {
+        let parent_id = block.prev();
+        let parent = self
+            .store
+            .get(&parent_id)
+            .ok_or(BlockError::UnknownParent(parent_id))?;
+
+        if block.time_ms() > now_ms + self.params.max_future_drift_ms {
+            return Err(BlockError::BadTimestamp);
+        }
+
+        match block {
+            NgBlock::Key(key) => self.validate_key_block(key, &parent_id),
+            NgBlock::Micro(micro) => self.validate_microblock(micro, &parent_id, parent.block.time_ms()),
+        }
+    }
+
+    fn validate_key_block(&self, key: &KeyBlock, parent_id: &Hash256) -> Result<(), BlockError> {
+        if !key.meets_target() {
+            return Err(BlockError::PowNotMet(key.id()));
+        }
+        // Coinbase may claim at most the key-block reward plus the closing epoch's fees.
+        if let Some(epoch) = self.closing_epoch(parent_id) {
+            let plan = CoinbasePlan {
+                new_leader: key.leader_pubkey.address(),
+                previous_leader: Some(epoch.leader_address),
+                previous_epoch_fees: epoch.fees,
+            };
+            let allowed = max_coinbase_value(&plan, &self.params);
+            let claimed = key.coinbase_value();
+            if claimed > allowed {
+                return Err(BlockError::ExcessiveCoinbase { claimed, allowed });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_microblock(
+        &self,
+        micro: &MicroBlock,
+        parent_id: &Hash256,
+        parent_time_ms: u64,
+    ) -> Result<(), BlockError> {
+        if !micro.payload_digest_matches() {
+            return Err(BlockError::MerkleMismatch);
+        }
+        if micro.size_bytes() > self.params.max_microblock_bytes {
+            return Err(BlockError::OversizedBlock {
+                size: micro.size_bytes() as usize,
+                max: self.params.max_microblock_bytes as usize,
+            });
+        }
+        // Rate limiting (§4.2): a microblock must be at least the minimum interval after
+        // its predecessor. The predecessor may be the epoch's key block itself.
+        if micro.header.time_ms < parent_time_ms + self.params.min_microblock_interval_ms {
+            return Err(BlockError::MicroblockRateExceeded);
+        }
+        // The microblock must be signed by the leader announced in the epoch's key block.
+        let (_, key) = self
+            .epoch_key_block(parent_id)
+            .ok_or(BlockError::UnknownParent(*parent_id))?;
+        if micro.header.leader != key.miner {
+            return Err(BlockError::BadLeaderSignature);
+        }
+        if self.params.verify_microblock_signatures {
+            verify_signature(
+                &key.leader_pubkey,
+                &micro.header.signing_hash(),
+                &micro.signature,
+            )
+            .map_err(|_| BlockError::BadLeaderSignature)?;
+        }
+        Ok(())
+    }
+
+    /// Validates and inserts a block. Blocks with unknown parents are buffered and
+    /// revalidated once the parent arrives.
+    pub fn insert(&mut self, block: NgBlock, now_ms: u64) -> Result<InsertOutcome, BlockError> {
+        let id = block.id();
+        if self.store.contains(&id) {
+            return Ok(InsertOutcome::Duplicate);
+        }
+        let parent = block.prev();
+        if !self.store.contains(&parent) {
+            self.pending.entry(parent).or_default().push(block);
+            return Ok(InsertOutcome::Orphaned {
+                missing_parent: parent,
+            });
+        }
+        self.validate(&block, now_ms)?;
+        let mut outcome = self.store.insert(block);
+        // Connect any pending descendants that are now valid.
+        let mut newly_connected = vec![id];
+        while let Some(ready_parent) = newly_connected.pop() {
+            let Some(waiting) = self.pending.remove(&ready_parent) else {
+                continue;
+            };
+            for child in waiting {
+                let child_id = child.id();
+                if self.store.contains(&child_id) {
+                    continue;
+                }
+                if self.validate(&child, now_ms).is_ok() {
+                    let child_outcome = self.store.insert(child);
+                    // Keep the most informative outcome: a later reorg supersedes.
+                    if let InsertOutcome::Accepted {
+                        tip_changed: true, ..
+                    } = &child_outcome
+                    {
+                        outcome = child_outcome;
+                    }
+                    newly_connected.push(child_id);
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Key blocks on the current main chain, genesis first.
+    pub fn key_blocks_on_main_chain(&self) -> Vec<Hash256> {
+        self.store
+            .main_chain()
+            .into_iter()
+            .filter(|id| matches!(self.get(id), Some(NgBlock::Key(_))))
+            .collect()
+    }
+
+    /// Microblocks on the current main chain, oldest first.
+    pub fn microblocks_on_main_chain(&self) -> Vec<Hash256> {
+        self.store
+            .main_chain()
+            .into_iter()
+            .filter(|id| matches!(self.get(id), Some(NgBlock::Micro(_))))
+            .collect()
+    }
+
+    /// Total transactions serialized on the main chain.
+    pub fn main_chain_tx_count(&self) -> u64 {
+        self.store
+            .main_chain()
+            .iter()
+            .filter_map(|id| self.get(id))
+            .map(|b| b.tx_count())
+            .sum()
+    }
+
+    /// Confirmation rule (§4.3): a block is confirmed once it is on the main chain and
+    /// at least `propagation_delay_ms` has elapsed since it was produced, so a newer
+    /// key block pruning it would already have arrived.
+    pub fn is_confirmed(&self, id: &Hash256, now_ms: u64, propagation_delay_ms: u64) -> bool {
+        if !self.store.is_in_main_chain(id) {
+            return false;
+        }
+        let Some(block) = self.get(id) else {
+            return false;
+        };
+        now_ms >= block.time_ms() + propagation_delay_ms
+    }
+
+    /// Records an accepted poison transaction against `leader` for the epoch opened by
+    /// `epoch_key_block`. Returns false if that leader was already poisoned for the
+    /// epoch (at most one poison per cheater, §4.5).
+    pub fn record_poison(&mut self, leader: u64, epoch_key_block: Hash256) -> bool {
+        self.poisoned.insert((leader, epoch_key_block))
+    }
+
+    /// True if the leader has already been poisoned for the given epoch.
+    pub fn is_poisoned(&self, leader: u64, epoch_key_block: &Hash256) -> bool {
+        self.poisoned.contains(&(leader, *epoch_key_block))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MicroHeader;
+    use ng_chain::payload::Payload;
+    use ng_crypto::keys::KeyPair;
+    use ng_crypto::signer::{SchnorrSigner, Signer};
+
+    fn params() -> NgParams {
+        NgParams {
+            min_microblock_interval_ms: 10,
+            ..Default::default()
+        }
+    }
+
+    fn make_key_block(chain: &NgChainState, miner: u64, prev: Hash256, time_ms: u64) -> KeyBlock {
+        let kp = KeyPair::from_id(miner);
+        let coinbase = match chain.closing_epoch(&prev) {
+            Some(epoch) => crate::fees::build_coinbase(
+                &CoinbasePlan {
+                    new_leader: kp.address(),
+                    previous_leader: Some(epoch.leader_address),
+                    previous_epoch_fees: epoch.fees,
+                },
+                chain.params(),
+            ),
+            None => Vec::new(),
+        };
+        let mut kb = KeyBlock {
+            prev,
+            time_ms,
+            target: chain.params().key_block_target,
+            nonce: 0,
+            miner,
+            leader_pubkey: kp.public,
+            coinbase,
+        };
+        while !kb.meets_target() {
+            kb.nonce += 1;
+        }
+        kb
+    }
+
+    fn make_microblock(leader: u64, prev: Hash256, time_ms: u64, fees: u64) -> MicroBlock {
+        let kp = KeyPair::from_id(leader);
+        let payload = Payload::Synthetic {
+            bytes: 2_000,
+            tx_count: 10,
+            total_fees: Amount::from_sats(fees),
+            tag: time_ms,
+        };
+        let header = MicroHeader {
+            prev,
+            time_ms,
+            payload_digest: payload.digest(),
+            leader,
+        };
+        let signature = SchnorrSigner::new(kp).sign(&header.signing_hash());
+        MicroBlock {
+            header,
+            payload,
+            signature,
+        }
+    }
+
+    #[test]
+    fn key_block_becomes_leader() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb.clone()), 1_000).unwrap();
+        assert_eq!(chain.tip(), kb.id());
+        let (leader, pubkey) = chain.current_leader().unwrap();
+        assert_eq!(leader, 5);
+        assert_eq!(pubkey, KeyPair::from_id(5).public);
+    }
+
+    #[test]
+    fn microblocks_extend_leader_chain() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb.clone()), 1_000).unwrap();
+        let m1 = make_microblock(5, kb.id(), 2_000, 100);
+        let m2 = make_microblock(5, m1.id(), 3_000, 200);
+        chain.insert(NgBlock::Micro(m1.clone()), 2_000).unwrap();
+        chain.insert(NgBlock::Micro(m2.clone()), 3_000).unwrap();
+        assert_eq!(chain.tip(), m2.id());
+        assert_eq!(chain.microblocks_on_main_chain().len(), 2);
+        assert_eq!(chain.main_chain_tx_count(), 20);
+        let epoch = chain.closing_epoch(&chain.tip()).unwrap();
+        assert_eq!(epoch.leader, 5);
+        assert_eq!(epoch.fees, Amount::from_sats(300));
+        assert_eq!(epoch.microblocks, 2);
+    }
+
+    #[test]
+    fn microblock_from_non_leader_rejected() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb.clone()), 1_000).unwrap();
+        // Node 6 signs a microblock even though node 5 is the leader.
+        let rogue = make_microblock(6, kb.id(), 2_000, 0);
+        assert_eq!(
+            chain.insert(NgBlock::Micro(rogue), 2_000),
+            Err(BlockError::BadLeaderSignature)
+        );
+    }
+
+    #[test]
+    fn microblock_with_wrong_signature_rejected() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb.clone()), 1_000).unwrap();
+        let mut forged = make_microblock(5, kb.id(), 2_000, 0);
+        // Replace the signature with one from a different key.
+        let other = KeyPair::from_id(9);
+        forged.signature = SchnorrSigner::new(other).sign(&forged.header.signing_hash());
+        assert_eq!(
+            chain.insert(NgBlock::Micro(forged), 2_000),
+            Err(BlockError::BadLeaderSignature)
+        );
+    }
+
+    #[test]
+    fn microblock_rate_limit_enforced() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb.clone()), 1_000).unwrap();
+        // Too soon after the key block (interval < 10 ms).
+        let too_soon = make_microblock(5, kb.id(), 1_005, 0);
+        assert_eq!(
+            chain.insert(NgBlock::Micro(too_soon), 1_005),
+            Err(BlockError::MicroblockRateExceeded)
+        );
+    }
+
+    #[test]
+    fn future_timestamp_rejected() {
+        let mut chain = NgChainState::new(params(), 1);
+        let far_future = 1_000 + chain.params().max_future_drift_ms + 1;
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), far_future);
+        assert_eq!(
+            chain.insert(NgBlock::Key(kb), 1_000),
+            Err(BlockError::BadTimestamp)
+        );
+    }
+
+    #[test]
+    fn greedy_coinbase_rejected() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb.clone()), 1_000).unwrap();
+        let m1 = make_microblock(5, kb.id(), 2_000, 1_000);
+        chain.insert(NgBlock::Micro(m1.clone()), 2_000).unwrap();
+
+        let mut greedy = make_key_block(&chain, 6, m1.id(), 3_000);
+        // Claim far more than reward + epoch fees, then redo the proof of work so the
+        // coinbase check (not the PoW check) is what rejects the block.
+        greedy.coinbase = vec![ng_chain::transaction::TxOutput::new(
+            Amount::from_coins(1_000),
+            KeyPair::from_id(6).address(),
+        )];
+        while !greedy.meets_target() {
+            greedy.nonce += 1;
+        }
+        assert!(matches!(
+            chain.insert(NgBlock::Key(greedy), 3_000),
+            Err(BlockError::ExcessiveCoinbase { .. })
+        ));
+    }
+
+    #[test]
+    fn orphans_buffered_until_parent_arrives() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), 1_000);
+        let m1 = make_microblock(5, kb.id(), 2_000, 0);
+        // Microblock arrives before its key block.
+        assert!(matches!(
+            chain.insert(NgBlock::Micro(m1.clone()), 2_000),
+            Ok(InsertOutcome::Orphaned { .. })
+        ));
+        assert_eq!(chain.pending_count(), 1);
+        chain.insert(NgBlock::Key(kb.clone()), 2_100).unwrap();
+        assert_eq!(chain.pending_count(), 0);
+        assert_eq!(chain.tip(), m1.id());
+    }
+
+    #[test]
+    fn key_block_fork_resolved_by_next_key_block() {
+        // Figure 3 of the paper: two competing key blocks after the same prefix; the
+        // fork persists until the next key block lands on one branch.
+        let mut chain = NgChainState::new(params(), 1);
+        let kb1 = make_key_block(&chain, 1, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb1.clone()), 1_000).unwrap();
+        let ka = make_key_block(&chain, 2, kb1.id(), 2_000);
+        let kb = make_key_block(&chain, 3, kb1.id(), 2_000);
+        chain.insert(NgBlock::Key(ka.clone()), 2_000).unwrap();
+        chain.insert(NgBlock::Key(kb.clone()), 2_001).unwrap();
+        let tip_before = chain.tip();
+        assert!(tip_before == ka.id() || tip_before == kb.id());
+        // A key block on the losing branch flips the chain to it.
+        let loser = if tip_before == ka.id() { kb.clone() } else { ka.clone() };
+        let resolver = make_key_block(&chain, 4, loser.id(), 3_000);
+        chain.insert(NgBlock::Key(resolver.clone()), 3_000).unwrap();
+        assert_eq!(chain.tip(), resolver.id());
+        assert!(chain.store().is_in_main_chain(&loser.id()));
+    }
+
+    #[test]
+    fn leader_switch_prunes_unseen_microblocks() {
+        // §4.3 / Figure 2: a new key block built on an older microblock prunes the
+        // previous leader's later microblocks.
+        let mut chain = NgChainState::new(params(), 1);
+        let kb1 = make_key_block(&chain, 1, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb1.clone()), 1_000).unwrap();
+        let m1 = make_microblock(1, kb1.id(), 2_000, 0);
+        let m2 = make_microblock(1, m1.id(), 3_000, 0);
+        chain.insert(NgBlock::Micro(m1.clone()), 2_000).unwrap();
+        chain.insert(NgBlock::Micro(m2.clone()), 3_000).unwrap();
+        assert_eq!(chain.tip(), m2.id());
+        // The next miner did not hear m2; it mines on m1.
+        let kb2 = make_key_block(&chain, 2, m1.id(), 4_000);
+        chain.insert(NgBlock::Key(kb2.clone()), 4_000).unwrap();
+        assert_eq!(chain.tip(), kb2.id());
+        assert!(!chain.store().is_in_main_chain(&m2.id()), "m2 was pruned");
+        assert!(chain.store().is_in_main_chain(&m1.id()));
+    }
+
+    #[test]
+    fn confirmation_requires_propagation_delay() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb = make_key_block(&chain, 1, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb.clone()), 1_000).unwrap();
+        let m1 = make_microblock(1, kb.id(), 2_000, 0);
+        chain.insert(NgBlock::Micro(m1.clone()), 2_000).unwrap();
+        assert!(!chain.is_confirmed(&m1.id(), 2_100, 500));
+        assert!(chain.is_confirmed(&m1.id(), 2_600, 500));
+    }
+
+    #[test]
+    fn poison_bookkeeping_allows_single_poison_per_epoch() {
+        let mut chain = NgChainState::new(params(), 1);
+        let epoch = chain.genesis_id();
+        assert!(!chain.is_poisoned(3, &epoch));
+        assert!(chain.record_poison(3, epoch));
+        assert!(!chain.record_poison(3, epoch));
+        assert!(chain.is_poisoned(3, &epoch));
+    }
+}

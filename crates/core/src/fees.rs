@@ -1,0 +1,174 @@
+//! Remuneration: the 40%/60% fee split and key-block coinbase construction.
+//!
+//! "each ledger entry carries a fee. This fee is split by the leader that places this
+//! entry in a microblock, and the subsequent leader that generates the next key block.
+//! Specifically, the current leader earns 40% of the fee, and the subsequent leader
+//! earns 60%" (§4.4). "In practice, the remuneration is implemented by having each key
+//! block contain a single coinbase transaction that mints new coins and deposits the
+//! funds to the current and previous leaders."
+
+use crate::params::NgParams;
+use ng_chain::amount::Amount;
+use ng_chain::transaction::TxOutput;
+use ng_crypto::keys::Address;
+use serde::{Deserialize, Serialize};
+
+/// How a single fee is divided between the serializing leader and the next leader.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeeSplit {
+    /// Share of the leader that placed the entry in a microblock.
+    pub current_leader: Amount,
+    /// Share of the leader that mines the subsequent key block.
+    pub next_leader: Amount,
+}
+
+/// Splits a fee according to the protocol parameters. Any rounding remainder goes to
+/// the next leader so that no value is created or destroyed.
+pub fn split_fee(fee: Amount, params: &NgParams) -> FeeSplit {
+    let current_leader = fee.mul_ratio(params.leader_fee_percent, 100);
+    let next_leader = fee - current_leader;
+    FeeSplit {
+        current_leader,
+        next_leader,
+    }
+}
+
+/// Inputs needed to build a key block's coinbase.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoinbasePlan {
+    /// Address of the miner of the new key block (the next leader).
+    pub new_leader: Address,
+    /// Address of the leader whose epoch just ended, if any (none for the first epoch).
+    pub previous_leader: Option<Address>,
+    /// Total fees carried by the microblocks of the epoch that just ended.
+    pub previous_epoch_fees: Amount,
+}
+
+/// Builds the coinbase outputs of a key block (§4.4): the key-block reward to the new
+/// leader, 40% of the closing epoch's fees to the previous leader and 60% to the new
+/// leader.
+pub fn build_coinbase(plan: &CoinbasePlan, params: &NgParams) -> Vec<TxOutput> {
+    let split = split_fee(plan.previous_epoch_fees, params);
+    let mut outputs = Vec::with_capacity(2);
+    let mut new_leader_total = params.key_block_reward + split.next_leader;
+    match plan.previous_leader {
+        Some(prev) if prev != plan.new_leader => {
+            if !split.current_leader.is_zero() {
+                outputs.push(TxOutput::new(split.current_leader, prev));
+            }
+        }
+        // The previous leader mined the next key block too (or there is no previous
+        // leader): the 40% share folds into the new leader's output.
+        _ => {
+            new_leader_total += split.current_leader;
+        }
+    }
+    outputs.push(TxOutput::new(new_leader_total, plan.new_leader));
+    outputs
+}
+
+/// Total value a coinbase built from `plan` may mint (reward plus the closing epoch's
+/// fees); used to validate incoming key blocks.
+pub fn max_coinbase_value(plan: &CoinbasePlan, params: &NgParams) -> Amount {
+    params.key_block_reward + plan.previous_epoch_fees
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_crypto::keys::KeyPair;
+
+    fn params() -> NgParams {
+        NgParams::default()
+    }
+
+    #[test]
+    fn split_is_40_60() {
+        let s = split_fee(Amount::from_sats(1000), &params());
+        assert_eq!(s.current_leader, Amount::from_sats(400));
+        assert_eq!(s.next_leader, Amount::from_sats(600));
+    }
+
+    #[test]
+    fn split_conserves_value_with_rounding() {
+        for fee in [0u64, 1, 3, 7, 99, 101, 1234567] {
+            let s = split_fee(Amount::from_sats(fee), &params());
+            assert_eq!(s.current_leader + s.next_leader, Amount::from_sats(fee));
+        }
+    }
+
+    #[test]
+    fn coinbase_pays_both_leaders() {
+        let prev = KeyPair::from_id(1).address();
+        let new = KeyPair::from_id(2).address();
+        let plan = CoinbasePlan {
+            new_leader: new,
+            previous_leader: Some(prev),
+            previous_epoch_fees: Amount::from_sats(1000),
+        };
+        let outputs = build_coinbase(&plan, &params());
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[0].address, prev);
+        assert_eq!(outputs[0].amount, Amount::from_sats(400));
+        assert_eq!(outputs[1].address, new);
+        assert_eq!(
+            outputs[1].amount,
+            params().key_block_reward + Amount::from_sats(600)
+        );
+        let total: Amount = outputs.iter().map(|o| o.amount).sum();
+        assert_eq!(total, max_coinbase_value(&plan, &params()));
+    }
+
+    #[test]
+    fn coinbase_first_epoch_has_single_output() {
+        let new = KeyPair::from_id(3).address();
+        let plan = CoinbasePlan {
+            new_leader: new,
+            previous_leader: None,
+            previous_epoch_fees: Amount::ZERO,
+        };
+        let outputs = build_coinbase(&plan, &params());
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(outputs[0].amount, params().key_block_reward);
+    }
+
+    #[test]
+    fn self_succession_folds_shares_together() {
+        // The same miner found two consecutive key blocks: it receives both shares.
+        let addr = KeyPair::from_id(4).address();
+        let plan = CoinbasePlan {
+            new_leader: addr,
+            previous_leader: Some(addr),
+            previous_epoch_fees: Amount::from_sats(1000),
+        };
+        let outputs = build_coinbase(&plan, &params());
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(
+            outputs[0].amount,
+            params().key_block_reward + Amount::from_sats(1000)
+        );
+    }
+
+    #[test]
+    fn zero_fee_epoch_omits_previous_leader_output() {
+        let prev = KeyPair::from_id(5).address();
+        let new = KeyPair::from_id(6).address();
+        let plan = CoinbasePlan {
+            new_leader: new,
+            previous_leader: Some(prev),
+            previous_epoch_fees: Amount::ZERO,
+        };
+        let outputs = build_coinbase(&plan, &params());
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(outputs[0].address, new);
+    }
+
+    #[test]
+    fn custom_split_percentage() {
+        let mut p = params();
+        p.leader_fee_percent = 37;
+        let s = split_fee(Amount::from_sats(100), &p);
+        assert_eq!(s.current_leader, Amount::from_sats(37));
+        assert_eq!(s.next_leader, Amount::from_sats(63));
+    }
+}

@@ -1,0 +1,210 @@
+//! Poison transactions: fraud proofs against equivocating leaders.
+//!
+//! "Since microblocks do not require mining, they can cheaply and quickly be generated
+//! by the leader, allowing it to split the brain of the system ... To demotivate such
+//! behavior, we use a dedicated ledger entry that invalidates the revenue of fraudulent
+//! leaders ... the entry is called a poison transaction, and it contains the header of
+//! the first block in the pruned branch as a proof of fraud" (§4.5).
+
+use crate::block::MicroHeader;
+use crate::params::NgParams;
+use ng_chain::amount::Amount;
+use ng_crypto::signer::{verify_signature, SignatureBytes};
+use ng_crypto::PublicKey;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A poison transaction: evidence that a leader signed a microblock on a pruned branch.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoisonTransaction {
+    /// Header of the first microblock of the pruned branch.
+    pub pruned_header: MicroHeader,
+    /// The accused leader's signature over that header.
+    pub pruned_signature: SignatureBytes,
+    /// Identity (miner id) of the accused leader.
+    pub accused_leader: u64,
+    /// Identity of the node placing the poison transaction (the current leader, who
+    /// collects the bounty).
+    pub poisoner: u64,
+}
+
+/// Why a poison transaction was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoisonError {
+    /// The signature over the pruned header does not verify under the accused leader's
+    /// microblock key.
+    BadEvidenceSignature,
+    /// The allegedly pruned microblock actually lies on the main chain — no fraud.
+    HeaderOnMainChain,
+    /// The pruned header's parent is unknown, so the fork cannot be attributed.
+    UnknownParent,
+    /// The accused leader was not the leader at the fork point.
+    WrongLeader,
+    /// A poison transaction was already accepted against this leader for this epoch
+    /// ("Only one poison transaction can be placed per cheater", §4.5).
+    AlreadyPoisoned,
+    /// The poison transaction arrived too late: the accused revenue already matured and
+    /// was spent.
+    TooLate,
+}
+
+impl fmt::Display for PoisonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoisonError::BadEvidenceSignature => write!(f, "evidence signature invalid"),
+            PoisonError::HeaderOnMainChain => write!(f, "cited microblock is on the main chain"),
+            PoisonError::UnknownParent => write!(f, "cited microblock has unknown parent"),
+            PoisonError::WrongLeader => write!(f, "accused node was not the leader"),
+            PoisonError::AlreadyPoisoned => write!(f, "leader already poisoned this epoch"),
+            PoisonError::TooLate => write!(f, "poison transaction placed after revenue was spent"),
+        }
+    }
+}
+
+impl std::error::Error for PoisonError {}
+
+/// Economic effect of an accepted poison transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoisonEffect {
+    /// The leader whose compensation is revoked.
+    pub revoked_leader: u64,
+    /// Compensation taken away from the fraudulent leader.
+    pub revoked_amount: Amount,
+    /// Bounty granted to the poisoner (§4.5: "e.g., 5%").
+    pub poisoner_reward: Amount,
+    /// Value destroyed ("The cheater's revenue funds not relayed to the poisoner are
+    /// lost", §4.5).
+    pub burned: Amount,
+}
+
+/// Verifies the *evidence* of a poison transaction: the signature over the pruned
+/// header must verify under the accused leader's microblock public key.
+pub fn verify_evidence(
+    poison: &PoisonTransaction,
+    accused_pubkey: &PublicKey,
+) -> Result<(), PoisonError> {
+    if poison.pruned_header.leader != poison.accused_leader {
+        return Err(PoisonError::WrongLeader);
+    }
+    verify_signature(
+        accused_pubkey,
+        &poison.pruned_header.signing_hash(),
+        &poison.pruned_signature,
+    )
+    .map_err(|_| PoisonError::BadEvidenceSignature)
+}
+
+/// Computes the economic effect of an accepted poison transaction against a leader
+/// whose epoch compensation was `revoked_amount`.
+pub fn poison_effect(
+    accused_leader: u64,
+    revoked_amount: Amount,
+    params: &NgParams,
+) -> PoisonEffect {
+    let poisoner_reward = revoked_amount.mul_ratio(params.poison_reward_percent, 100);
+    PoisonEffect {
+        revoked_leader: accused_leader,
+        revoked_amount,
+        poisoner_reward,
+        burned: revoked_amount - poisoner_reward,
+    }
+}
+
+/// Serialized size of a poison transaction in bytes (used for block-size accounting).
+pub fn poison_size_bytes(poison: &PoisonTransaction) -> u64 {
+    let sig = match &poison.pruned_signature {
+        SignatureBytes::Schnorr(_) => 65,
+        SignatureBytes::Simulated(_) => 32,
+    };
+    poison.pruned_header.bytes().len() as u64 + sig + 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_chain::payload::Payload;
+    use ng_crypto::keys::KeyPair;
+    use ng_crypto::sha256::sha256;
+    use ng_crypto::signer::{SchnorrSigner, Signer};
+
+    fn signed_header(leader: u64, tag: u64) -> (MicroHeader, SignatureBytes, PublicKey) {
+        let kp = KeyPair::from_id(leader);
+        let payload = Payload::Synthetic {
+            bytes: 100,
+            tx_count: 1,
+            total_fees: Amount::from_sats(10),
+            tag,
+        };
+        let header = MicroHeader {
+            prev: sha256(b"some parent"),
+            time_ms: 1000,
+            payload_digest: payload.digest(),
+            leader,
+        };
+        let sig = SchnorrSigner::new(kp).sign(&header.signing_hash());
+        (header, sig, kp.public)
+    }
+
+    #[test]
+    fn valid_evidence_accepted() {
+        let (header, sig, pubkey) = signed_header(7, 1);
+        let poison = PoisonTransaction {
+            pruned_header: header,
+            pruned_signature: sig,
+            accused_leader: 7,
+            poisoner: 9,
+        };
+        assert!(verify_evidence(&poison, &pubkey).is_ok());
+    }
+
+    #[test]
+    fn forged_evidence_rejected() {
+        let (header, _, pubkey) = signed_header(7, 2);
+        let (_, other_sig, _) = signed_header(8, 3);
+        let poison = PoisonTransaction {
+            pruned_header: header,
+            pruned_signature: other_sig,
+            accused_leader: 7,
+            poisoner: 9,
+        };
+        assert_eq!(
+            verify_evidence(&poison, &pubkey),
+            Err(PoisonError::BadEvidenceSignature)
+        );
+    }
+
+    #[test]
+    fn leader_mismatch_rejected() {
+        let (header, sig, pubkey) = signed_header(7, 4);
+        let poison = PoisonTransaction {
+            pruned_header: header,
+            pruned_signature: sig,
+            accused_leader: 8,
+            poisoner: 9,
+        };
+        assert_eq!(verify_evidence(&poison, &pubkey), Err(PoisonError::WrongLeader));
+    }
+
+    #[test]
+    fn effect_grants_5_percent_and_burns_rest() {
+        let effect = poison_effect(7, Amount::from_sats(10_000), &NgParams::default());
+        assert_eq!(effect.poisoner_reward, Amount::from_sats(500));
+        assert_eq!(effect.burned, Amount::from_sats(9_500));
+        assert_eq!(
+            effect.poisoner_reward + effect.burned,
+            effect.revoked_amount
+        );
+    }
+
+    #[test]
+    fn size_accounting_is_positive() {
+        let (header, sig, _) = signed_header(7, 5);
+        let poison = PoisonTransaction {
+            pruned_header: header,
+            pruned_signature: sig,
+            accused_leader: 7,
+            poisoner: 9,
+        };
+        assert!(poison_size_bytes(&poison) > 100);
+    }
+}

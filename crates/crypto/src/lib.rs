@@ -1,0 +1,48 @@
+//! # ng-crypto
+//!
+//! Cryptographic substrate for the Bitcoin-NG reproduction.
+//!
+//! Everything in this crate is implemented from scratch so the repository has no
+//! external cryptographic dependencies:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256 and Bitcoin's double-SHA-256.
+//! * [`u256`] — 256-bit unsigned integers used for hashes, proof-of-work targets and
+//!   elliptic-curve arithmetic.
+//! * [`field`] / [`scalar`] / [`point`] — secp256k1 field, scalar and group arithmetic.
+//! * [`schnorr`] — Schnorr signatures (BIP340-flavoured) over secp256k1, used to sign
+//!   Bitcoin-NG microblocks.
+//! * [`keys`] — key pairs and address derivation.
+//! * [`merkle`] — Merkle trees for transaction commitments.
+//! * [`pow`] — proof-of-work targets, compact encoding and chain work accounting.
+//! * [`rng`] — a deterministic, seedable PRNG (SplitMix64 / xoshiro256**) used by the
+//!   simulator and by the mining scheduler; the paper replaces real proof-of-work with
+//!   an exponentially distributed scheduler, which requires reproducible randomness.
+//! * [`signer`] — a signer abstraction allowing either real Schnorr signatures or a
+//!   fast hash-based simulation signer for large-scale experiments (the paper's testbed
+//!   likewise omits microblock signature checking, §7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod hex;
+pub mod keys;
+pub mod merkle;
+pub mod point;
+pub mod pow;
+pub mod rng;
+pub mod scalar;
+pub mod schnorr;
+pub mod serde_arrays;
+pub mod sha256;
+pub mod signer;
+pub mod u256;
+
+pub use keys::{KeyPair, PublicKey, SecretKey};
+pub use merkle::{merkle_root, MerkleProof, MerkleTree};
+pub use pow::{CompactTarget, Target, Work};
+pub use rng::SimRng;
+pub use schnorr::{SchnorrError, Signature};
+pub use sha256::{double_sha256, sha256, tagged_hash, Hash256, Sha256};
+pub use signer::{FastSigner, SchnorrSigner, Signer, Verifier};
+pub use u256::U256;

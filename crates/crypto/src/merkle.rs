@@ -1,0 +1,229 @@
+//! Merkle trees for transaction commitments.
+//!
+//! Bitcoin blocks commit to their transactions through a Merkle root (§3: "the hash
+//! (specifically, the Merkle root) of the transactions in the current block");
+//! Bitcoin-NG microblocks commit to their ledger entries the same way (§4.2). This
+//! module implements the Bitcoin convention: leaves are double-SHA-256 hashes and odd
+//! levels duplicate the last element.
+
+use crate::sha256::{double_sha256, Hash256, Sha256};
+use serde::{Deserialize, Serialize};
+
+/// A Merkle tree over a list of leaf hashes, retaining all intermediate levels so
+/// inclusion proofs can be produced.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleTree {
+    /// `levels[0]` is the leaf level, the last level holds the single root.
+    levels: Vec<Vec<Hash256>>,
+}
+
+/// An inclusion proof: the sibling hashes from the leaf to the root together with the
+/// leaf index (whose bits determine left/right orientation at each level).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleProof {
+    /// Index of the proven leaf in the original list.
+    pub leaf_index: usize,
+    /// Sibling hash at each level, leaf level first.
+    pub siblings: Vec<Hash256>,
+}
+
+/// Hash of an internal node: `double_sha256(left || right)`.
+fn hash_pair(left: &Hash256, right: &Hash256) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(&left.0);
+    h.update(&right.0);
+    let first = h.finalize();
+    crate::sha256::sha256(&first.0)
+}
+
+/// Computes the Merkle root of a list of leaf hashes without building the full tree.
+///
+/// An empty list yields the all-zero hash (used by empty blocks).
+pub fn merkle_root(leaves: &[Hash256]) -> Hash256 {
+    if leaves.is_empty() {
+        return Hash256::ZERO;
+    }
+    let mut level: Vec<Hash256> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            let left = &pair[0];
+            let right = if pair.len() == 2 { &pair[1] } else { &pair[0] };
+            next.push(hash_pair(left, right));
+        }
+        level = next;
+    }
+    level[0]
+}
+
+impl MerkleTree {
+    /// Builds a tree from leaf hashes. An empty leaf list produces a tree whose root is
+    /// the all-zero hash.
+    pub fn new(leaves: &[Hash256]) -> Self {
+        if leaves.is_empty() {
+            return MerkleTree {
+                levels: vec![vec![Hash256::ZERO]],
+            };
+        }
+        let mut levels = vec![leaves.to_vec()];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = &pair[0];
+                let right = if pair.len() == 2 { &pair[1] } else { &pair[0] };
+                next.push(hash_pair(left, right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Builds a tree hashing arbitrary serialised items as leaves.
+    pub fn from_items<T: AsRef<[u8]>>(items: &[T]) -> Self {
+        let leaves: Vec<Hash256> = items.iter().map(|i| double_sha256(i.as_ref())).collect();
+        Self::new(&leaves)
+    }
+
+    /// The root hash of the tree.
+    pub fn root(&self) -> Hash256 {
+        *self.levels.last().unwrap().first().unwrap()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Produces an inclusion proof for the leaf at `index`; `None` if out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling = if sibling_idx < level.len() {
+                level[sibling_idx]
+            } else {
+                // Odd level: the last node is paired with itself.
+                level[idx]
+            };
+            siblings.push(sibling);
+            idx /= 2;
+        }
+        Some(MerkleProof {
+            leaf_index: index,
+            siblings,
+        })
+    }
+}
+
+impl MerkleProof {
+    /// Verifies that `leaf` is included under `root` according to this proof.
+    pub fn verify(&self, leaf: &Hash256, root: &Hash256) -> bool {
+        let mut acc = *leaf;
+        let mut idx = self.leaf_index;
+        for sibling in &self.siblings {
+            acc = if idx % 2 == 0 {
+                hash_pair(&acc, sibling)
+            } else {
+                hash_pair(sibling, &acc)
+            };
+            idx /= 2;
+        }
+        acc == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn leaves(n: usize) -> Vec<Hash256> {
+        (0..n).map(|i| sha256(format!("leaf-{i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn empty_tree_root_is_zero() {
+        assert_eq!(merkle_root(&[]), Hash256::ZERO);
+        assert_eq!(MerkleTree::new(&[]).root(), Hash256::ZERO);
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = leaves(1);
+        assert_eq!(merkle_root(&l), l[0]);
+    }
+
+    #[test]
+    fn two_leaves_hash_pair() {
+        let l = leaves(2);
+        let expected = hash_pair(&l[0], &l[1]);
+        assert_eq!(merkle_root(&l), expected);
+    }
+
+    #[test]
+    fn odd_leaf_count_duplicates_last() {
+        let l = leaves(3);
+        let left = hash_pair(&l[0], &l[1]);
+        let right = hash_pair(&l[2], &l[2]);
+        assert_eq!(merkle_root(&l), hash_pair(&left, &right));
+    }
+
+    #[test]
+    fn tree_and_streaming_root_agree() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100] {
+            let l = leaves(n);
+            assert_eq!(MerkleTree::new(&l).root(), merkle_root(&l), "n={n}");
+        }
+    }
+
+    #[test]
+    fn proofs_verify_for_every_leaf() {
+        for n in [1usize, 2, 3, 5, 8, 13, 21] {
+            let l = leaves(n);
+            let tree = MerkleTree::new(&l);
+            let root = tree.root();
+            for (i, leaf) in l.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(proof.verify(leaf, &root), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf_or_root() {
+        let l = leaves(8);
+        let tree = MerkleTree::new(&l);
+        let root = tree.root();
+        let proof = tree.prove(3).unwrap();
+        assert!(!proof.verify(&l[4], &root));
+        assert!(!proof.verify(&l[3], &sha256(b"not the root")));
+    }
+
+    #[test]
+    fn proof_out_of_range_is_none() {
+        let tree = MerkleTree::new(&leaves(4));
+        assert!(tree.prove(4).is_none());
+    }
+
+    #[test]
+    fn root_changes_when_any_leaf_changes() {
+        let mut l = leaves(10);
+        let original = merkle_root(&l);
+        l[7] = sha256(b"tampered");
+        assert_ne!(merkle_root(&l), original);
+    }
+
+    #[test]
+    fn from_items_hashes_contents() {
+        let items = [b"tx1".to_vec(), b"tx2".to_vec()];
+        let tree = MerkleTree::from_items(&items);
+        let manual = merkle_root(&[double_sha256(b"tx1"), double_sha256(b"tx2")]);
+        assert_eq!(tree.root(), manual);
+        assert_eq!(tree.leaf_count(), 2);
+    }
+}

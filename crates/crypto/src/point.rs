@@ -1,0 +1,373 @@
+//! secp256k1 group arithmetic in Jacobian coordinates.
+//!
+//! The curve is `y² = x³ + 7` over the field defined in [`crate::field`]. Points are
+//! held in Jacobian projective coordinates `(X, Y, Z)` with affine
+//! `x = X/Z², y = Y/Z³`; the point at infinity is represented by `Z = 0`. Scalar
+//! multiplication is a simple (non-constant-time) double-and-add — adequate for a
+//! research reproduction where side-channel resistance is out of scope.
+
+use crate::field::FieldElement;
+use crate::scalar::Scalar;
+use crate::u256::U256;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point on secp256k1 in Jacobian coordinates.
+#[derive(Clone, Copy, Serialize, Deserialize)]
+pub struct Point {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+}
+
+/// An affine point, used for encoding and equality-friendly storage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AffinePoint {
+    /// Affine x coordinate.
+    pub x: FieldElement,
+    /// Affine y coordinate.
+    pub y: FieldElement,
+}
+
+impl Point {
+    /// The point at infinity (group identity).
+    pub fn infinity() -> Self {
+        Point {
+            x: FieldElement::one(),
+            y: FieldElement::one(),
+            z: FieldElement::zero(),
+        }
+    }
+
+    /// The standard generator `G`.
+    pub fn generator() -> Self {
+        let gx = FieldElement::from_u256(
+            U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+                .unwrap(),
+        );
+        let gy = FieldElement::from_u256(
+            U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+                .unwrap(),
+        );
+        Point {
+            x: gx,
+            y: gy,
+            z: FieldElement::one(),
+        }
+    }
+
+    /// Builds a point from affine coordinates without checking the curve equation.
+    pub fn from_affine_unchecked(x: FieldElement, y: FieldElement) -> Self {
+        Point {
+            x,
+            y,
+            z: FieldElement::one(),
+        }
+    }
+
+    /// Builds a point from affine coordinates, verifying `y² = x³ + 7`.
+    pub fn from_affine(x: FieldElement, y: FieldElement) -> Option<Self> {
+        let lhs = y.square();
+        let rhs = x.square().mul(&x).add(&FieldElement::from_u64(7));
+        if lhs == rhs {
+            Some(Self::from_affine_unchecked(x, y))
+        } else {
+            None
+        }
+    }
+
+    /// Returns true for the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts to affine coordinates; `None` for the point at infinity.
+    pub fn to_affine(&self) -> Option<AffinePoint> {
+        if self.is_infinity() {
+            return None;
+        }
+        let z_inv = self.z.invert().expect("non-infinity point has invertible z");
+        let z_inv2 = z_inv.square();
+        let z_inv3 = z_inv2.mul(&z_inv);
+        Some(AffinePoint {
+            x: self.x.mul(&z_inv2),
+            y: self.y.mul(&z_inv3),
+        })
+    }
+
+    /// Point doubling (a = 0 short Weierstrass formulas).
+    pub fn double(&self) -> Point {
+        if self.is_infinity() || self.y.is_zero() {
+            return Point::infinity();
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        // D = 2*((X1+B)^2 - A - C)
+        let d = self.x.add(&b).square().sub(&a).sub(&c).double();
+        let e = a.mul_small(3);
+        let f = e.square();
+        let x3 = f.sub(&d.double());
+        let y3 = e.mul(&d.sub(&x3)).sub(&c.mul_small(8));
+        let z3 = self.y.mul(&self.z).double();
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Point addition.
+    pub fn add(&self, other: &Point) -> Point {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = other.x.mul(&z1z1);
+        let s1 = self.y.mul(&z2z2).mul(&other.z);
+        let s2 = other.y.mul(&z1z1).mul(&self.z);
+
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Point::infinity();
+        }
+
+        let h = u2.sub(&u1);
+        let i = h.double().square();
+        let j = h.mul(&i);
+        let r = s2.sub(&s1).double();
+        let v = u1.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v.double());
+        let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
+        let z3 = self
+            .z
+            .add(&other.z)
+            .square()
+            .sub(&z1z1)
+            .sub(&z2z2)
+            .mul(&h);
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Point negation.
+    pub fn neg(&self) -> Point {
+        Point {
+            x: self.x,
+            y: self.y.neg(),
+            z: self.z,
+        }
+    }
+
+    /// Subtraction `self - other`.
+    pub fn sub(&self, other: &Point) -> Point {
+        self.add(&other.neg())
+    }
+
+    /// Scalar multiplication by double-and-add (most significant bit first).
+    pub fn mul(&self, k: &Scalar) -> Point {
+        let mut result = Point::infinity();
+        let bits = k.bits();
+        for i in (0..bits).rev() {
+            result = result.double();
+            if k.bit(i) {
+                result = result.add(self);
+            }
+        }
+        result
+    }
+
+    /// `k·G` for the standard generator.
+    pub fn mul_generator(k: &Scalar) -> Point {
+        Point::generator().mul(k)
+    }
+
+    /// SEC1 compressed encoding (33 bytes: `02/03 || x`); `None` for infinity.
+    pub fn to_compressed(&self) -> Option<[u8; 33]> {
+        let affine = self.to_affine()?;
+        let mut out = [0u8; 33];
+        out[0] = if affine.y.is_odd() { 0x03 } else { 0x02 };
+        out[1..].copy_from_slice(&affine.x.to_be_bytes());
+        Some(out)
+    }
+
+    /// Decodes a SEC1 compressed point, checking it lies on the curve.
+    pub fn from_compressed(bytes: &[u8; 33]) -> Option<Point> {
+        let parity_odd = match bytes[0] {
+            0x02 => false,
+            0x03 => true,
+            _ => return None,
+        };
+        let mut x_bytes = [0u8; 32];
+        x_bytes.copy_from_slice(&bytes[1..]);
+        let x = FieldElement::from_be_bytes(&x_bytes);
+        // y^2 = x^3 + 7
+        let rhs = x.square().mul(&x).add(&FieldElement::from_u64(7));
+        let mut y = rhs.sqrt()?;
+        if y.is_odd() != parity_odd {
+            y = y.neg();
+        }
+        Point::from_affine(x, y)
+    }
+}
+
+impl PartialEq for Point {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.is_infinity(), other.is_infinity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            // Cross-multiplied comparison avoids inversions:
+            // x1/z1^2 == x2/z2^2  <=>  x1*z2^2 == x2*z1^2, similarly for y with cubes.
+            (false, false) => {
+                let z1z1 = self.z.square();
+                let z2z2 = other.z.square();
+                let x_eq = self.x.mul(&z2z2) == other.x.mul(&z1z1);
+                let y_eq =
+                    self.y.mul(&z2z2).mul(&other.z) == other.y.mul(&z1z1).mul(&self.z);
+                x_eq && y_eq
+            }
+        }
+    }
+}
+
+impl Eq for Point {}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_affine() {
+            None => write!(f, "Point(infinity)"),
+            Some(a) => write!(
+                f,
+                "Point(x=0x{}, y=0x{})",
+                a.x.as_u256().to_hex(),
+                a.y.as_u256().to_hex()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn affine_hex(p: &Point) -> (String, String) {
+        let a = p.to_affine().unwrap();
+        (a.x.as_u256().to_hex(), a.y.as_u256().to_hex())
+    }
+
+    #[test]
+    fn generator_is_on_curve() {
+        let g = Point::generator().to_affine().unwrap();
+        assert!(Point::from_affine(g.x, g.y).is_some());
+    }
+
+    #[test]
+    fn two_g_known_value() {
+        let two_g = Point::generator().double();
+        let (x, y) = affine_hex(&two_g);
+        assert_eq!(
+            x,
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+        );
+        assert_eq!(
+            y,
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a"
+        );
+    }
+
+    #[test]
+    fn three_g_known_value() {
+        let g = Point::generator();
+        let three_g = g.double().add(&g);
+        let (x, _) = affine_hex(&three_g);
+        assert_eq!(
+            x,
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9"
+        );
+    }
+
+    #[test]
+    fn add_commutative_and_double_consistent() {
+        let g = Point::generator();
+        let two_g = g.double();
+        assert_eq!(g.add(&two_g), two_g.add(&g));
+        assert_eq!(g.add(&g), two_g);
+    }
+
+    #[test]
+    fn identity_laws() {
+        let g = Point::generator();
+        let inf = Point::infinity();
+        assert_eq!(g.add(&inf), g);
+        assert_eq!(inf.add(&g), g);
+        assert_eq!(g.add(&g.neg()), inf);
+        assert!(inf.to_compressed().is_none());
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_addition() {
+        let g = Point::generator();
+        let mut acc = Point::infinity();
+        for k in 1u64..=8 {
+            acc = acc.add(&g);
+            assert_eq!(g.mul(&Scalar::from_u64(k)), acc, "k={k}");
+        }
+    }
+
+    #[test]
+    fn order_times_generator_is_infinity() {
+        let n = crate::scalar::order();
+        // n mod n == 0 as a Scalar, so multiply by (n-1) and add G instead.
+        let nm1 = Scalar::from_u256(n.wrapping_sub(&U256::ONE));
+        let p = Point::mul_generator(&nm1).add(&Point::generator());
+        assert!(p.is_infinity());
+    }
+
+    #[test]
+    fn compressed_round_trip() {
+        for k in [1u64, 2, 3, 7, 1000, 0xdeadbeef] {
+            let p = Point::mul_generator(&Scalar::from_u64(k));
+            let compressed = p.to_compressed().unwrap();
+            let decoded = Point::from_compressed(&compressed).unwrap();
+            assert_eq!(decoded, p);
+        }
+    }
+
+    #[test]
+    fn from_compressed_rejects_invalid() {
+        let mut bad = [0u8; 33];
+        bad[0] = 0x05;
+        assert!(Point::from_compressed(&bad).is_none());
+        // x with no valid y (x = 5 happens to be a valid x? check robustness by flipping
+        // until at least one reject is observed across a few small x values)
+        let mut rejected = false;
+        for x in 0u8..20 {
+            let mut candidate = [0u8; 33];
+            candidate[0] = 0x02;
+            candidate[32] = x;
+            if Point::from_compressed(&candidate).is_none() {
+                rejected = true;
+            }
+        }
+        assert!(rejected);
+    }
+
+    #[test]
+    fn scalar_distributivity() {
+        let a = Scalar::from_u64(1234);
+        let b = Scalar::from_u64(5678);
+        let lhs = Point::mul_generator(&a.add(&b));
+        let rhs = Point::mul_generator(&a).add(&Point::mul_generator(&b));
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,266 @@
+//! Proof-of-work targets, compact ("nBits") encoding and chain-work accounting.
+//!
+//! A block's cryptopuzzle is satisfied when the double-SHA-256 of its header is not
+//! greater than the *target* (§3). Fork choice in both Bitcoin and Bitcoin-NG picks the
+//! chain "which represents the most work done" (§4.1) — the sum over blocks of
+//! `work(target) = 2^256 / (target + 1)`, exactly as the operational Bitcoin client
+//! computes it.
+
+use crate::sha256::Hash256;
+use crate::u256::U256;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// A 256-bit proof-of-work target. Smaller targets are harder.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Target(pub U256);
+
+/// Bitcoin's 32-bit compact target encoding (`nBits`): 1 exponent byte and a 3-byte
+/// mantissa, interpreted as `mantissa * 256^(exponent - 3)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CompactTarget(pub u32);
+
+/// Accumulated expected work. Totally ordered; used as the fork-choice weight.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Work(pub U256);
+
+impl Target {
+    /// The easiest possible target (every hash qualifies).
+    pub const MAX: Target = Target(U256::MAX);
+
+    /// The regtest-style easy target used by simulations that bypass real mining, like
+    /// the paper's testbed ("the client skips the block difficulty validation", §7).
+    pub fn regtest() -> Target {
+        // 2^255: half of all hashes qualify — effectively free blocks while keeping the
+        // work computation meaningful.
+        Target(U256::ONE.shl_by(255))
+    }
+
+    /// Bitcoin mainnet's maximum target (difficulty 1): `0x1d00ffff` in compact form.
+    pub fn difficulty_one() -> Target {
+        CompactTarget(0x1d00ffff).to_target()
+    }
+
+    /// Returns true if a block hash satisfies this target (`hash ≤ target`).
+    pub fn is_met_by(&self, hash: &Hash256) -> bool {
+        hash.to_u256() <= self.0
+    }
+
+    /// Expected work to find a block at this target: `2^256 / (target + 1)`,
+    /// computed as `(!target) / (target + 1) + 1` to stay within 256 bits.
+    pub fn work(&self) -> Work {
+        if self.0 == U256::MAX {
+            return Work(U256::ONE);
+        }
+        let target_plus_one = self.0.wrapping_add(&U256::ONE);
+        let (q, _) = (!self.0).div_rem(&target_plus_one);
+        Work(q.wrapping_add(&U256::ONE))
+    }
+
+    /// Difficulty relative to [`Target::difficulty_one`]; a plotting/debug aid only.
+    pub fn difficulty(&self) -> f64 {
+        Target::difficulty_one().0.to_f64_lossy() / self.0.to_f64_lossy()
+    }
+
+    /// Scales this target by `numerator / denominator`, clamping to the valid range.
+    /// Used by the difficulty-adjustment rules.
+    pub fn scale(&self, numerator: u64, denominator: u64) -> Target {
+        assert!(denominator > 0);
+        let scaled = self
+            .0
+            .full_mul(&U256::from_u64(numerator));
+        let wide_denominator = U256::from_u64(denominator);
+        // Divide the 512-bit product by the denominator via two 256-bit steps:
+        // since denominator fits u64, do schoolbook long division limb by limb.
+        let mut remainder: u128 = 0;
+        let mut quotient_limbs = [0u64; 8];
+        for i in (0..8).rev() {
+            let cur = (remainder << 64) | scaled.limbs[i] as u128;
+            quotient_limbs[i] = (cur / denominator as u128) as u64;
+            remainder = cur % denominator as u128;
+        }
+        let _ = wide_denominator;
+        // Clamp to 256 bits (target can never exceed MAX).
+        if quotient_limbs[4..].iter().any(|&l| l != 0) {
+            Target(U256::MAX)
+        } else {
+            Target(U256::from_limbs([
+                quotient_limbs[0],
+                quotient_limbs[1],
+                quotient_limbs[2],
+                quotient_limbs[3],
+            ]))
+        }
+    }
+
+    /// Compact (`nBits`) encoding of this target.
+    pub fn to_compact(&self) -> CompactTarget {
+        if self.0.is_zero() {
+            return CompactTarget(0);
+        }
+        let bits = self.0.bits();
+        let mut exponent = bits.div_ceil(8);
+        let bytes = self.0.to_be_bytes();
+        let start = 32 - exponent;
+        let mut mantissa: u32 = 0;
+        for i in 0..3 {
+            mantissa <<= 8;
+            if start + i < 32 {
+                mantissa |= bytes[start + i] as u32;
+            }
+        }
+        // If the mantissa's top bit is set the number would be interpreted as negative
+        // by Bitcoin's signed convention; shift right and bump the exponent.
+        if mantissa & 0x0080_0000 != 0 {
+            mantissa >>= 8;
+            exponent += 1;
+        }
+        CompactTarget(((exponent as u32) << 24) | mantissa)
+    }
+}
+
+impl CompactTarget {
+    /// Decodes the compact form into a full target.
+    pub fn to_target(&self) -> Target {
+        let exponent = (self.0 >> 24) as usize;
+        let mantissa = self.0 & 0x007f_ffff;
+        let value = if exponent <= 3 {
+            U256::from_u64((mantissa >> (8 * (3 - exponent))) as u64)
+        } else {
+            U256::from_u64(mantissa as u64).shl_by(8 * (exponent - 3))
+        };
+        Target(value)
+    }
+}
+
+impl Work {
+    /// Zero accumulated work.
+    pub const ZERO: Work = Work(U256::ZERO);
+
+    /// Work of a single block at unit ("regtest") difficulty; useful when experiments
+    /// count blocks rather than hashes.
+    pub fn one() -> Work {
+        Work(U256::ONE)
+    }
+
+    /// Saturating addition of work values.
+    pub fn saturating_add(&self, other: &Work) -> Work {
+        Work(self.0.saturating_add(&other.0))
+    }
+
+    /// Lossy conversion for statistics and plotting.
+    pub fn to_f64_lossy(&self) -> f64 {
+        self.0.to_f64_lossy()
+    }
+}
+
+impl Add for Work {
+    type Output = Work;
+    fn add(self, rhs: Work) -> Work {
+        self.saturating_add(&rhs)
+    }
+}
+
+impl fmt::Debug for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Target(0x{})", self.0.to_hex())
+    }
+}
+
+impl fmt::Debug for Work {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Work(0x{})", self.0.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn max_target_accepts_everything() {
+        let h = sha256(b"any hash at all");
+        assert!(Target::MAX.is_met_by(&h));
+        assert_eq!(Target::MAX.work(), Work(U256::ONE));
+    }
+
+    #[test]
+    fn small_target_rejects_large_hash() {
+        let tiny = Target(U256::from_u64(1));
+        let h = sha256(b"almost certainly larger than one");
+        assert!(!tiny.is_met_by(&h));
+        assert!(tiny.is_met_by(&Hash256::ZERO));
+    }
+
+    #[test]
+    fn work_is_monotone_in_difficulty() {
+        let easy = Target(U256::ONE.shl_by(250));
+        let hard = Target(U256::ONE.shl_by(200));
+        assert!(hard.work() > easy.work());
+    }
+
+    #[test]
+    fn work_of_power_of_two_target() {
+        // target = 2^255 - 1 → work = 2^256 / 2^255 = 2
+        let t = Target(U256::ONE.shl_by(255).wrapping_sub(&U256::ONE));
+        assert_eq!(t.work(), Work(U256::from_u64(2)));
+    }
+
+    #[test]
+    fn difficulty_one_compact_round_trip() {
+        let t = Target::difficulty_one();
+        assert_eq!(t.to_compact(), CompactTarget(0x1d00ffff));
+        assert_eq!(CompactTarget(0x1d00ffff).to_target(), t);
+        assert!((t.difficulty() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compact_round_trip_various() {
+        for bits in [0x1d00ffffu32, 0x1c0ae493, 0x170bef93, 0x207fffff] {
+            let t = CompactTarget(bits).to_target();
+            assert_eq!(t.to_compact(), CompactTarget(bits), "bits={bits:#x}");
+        }
+    }
+
+    #[test]
+    fn compact_handles_high_bit_mantissa() {
+        // A target whose leading byte has the top bit set must round-trip through the
+        // shifted-exponent form.
+        let t = Target(U256::from_hex("8000000000000000000000000000000000000000000000").unwrap());
+        let c = t.to_compact();
+        let back = c.to_target();
+        // Compact encoding is lossy (3 mantissa bytes) but must preserve magnitude.
+        assert!(back.0.bits() == t.0.bits());
+    }
+
+    #[test]
+    fn scale_halves_and_doubles() {
+        let t = Target(U256::ONE.shl_by(200));
+        assert_eq!(t.scale(1, 2).0, U256::ONE.shl_by(199));
+        assert_eq!(t.scale(2, 1).0, U256::ONE.shl_by(201));
+    }
+
+    #[test]
+    fn scale_clamps_to_max() {
+        let t = Target(U256::MAX);
+        assert_eq!(t.scale(10, 1), Target(U256::MAX));
+    }
+
+    #[test]
+    fn work_addition_accumulates() {
+        let w = Target(U256::ONE.shl_by(255).wrapping_sub(&U256::ONE)).work(); // work = 2
+        let total = w + w + w;
+        assert_eq!(total, Work(U256::from_u64(6)));
+    }
+
+    #[test]
+    fn regtest_target_is_easy() {
+        // Roughly half of random hashes should satisfy the regtest target.
+        let hits = (0..200)
+            .filter(|i| Target::regtest().is_met_by(&sha256(format!("{i}").as_bytes())))
+            .count();
+        assert!((60..140).contains(&hits), "hits={hits}");
+    }
+}

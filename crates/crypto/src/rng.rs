@@ -1,0 +1,304 @@
+//! Deterministic pseudo-random number generation for simulations.
+//!
+//! The paper replaces proof-of-work with "a scheduler that triggers block generation at
+//! different miners with exponentially distributed intervals" (§7). Reproducing the
+//! experiments therefore needs a seedable, deterministic source of randomness with
+//! exponential and discrete sampling. [`SimRng`] is xoshiro256** seeded through
+//! SplitMix64 — the authors' recommended seeding procedure — giving high-quality,
+//! portable, dependency-free randomness with cheap forking for per-node streams.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 step, used for seeding and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** PRNG.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed using SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives an independent child generator, e.g. one stream per simulated node.
+    ///
+    /// The derivation hashes the parent seed state with the stream id through
+    /// SplitMix64, so children with different ids have uncorrelated streams and the
+    /// parent is left untouched.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        let mut sm = self.s[0] ^ self.s[1].rotate_left(17) ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills a byte slice with random data.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    ///
+    /// Uses Lemire-style rejection to avoid modulo bias.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform integer in `[low, high)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, low: u64, high: u64) -> u64 {
+        assert!(high > low, "empty range");
+        low + self.next_below(high - low)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn next_below_usize(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Uniform float in `[low, high)`.
+    pub fn range_f64(&mut self, low: f64, high: f64) -> f64 {
+        low + (high - low) * self.next_f64()
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Sample from an exponential distribution with the given rate (events per unit
+    /// time). The mean of the returned values is `1 / rate`.
+    ///
+    /// This drives the mining scheduler: "the time it takes a miner to find a solution
+    /// follows a geometric probability distribution, which can be approximated as an
+    /// exponential distribution" (§7).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        // Use 1 - u to avoid ln(0).
+        let u = 1.0 - self.next_f64();
+        -u.ln() / rate
+    }
+
+    /// Samples an index in `[0, weights.len())` with probability proportional to the
+    /// weights. Panics if the weights are empty or sum to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        if items.len() <= 1 {
+            return;
+        }
+        for i in (1..items.len()).rev() {
+            let j = self.next_below((i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Chooses one element uniformly at random; `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.next_below_usize(items.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let parent = SimRng::seed_from_u64(7);
+        let mut c1 = parent.fork(1);
+        let mut c1_again = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        assert_eq!(c1.next_u64(), c1_again.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_below_unbiased_bounds() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.next_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket should hold roughly 10_000 samples.
+            assert!((8_500..11_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let rate = 0.25; // mean 4.0
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(rate)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_is_memoryless_shape() {
+        // P(X > 2/rate) should be about e^-2 ≈ 0.135.
+        let mut rng = SimRng::seed_from_u64(6);
+        let rate = 1.0;
+        let n = 100_000;
+        let over = (0..n).filter(|_| rng.exponential(rate) > 2.0).count();
+        let frac = over as f64 / n as f64;
+        assert!((frac - 0.1353).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..100_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        let p1 = counts[1] as f64 / total as f64;
+        let p2 = counts[2] as f64 / total as f64;
+        assert!((p1 - 0.3).abs() < 0.02);
+        assert!((p2 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut items: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(items, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_and_chance() {
+        let mut rng = SimRng::seed_from_u64(10);
+        for _ in 0..1000 {
+            let v = rng.range_u64(5, 10);
+            assert!((5..10).contains(&v));
+            let f = rng.range_f64(-2.0, 2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+        let heads = (0..10_000).filter(|_| rng.chance(0.7)).count();
+        assert!((6_600..7_400).contains(&heads));
+    }
+
+    #[test]
+    fn choose_handles_empty_and_nonempty() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        let items = [1, 2, 3];
+        assert!(items.contains(rng.choose(&items).unwrap()));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SimRng::seed_from_u64(12);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Schnorr signatures over secp256k1.
+//!
+//! The scheme follows the BIP340 construction (deterministic nonce, tagged challenge
+//! hash) but keeps the full compressed nonce point `R` in the signature instead of an
+//! x-only encoding, which keeps verification simple: accept iff `s·G == R + e·P` with
+//! `e = H_tag(R || P || m)`.
+//!
+//! Microblock headers in Bitcoin-NG are signed with the key announced in the latest key
+//! block (§4.2); the ledger substrate also uses these signatures to authorise spending
+//! transaction outputs.
+
+use crate::keys::{nonce_scalar, PublicKey, SecretKey};
+use crate::point::Point;
+use crate::scalar::Scalar;
+use crate::sha256::{tagged_hash, Hash256};
+use crate::u256::U256;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Domain-separation tag for signature challenges.
+const CHALLENGE_TAG: &str = "BitcoinNG/challenge";
+
+/// A Schnorr signature: the nonce commitment `R` (compressed) and the response scalar `s`.
+#[derive(Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// Compressed encoding of the nonce point `R = k·G`.
+    #[serde(with = "crate::serde_arrays")]
+    pub r: [u8; 33],
+    /// Response scalar `s = k + e·x (mod n)`, big-endian.
+    pub s: [u8; 32],
+}
+
+/// Errors returned by signature verification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchnorrError {
+    /// The nonce point `R` does not decode to a valid curve point.
+    InvalidNoncePoint,
+    /// The response scalar is zero (degenerate signature).
+    DegenerateScalar,
+    /// The verification equation `s·G = R + e·P` does not hold.
+    EquationFailed,
+}
+
+impl fmt::Display for SchnorrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchnorrError::InvalidNoncePoint => write!(f, "invalid nonce point in signature"),
+            SchnorrError::DegenerateScalar => write!(f, "degenerate signature scalar"),
+            SchnorrError::EquationFailed => write!(f, "signature equation failed"),
+        }
+    }
+}
+
+impl std::error::Error for SchnorrError {}
+
+impl Signature {
+    /// Serialises the signature to 65 bytes (`R || s`).
+    pub fn to_bytes(&self) -> [u8; 65] {
+        let mut out = [0u8; 65];
+        out[..33].copy_from_slice(&self.r);
+        out[33..].copy_from_slice(&self.s);
+        out
+    }
+
+    /// Parses a 65-byte signature. Performs no curve validation (done at verify time).
+    pub fn from_bytes(bytes: &[u8; 65]) -> Self {
+        let mut r = [0u8; 33];
+        let mut s = [0u8; 32];
+        r.copy_from_slice(&bytes[..33]);
+        s.copy_from_slice(&bytes[33..]);
+        Signature { r, s }
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({}…)", &crate::hex::encode(&self.r)[..16])
+    }
+}
+
+/// Computes the challenge scalar `e = H_tag(R || P || m) mod n`.
+fn challenge(r: &[u8; 33], public: &PublicKey, msg: &Hash256) -> Scalar {
+    let mut data = Vec::with_capacity(33 + 33 + 32);
+    data.extend_from_slice(r);
+    data.extend_from_slice(&public.to_compressed());
+    data.extend_from_slice(&msg.0);
+    let h = tagged_hash(CHALLENGE_TAG, &data);
+    Scalar::from_u256(U256::from_be_bytes(&h.0))
+}
+
+/// Signs a 32-byte message digest with a deterministic nonce.
+pub fn sign(secret: &SecretKey, msg: &Hash256) -> Signature {
+    let public = secret.public_key();
+    // Deterministic nonce; retry (by varying aux) in the negligible case R cannot encode
+    // or the response is zero.
+    let mut aux = 0u64;
+    loop {
+        let k = nonce_scalar(secret, msg, &aux.to_le_bytes());
+        let r_point = Point::mul_generator(&k);
+        if let Some(r) = r_point.to_compressed() {
+            let e = challenge(&r, &public, msg);
+            let s = k.add(&e.mul(&secret.scalar()));
+            if !s.is_zero() {
+                return Signature {
+                    r,
+                    s: s.to_be_bytes(),
+                };
+            }
+        }
+        aux += 1;
+    }
+}
+
+/// Verifies a signature over a 32-byte message digest.
+pub fn verify(public: &PublicKey, msg: &Hash256, sig: &Signature) -> Result<(), SchnorrError> {
+    let r_point = Point::from_compressed(&sig.r).ok_or(SchnorrError::InvalidNoncePoint)?;
+    let s = Scalar::from_be_bytes(&sig.s);
+    if s.is_zero() {
+        return Err(SchnorrError::DegenerateScalar);
+    }
+    let e = challenge(&sig.r, public, msg);
+    // s·G == R + e·P
+    let lhs = Point::mul_generator(&s);
+    let rhs = r_point.add(&public.point().mul(&e));
+    if lhs == rhs {
+        Ok(())
+    } else {
+        Err(SchnorrError::EquationFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = KeyPair::from_id(1);
+        let msg = sha256(b"a microblock header");
+        let sig = sign(&kp.secret, &msg);
+        assert!(verify(&kp.public, &msg, &sig).is_ok());
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let kp = KeyPair::from_id(2);
+        let msg = sha256(b"same message");
+        assert_eq!(sign(&kp.secret, &msg), sign(&kp.secret, &msg));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp = KeyPair::from_id(3);
+        let other = KeyPair::from_id(4);
+        let msg = sha256(b"message");
+        let sig = sign(&kp.secret, &msg);
+        assert_eq!(
+            verify(&other.public, &msg, &sig),
+            Err(SchnorrError::EquationFailed)
+        );
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = KeyPair::from_id(5);
+        let sig = sign(&kp.secret, &sha256(b"message A"));
+        assert_eq!(
+            verify(&kp.public, &sha256(b"message B"), &sig),
+            Err(SchnorrError::EquationFailed)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = KeyPair::from_id(6);
+        let msg = sha256(b"message");
+        let mut sig = sign(&kp.secret, &msg);
+        sig.s[31] ^= 1;
+        assert!(verify(&kp.public, &msg, &sig).is_err());
+    }
+
+    #[test]
+    fn corrupt_nonce_point_rejected() {
+        let kp = KeyPair::from_id(7);
+        let msg = sha256(b"message");
+        let mut sig = sign(&kp.secret, &msg);
+        sig.r[0] = 0x07; // invalid prefix
+        assert_eq!(
+            verify(&kp.public, &msg, &sig),
+            Err(SchnorrError::InvalidNoncePoint)
+        );
+    }
+
+    #[test]
+    fn signature_bytes_round_trip() {
+        let kp = KeyPair::from_id(8);
+        let msg = sha256(b"serialize me");
+        let sig = sign(&kp.secret, &msg);
+        let restored = Signature::from_bytes(&sig.to_bytes());
+        assert_eq!(restored, sig);
+        assert!(verify(&kp.public, &msg, &restored).is_ok());
+    }
+
+    #[test]
+    fn different_messages_produce_different_signatures() {
+        let kp = KeyPair::from_id(9);
+        let s1 = sign(&kp.secret, &sha256(b"m1"));
+        let s2 = sign(&kp.secret, &sha256(b"m2"));
+        assert_ne!(s1, s2);
+    }
+}

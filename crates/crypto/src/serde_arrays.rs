@@ -1,0 +1,34 @@
+//! Serde helpers for fixed-size byte arrays longer than 32 bytes (serde only provides
+//! built-in impls up to 32). Arrays are serialised as byte sequences and the length is
+//! checked on deserialisation.
+
+use serde::de::Error as DeError;
+use serde::{Deserialize, Deserializer, Serializer};
+
+/// Serialises a fixed-size byte array as a byte sequence.
+pub fn serialize<S: Serializer, const N: usize>(
+    value: &[u8; N],
+    serializer: S,
+) -> Result<S::Ok, S::Error> {
+    serializer.serialize_bytes(value)
+}
+
+/// Deserialises a byte sequence into a fixed-size array, rejecting wrong lengths.
+pub fn deserialize<'de, D: Deserializer<'de>, const N: usize>(
+    deserializer: D,
+) -> Result<[u8; N], D::Error> {
+    let bytes: Vec<u8> = Vec::deserialize(deserializer)?;
+    if bytes.len() != N {
+        return Err(D::Error::custom(format!(
+            "expected {N} bytes, got {}",
+            bytes.len()
+        )));
+    }
+    let mut out = [0u8; N];
+    out.copy_from_slice(&bytes);
+    Ok(out)
+}
+
+// Round-trip behaviour is exercised by the serde_json integration tests in `ng-bench`
+// and the workspace integration tests, which serialise blocks containing public keys
+// and signatures.

@@ -1,0 +1,684 @@
+//! Fixed-width 256-bit unsigned integer arithmetic.
+//!
+//! [`U256`] backs proof-of-work targets, chain-work accounting and the secp256k1 field
+//! and scalar types. The representation is four little-endian `u64` limbs. A small
+//! [`U512`] companion type holds full multiplication products so they can be reduced
+//! modulo the field prime or the group order.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Not, Shl, Shr, Sub};
+
+/// 256-bit unsigned integer with little-endian `u64` limbs (`limbs[0]` least significant).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct U256 {
+    /// Little-endian limbs.
+    pub limbs: [u64; 4],
+}
+
+/// 512-bit unsigned integer used to hold multiplication products before reduction.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct U512 {
+    /// Little-endian limbs.
+    pub limbs: [u64; 8],
+}
+
+impl U256 {
+    /// The value 0.
+    pub const ZERO: U256 = U256 { limbs: [0; 4] };
+    /// The value 1.
+    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    /// The maximum representable value, 2^256 − 1.
+    pub const MAX: U256 = U256 {
+        limbs: [u64::MAX; 4],
+    };
+
+    /// Constructs a value from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
+    }
+
+    /// Constructs a value from a `u128`.
+    pub const fn from_u128(v: u128) -> Self {
+        U256 {
+            limbs: [v as u64, (v >> 64) as u64, 0, 0],
+        }
+    }
+
+    /// Constructs a value from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256 { limbs }
+    }
+
+    /// Parses a big-endian 32-byte array.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[(3 - i) * 8..(3 - i) * 8 + 8]);
+            limbs[i] = u64::from_be_bytes(chunk);
+        }
+        U256 { limbs }
+    }
+
+    /// Serialises to a big-endian 32-byte array.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[(3 - i) * 8..(3 - i) * 8 + 8].copy_from_slice(&self.limbs[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a big-endian hex string (at most 64 hex digits, leading zeros optional).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.is_empty() || s.len() > 64 {
+            return None;
+        }
+        let padded = format!("{:0>64}", s);
+        let bytes = crate::hex::decode(&padded)?;
+        let mut arr = [0u8; 32];
+        arr.copy_from_slice(&bytes);
+        Some(Self::from_be_bytes(&arr))
+    }
+
+    /// Hex representation without leading zeros (lowercase); `"0"` for zero.
+    pub fn to_hex(&self) -> String {
+        let full = crate::hex::encode(&self.to_be_bytes());
+        let trimmed = full.trim_start_matches('0');
+        if trimmed.is_empty() {
+            "0".to_string()
+        } else {
+            trimmed.to_string()
+        }
+    }
+
+    /// Returns true if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Returns the lowest 64 bits.
+    pub fn low_u64(&self) -> u64 {
+        self.limbs[0]
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        debug_assert!(i < 256);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        for i in (0..4).rev() {
+            if self.limbs[i] != 0 {
+                return 64 * i + (64 - self.limbs[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Addition returning the sum and a carry flag.
+    pub fn overflowing_add(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 || c2;
+        }
+        (U256 { limbs: out }, carry)
+    }
+
+    /// Wrapping addition (mod 2^256).
+    pub fn wrapping_add(&self, other: &U256) -> U256 {
+        self.overflowing_add(other).0
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(&self, other: &U256) -> Option<U256> {
+        let (v, c) = self.overflowing_add(other);
+        if c {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(&self, other: &U256) -> U256 {
+        self.checked_add(other).unwrap_or(U256::MAX)
+    }
+
+    /// Subtraction returning the difference and a borrow flag.
+    pub fn overflowing_sub(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 || b2;
+        }
+        (U256 { limbs: out }, borrow)
+    }
+
+    /// Wrapping subtraction (mod 2^256).
+    pub fn wrapping_sub(&self, other: &U256) -> U256 {
+        self.overflowing_sub(other).0
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(&self, other: &U256) -> Option<U256> {
+        let (v, b) = self.overflowing_sub(other);
+        if b {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Full 256×256 → 512-bit multiplication.
+    pub fn full_mul(&self, other: &U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let cur = out[i + j] as u128
+                    + (self.limbs[i] as u128) * (other.limbs[j] as u128)
+                    + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        U512 { limbs: out }
+    }
+
+    /// Wrapping multiplication (mod 2^256).
+    pub fn wrapping_mul(&self, other: &U256) -> U256 {
+        let full = self.full_mul(other);
+        U256 {
+            limbs: [full.limbs[0], full.limbs[1], full.limbs[2], full.limbs[3]],
+        }
+    }
+
+    /// Checked multiplication; `None` if the product does not fit 256 bits.
+    pub fn checked_mul(&self, other: &U256) -> Option<U256> {
+        let full = self.full_mul(other);
+        if full.limbs[4..].iter().any(|&l| l != 0) {
+            None
+        } else {
+            Some(U256 {
+                limbs: [full.limbs[0], full.limbs[1], full.limbs[2], full.limbs[3]],
+            })
+        }
+    }
+
+    /// Multiplication by a small scalar with wrapping semantics.
+    pub fn wrapping_mul_u64(&self, other: u64) -> U256 {
+        self.wrapping_mul(&U256::from_u64(other))
+    }
+
+    /// Division: returns (quotient, remainder). Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &U256) -> (U256, U256) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (U256::ZERO, *self);
+        }
+        let mut quotient = U256::ZERO;
+        let mut remainder = U256::ZERO;
+        for i in (0..self.bits()).rev() {
+            // remainder = remainder << 1 | bit(i)
+            remainder = remainder.shl_by(1);
+            if self.bit(i) {
+                remainder.limbs[0] |= 1;
+            }
+            if &remainder >= divisor {
+                remainder = remainder.wrapping_sub(divisor);
+                quotient = quotient.set_bit(i);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Remainder of division by `modulus`.
+    pub fn rem(&self, modulus: &U256) -> U256 {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular addition `(self + other) mod modulus`; inputs must already be `< modulus`.
+    pub fn add_mod(&self, other: &U256, modulus: &U256) -> U256 {
+        let (sum, carry) = self.overflowing_add(other);
+        if carry || &sum >= modulus {
+            sum.wrapping_sub(modulus)
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction `(self - other) mod modulus`; inputs must already be `< modulus`.
+    pub fn sub_mod(&self, other: &U256, modulus: &U256) -> U256 {
+        if self >= other {
+            self.wrapping_sub(other)
+        } else {
+            modulus.wrapping_sub(other).wrapping_add(self)
+        }
+    }
+
+    /// Modular multiplication via a full product and 512-bit reduction.
+    pub fn mul_mod(&self, other: &U256, modulus: &U256) -> U256 {
+        self.full_mul(other).rem_u256(modulus)
+    }
+
+    /// Modular exponentiation (square-and-multiply).
+    pub fn pow_mod(&self, exp: &U256, modulus: &U256) -> U256 {
+        let mut result = U256::ONE.rem(modulus);
+        let base = self.rem(modulus);
+        let nbits = exp.bits();
+        let mut acc = base;
+        for i in 0..nbits {
+            if exp.bit(i) {
+                result = result.mul_mod(&acc, modulus);
+            }
+            acc = acc.mul_mod(&acc, modulus);
+        }
+        result
+    }
+
+    /// Sets bit `i` and returns the new value.
+    pub fn set_bit(&self, i: usize) -> U256 {
+        let mut out = *self;
+        out.limbs[i / 64] |= 1u64 << (i % 64);
+        out
+    }
+
+    /// Logical left shift by `n` bits (n < 256).
+    pub fn shl_by(&self, n: usize) -> U256 {
+        if n == 0 {
+            return *self;
+        }
+        if n >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut out = [0u64; 4];
+        for i in (0..4).rev() {
+            if i >= limb_shift {
+                let mut v = self.limbs[i - limb_shift] << bit_shift;
+                if bit_shift > 0 && i > limb_shift {
+                    v |= self.limbs[i - limb_shift - 1] >> (64 - bit_shift);
+                }
+                out[i] = v;
+            }
+        }
+        U256 { limbs: out }
+    }
+
+    /// Logical right shift by `n` bits (n < 256).
+    pub fn shr_by(&self, n: usize) -> U256 {
+        if n == 0 {
+            return *self;
+        }
+        if n >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            if i + limb_shift < 4 {
+                let mut v = self.limbs[i + limb_shift] >> bit_shift;
+                if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                    v |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
+                }
+                out[i] = v;
+            }
+        }
+        U256 { limbs: out }
+    }
+
+    /// Approximate conversion to `f64` (loses precision beyond 53 bits; used only for
+    /// statistics and plotting, never for consensus decisions).
+    pub fn to_f64_lossy(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for i in (0..4).rev() {
+            acc = acc * 2f64.powi(64) + self.limbs[i] as f64;
+        }
+        acc
+    }
+}
+
+impl U512 {
+    /// The value 0.
+    pub const ZERO: U512 = U512 { limbs: [0; 8] };
+
+    /// Returns true if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Returns bit `i`.
+    pub fn bit(&self, i: usize) -> bool {
+        debug_assert!(i < 512);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        for i in (0..8).rev() {
+            if self.limbs[i] != 0 {
+                return 64 * i + (64 - self.limbs[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Reduces this 512-bit value modulo a 256-bit modulus using binary long division.
+    pub fn rem_u256(&self, modulus: &U256) -> U256 {
+        assert!(!modulus.is_zero(), "division by zero");
+        let mut remainder = U256::ZERO;
+        for i in (0..self.bits()).rev() {
+            // remainder = remainder * 2 + bit. The shift may conceptually overflow 256
+            // bits; if the top bit was set, the shifted value is >= 2^256 > modulus, so a
+            // subtraction is always required and keeps the remainder in range.
+            let top_bit_set = remainder.bit(255);
+            remainder = remainder.shl_by(1);
+            if self.bit(i) {
+                remainder.limbs[0] |= 1;
+            }
+            if top_bit_set || &remainder >= modulus {
+                remainder = remainder.wrapping_sub(modulus);
+            }
+        }
+        remainder
+    }
+
+    /// Truncates to the low 256 bits.
+    pub fn low_u256(&self) -> U256 {
+        U256 {
+            limbs: [self.limbs[0], self.limbs[1], self.limbs[2], self.limbs[3]],
+        }
+    }
+
+    /// Returns the high 256 bits.
+    pub fn high_u256(&self) -> U256 {
+        U256 {
+            limbs: [self.limbs[4], self.limbs[5], self.limbs[6], self.limbs[7]],
+        }
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+    fn add(self, rhs: U256) -> U256 {
+        let (v, carry) = self.overflowing_add(&rhs);
+        debug_assert!(!carry, "U256 addition overflow");
+        v
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+    fn sub(self, rhs: U256) -> U256 {
+        let (v, borrow) = self.overflowing_sub(&rhs);
+        debug_assert!(!borrow, "U256 subtraction underflow");
+        v
+    }
+}
+
+impl Shl<usize> for U256 {
+    type Output = U256;
+    fn shl(self, n: usize) -> U256 {
+        self.shl_by(n)
+    }
+}
+
+impl Shr<usize> for U256 {
+    type Output = U256;
+    fn shr(self, n: usize) -> U256 {
+        self.shr_by(n)
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = self.limbs[i] & rhs.limbs[i];
+        }
+        U256 { limbs: out }
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = self.limbs[i] | rhs.limbs[i];
+        }
+        U256 { limbs: out }
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = self.limbs[i] ^ rhs.limbs[i];
+        }
+        U256 { limbs: out }
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = !self.limbs[i];
+        }
+        U256 { limbs: out }
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256::from_u128(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_u64_round_trip() {
+        let v = U256::from_u64(0xdead_beef);
+        assert_eq!(v.low_u64(), 0xdead_beef);
+        assert_eq!(v.bits(), 32);
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let v = U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+            .unwrap();
+        assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let v = U256::from_hex("ff00ff00ff").unwrap();
+        assert_eq!(v.to_hex(), "ff00ff00ff");
+        assert_eq!(U256::ZERO.to_hex(), "0");
+    }
+
+    #[test]
+    fn addition_with_carry_propagation() {
+        let a = U256::from_limbs([u64::MAX, u64::MAX, 0, 0]);
+        let b = U256::ONE;
+        let sum = a.wrapping_add(&b);
+        assert_eq!(sum, U256::from_limbs([0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn overflow_detection() {
+        assert!(U256::MAX.checked_add(&U256::ONE).is_none());
+        assert!(U256::ZERO.checked_sub(&U256::ONE).is_none());
+        assert_eq!(U256::MAX.saturating_add(&U256::ONE), U256::MAX);
+    }
+
+    #[test]
+    fn subtraction_inverse_of_addition() {
+        let a = U256::from_hex("123456789abcdef00fedcba987654321").unwrap();
+        let b = U256::from_hex("fedcba9876543210").unwrap();
+        assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn multiplication_known_value() {
+        let a = U256::from_u64(u64::MAX);
+        let product = a.checked_mul(&a).unwrap();
+        // (2^64 - 1)^2 = 0xFFFFFFFFFFFFFFFE0000000000000001
+        let expected = U256::from_hex("fffffffffffffffe0000000000000001").unwrap();
+        assert_eq!(product, expected);
+    }
+
+    #[test]
+    fn full_mul_and_rem() {
+        let a = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff")
+            .unwrap();
+        let product = a.full_mul(&a);
+        // (2^256 - 1)^2 mod (2^256 - 1) == 0
+        assert_eq!(product.rem_u256(&a), U256::ZERO);
+        // (2^256 - 1)^2 mod 7: 2^256 mod 7 = 4 (since 2^3 = 1 mod 7, 256 = 3*85+1, 2^256 = 2 mod 7)
+        // so (2^256 - 1) mod 7 = 1, squared = 1.
+        assert_eq!(product.rem_u256(&U256::from_u64(7)), U256::ONE);
+    }
+
+    #[test]
+    fn div_rem_small_values() {
+        let a = U256::from_u64(1000);
+        let (q, r) = a.div_rem(&U256::from_u64(7));
+        assert_eq!(q, U256::from_u64(142));
+        assert_eq!(r, U256::from_u64(6));
+    }
+
+    #[test]
+    fn div_rem_identity() {
+        let a = U256::from_hex("abcdef123456789abcdef").unwrap();
+        let d = U256::from_hex("12345").unwrap();
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(q.wrapping_mul(&d).wrapping_add(&r), a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn shifts() {
+        let v = U256::from_u64(1);
+        assert_eq!(v.shl_by(200).shr_by(200), v);
+        assert_eq!(v.shl_by(64), U256::from_limbs([0, 1, 0, 0]));
+        assert_eq!(U256::MAX.shr_by(255), U256::ONE);
+        assert_eq!(v.shl_by(256), U256::ZERO);
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = U256::from_u64(0b1010);
+        assert!(!v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(3));
+        assert_eq!(v.bits(), 4);
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::MAX.bits(), 256);
+    }
+
+    #[test]
+    fn modular_arithmetic() {
+        let m = U256::from_u64(97);
+        let a = U256::from_u64(90);
+        let b = U256::from_u64(15);
+        assert_eq!(a.add_mod(&b, &m), U256::from_u64(8));
+        assert_eq!(b.sub_mod(&a, &m), U256::from_u64(22));
+        assert_eq!(a.mul_mod(&b, &m), U256::from_u64((90 * 15) % 97));
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        // Fermat's little theorem: a^(p-1) = 1 mod p for prime p not dividing a.
+        let p = U256::from_u64(1_000_003);
+        let a = U256::from_u64(123_456);
+        assert_eq!(a.pow_mod(&U256::from_u64(1_000_002), &p), U256::ONE);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = U256::from_limbs([0, 0, 0, 1]);
+        let b = U256::from_limbs([u64::MAX, u64::MAX, u64::MAX, 0]);
+        assert!(a > b);
+        assert!(U256::ZERO < U256::ONE);
+    }
+
+    #[test]
+    fn to_f64_lossy_scales() {
+        assert_eq!(U256::from_u64(1000).to_f64_lossy(), 1000.0);
+        let big = U256::ONE.shl_by(200);
+        assert!((big.to_f64_lossy() - 2f64.powi(200)).abs() / 2f64.powi(200) < 1e-10);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = U256::from_u64(0b1100);
+        let b = U256::from_u64(0b1010);
+        assert_eq!((a & b).low_u64(), 0b1000);
+        assert_eq!((a | b).low_u64(), 0b1110);
+        assert_eq!((a ^ b).low_u64(), 0b0110);
+        assert_eq!((!U256::ZERO), U256::MAX);
+    }
+}

@@ -1,0 +1,22 @@
+//! # ng-incentives
+//!
+//! Incentive analysis of Bitcoin-NG (§5): closed-form bounds on the fee split and
+//! Monte-Carlo simulation of deviating miner strategies.
+//!
+//! * [`bounds`] — the §5.1 closed forms: `r_leader > 1 − (1−α)/(1+α−α²)` and
+//!   `r_leader < (1−α)/(2−α)`, their feasibility region, and the optimal-network
+//!   variant where the region is empty.
+//! * [`montecarlo`] — replay of the deviating strategies to confirm the break-even
+//!   points empirically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod montecarlo;
+
+pub use bounds::{bounds, lower_bound, max_feasible_alpha, upper_bound, FeeSplitBounds};
+pub use montecarlo::{
+    simulate_longest_chain_extension, simulate_transaction_inclusion, sweep_fee_split,
+    StrategyOutcome,
+};

@@ -1,0 +1,178 @@
+//! Monte-Carlo simulation of the deviating strategies analysed in §5.1.
+//!
+//! The closed-form bounds in [`crate::bounds`] assume expectations; these simulations
+//! replay the actual random process (who mines the next key block, whether the withheld
+//! microblock wins) and let the experiment harness check that the empirical break-even
+//! points land where the analysis says they should.
+
+use ng_crypto::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a strategy simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StrategyOutcome {
+    /// Attacker mining-power fraction.
+    pub alpha: f64,
+    /// Fee share of the serializing leader.
+    pub r_leader: f64,
+    /// Average revenue (fee fraction) of the deviating strategy.
+    pub deviant_revenue: f64,
+    /// Average revenue of the honest/prescribed strategy.
+    pub honest_revenue: f64,
+    /// Number of trials.
+    pub trials: u64,
+}
+
+impl StrategyOutcome {
+    /// True if deviation pays strictly more than honesty in this experiment.
+    pub fn deviation_profitable(&self) -> bool {
+        self.deviant_revenue > self.honest_revenue
+    }
+}
+
+/// Simulates the *transaction-inclusion* deviation (§5.1): the current leader withholds
+/// a transaction in a secret microblock hoping to earn 100% of its fee, versus honestly
+/// publishing it and earning `r_leader` (plus the chance of also mining the next key
+/// block and collecting the remainder).
+pub fn simulate_transaction_inclusion(
+    alpha: f64,
+    r_leader: f64,
+    trials: u64,
+    rng: &mut SimRng,
+) -> StrategyOutcome {
+    let mut deviant_total = 0.0;
+    let mut honest_total = 0.0;
+    for _ in 0..trials {
+        // Deviant: win the next key block with probability α → 100% of the fee.
+        // Otherwise another miner serializes the transaction; the deviant then earns
+        // the next-leader share only if it mines the following key block (prob. α).
+        if rng.chance(alpha) {
+            deviant_total += 1.0;
+        } else if rng.chance(alpha) {
+            deviant_total += 1.0 - r_leader;
+        }
+        // Honest: earn r_leader by publishing the transaction in a public microblock.
+        // (The paper's inequality compares against r_leader alone; any chance of also
+        // mining the next key block accrues to both strategies and is left out, §5.1.)
+        honest_total += r_leader;
+    }
+    StrategyOutcome {
+        alpha,
+        r_leader,
+        deviant_revenue: deviant_total / trials as f64,
+        honest_revenue: honest_total / trials as f64,
+        trials,
+    }
+}
+
+/// Simulates the *longest-chain-extension* deviation (§5.1): a miner ignores the
+/// microblock containing a transaction, re-serializes the transaction in its own
+/// microblock and tries to mine the next key block, versus mining on the existing
+/// microblock and earning the next-leader share.
+pub fn simulate_longest_chain_extension(
+    alpha: f64,
+    r_leader: f64,
+    trials: u64,
+    rng: &mut SimRng,
+) -> StrategyOutcome {
+    let mut deviant_total = 0.0;
+    let mut honest_total = 0.0;
+    for _ in 0..trials {
+        // Deviant: always earns the serializer share r_leader for its own microblock;
+        // with probability α it mines the following key block and also earns the
+        // next-leader share.
+        deviant_total += r_leader;
+        if rng.chance(alpha) {
+            deviant_total += 1.0 - r_leader;
+        }
+        // Honest: mine on the existing microblock; earn the next-leader share.
+        honest_total += 1.0 - r_leader;
+    }
+    StrategyOutcome {
+        alpha,
+        r_leader,
+        deviant_revenue: deviant_total / trials as f64,
+        honest_revenue: honest_total / trials as f64,
+        trials,
+    }
+}
+
+/// Sweeps `r_leader` over a grid and returns, for each value, whether either deviation
+/// is profitable for an attacker of size `alpha`. Used by the `incentive_montecarlo`
+/// experiment binary.
+pub fn sweep_fee_split(
+    alpha: f64,
+    grid: &[f64],
+    trials: u64,
+    rng: &mut SimRng,
+) -> Vec<(f64, StrategyOutcome, StrategyOutcome)> {
+    grid.iter()
+        .map(|&r| {
+            (
+                r,
+                simulate_transaction_inclusion(alpha, r, trials, rng),
+                simulate_longest_chain_extension(alpha, r, trials, rng),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{lower_bound, upper_bound};
+
+    const TRIALS: u64 = 200_000;
+
+    #[test]
+    fn empirical_means_match_closed_form() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let alpha = 0.25;
+        let r = 0.40;
+        let inc = simulate_transaction_inclusion(alpha, r, TRIALS, &mut rng);
+        let expected_deviant = crate::bounds::withhold_strategy_revenue(alpha, r);
+        assert!(
+            (inc.deviant_revenue - expected_deviant).abs() < 0.01,
+            "empirical {} vs analytical {}",
+            inc.deviant_revenue,
+            expected_deviant
+        );
+        assert!((inc.honest_revenue - r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forty_percent_split_deters_both_deviations_at_quarter() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let inc = simulate_transaction_inclusion(0.25, 0.40, TRIALS, &mut rng);
+        assert!(!inc.deviation_profitable(), "{inc:?}");
+        let ext = simulate_longest_chain_extension(0.25, 0.40, TRIALS, &mut rng);
+        assert!(!ext.deviation_profitable(), "{ext:?}");
+    }
+
+    #[test]
+    fn too_small_split_invites_withholding() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let alpha = 0.25;
+        let r = lower_bound(alpha) - 0.05; // clearly below the admissible range
+        let inc = simulate_transaction_inclusion(alpha, r, TRIALS, &mut rng);
+        assert!(inc.deviation_profitable(), "{inc:?}");
+    }
+
+    #[test]
+    fn too_large_split_invites_chain_avoidance() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let alpha = 0.25;
+        let r = upper_bound(alpha) + 0.05;
+        let ext = simulate_longest_chain_extension(alpha, r, TRIALS, &mut rng);
+        assert!(ext.deviation_profitable(), "{ext:?}");
+    }
+
+    #[test]
+    fn sweep_produces_one_entry_per_grid_point() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let grid = [0.30, 0.40, 0.50];
+        let rows = sweep_fee_split(0.25, &grid, 10_000, &mut rng);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].0, 0.40);
+    }
+}

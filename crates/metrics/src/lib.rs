@@ -1,0 +1,22 @@
+//! # ng-metrics
+//!
+//! The evaluation metrics introduced by the Bitcoin-NG paper (§6): consensus delay,
+//! fairness, mining power utilization, time to prune and time to win — plus transaction
+//! frequency and propagation-delay quartiles used by the figures.
+//!
+//! * [`log`] — the protocol-agnostic experiment log the simulator produces.
+//! * [`timeline`] — per-node best-tip timelines reconstructed from the log.
+//! * [`report`] — the metric computations.
+//! * [`stats`] — percentile helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod report;
+pub mod stats;
+pub mod timeline;
+
+pub use log::{BlockRecord, ChainIndex, ExperimentLog, Receipt};
+pub use report::{compute_report, MetricsReport};
+pub use stats::{mean, percentile, quartiles, summarize, Quartiles, Summary};

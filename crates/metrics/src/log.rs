@@ -1,0 +1,347 @@
+//! The experiment log: the protocol-agnostic record of an execution from which every
+//! metric of §6 is computed.
+//!
+//! The simulator (or a real deployment's instrumentation) records, for every block,
+//! who created it, when, and on which parent, plus the time at which each node first
+//! learned of it. That is exactly the information the paper's instrumented clients log
+//! ("with minimal instrumentation to log sufficient information", §7).
+
+use ng_crypto::sha256::Hash256;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Global information about one block created during an execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BlockRecord {
+    /// Block id.
+    pub id: Hash256,
+    /// Parent block id.
+    pub parent: Hash256,
+    /// Miner/leader that created it.
+    pub miner: u64,
+    /// Creation time in milliseconds of simulated time.
+    pub created_ms: u64,
+    /// Proof-of-work weight (1.0 per PoW block at equal difficulty, 0.0 for
+    /// Bitcoin-NG microblocks).
+    pub work: f64,
+    /// Number of transactions carried.
+    pub tx_count: u64,
+    /// Serialized size in bytes.
+    pub size_bytes: u64,
+    /// True for blocks that carry proof of work (Bitcoin blocks, NG key blocks).
+    pub is_pow: bool,
+}
+
+/// One node's receipt of one block.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Receipt {
+    /// The receiving node.
+    pub node: u64,
+    /// The block received.
+    pub block: Hash256,
+    /// Time the node first held the complete block, in milliseconds.
+    pub received_ms: u64,
+}
+
+/// The complete record of an execution.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExperimentLog {
+    /// Every block created (by any node, on any branch). Does not include the genesis.
+    pub blocks: Vec<BlockRecord>,
+    /// Per-node first-receipt times. Includes the creator itself at creation time.
+    pub receipts: Vec<Receipt>,
+    /// The genesis block id (common ancestor of everything).
+    pub genesis: Hash256,
+    /// Number of nodes in the experiment.
+    pub node_count: usize,
+    /// Mining power share of each miner, indexed by miner id.
+    pub mining_power: Vec<f64>,
+    /// Total simulated duration in milliseconds.
+    pub duration_ms: u64,
+}
+
+/// Derived per-block chain data (heights, cumulative work, main-chain membership).
+#[derive(Clone, Debug)]
+pub struct ChainIndex {
+    records: HashMap<Hash256, BlockRecord>,
+    height: HashMap<Hash256, u64>,
+    total_work: HashMap<Hash256, f64>,
+    main_chain: Vec<Hash256>,
+    on_main_chain: HashMap<Hash256, bool>,
+    genesis: Hash256,
+}
+
+impl ExperimentLog {
+    /// Creates an empty log for `node_count` nodes.
+    pub fn new(genesis: Hash256, node_count: usize, mining_power: Vec<f64>) -> Self {
+        ExperimentLog {
+            blocks: Vec::new(),
+            receipts: Vec::new(),
+            genesis,
+            node_count,
+            mining_power,
+            duration_ms: 0,
+        }
+    }
+
+    /// Records a newly created block.
+    pub fn record_block(&mut self, record: BlockRecord) {
+        self.blocks.push(record);
+    }
+
+    /// Records a node's first receipt of a block.
+    pub fn record_receipt(&mut self, node: u64, block: Hash256, received_ms: u64) {
+        self.receipts.push(Receipt {
+            node,
+            block,
+            received_ms,
+        });
+    }
+
+    /// Builds the derived chain index (heights, cumulative work, main chain).
+    pub fn index(&self) -> ChainIndex {
+        ChainIndex::build(self)
+    }
+}
+
+impl ChainIndex {
+    /// Builds the index from a log.
+    pub fn build(log: &ExperimentLog) -> Self {
+        let mut records: HashMap<Hash256, BlockRecord> = HashMap::new();
+        for b in &log.blocks {
+            records.insert(b.id, b.clone());
+        }
+        // Heights and cumulative work, walking parents iteratively (blocks may appear
+        // in any order in the log).
+        let mut height: HashMap<Hash256, u64> = HashMap::new();
+        let mut total_work: HashMap<Hash256, f64> = HashMap::new();
+        height.insert(log.genesis, 0);
+        total_work.insert(log.genesis, 0.0);
+        fn resolve(
+            id: Hash256,
+            records: &HashMap<Hash256, BlockRecord>,
+            height: &mut HashMap<Hash256, u64>,
+            total_work: &mut HashMap<Hash256, f64>,
+        ) {
+            // Collect the chain of unresolved ancestors, then fill in top-down.
+            let mut stack = Vec::new();
+            let mut cursor = id;
+            while !height.contains_key(&cursor) {
+                stack.push(cursor);
+                match records.get(&cursor) {
+                    Some(r) => cursor = r.parent,
+                    None => {
+                        // Unknown ancestry (shouldn't happen in well-formed logs):
+                        // treat as a root at height 0.
+                        break;
+                    }
+                }
+            }
+            while let Some(block) = stack.pop() {
+                let (parent_height, parent_work) = match records.get(&block) {
+                    Some(r) => (
+                        height.get(&r.parent).copied().unwrap_or(0),
+                        total_work.get(&r.parent).copied().unwrap_or(0.0),
+                    ),
+                    None => (0, 0.0),
+                };
+                let own_work = records.get(&block).map(|r| r.work).unwrap_or(0.0);
+                height.insert(block, parent_height + 1);
+                total_work.insert(block, parent_work + own_work);
+            }
+        }
+        for b in &log.blocks {
+            resolve(b.id, &records, &mut height, &mut total_work);
+        }
+        // Main chain: the heaviest block wins; among equal weights the greater height
+        // wins (this is how Bitcoin-NG microblocks extend the chain without adding
+        // weight); remaining ties go to the earlier creation time, then the id.
+        let mut best = log.genesis;
+        let mut best_key = (0.0f64, 0u64, u64::MAX, log.genesis);
+        for b in &log.blocks {
+            let key = (total_work[&b.id], height[&b.id], b.created_ms, b.id);
+            let better = key.0 > best_key.0
+                || (key.0 == best_key.0 && key.1 > best_key.1)
+                || (key.0 == best_key.0 && key.1 == best_key.1 && key.2 < best_key.2)
+                || (key.0 == best_key.0
+                    && key.1 == best_key.1
+                    && key.2 == best_key.2
+                    && key.3 > best_key.3);
+            if better {
+                best = b.id;
+                best_key = key;
+            }
+        }
+        let mut main_chain = Vec::new();
+        let mut cursor = best;
+        loop {
+            main_chain.push(cursor);
+            if cursor == log.genesis {
+                break;
+            }
+            match records.get(&cursor) {
+                Some(r) => cursor = r.parent,
+                None => break,
+            }
+        }
+        main_chain.reverse();
+        let mut on_main_chain: HashMap<Hash256, bool> = HashMap::new();
+        for b in &log.blocks {
+            on_main_chain.insert(b.id, false);
+        }
+        for id in &main_chain {
+            on_main_chain.insert(*id, true);
+        }
+        ChainIndex {
+            records,
+            height,
+            total_work,
+            main_chain,
+            on_main_chain,
+            genesis: log.genesis,
+        }
+    }
+
+    /// The block record, if the id is not the genesis.
+    pub fn record(&self, id: &Hash256) -> Option<&BlockRecord> {
+        self.records.get(id)
+    }
+
+    /// Height of a block (genesis = 0).
+    pub fn height(&self, id: &Hash256) -> Option<u64> {
+        self.height.get(id).copied()
+    }
+
+    /// Cumulative proof-of-work weight from genesis to the block.
+    pub fn total_work(&self, id: &Hash256) -> Option<f64> {
+        self.total_work.get(id).copied()
+    }
+
+    /// The main chain, genesis first.
+    pub fn main_chain(&self) -> &[Hash256] {
+        &self.main_chain
+    }
+
+    /// True if the block ended up on the main chain.
+    pub fn is_on_main_chain(&self, id: &Hash256) -> bool {
+        self.on_main_chain.get(id).copied().unwrap_or(*id == self.genesis)
+    }
+
+    /// The genesis id.
+    pub fn genesis(&self) -> Hash256 {
+        self.genesis
+    }
+
+    /// Walks from `id` towards genesis and returns true if `ancestor` is encountered.
+    pub fn has_ancestor(&self, id: &Hash256, ancestor: &Hash256) -> bool {
+        let mut cursor = *id;
+        loop {
+            if cursor == *ancestor {
+                return true;
+            }
+            match self.records.get(&cursor) {
+                Some(r) => cursor = r.parent,
+                None => return cursor == *ancestor,
+            }
+        }
+    }
+
+    /// Ids of all blocks not on the main chain (pruned blocks).
+    pub fn pruned_blocks(&self) -> Vec<Hash256> {
+        self.records
+            .keys()
+            .filter(|id| !self.is_on_main_chain(id))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_crypto::sha256::sha256;
+
+    fn h(label: &str) -> Hash256 {
+        sha256(label.as_bytes())
+    }
+
+    fn record(label: &str, parent: Hash256, miner: u64, t: u64, work: f64) -> BlockRecord {
+        BlockRecord {
+            id: h(label),
+            parent,
+            miner,
+            created_ms: t,
+            work,
+            tx_count: 10,
+            size_bytes: 1000,
+            is_pow: work > 0.0,
+        }
+    }
+
+    /// Builds the log used by several tests:
+    /// genesis ← a1 ← a2 (main chain, miner 1)
+    ///        ↖ b1      (pruned, miner 2)
+    fn sample_log() -> ExperimentLog {
+        let genesis = h("genesis");
+        let mut log = ExperimentLog::new(genesis, 3, vec![0.5, 0.3, 0.2]);
+        log.record_block(record("a1", genesis, 1, 1_000, 1.0));
+        log.record_block(record("a2", h("a1"), 1, 2_000, 1.0));
+        log.record_block(record("b1", genesis, 2, 1_100, 1.0));
+        for node in 0..3u64 {
+            log.record_receipt(node, h("a1"), 1_000 + node * 100);
+            log.record_receipt(node, h("a2"), 2_000 + node * 100);
+            log.record_receipt(node, h("b1"), 1_100 + node * 100);
+        }
+        log.duration_ms = 3_000;
+        log
+    }
+
+    #[test]
+    fn index_heights_and_work() {
+        let log = sample_log();
+        let index = log.index();
+        assert_eq!(index.height(&h("a2")), Some(2));
+        assert_eq!(index.height(&h("b1")), Some(1));
+        assert_eq!(index.total_work(&h("a2")), Some(2.0));
+        assert_eq!(index.total_work(&h("b1")), Some(1.0));
+    }
+
+    #[test]
+    fn main_chain_is_heaviest() {
+        let log = sample_log();
+        let index = log.index();
+        assert_eq!(index.main_chain(), &[h("genesis"), h("a1"), h("a2")]);
+        assert!(index.is_on_main_chain(&h("a1")));
+        assert!(!index.is_on_main_chain(&h("b1")));
+        assert_eq!(index.pruned_blocks(), vec![h("b1")]);
+    }
+
+    #[test]
+    fn ancestry_queries() {
+        let log = sample_log();
+        let index = log.index();
+        assert!(index.has_ancestor(&h("a2"), &h("a1")));
+        assert!(index.has_ancestor(&h("a2"), &h("genesis")));
+        assert!(!index.has_ancestor(&h("a2"), &h("b1")));
+        assert!(!index.has_ancestor(&h("b1"), &h("a1")));
+    }
+
+    #[test]
+    fn zero_work_blocks_do_not_add_weight() {
+        let genesis = h("genesis");
+        let mut log = ExperimentLog::new(genesis, 1, vec![1.0]);
+        log.record_block(record("k1", genesis, 1, 100, 1.0));
+        log.record_block(record("m1", h("k1"), 1, 200, 0.0));
+        log.record_block(record("m2", h("m1"), 1, 300, 0.0));
+        let index = log.index();
+        assert_eq!(index.total_work(&h("m2")), Some(1.0));
+        assert_eq!(index.height(&h("m2")), Some(3));
+        // The microblocks extend the main chain even with zero work because the chain
+        // index prefers the deepest block among equal-weight ones… the heaviest block
+        // is k1, m1, m2 all at weight 1.0; the tip ends up being the earliest-created
+        // equal-weight block's deepest descendant only if creation ordering places it
+        // so. Here we simply check all three are on the main chain.
+        assert!(index.is_on_main_chain(&h("m1")));
+        assert!(index.is_on_main_chain(&h("m2")));
+    }
+}

@@ -1,0 +1,120 @@
+//! Small statistics helpers: percentiles, means and summary triples used throughout
+//! the experiment harness (the paper reports 25th/50th/75th and 90th percentiles).
+
+use serde::{Deserialize, Serialize};
+
+/// Returns the `p`-th percentile (0.0–1.0) of the samples using nearest-rank
+/// interpolation. Returns `None` for an empty slice.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+/// 25th/50th/75th percentile summary, as plotted in Figures 6 and 7 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Quartiles {
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+}
+
+/// Computes the quartile summary of the samples; `None` if empty.
+pub fn quartiles(samples: &[f64]) -> Option<Quartiles> {
+    Some(Quartiles {
+        p25: percentile(samples, 0.25)?,
+        p50: percentile(samples, 0.50)?,
+        p75: percentile(samples, 0.75)?,
+    })
+}
+
+/// Min/mean/max summary with the raw sample count, used for the figure error bars
+/// ("The figures show the average value for each group of measurements with error bars
+/// marking the extreme values", §8).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Smallest sample.
+    pub min: f64,
+    /// Mean of the samples.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+/// Summarises a set of samples; `None` if empty.
+pub fn summarize(samples: &[f64]) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some(Summary {
+        min,
+        mean: mean(samples)?,
+        max,
+        count: samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let data: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 1.0), Some(100.0));
+        let p90 = percentile(&data, 0.9).unwrap();
+        assert!((89.0..=91.0).contains(&p90));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let data = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&data, 0.5), Some(3.0));
+    }
+
+    #[test]
+    fn quartiles_ordered() {
+        let data: Vec<f64> = (0..1000).map(|x| (x % 97) as f64).collect();
+        let q = quartiles(&data).unwrap();
+        assert!(q.p25 <= q.p50 && q.p50 <= q.p75);
+    }
+
+    #[test]
+    fn summary_bounds() {
+        let data = vec![2.0, 4.0, 6.0];
+        let s = summarize(&data).unwrap();
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.count, 3);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_percentile_panics() {
+        percentile(&[1.0], 1.5);
+    }
+}

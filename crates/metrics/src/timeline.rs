@@ -1,0 +1,142 @@
+//! Per-node main-chain timelines.
+//!
+//! Several metrics need to know which chain a node believed in at a given time (e.g.
+//! the point-consensus delay of Figure 4). The timeline replays each node's block
+//! receipts in order and records every change of that node's best tip, using the same
+//! selection key as the protocols: most cumulative work, then greatest height, then
+//! first-seen.
+
+use crate::log::{ChainIndex, ExperimentLog};
+use ng_crypto::sha256::Hash256;
+use std::collections::HashMap;
+
+/// A node's best-tip history: `(time_ms, tip)` entries, sorted by time, recorded each
+/// time the tip changes.
+#[derive(Clone, Debug, Default)]
+pub struct TipTimeline {
+    changes: Vec<(u64, Hash256)>,
+}
+
+impl TipTimeline {
+    /// The node's tip at `time_ms` (the latest change at or before that time), or the
+    /// genesis if the node had received nothing yet.
+    pub fn tip_at(&self, time_ms: u64, genesis: Hash256) -> Hash256 {
+        match self.changes.partition_point(|(t, _)| *t <= time_ms) {
+            0 => genesis,
+            n => self.changes[n - 1].1,
+        }
+    }
+
+    /// Every recorded change.
+    pub fn changes(&self) -> &[(u64, Hash256)] {
+        &self.changes
+    }
+}
+
+/// Builds the tip timeline of every node from the experiment log.
+pub fn build_timelines(log: &ExperimentLog, index: &ChainIndex) -> HashMap<u64, TipTimeline> {
+    // Group receipts per node and sort by time.
+    let mut per_node: HashMap<u64, Vec<(u64, Hash256)>> = HashMap::new();
+    for r in &log.receipts {
+        per_node
+            .entry(r.node)
+            .or_default()
+            .push((r.received_ms, r.block));
+    }
+    let mut timelines = HashMap::new();
+    for (node, mut receipts) in per_node {
+        receipts.sort_by_key(|(t, _)| *t);
+        let mut timeline = TipTimeline::default();
+        let mut best = log.genesis;
+        let mut best_key = (0.0f64, 0u64);
+        for (t, block) in receipts {
+            let work = index.total_work(&block).unwrap_or(0.0);
+            let height = index.height(&block).unwrap_or(0);
+            let key = (work, height);
+            // A block displaces the current tip if it carries strictly more work, or if
+            // it is a strict descendant of the current tip (zero-work microblocks
+            // advance the leader's chain). Equal-weight competing branches keep the
+            // first-seen tip, matching the operational client.
+            let advances = block != best && index.has_ancestor(&block, &best);
+            if advances || key.0 > best_key.0 {
+                best = block;
+                best_key = key;
+                timeline.changes.push((t, best));
+            }
+        }
+        timelines.insert(node, timeline);
+    }
+    timelines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::BlockRecord;
+    use ng_crypto::sha256::sha256;
+
+    fn h(label: &str) -> Hash256 {
+        sha256(label.as_bytes())
+    }
+
+    fn record(label: &str, parent: Hash256, t: u64, work: f64) -> BlockRecord {
+        BlockRecord {
+            id: h(label),
+            parent,
+            miner: 0,
+            created_ms: t,
+            work,
+            tx_count: 0,
+            size_bytes: 100,
+            is_pow: work > 0.0,
+        }
+    }
+
+    #[test]
+    fn timeline_tracks_receipts_in_order() {
+        let genesis = h("g");
+        let mut log = ExperimentLog::new(genesis, 1, vec![1.0]);
+        log.record_block(record("a", genesis, 100, 1.0));
+        log.record_block(record("b", h("a"), 200, 1.0));
+        log.record_receipt(0, h("a"), 150);
+        log.record_receipt(0, h("b"), 250);
+        let index = log.index();
+        let timelines = build_timelines(&log, &index);
+        let tl = &timelines[&0];
+        assert_eq!(tl.tip_at(100, genesis), genesis);
+        assert_eq!(tl.tip_at(150, genesis), h("a"));
+        assert_eq!(tl.tip_at(260, genesis), h("b"));
+    }
+
+    #[test]
+    fn heavier_fork_displaces_lighter_one() {
+        let genesis = h("g");
+        let mut log = ExperimentLog::new(genesis, 1, vec![1.0]);
+        log.record_block(record("a", genesis, 100, 1.0));
+        log.record_block(record("b1", genesis, 110, 1.0));
+        log.record_block(record("b2", h("b1"), 210, 1.0));
+        log.record_receipt(0, h("a"), 150);
+        log.record_receipt(0, h("b1"), 160);
+        log.record_receipt(0, h("b2"), 260);
+        let index = log.index();
+        let timelines = build_timelines(&log, &index);
+        let tl = &timelines[&0];
+        // First-seen keeps `a` over the equally heavy `b1`.
+        assert_eq!(tl.tip_at(200, genesis), h("a"));
+        // The heavier b2 wins.
+        assert_eq!(tl.tip_at(300, genesis), h("b2"));
+    }
+
+    #[test]
+    fn zero_work_descendants_advance_the_tip() {
+        let genesis = h("g");
+        let mut log = ExperimentLog::new(genesis, 1, vec![1.0]);
+        log.record_block(record("k", genesis, 100, 1.0));
+        log.record_block(record("m", h("k"), 150, 0.0));
+        log.record_receipt(0, h("k"), 110);
+        log.record_receipt(0, h("m"), 160);
+        let index = log.index();
+        let timelines = build_timelines(&log, &index);
+        assert_eq!(timelines[&0].tip_at(200, genesis), h("m"));
+    }
+}

@@ -1,0 +1,279 @@
+//! The node-level gossip relay.
+//!
+//! The relay decides, protocol-style, what to send to which peer when an object first
+//! becomes known: announce it (`inv`) to every ready peer that does not already know
+//! it, answer `getdata` with the object itself, and request announced objects from the
+//! first peer that offered them. It is transport-agnostic — the caller moves
+//! [`Message`]s to and from actual connections (or the test harness' in-memory queues).
+
+use crate::message::{InvItem, Message};
+use crate::peer::{Peer, PeerAction};
+use ng_crypto::sha256::Hash256;
+use std::collections::HashMap;
+
+/// A routing decision of the relay: send `message` to peer `to`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GossipAction {
+    /// Destination peer id (the relay's key for the connection).
+    pub to: u64,
+    /// The message to send.
+    pub message: Message,
+}
+
+/// The relay state: connections plus the object store of everything seen so far.
+#[derive(Debug, Default)]
+pub struct GossipRelay {
+    peers: HashMap<u64, Peer>,
+    /// Objects this node can serve, keyed by id.
+    objects: HashMap<Hash256, Message>,
+}
+
+impl GossipRelay {
+    /// Creates an empty relay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a connection (after its handshake is driven by the caller).
+    pub fn add_peer(&mut self, peer_key: u64, peer: Peer) {
+        self.peers.insert(peer_key, peer);
+    }
+
+    /// Removes a connection.
+    pub fn remove_peer(&mut self, peer_key: u64) -> Option<Peer> {
+        self.peers.remove(&peer_key)
+    }
+
+    /// Number of registered connections.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True if the relay already holds the object.
+    pub fn has_object(&self, id: &Hash256) -> bool {
+        self.objects.contains_key(id)
+    }
+
+    /// Access to a stored object (for serving `getdata` out of band).
+    pub fn object(&self, id: &Hash256) -> Option<&Message> {
+        self.objects.get(id)
+    }
+
+    /// Called when the local node learns a new object (it mined/produced it, or a peer
+    /// delivered it and validation succeeded). Stores the object and returns the `inv`
+    /// announcements to send to every other ready peer that does not know it yet.
+    pub fn announce(&mut self, carrier: Message, from_peer: Option<u64>) -> Vec<GossipAction> {
+        let Some(inv) = carrier.carried_inventory() else {
+            return Vec::new();
+        };
+        self.objects.insert(inv.id, carrier);
+        // The peer that delivered the object obviously has it already.
+        if let Some(source) = from_peer {
+            if let Some(peer) = self.peers.get_mut(&source) {
+                peer.mark_known(inv.id);
+            }
+        }
+        let mut actions = Vec::new();
+        let mut peer_keys: Vec<u64> = self.peers.keys().copied().collect();
+        peer_keys.sort_unstable();
+        for key in peer_keys {
+            if Some(key) == from_peer {
+                continue;
+            }
+            let peer = self.peers.get_mut(&key).expect("key from map");
+            if !peer.is_ready() || peer.knows(&inv.id) {
+                continue;
+            }
+            peer.mark_known(inv.id);
+            actions.push(GossipAction {
+                to: key,
+                message: Message::Inv(vec![inv]),
+            });
+        }
+        actions
+    }
+
+    /// Called with the [`PeerAction`]s produced by one peer's state machine for an
+    /// incoming message. Translates them into routed messages:
+    ///
+    /// * announcements of unknown objects → `getdata` back to that peer;
+    /// * announcements of objects we hold (i.e. `getdata` requests) → send the object;
+    /// * deliveries → returned to the caller for validation (the caller then calls
+    ///   [`Self::announce`] to relay validated objects further).
+    pub fn route(&mut self, peer_key: u64, actions: Vec<PeerAction>) -> (Vec<GossipAction>, Vec<Message>) {
+        let mut outgoing = Vec::new();
+        let mut delivered = Vec::new();
+        for action in actions {
+            match action {
+                PeerAction::Send(message) => outgoing.push(GossipAction {
+                    to: peer_key,
+                    message,
+                }),
+                PeerAction::Announced(item) => {
+                    if let Some(object) = self.objects.get(&item.id) {
+                        // The peer asked for (or re-announced) something we hold: serve it.
+                        if let Some(peer) = self.peers.get_mut(&peer_key) {
+                            peer.mark_known(item.id);
+                        }
+                        outgoing.push(GossipAction {
+                            to: peer_key,
+                            message: object.clone(),
+                        });
+                    } else if let Some(peer) = self.peers.get_mut(&peer_key) {
+                        // Unknown object announced: request it from that peer.
+                        if let Some(request) = peer.request(&[item]) {
+                            outgoing.push(GossipAction {
+                                to: peer_key,
+                                message: request,
+                            });
+                        }
+                    }
+                }
+                PeerAction::Deliver(message) => delivered.push(message),
+                PeerAction::HandshakeComplete { .. } | PeerAction::Disconnect(_) => {}
+            }
+        }
+        (outgoing, delivered)
+    }
+
+    /// Mutable access to a registered peer (driving handshakes, pings, ...).
+    pub fn peer_mut(&mut self, peer_key: u64) -> Option<&mut Peer> {
+        self.peers.get_mut(&peer_key)
+    }
+
+    /// Items this node would still need to fetch out of the given announcement list.
+    pub fn unknown_items<'a>(&self, items: &'a [InvItem]) -> Vec<&'a InvItem> {
+        items.iter().filter(|i| !self.has_object(&i.id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{InvKind, ProtocolKind};
+    use crate::peer::Peer;
+    use ng_core::params::NgParams;
+    use ng_core::NgNode;
+
+    /// Builds a relay with `n` ready peers keyed 0..n.
+    fn relay_with_ready_peers(n: u64) -> GossipRelay {
+        let mut relay = GossipRelay::new();
+        for key in 0..n {
+            // Drive a minimal handshake so the peer is Ready.
+            let (mut local, hello) = Peer::outbound(100, ProtocolKind::BitcoinNg, 0, 0);
+            let mut remote = Peer::inbound(key, ProtocolKind::BitcoinNg);
+            let actions = remote.on_message(hello, 0, 0);
+            for action in actions {
+                if let PeerAction::Send(msg) = action {
+                    for back in local.on_message(msg, 0, 0) {
+                        if let PeerAction::Send(msg) = back {
+                            remote.on_message(msg, 0, 0);
+                        }
+                    }
+                }
+            }
+            assert!(local.is_ready());
+            relay.add_peer(key, local);
+        }
+        relay
+    }
+
+    fn key_block_message() -> Message {
+        let mut node = NgNode::new(1, NgParams::default(), 1);
+        Message::KeyBlock(Box::new(node.mine_and_adopt_key_block(1_000)))
+    }
+
+    #[test]
+    fn new_objects_announced_to_all_peers_except_source() {
+        let mut relay = relay_with_ready_peers(4);
+        let carrier = key_block_message();
+        let actions = relay.announce(carrier.clone(), Some(2));
+        let destinations: Vec<u64> = actions.iter().map(|a| a.to).collect();
+        assert_eq!(destinations, vec![0, 1, 3]);
+        for action in &actions {
+            assert!(matches!(action.message, Message::Inv(_)));
+        }
+        // Announcing the same object again sends nothing (peers already know it).
+        assert!(relay.announce(carrier, None).is_empty());
+    }
+
+    #[test]
+    fn announcement_of_unknown_object_triggers_getdata() {
+        let mut relay = relay_with_ready_peers(1);
+        let carrier = key_block_message();
+        let inv = carrier.carried_inventory().unwrap();
+        // Peer 0 announces an object the relay does not have.
+        let peer_actions = vec![PeerAction::Announced(inv)];
+        let (outgoing, delivered) = relay.route(0, peer_actions);
+        assert!(delivered.is_empty());
+        assert_eq!(outgoing.len(), 1);
+        assert_eq!(outgoing[0].to, 0);
+        assert_eq!(outgoing[0].message, Message::GetData(vec![inv]));
+    }
+
+    #[test]
+    fn getdata_served_from_the_object_store() {
+        let mut relay = relay_with_ready_peers(2);
+        let carrier = key_block_message();
+        let inv = carrier.carried_inventory().unwrap();
+        relay.announce(carrier.clone(), None);
+        // Peer 1 requests it.
+        let (outgoing, _) = relay.route(1, vec![PeerAction::Announced(inv)]);
+        assert_eq!(outgoing.len(), 1);
+        assert_eq!(outgoing[0].to, 1);
+        assert_eq!(outgoing[0].message, carrier);
+    }
+
+    #[test]
+    fn deliveries_surface_to_the_caller() {
+        let mut relay = relay_with_ready_peers(1);
+        let carrier = key_block_message();
+        let (outgoing, delivered) = relay.route(0, vec![PeerAction::Deliver(carrier.clone())]);
+        assert!(outgoing.is_empty());
+        assert_eq!(delivered, vec![carrier]);
+    }
+
+    #[test]
+    fn full_propagation_over_a_line_of_relays() {
+        // node A mines a key block; it propagates A → B → C through inv/getdata.
+        let params = NgParams::default();
+        let mut miner = NgNode::new(1, params, 1);
+        let kb = miner.mine_and_adopt_key_block(1_000);
+        let carrier = Message::KeyBlock(Box::new(kb.clone()));
+        let inv = carrier.carried_inventory().unwrap();
+
+        let mut relay_a = relay_with_ready_peers(1); // A connected to B (key 0)
+        let mut relay_b = relay_with_ready_peers(2); // B connected to A (0) and C (1)
+
+        // A learns the block (it mined it) and announces to B.
+        let a_out = relay_a.announce(carrier.clone(), None);
+        assert_eq!(a_out.len(), 1);
+
+        // B's peer state machine sees the inv, relay routes it into a getdata.
+        let (b_out, _) = relay_b.route(0, vec![PeerAction::Announced(inv)]);
+        assert_eq!(b_out[0].message, Message::GetData(vec![inv]));
+
+        // A serves the getdata.
+        let (a_serve, _) = relay_a.route(0, vec![PeerAction::Announced(inv)]);
+        assert_eq!(a_serve[0].message, carrier);
+
+        // B receives the delivery, validates it (a real node would), then announces to C.
+        let (_, delivered) = relay_b.route(0, vec![PeerAction::Deliver(carrier.clone())]);
+        assert_eq!(delivered.len(), 1);
+        let b_announce = relay_b.announce(carrier.clone(), Some(0));
+        assert_eq!(b_announce.len(), 1);
+        assert_eq!(b_announce[0].to, 1, "forwarded to C, not back to A");
+    }
+
+    #[test]
+    fn unknown_items_filter() {
+        let mut relay = relay_with_ready_peers(1);
+        let carrier = key_block_message();
+        let inv = carrier.carried_inventory().unwrap();
+        relay.announce(carrier, None);
+        let other = InvItem::new(InvKind::Transaction, ng_crypto::sha256::sha256(b"tx"));
+        let items = [inv, other];
+        let unknown = relay.unknown_items(&items);
+        assert_eq!(unknown, vec![&other]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ng-net
+//!
+//! The peer-to-peer overlay substrate of the reproduction. The paper runs unchanged
+//! Bitcoin clients over a real overlay network (§7); this crate provides the pieces a
+//! deployable Bitcoin-NG node needs to do the same: a wire format, length-delimited
+//! framing with checksums, a per-peer protocol state machine with the Bitcoin-style
+//! `inv`/`getdata` exchange, a gossip relay that floods blocks over the overlay exactly
+//! once per peer, and a minimal threaded TCP transport for running real sockets in
+//! examples and tests.
+//!
+//! * [`message`] — the wire messages (version handshake, inventory, block and
+//!   transaction carriers, keepalives).
+//! * [`codec`] — frame encoding/decoding over [`bytes::BytesMut`] with checksums and
+//!   size limits.
+//! * [`peer`] — the per-connection state machine (handshake, inventory bookkeeping).
+//! * [`gossip`] — the node-level relay: what to send to whom when a block or
+//!   transaction first becomes known.
+//! * [`tcp`] — a small blocking TCP transport (std::net + threads) used by the
+//!   examples; the discrete-event simulator in `ng-sim` is used for large-scale runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod gossip;
+pub mod message;
+pub mod peer;
+pub mod tcp;
+
+pub use codec::{CodecError, FrameCodec};
+pub use gossip::{GossipAction, GossipRelay};
+pub use message::{InvItem, InvKind, Message, ProtocolKind};
+pub use peer::{Peer, PeerAction, PeerError, PeerState};
+pub use tcp::{TcpEndpoint, TcpEvent};

@@ -1,0 +1,187 @@
+//! Wire messages of the overlay protocol.
+//!
+//! The vocabulary mirrors the Bitcoin peer-to-peer protocol the paper's testbed runs
+//! (version handshake, `inv` announcements, `getdata` requests, block and transaction
+//! carriers) extended with Bitcoin-NG's two block types. Message bodies are serialized
+//! with serde; framing, checksums and size limits live in [`crate::codec`].
+
+use ng_baseline::btc_block::BtcBlock;
+use ng_chain::transaction::Transaction;
+use ng_core::block::{KeyBlock, MicroBlock};
+use ng_crypto::sha256::Hash256;
+use serde::{Deserialize, Serialize};
+
+/// Which chain flavour a peer speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// The Bitcoin baseline.
+    Bitcoin,
+    /// Bitcoin-NG (key blocks + microblocks).
+    BitcoinNg,
+}
+
+/// What kind of object an inventory entry announces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InvKind {
+    /// A Bitcoin block.
+    Block,
+    /// A Bitcoin-NG key block.
+    KeyBlock,
+    /// A Bitcoin-NG microblock.
+    MicroBlock,
+    /// A transaction.
+    Transaction,
+}
+
+/// One entry of an `inv` or `getdata` message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InvItem {
+    /// Object kind.
+    pub kind: InvKind,
+    /// Object id (block id or txid).
+    pub id: Hash256,
+}
+
+impl InvItem {
+    /// Convenience constructor.
+    pub fn new(kind: InvKind, id: Hash256) -> Self {
+        InvItem { kind, id }
+    }
+}
+
+/// A message exchanged between two peers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Handshake: introduces the sender.
+    Version {
+        /// The sender's stable node id.
+        node_id: u64,
+        /// Which protocol flavour the sender runs.
+        protocol: ProtocolKind,
+        /// Height of the sender's best chain.
+        best_height: u64,
+        /// Sender's clock in milliseconds (lets peers estimate offset).
+        time_ms: u64,
+    },
+    /// Handshake acknowledgement.
+    Verack,
+    /// Announcement of objects the sender has.
+    Inv(Vec<InvItem>),
+    /// Request for announced objects the receiver does not have.
+    GetData(Vec<InvItem>),
+    /// A Bitcoin block.
+    Block(Box<BtcBlock>),
+    /// A Bitcoin-NG key block.
+    KeyBlock(Box<KeyBlock>),
+    /// A Bitcoin-NG microblock.
+    MicroBlock(Box<MicroBlock>),
+    /// A transaction.
+    Tx(Box<Transaction>),
+    /// Keepalive probe.
+    Ping(u64),
+    /// Keepalive response (echoes the probe nonce).
+    Pong(u64),
+}
+
+impl Message {
+    /// Short command name (diagnostics and per-command accounting).
+    pub fn command(&self) -> &'static str {
+        match self {
+            Message::Version { .. } => "version",
+            Message::Verack => "verack",
+            Message::Inv(_) => "inv",
+            Message::GetData(_) => "getdata",
+            Message::Block(_) => "block",
+            Message::KeyBlock(_) => "keyblock",
+            Message::MicroBlock(_) => "microblock",
+            Message::Tx(_) => "tx",
+            Message::Ping(_) => "ping",
+            Message::Pong(_) => "pong",
+        }
+    }
+
+    /// The inventory item describing the object this message carries, if any.
+    pub fn carried_inventory(&self) -> Option<InvItem> {
+        match self {
+            Message::Block(b) => Some(InvItem::new(InvKind::Block, b.id())),
+            Message::KeyBlock(k) => Some(InvItem::new(InvKind::KeyBlock, k.id())),
+            Message::MicroBlock(m) => Some(InvItem::new(InvKind::MicroBlock, m.id())),
+            Message::Tx(t) => Some(InvItem::new(InvKind::Transaction, t.txid())),
+            _ => None,
+        }
+    }
+
+    /// True for the two handshake messages.
+    pub fn is_handshake(&self) -> bool {
+        matches!(self, Message::Version { .. } | Message::Verack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_chain::payload::Payload;
+    use ng_core::params::NgParams;
+    use ng_core::NgNode;
+    use ng_crypto::sha256::sha256;
+
+    #[test]
+    fn commands_are_stable() {
+        assert_eq!(Message::Verack.command(), "verack");
+        assert_eq!(Message::Ping(1).command(), "ping");
+        assert_eq!(Message::Inv(vec![]).command(), "inv");
+    }
+
+    #[test]
+    fn carried_inventory_matches_object_ids() {
+        let mut node = NgNode::new(1, NgParams::default(), 1);
+        let kb = node.mine_and_adopt_key_block(1_000);
+        let msg = Message::KeyBlock(Box::new(kb.clone()));
+        let inv = msg.carried_inventory().unwrap();
+        assert_eq!(inv.kind, InvKind::KeyBlock);
+        assert_eq!(inv.id, kb.id());
+
+        let micro = node
+            .produce_microblock(20_000, Payload::empty())
+            .expect("leader");
+        let msg = Message::MicroBlock(Box::new(micro.clone()));
+        assert_eq!(msg.carried_inventory().unwrap().id, micro.id());
+
+        assert_eq!(Message::Verack.carried_inventory(), None);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_messages() {
+        let messages = vec![
+            Message::Version {
+                node_id: 7,
+                protocol: ProtocolKind::BitcoinNg,
+                best_height: 42,
+                time_ms: 123_456,
+            },
+            Message::Verack,
+            Message::Inv(vec![InvItem::new(InvKind::KeyBlock, sha256(b"a"))]),
+            Message::GetData(vec![InvItem::new(InvKind::MicroBlock, sha256(b"b"))]),
+            Message::Ping(99),
+            Message::Pong(99),
+        ];
+        for msg in messages {
+            let encoded = serde_json::to_vec(&msg).unwrap();
+            let decoded: Message = serde_json::from_slice(&encoded).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn handshake_classification() {
+        assert!(Message::Verack.is_handshake());
+        assert!(Message::Version {
+            node_id: 1,
+            protocol: ProtocolKind::Bitcoin,
+            best_height: 0,
+            time_ms: 0
+        }
+        .is_handshake());
+        assert!(!Message::Ping(0).is_handshake());
+    }
+}

@@ -1,0 +1,170 @@
+//! Experiment configuration.
+//!
+//! The defaults mirror the paper's setup (§7): 1000 nodes, each connected to at least
+//! 5 random peers, ~100 kbit/s bandwidth between each pair, latencies drawn from a
+//! measured histogram, mining power following an exponential distribution with exponent
+//! −0.27, and mempools pre-filled with identical independent transactions.
+
+use ng_core::params::NgParams;
+use serde::{Deserialize, Serialize};
+
+/// Which protocol an experiment runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// The Bitcoin baseline (heaviest chain).
+    Bitcoin,
+    /// The GHOST baseline (subtree rule, all blocks propagated).
+    Ghost,
+    /// Bitcoin-NG.
+    BitcoinNg,
+}
+
+/// Full configuration of one simulated execution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Number of nodes (the paper uses 1000, ~15% of the operational network).
+    pub nodes: usize,
+    /// Minimum out-degree of the random topology (paper: 5).
+    pub min_degree: usize,
+    /// Per-link bandwidth in bits per second (paper: ~100 kbit/s per pair).
+    pub bandwidth_bps: f64,
+    /// Scale factor applied to the latency histogram (1.0 = measured-like latencies).
+    pub latency_scale: f64,
+    /// Average interval between proof-of-work blocks in milliseconds
+    /// (Bitcoin blocks, or Bitcoin-NG key blocks).
+    pub pow_interval_ms: u64,
+    /// Serialized payload size of a Bitcoin block in bytes (ignored by Bitcoin-NG).
+    pub block_size_bytes: u64,
+    /// Bitcoin-NG parameters (microblock interval/size etc.).
+    pub ng: NgParams,
+    /// Bytes per synthetic transaction ("transactions are of identical size", §7).
+    pub tx_size_bytes: u64,
+    /// Fee paid by each synthetic transaction, in base units.
+    pub tx_fee_sats: u64,
+    /// Number of proof-of-work blocks to run for ("we run for 50–100 Bitcoin blocks or
+    /// Bitcoin-NG microblocks", §8). The run stops once this many PoW blocks exist.
+    pub target_pow_blocks: u64,
+    /// For Bitcoin-NG, stop after this many microblocks instead (if non-zero).
+    pub target_microblocks: u64,
+    /// Exponent of the mining-power distribution (paper fit: −0.27).
+    pub mining_power_exponent: f64,
+    /// Random seed controlling every stochastic choice in the run.
+    pub seed: u64,
+    /// Safety cap on virtual time in milliseconds (0 disables the cap). Runs normally
+    /// finish well before this; the cap guarantees termination for configurations whose
+    /// block target is unreachable (e.g. a microblock size limit too small to carry any
+    /// payload).
+    pub max_sim_time_ms: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            protocol: Protocol::Bitcoin,
+            nodes: 1000,
+            min_degree: 5,
+            bandwidth_bps: 100_000.0,
+            latency_scale: 1.0,
+            pow_interval_ms: 600_000,
+            block_size_bytes: 1_000_000,
+            ng: NgParams::default(),
+            tx_size_bytes: 250,
+            tx_fee_sats: 1_000,
+            target_pow_blocks: 50,
+            target_microblocks: 0,
+            mining_power_exponent: -0.27,
+            seed: 1,
+            // Two virtual days: ample for 100 ten-minute blocks, finite for broken
+            // configurations.
+            max_sim_time_ms: 48 * 3600 * 1000,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A small configuration suitable for unit/integration tests (tens of nodes).
+    pub fn small_test(protocol: Protocol) -> Self {
+        ExperimentConfig {
+            protocol,
+            nodes: 30,
+            min_degree: 4,
+            pow_interval_ms: 10_000,
+            block_size_bytes: 20_000,
+            target_pow_blocks: 20,
+            target_microblocks: 40,
+            ng: NgParams {
+                key_block_interval_ms: 20_000,
+                microblock_interval_ms: 5_000,
+                max_microblock_bytes: 20_000,
+                verify_microblock_signatures: false,
+                min_microblock_interval_ms: 10,
+                ..NgParams::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Transactions represented by a payload of `bytes` bytes.
+    pub fn txs_for_bytes(&self, bytes: u64) -> u64 {
+        bytes / self.tx_size_bytes.max(1)
+    }
+
+    /// Basic sanity validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 2 {
+            return Err("need at least two nodes".into());
+        }
+        if self.min_degree == 0 || self.min_degree >= self.nodes {
+            return Err("min_degree must be in [1, nodes)".into());
+        }
+        if self.bandwidth_bps <= 0.0 {
+            return Err("bandwidth must be positive".into());
+        }
+        if self.pow_interval_ms == 0 {
+            return Err("pow interval must be positive".into());
+        }
+        self.ng.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.nodes, 1000);
+        assert_eq!(c.min_degree, 5);
+        assert_eq!(c.bandwidth_bps, 100_000.0);
+        assert_eq!(c.mining_power_exponent, -0.27);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        assert!(ExperimentConfig::small_test(Protocol::Bitcoin).validate().is_ok());
+        assert!(ExperimentConfig::small_test(Protocol::BitcoinNg).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = ExperimentConfig::default();
+        c.nodes = 1;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::default();
+        c.min_degree = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::default();
+        c.bandwidth_bps = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn tx_count_derived_from_size() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.txs_for_bytes(1_000_000), 4_000);
+    }
+}

@@ -1,0 +1,188 @@
+//! The discrete-event engine: a virtual clock and a priority queue of timestamped
+//! events. Determinism is guaranteed by breaking time ties with a monotonically
+//! increasing sequence number.
+
+use ng_crypto::sha256::Hash256;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events processed by the simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A block (referenced by id, held in the runner's block table) arrives at a node.
+    BlockDelivery {
+        /// Destination node.
+        to: u64,
+        /// Node that forwarded the block.
+        from: u64,
+        /// The block being delivered.
+        block: Hash256,
+    },
+    /// The mining scheduler decided that a miner finds a proof-of-work block now.
+    MiningSuccess {
+        /// The lucky miner.
+        miner: u64,
+    },
+    /// A Bitcoin-NG leader's microblock timer fires.
+    MicroblockTimer {
+        /// The (presumed) leader.
+        leader: u64,
+    },
+}
+
+/// A scheduled event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Scheduled {
+    time_ms: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest event pops first.
+        other
+            .time_ms
+            .cmp(&self.time_ms)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue plus virtual clock.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    now_ms: u64,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire `delay_ms` from now.
+    pub fn schedule_in(&mut self, delay_ms: u64, event: Event) {
+        self.schedule_at(self.now_ms + delay_ms, event);
+    }
+
+    /// Schedules `event` at an absolute time (clamped to not run in the past).
+    pub fn schedule_at(&mut self, time_ms: u64, event: Event) {
+        let time_ms = time_ms.max(self.now_ms);
+        self.heap.push(Scheduled {
+            time_ms,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        let next = self.heap.pop()?;
+        debug_assert!(next.time_ms >= self.now_ms, "time must not run backwards");
+        self.now_ms = next.time_ms;
+        Some((next.time_ms, next.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_crypto::sha256::sha256;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(300, Event::MiningSuccess { miner: 3 });
+        q.schedule_at(100, Event::MiningSuccess { miner: 1 });
+        q.schedule_at(200, Event::MiningSuccess { miner: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::MiningSuccess { miner } => miner,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for miner in 0..10 {
+            q.schedule_at(500, Event::MiningSuccess { miner });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::MiningSuccess { miner } => miner,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(50, Event::MicroblockTimer { leader: 1 });
+        assert_eq!(q.now_ms(), 0);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 50);
+        assert_eq!(q.now_ms(), 50);
+        // Scheduling relative to the advanced clock.
+        q.schedule_in(25, Event::MicroblockTimer { leader: 1 });
+        assert_eq!(q.pop().unwrap().0, 75);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_is_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, Event::MiningSuccess { miner: 0 });
+        q.pop();
+        q.schedule_at(10, Event::MiningSuccess { miner: 1 });
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 100);
+    }
+
+    #[test]
+    fn delivery_event_round_trip() {
+        let mut q = EventQueue::new();
+        let block = sha256(b"block");
+        q.schedule_in(
+            10,
+            Event::BlockDelivery {
+                to: 1,
+                from: 2,
+                block,
+            },
+        );
+        match q.pop().unwrap().1 {
+            Event::BlockDelivery { to, from, block: b } => {
+                assert_eq!((to, from, b), (1, 2, block));
+            }
+            _ => panic!("wrong event"),
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # ng-sim
+//!
+//! Deterministic discrete-event network simulator reproducing the paper's 1000-node
+//! emulation testbed: topology, latency, bandwidth, gossip and the mining scheduler.
+//!
+//! * [`config`] — experiment configuration (protocol, sweep parameters, seed).
+//! * [`event`] — the discrete-event queue and virtual clock.
+//! * [`network`] — random ≥5-degree topology, latency histogram, bandwidth model.
+//! * [`power`] — the exponential mining-power distribution (exponent −0.27).
+//! * [`runner`] — drives full Bitcoin / GHOST / Bitcoin-NG nodes and emits an
+//!   [`ng_metrics::log::ExperimentLog`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod event;
+pub mod network;
+pub mod power;
+pub mod runner;
+
+pub use config::{ExperimentConfig, Protocol};
+pub use network::{LatencyModel, Network};
+pub use power::MiningPower;
+pub use runner::{run_experiment, Simulation};

@@ -1,0 +1,170 @@
+//! Mining-power distribution.
+//!
+//! "To model the size distribution of mining entities, we approximate it with an
+//! exponential distribution with an exponent of −0.27. It yields a 0.99 coefficient of
+//! determination compared with the medians of each rank." (§7)
+//!
+//! The same model regenerates Figure 6: weekly pool-share samples by rank, with the
+//! 25th/50th/75th percentile bars.
+
+use ng_crypto::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Mining power shares for a set of miners, normalised to sum to 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MiningPower {
+    shares: Vec<f64>,
+}
+
+impl MiningPower {
+    /// Builds the exponential rank model of the paper: miner at rank `r` (0-based) has
+    /// share proportional to `exp(exponent · r)` with `exponent = −0.27`.
+    pub fn exponential(miners: usize, exponent: f64) -> Self {
+        assert!(miners > 0);
+        let raw: Vec<f64> = (0..miners).map(|r| (exponent * r as f64).exp()).collect();
+        Self::from_raw(raw)
+    }
+
+    /// Equal mining power for every miner.
+    pub fn uniform(miners: usize) -> Self {
+        assert!(miners > 0);
+        Self::from_raw(vec![1.0; miners])
+    }
+
+    /// Builds from arbitrary non-negative weights.
+    pub fn from_raw(raw: Vec<f64>) -> Self {
+        let total: f64 = raw.iter().sum();
+        assert!(total > 0.0, "total mining power must be positive");
+        MiningPower {
+            shares: raw.into_iter().map(|w| w / total).collect(),
+        }
+    }
+
+    /// Number of miners.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// True if there are no miners (never the case for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// The share of miner `i`.
+    pub fn share(&self, i: usize) -> f64 {
+        self.shares[i]
+    }
+
+    /// All shares.
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// The largest miner's share (the quantity the fairness metric singles out).
+    pub fn largest_share(&self) -> f64 {
+        self.shares.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Samples the miner that finds the next block, proportionally to mining power
+    /// ("The probability of mining a block is proportional on average to the mining
+    /// power used", §7).
+    pub fn sample_miner(&self, rng: &mut SimRng) -> u64 {
+        rng.weighted_index(&self.shares) as u64
+    }
+}
+
+/// One synthetic "week" of pool shares by rank, for regenerating Figure 6.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WeeklyShares {
+    /// Shares by rank (rank 0 = largest pool of that week).
+    pub shares: Vec<f64>,
+}
+
+/// Generates `weeks` synthetic weekly share vectors of `ranks` pools each: each week
+/// perturbs the exponential rank model multiplicatively and re-sorts, reproducing the
+/// week-to-week variation visible in Figure 6.
+pub fn weekly_pool_shares(
+    weeks: usize,
+    ranks: usize,
+    exponent: f64,
+    rng: &mut SimRng,
+) -> Vec<WeeklyShares> {
+    (0..weeks)
+        .map(|_| {
+            let mut raw: Vec<f64> = (0..ranks)
+                .map(|r| (exponent * r as f64).exp() * rng.range_f64(0.7, 1.3))
+                .collect();
+            raw.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+            let total: f64 = raw.iter().sum();
+            WeeklyShares {
+                shares: raw.into_iter().map(|w| w / total).collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one_and_decay() {
+        let p = MiningPower::exponential(20, -0.27);
+        let total: f64 = p.shares().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for i in 1..20 {
+            assert!(p.share(i) < p.share(i - 1));
+            // Exponential decay ratio is constant.
+            let ratio = p.share(i) / p.share(i - 1);
+            assert!((ratio - (-0.27f64).exp()).abs() < 1e-9);
+        }
+        assert_eq!(p.largest_share(), p.share(0));
+    }
+
+    #[test]
+    fn largest_miner_share_matches_paper_scale() {
+        // With the paper's exponent and ~20 ranked entities the largest entity holds
+        // roughly a quarter of the power (Figure 6 tops out just above 25%).
+        let p = MiningPower::exponential(20, -0.27);
+        assert!((0.2..0.3).contains(&p.largest_share()), "{}", p.largest_share());
+    }
+
+    #[test]
+    fn uniform_distribution() {
+        let p = MiningPower::uniform(10);
+        for i in 0..10 {
+            assert!((p.share(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_power() {
+        let p = MiningPower::from_raw(vec![0.75, 0.25]);
+        let mut rng = SimRng::seed_from_u64(5);
+        let n = 100_000;
+        let zero = (0..n).filter(|_| p.sample_miner(&mut rng) == 0).count();
+        let frac = zero as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn weekly_shares_are_sorted_and_normalised() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let weeks = weekly_pool_shares(52, 20, -0.27, &mut rng);
+        assert_eq!(weeks.len(), 52);
+        for week in &weeks {
+            assert_eq!(week.shares.len(), 20);
+            let total: f64 = week.shares.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            for i in 1..week.shares.len() {
+                assert!(week.shares[i] <= week.shares[i - 1]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total mining power must be positive")]
+    fn zero_power_rejected() {
+        MiningPower::from_raw(vec![0.0, 0.0]);
+    }
+}

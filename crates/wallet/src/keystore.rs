@@ -1,0 +1,175 @@
+//! Deterministic key management.
+//!
+//! Keys are derived from a single wallet seed through a SHA-256 chain (a dependency-free
+//! stand-in for BIP-32 style derivation): child `i` is `H(seed ‖ "ng-wallet" ‖ i)`. The
+//! derivation is deterministic so a wallet can be reconstructed from its seed alone,
+//! which the tests rely on.
+
+use ng_crypto::keys::{Address, KeyPair};
+use ng_crypto::sha256::{sha256, Hash256};
+use std::collections::HashMap;
+
+/// A derived address together with its derivation index and optional label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalletAddress {
+    /// Derivation index of the backing key.
+    pub index: u32,
+    /// The address (hash of the public key).
+    pub address: Address,
+    /// Human-readable label ("change", "donations", ...).
+    pub label: Option<String>,
+}
+
+/// A deterministic keystore: derives, caches and looks up key pairs by index, address
+/// or label.
+#[derive(Clone, Debug)]
+pub struct Keystore {
+    seed: Hash256,
+    derived: Vec<WalletAddress>,
+    keys: HashMap<Address, KeyPair>,
+    labels: HashMap<String, Address>,
+    next_index: u32,
+}
+
+impl Keystore {
+    /// Creates a keystore from arbitrary seed bytes.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        Keystore {
+            seed: sha256(seed),
+            derived: Vec::new(),
+            keys: HashMap::new(),
+            labels: HashMap::new(),
+            next_index: 0,
+        }
+    }
+
+    /// Derives the key pair at a fixed index (without registering an address).
+    pub fn key_at(&self, index: u32) -> KeyPair {
+        let mut material = Vec::with_capacity(32 + 9 + 4);
+        material.extend_from_slice(self.seed.as_bytes());
+        material.extend_from_slice(b"ng-wallet");
+        material.extend_from_slice(&index.to_le_bytes());
+        KeyPair::from_seed(&material)
+    }
+
+    /// Derives the next unused address, optionally labelled.
+    pub fn new_address(&mut self, label: Option<&str>) -> WalletAddress {
+        let index = self.next_index;
+        self.next_index += 1;
+        let keys = self.key_at(index);
+        let address = keys.address();
+        let entry = WalletAddress {
+            index,
+            address,
+            label: label.map(str::to_owned),
+        };
+        self.derived.push(entry.clone());
+        self.keys.insert(address, keys);
+        if let Some(l) = label {
+            self.labels.insert(l.to_owned(), address);
+        }
+        entry
+    }
+
+    /// All derived addresses, in derivation order.
+    pub fn addresses(&self) -> &[WalletAddress] {
+        &self.derived
+    }
+
+    /// Number of derived addresses.
+    pub fn len(&self) -> usize {
+        self.derived.len()
+    }
+
+    /// True if no address has been derived yet.
+    pub fn is_empty(&self) -> bool {
+        self.derived.is_empty()
+    }
+
+    /// True if the address belongs to this wallet.
+    pub fn owns(&self, address: &Address) -> bool {
+        self.keys.contains_key(address)
+    }
+
+    /// The key pair controlling an owned address.
+    pub fn key_for(&self, address: &Address) -> Option<&KeyPair> {
+        self.keys.get(address)
+    }
+
+    /// Looks up an address by label.
+    pub fn address_by_label(&self, label: &str) -> Option<Address> {
+        self.labels.get(label).copied()
+    }
+
+    /// Recreates the first `count` addresses of a wallet from its seed (wallet
+    /// recovery). Labels are not part of the seed and are lost.
+    pub fn recover(seed: &[u8], count: u32) -> Self {
+        let mut ks = Keystore::from_seed(seed);
+        for _ in 0..count {
+            ks.new_address(None);
+        }
+        ks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = Keystore::from_seed(b"correct horse battery staple");
+        let b = Keystore::from_seed(b"correct horse battery staple");
+        for i in 0..5 {
+            assert_eq!(a.key_at(i).address(), b.key_at(i).address());
+        }
+        let c = Keystore::from_seed(b"different seed");
+        assert_ne!(a.key_at(0).address(), c.key_at(0).address());
+    }
+
+    #[test]
+    fn distinct_indices_give_distinct_addresses() {
+        let ks = Keystore::from_seed(b"seed");
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64 {
+            assert!(seen.insert(ks.key_at(i).address()), "collision at index {i}");
+        }
+    }
+
+    #[test]
+    fn new_address_registers_ownership_and_labels() {
+        let mut ks = Keystore::from_seed(b"seed");
+        let payment = ks.new_address(Some("payments"));
+        let change = ks.new_address(Some("change"));
+        assert_eq!(ks.len(), 2);
+        assert!(ks.owns(&payment.address));
+        assert!(ks.owns(&change.address));
+        assert_eq!(ks.address_by_label("payments"), Some(payment.address));
+        assert_eq!(ks.address_by_label("missing"), None);
+        assert_ne!(payment.address, change.address);
+        // The registered key really controls the address.
+        let kp = ks.key_for(&payment.address).unwrap();
+        assert_eq!(kp.address(), payment.address);
+    }
+
+    #[test]
+    fn foreign_addresses_not_owned() {
+        let ks = Keystore::from_seed(b"mine");
+        let other = Keystore::from_seed(b"theirs").key_at(0).address();
+        assert!(!ks.owns(&other));
+        assert!(ks.key_for(&other).is_none());
+    }
+
+    #[test]
+    fn recovery_reproduces_addresses_in_order() {
+        let mut original = Keystore::from_seed(b"backup me");
+        let a0 = original.new_address(Some("a"));
+        let a1 = original.new_address(None);
+        let recovered = Keystore::recover(b"backup me", 2);
+        assert_eq!(recovered.addresses()[0].address, a0.address);
+        assert_eq!(recovered.addresses()[1].address, a1.address);
+        // Labels are not recoverable from the seed.
+        assert_eq!(recovered.addresses()[0].label, None);
+        let _ = a1;
+    }
+}

@@ -1,0 +1,25 @@
+//! # ng-wallet
+//!
+//! Wallet substrate for the Bitcoin-NG reproduction: the user-facing side of the
+//! ledger. The paper's users "command addresses, and send Bitcoins by forming a
+//! transaction from her address to another's address" (§3); this crate provides the
+//! pieces an application needs to do exactly that against either a Bitcoin or a
+//! Bitcoin-NG chain:
+//!
+//! * [`keystore`] — deterministic key derivation and address management.
+//! * [`coins`] — tracking of owned unspent outputs, confirmed and pending.
+//! * [`builder`] — coin selection, fee estimation and signed-transaction construction.
+//! * [`sync`] — applying main-chain blocks (and reorgs) to the wallet's view.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod coins;
+pub mod keystore;
+pub mod sync;
+
+pub use builder::{BuildError, FeePolicy, PaymentBuilder, SelectionStrategy};
+pub use coins::{CoinStore, OwnedCoin};
+pub use keystore::{Keystore, WalletAddress};
+pub use sync::{WalletSync, WalletUpdate};

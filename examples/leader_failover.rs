@@ -1,0 +1,128 @@
+//! Leader failover and censorship resistance.
+//!
+//! A Bitcoin-NG leader's power is bounded by its epoch (§5.2): a leader that crashes —
+//! or maliciously serializes no transactions — only stalls the ledger until the next
+//! key block is mined, at which point a new leader takes over and transaction
+//! processing resumes. This example walks through exactly that scenario with three
+//! nodes exchanging blocks directly.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example leader_failover
+//! ```
+
+use bitcoin_ng::chain::amount::Amount;
+use bitcoin_ng::chain::payload::Payload;
+use bitcoin_ng::core::{NgBlock, NgNode, NgParams};
+
+fn payload(tag: u64) -> Payload {
+    Payload::Synthetic {
+        bytes: 5_000,
+        tx_count: 20,
+        total_fees: Amount::from_sats(2_000),
+        tag,
+    }
+}
+
+/// Delivers a block to every node except its producer.
+fn broadcast(nodes: &mut [NgNode], from: usize, block: NgBlock, now_ms: u64) {
+    for (i, node) in nodes.iter_mut().enumerate() {
+        if i != from {
+            node.on_block(block.clone(), now_ms).expect("valid block");
+        }
+    }
+}
+
+fn main() {
+    let params = NgParams {
+        microblock_interval_ms: 1_000,
+        min_microblock_interval_ms: 10,
+        ..NgParams::default()
+    };
+    let mut nodes = vec![
+        NgNode::new(0, params, 5),
+        NgNode::new(1, params, 5),
+        NgNode::new(2, params, 5),
+    ];
+
+    println!("== Bitcoin-NG leader failover ==\n");
+
+    // --- Epoch 1: node 0 is elected and serializes transactions -----------------------
+    let kb0 = nodes[0].mine_and_adopt_key_block(1_000);
+    broadcast(&mut nodes, 0, NgBlock::Key(kb0), 1_100);
+    println!("[t=  1s] node 0 mined a key block and leads epoch 1");
+
+    for i in 0..3u64 {
+        let now = 2_000 + i * 1_000;
+        let micro = nodes[0]
+            .produce_microblock(now, payload(i))
+            .expect("leader produces");
+        broadcast(&mut nodes, 0, NgBlock::Micro(micro), now + 100);
+    }
+    println!(
+        "[t=  4s] node 0 produced 3 microblocks; every node's chain has {} microblocks",
+        nodes[2].chain().microblocks_on_main_chain().len()
+    );
+
+    // --- Node 0 crashes ---------------------------------------------------------------
+    println!("\n[t=  5s] node 0 CRASHES — no more microblocks are produced");
+    println!("          the ledger stalls, but only until the next key block is mined");
+    let stalled = nodes[2].chain().main_chain_tx_count();
+
+    // --- Epoch 2: node 1 mines the next key block and leadership moves ----------------
+    let kb1 = nodes[1].mine_and_adopt_key_block(90_000);
+    broadcast(&mut nodes, 1, NgBlock::Key(kb1), 90_150);
+    println!("\n[t= 90s] node 1 mined the next key block; epoch 1 is over");
+    for (i, node) in nodes.iter().enumerate() {
+        println!(
+            "          node {} sees leader = {:?}",
+            i,
+            node.current_leader()
+        );
+    }
+
+    // Transaction processing resumes immediately under the new leader.
+    for i in 0..3u64 {
+        let now = 91_000 + i * 1_000;
+        let micro = nodes[1]
+            .produce_microblock(now, payload(100 + i))
+            .expect("new leader produces");
+        broadcast(&mut nodes, 1, NgBlock::Micro(micro), now + 100);
+    }
+    let resumed = nodes[2].chain().main_chain_tx_count();
+    println!(
+        "\n[t= 93s] node 1 serialized 3 more microblocks; main-chain transactions {} → {}",
+        stalled, resumed
+    );
+    assert!(resumed > stalled);
+
+    // --- Epoch 3: a censoring leader --------------------------------------------------
+    println!("\n[t=180s] node 2 becomes leader but censors: it publishes empty microblocks only");
+    let kb2 = nodes[2].mine_and_adopt_key_block(180_000);
+    broadcast(&mut nodes, 2, NgBlock::Key(kb2), 180_150);
+    for i in 0..2u64 {
+        let now = 181_000 + i * 1_000;
+        let micro = nodes[2]
+            .produce_microblock(now, Payload::empty())
+            .expect("empty microblocks are valid");
+        broadcast(&mut nodes, 2, NgBlock::Micro(micro), now + 100);
+    }
+    let censored = nodes[0].chain().main_chain_tx_count();
+    println!("          main-chain transactions while censored: still {censored}");
+
+    // The censor's influence ends with its epoch: node 0 (recovered) wins the next
+    // election and users' transactions get through again.
+    let kb3 = nodes[0].mine_and_adopt_key_block(280_000);
+    broadcast(&mut nodes, 0, NgBlock::Key(kb3), 280_150);
+    let micro = nodes[0]
+        .produce_microblock(281_000, payload(200))
+        .expect("honest leader serializes again");
+    broadcast(&mut nodes, 0, NgBlock::Micro(micro), 281_100);
+    println!(
+        "\n[t=281s] node 0 leads again; main-chain transactions {} → {}",
+        censored,
+        nodes[1].chain().main_chain_tx_count()
+    );
+    println!("\nA faulty or censoring leader delays transactions by at most one epoch (§5.2).");
+}

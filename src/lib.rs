@@ -1,0 +1,18 @@
+//! # bitcoin-ng
+//!
+//! Facade crate for the Bitcoin-NG reproduction: re-exports the substrate crates so
+//! examples and downstream users need a single dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ng_attacks as attacks;
+pub use ng_baseline as baseline;
+pub use ng_chain as chain;
+pub use ng_core as core;
+pub use ng_crypto as crypto;
+pub use ng_incentives as incentives;
+pub use ng_metrics as metrics;
+pub use ng_net as net;
+pub use ng_sim as sim;
+pub use ng_wallet as wallet;

@@ -1,0 +1,165 @@
+//! Cross-crate property-based tests: invariants that must hold for arbitrary inputs,
+//! spanning the fee engine, poison economics, wallet construction, incentive bounds
+//! and the wire codec.
+
+use bitcoin_ng::chain::amount::Amount;
+use bitcoin_ng::chain::payload::Payload;
+use bitcoin_ng::core::fees::{build_coinbase, split_fee, CoinbasePlan};
+use bitcoin_ng::core::poison::poison_effect;
+use bitcoin_ng::core::{NgNode, NgParams};
+use bitcoin_ng::crypto::keys::KeyPair;
+use bitcoin_ng::incentives::bounds::{lower_bound, upper_bound};
+use bitcoin_ng::net::{FrameCodec, InvItem, InvKind, Message};
+use bitcoin_ng::wallet::{CoinStore, FeePolicy, Keystore, OwnedCoin, PaymentBuilder};
+use bitcoin_ng::chain::transaction::OutPoint;
+use bitcoin_ng::crypto::sha256::sha256;
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+proptest! {
+    // The wallet and microblock cases below construct real Schnorr signatures (the
+    // from-scratch curve arithmetic is deliberately unoptimised), so keep the case
+    // count moderate to hold the whole suite at test-friendly runtime.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The 40/60 (or any other) fee split never creates or destroys value.
+    #[test]
+    fn fee_split_conserves_value(fee in 0u64..=10_000_000_000, leader_pct in 0u64..=100) {
+        let params = NgParams { leader_fee_percent: leader_pct, ..NgParams::default() };
+        let split = split_fee(Amount::from_sats(fee), &params);
+        prop_assert_eq!(split.current_leader + split.next_leader, Amount::from_sats(fee));
+    }
+
+    /// A key-block coinbase pays out exactly the reward plus the closing epoch's fees,
+    /// for any epoch fee amount.
+    #[test]
+    fn coinbase_conserves_reward_plus_fees(fees in 0u64..=1_000_000_000) {
+        let params = NgParams::default();
+        let plan = CoinbasePlan {
+            new_leader: KeyPair::from_id(1).address(),
+            previous_leader: Some(KeyPair::from_id(2).address()),
+            previous_epoch_fees: Amount::from_sats(fees),
+        };
+        let outputs = build_coinbase(&plan, &params);
+        let total: Amount = outputs.iter().map(|o| o.amount).sum();
+        prop_assert_eq!(total, params.key_block_reward + Amount::from_sats(fees));
+    }
+
+    /// Poison economics: bounty plus burned value always equals the revoked amount, and
+    /// the bounty never exceeds the configured percentage.
+    #[test]
+    fn poison_effect_conserves_revoked_amount(
+        revoked in 0u64..=10_000_000_000,
+        bounty_pct in 0u64..=100,
+    ) {
+        let params = NgParams { poison_reward_percent: bounty_pct, ..NgParams::default() };
+        let effect = poison_effect(7, Amount::from_sats(revoked), &params);
+        prop_assert_eq!(effect.poisoner_reward + effect.burned, effect.revoked_amount);
+        prop_assert!(effect.poisoner_reward.sats() <= revoked * bounty_pct.max(1) / 100 + 1);
+    }
+
+    /// The §5.1 incentive interval is well-formed below the 1/4 bound: the lower bound
+    /// stays below the upper bound and both are monotone in α.
+    #[test]
+    fn incentive_bounds_ordered_below_threshold(alpha in 0.0f64..0.25) {
+        let lo = lower_bound(alpha);
+        let hi = upper_bound(alpha);
+        prop_assert!(lo < hi, "interval empty at α={alpha}: [{lo}, {hi}]");
+        let lo2 = lower_bound(alpha + 0.01);
+        let hi2 = upper_bound(alpha + 0.01);
+        prop_assert!(lo2 >= lo, "lower bound must grow with α");
+        prop_assert!(hi2 <= hi, "upper bound must shrink with α");
+    }
+
+    /// Wallet payments conserve value: inputs = outputs + fee, for arbitrary coin sets
+    /// and payment amounts that the wallet can afford.
+    #[test]
+    fn wallet_payments_conserve_value(
+        coin_values in proptest::collection::vec(1_000u64..=1_000_000, 1..8),
+        amount_fraction in 0.1f64..0.9,
+    ) {
+        let mut ks = Keystore::from_seed(b"prop wallet");
+        let addr = ks.new_address(None).address;
+        let mut coins = CoinStore::with_maturity(0);
+        for (i, v) in coin_values.iter().enumerate() {
+            coins.add(OwnedCoin {
+                outpoint: OutPoint::new(sha256(&[i as u8, 0xAA]), 0),
+                amount: Amount::from_sats(*v),
+                address: addr,
+                height: 0,
+                coinbase: false,
+            });
+        }
+        let total: u64 = coin_values.iter().sum();
+        let amount = ((total as f64) * amount_fraction * 0.5) as u64;
+        prop_assume!(amount > 0);
+        let builder = PaymentBuilder {
+            fee: FeePolicy::Fixed(Amount::from_sats(200)),
+            ..Default::default()
+        };
+        let recipient = KeyPair::from_id(999).address();
+        if let Ok(payment) = builder.pay(&mut coins, &ks, 1, recipient, Amount::from_sats(amount), addr) {
+            let inputs: Amount = payment.spent.iter().map(|c| c.amount).sum();
+            let outputs: Amount = payment.tx.outputs.iter().map(|o| o.amount).sum();
+            prop_assert_eq!(inputs, outputs + payment.fee);
+            prop_assert_eq!(payment.tx.outputs[0].amount, Amount::from_sats(amount));
+        }
+    }
+
+    /// Wire frames round-trip through the codec regardless of how the byte stream is
+    /// chunked, for arbitrary inventory announcements.
+    #[test]
+    fn codec_round_trips_arbitrary_inventories(
+        ids in proptest::collection::vec(any::<u64>(), 1..32),
+        chunk in 1usize..97,
+    ) {
+        let codec = FrameCodec::default();
+        let items: Vec<InvItem> = ids
+            .iter()
+            .map(|id| InvItem::new(InvKind::MicroBlock, sha256(&id.to_le_bytes())))
+            .collect();
+        let message = Message::Inv(items);
+        let frame = codec.encode(&message).unwrap();
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        for piece in frame.chunks(chunk) {
+            buf.extend_from_slice(piece);
+            decoded.extend(codec.decode_all(&mut buf).unwrap());
+        }
+        prop_assert_eq!(decoded, vec![message]);
+    }
+
+    /// Microblock rate limiting: whatever interval the leader attempts, accepted
+    /// microblocks are spaced by at least the configured production interval.
+    #[test]
+    fn microblock_spacing_respects_configured_interval(
+        attempt_gap in 1u64..500,
+        interval in 50u64..300,
+    ) {
+        let params = NgParams {
+            microblock_interval_ms: interval,
+            min_microblock_interval_ms: 10,
+            ..NgParams::default()
+        };
+        let mut node = NgNode::new(1, params, 1);
+        node.mine_and_adopt_key_block(1_000);
+        let mut produced_times = Vec::new();
+        let mut now = 1_000;
+        for tag in 0..40u64 {
+            now += attempt_gap;
+            let payload = Payload::Synthetic {
+                bytes: 100,
+                tx_count: 1,
+                total_fees: Amount::from_sats(1),
+                tag,
+            };
+            if node.produce_microblock(now, payload).is_some() {
+                produced_times.push(now);
+            }
+        }
+        for pair in produced_times.windows(2) {
+            prop_assert!(pair[1] - pair[0] >= interval,
+                "microblocks {} and {} closer than {}", pair[0], pair[1], interval);
+        }
+    }
+}

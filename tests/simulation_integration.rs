@@ -1,0 +1,169 @@
+//! Integration tests for the simulated testbed (`ng-sim`) plus the metrics layer
+//! (`ng-metrics`): small-scale versions of the paper's experiments with the qualitative
+//! claims of §8 checked as assertions.
+
+use bitcoin_ng::core::NgParams;
+use bitcoin_ng::metrics::report::compute_report;
+use bitcoin_ng::sim::{run_experiment, ExperimentConfig, Protocol};
+
+fn small(protocol: Protocol, seed: u64) -> ExperimentConfig {
+    let mut config = ExperimentConfig::small_test(protocol);
+    config.seed = seed;
+    config
+}
+
+#[test]
+fn bitcoin_and_ng_runs_complete_and_yield_sane_metrics() {
+    for protocol in [Protocol::Bitcoin, Protocol::Ghost, Protocol::BitcoinNg] {
+        let log = run_experiment(small(protocol, 11));
+        let report = compute_report(&log);
+        assert!(report.blocks_generated > 0, "{protocol:?} generated no blocks");
+        assert!(report.blocks_on_main_chain > 0);
+        assert!(report.blocks_on_main_chain <= report.blocks_generated);
+        assert!(
+            (0.0..=1.0).contains(&report.mining_power_utilization),
+            "{protocol:?} mpu out of range"
+        );
+        assert!(report.fairness >= 0.0);
+        assert!(report.transactions_per_sec > 0.0);
+        assert!(report.time_to_prune_s >= 0.0);
+        assert!(report.time_to_win_s >= 0.0);
+        assert!(report.consensus_delay_s >= 0.0);
+    }
+}
+
+#[test]
+fn every_block_eventually_reaches_every_node() {
+    let mut config = small(Protocol::Bitcoin, 5);
+    config.target_pow_blocks = 8;
+    let log = run_experiment(config.clone());
+    // Count receipts for the first mined block (it has the longest time to spread).
+    let first = log.blocks.first().expect("blocks exist").id;
+    let receivers = log.receipts.iter().filter(|r| r.block == first).count();
+    assert_eq!(receivers, config.nodes, "gossip did not reach every node");
+}
+
+#[test]
+fn ng_mining_power_utilization_stays_high_when_bitcoin_degrades() {
+    // §8.1: at high block frequency Bitcoin's mining power utilization collapses while
+    // Bitcoin-NG (whose contention is limited to rare key blocks) stays near optimal.
+    let nodes = 40;
+    let seed = 13;
+
+    let bitcoin = ExperimentConfig {
+        protocol: Protocol::Bitcoin,
+        nodes,
+        min_degree: 4,
+        pow_interval_ms: 1_000, // one block per second
+        block_size_bytes: 20_000,
+        target_pow_blocks: 40,
+        seed,
+        ..Default::default()
+    };
+    let ng = ExperimentConfig {
+        protocol: Protocol::BitcoinNg,
+        nodes,
+        min_degree: 4,
+        pow_interval_ms: 30_000, // key blocks stay rare
+        target_pow_blocks: 40,
+        target_microblocks: 40,
+        ng: NgParams {
+            key_block_interval_ms: 30_000,
+            microblock_interval_ms: 1_000,
+            max_microblock_bytes: 20_000,
+            min_microblock_interval_ms: 1,
+            verify_microblock_signatures: false,
+            ..NgParams::default()
+        },
+        seed,
+        ..Default::default()
+    };
+
+    let bitcoin_report = compute_report(&run_experiment(bitcoin));
+    let ng_report = compute_report(&run_experiment(ng));
+
+    assert!(
+        ng_report.mining_power_utilization > bitcoin_report.mining_power_utilization,
+        "NG mpu {} should exceed Bitcoin mpu {} at high frequency",
+        ng_report.mining_power_utilization,
+        bitcoin_report.mining_power_utilization
+    );
+    assert!(ng_report.mining_power_utilization > 0.85);
+}
+
+#[test]
+fn ng_key_blocks_carry_all_proof_of_work() {
+    let mut config = small(Protocol::BitcoinNg, 21);
+    config.target_microblocks = 30;
+    let log = run_experiment(config);
+    for block in &log.blocks {
+        if block.is_pow {
+            assert!(block.work > 0.0, "key blocks must carry work");
+        } else {
+            assert_eq!(block.work, 0.0, "microblocks must carry no weight (§4.2)");
+        }
+    }
+    let micro = log.blocks.iter().filter(|b| !b.is_pow).count();
+    assert!(micro >= 30);
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_experiments() {
+    for protocol in [Protocol::Bitcoin, Protocol::BitcoinNg] {
+        let a = run_experiment(small(protocol, 77));
+        let b = run_experiment(small(protocol, 77));
+        assert_eq!(a.duration_ms, b.duration_ms);
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        assert_eq!(a.receipts.len(), b.receipts.len());
+        let ids_a: Vec<_> = a.blocks.iter().map(|x| (x.id, x.created_ms)).collect();
+        let ids_b: Vec<_> = b.blocks.iter().map(|x| (x.id, x.created_ms)).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+}
+
+#[test]
+fn propagation_time_grows_with_block_size() {
+    // Figure 7: block propagation latency is linear in block size; at minimum it must
+    // be monotone between a small and a large block on the same topology.
+    let base = ExperimentConfig {
+        protocol: Protocol::Bitcoin,
+        nodes: 30,
+        min_degree: 4,
+        pow_interval_ms: 60_000,
+        target_pow_blocks: 12,
+        seed: 9,
+        ..Default::default()
+    };
+    let mut small_blocks = base.clone();
+    small_blocks.block_size_bytes = 10_000;
+    let mut large_blocks = base;
+    large_blocks.block_size_bytes = 80_000;
+
+    let small_report = compute_report(&run_experiment(small_blocks));
+    let large_report = compute_report(&run_experiment(large_blocks));
+    let small_p50 = small_report.propagation_s.expect("propagation measured").p50;
+    let large_p50 = large_report.propagation_s.expect("propagation measured").p50;
+    assert!(
+        large_p50 > small_p50,
+        "80 kB blocks ({large_p50} s) should propagate slower than 10 kB blocks ({small_p50} s)"
+    );
+}
+
+#[test]
+fn fairness_close_to_one_at_low_contention() {
+    // At the paper's operational parameters (10-minute blocks) forks are rare and both
+    // protocols are fair.
+    let mut config = small(Protocol::Bitcoin, 31);
+    config.pow_interval_ms = 600_000;
+    config.block_size_bytes = 100_000;
+    config.target_pow_blocks = 30;
+    let report = compute_report(&run_experiment(config));
+    // Fairness has sampling noise over a 30-block run; it must at least be in the
+    // healthy band rather than the collapsed regime of Figure 8a's right edge.
+    assert!(
+        report.fairness > 0.7,
+        "fairness {} unexpectedly low at 10-minute blocks",
+        report.fairness
+    );
+    assert!(report.mining_power_utilization > 0.95);
+}
