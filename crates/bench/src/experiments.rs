@@ -307,16 +307,8 @@ mod tests {
     fn fig8b_bitcoin_degrades_with_size_while_ng_does_not() {
         let rows = fig8b_blocksize(tiny_scale(), &[2_500, 80_000]);
         let btc_small = &rows[0];
-        let btc_large = rows
-            .iter()
-            .filter(|r| r.protocol == "bitcoin")
-            .last()
-            .unwrap();
-        let ng_large = rows
-            .iter()
-            .filter(|r| r.protocol == "bitcoin-ng")
-            .last()
-            .unwrap();
+        let btc_large = rows.iter().rfind(|r| r.protocol == "bitcoin").unwrap();
+        let ng_large = rows.iter().rfind(|r| r.protocol == "bitcoin-ng").unwrap();
         assert!(btc_small.protocol == "bitcoin");
         // At 80 kB every 10 s over 100 kbit/s links Bitcoin forks heavily.
         assert!(

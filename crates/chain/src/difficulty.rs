@@ -49,7 +49,7 @@ impl DifficultyParams {
 
     /// True if a block at `height` is the last of a window (the adjustment point).
     pub fn is_adjustment_height(&self, height: u64) -> bool {
-        height > 0 && height % self.window == 0
+        height > 0 && height.is_multiple_of(self.window)
     }
 
     /// Computes the next target from the current target and the actual time the last

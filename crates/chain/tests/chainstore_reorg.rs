@@ -1,0 +1,273 @@
+//! Reorg edge cases for `ng_chain::chainstore`: equal-work ties under both tie-break
+//! rules, orphan adoption that triggers a reorganisation, and rollback across an
+//! epoch boundary (a zero-work microblock span behind a key block, the Bitcoin-NG
+//! shape from §4.2).
+
+use ng_chain::chainstore::{BlockLike, ChainStore, InsertOutcome};
+use ng_chain::forkchoice::{ForkRule, TieBreak};
+use ng_crypto::pow::Work;
+use ng_crypto::sha256::{sha256, Hash256};
+use ng_crypto::u256::U256;
+
+#[derive(Clone, Debug)]
+struct TestBlock {
+    id: Hash256,
+    parent: Hash256,
+    work: u64,
+}
+
+impl TestBlock {
+    fn new(label: &str, parent: Hash256, work: u64) -> Self {
+        TestBlock {
+            id: sha256(label.as_bytes()),
+            parent,
+            work,
+        }
+    }
+}
+
+impl BlockLike for TestBlock {
+    fn id(&self) -> Hash256 {
+        self.id
+    }
+    fn parent(&self) -> Hash256 {
+        self.parent
+    }
+    fn work(&self) -> Work {
+        Work(U256::from_u64(self.work))
+    }
+    fn timestamp(&self) -> u64 {
+        0
+    }
+    fn miner(&self) -> u64 {
+        0
+    }
+}
+
+fn store(rule: ForkRule, tie: TieBreak) -> (ChainStore<TestBlock>, Hash256) {
+    let genesis = TestBlock::new("genesis", Hash256::ZERO, 1);
+    let gid = genesis.id();
+    (ChainStore::new(genesis, rule, tie), gid)
+}
+
+/// Asserts the outcome is `Accepted` and returns its fields.
+fn accepted(outcome: InsertOutcome) -> (bool, Option<ng_chain::chainstore::Reorg>, Vec<Hash256>) {
+    match outcome {
+        InsertOutcome::Accepted {
+            tip_changed,
+            reorg,
+            also_connected,
+        } => (tip_changed, reorg, also_connected),
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Equal-work ties
+// ---------------------------------------------------------------------------
+
+#[test]
+fn equal_work_tie_never_reorgs_under_first_seen() {
+    let (mut cs, gid) = store(ForkRule::HeaviestChain, TieBreak::FirstSeen);
+    let a1 = TestBlock::new("a1", gid, 5);
+    let a2 = TestBlock::new("a2", a1.id(), 5);
+    cs.insert(a1.clone());
+    cs.insert(a2.clone());
+
+    // A competing branch reaching exactly equal total work must not displace the tip.
+    let b1 = TestBlock::new("b1", gid, 5);
+    let b2 = TestBlock::new("b2", b1.id(), 5);
+    cs.insert(b1.clone());
+    let (tip_changed, reorg, _) = accepted(cs.insert(b2.clone()));
+    assert!(!tip_changed, "equal-work branch must lose a first-seen tie");
+    assert!(reorg.is_none());
+    assert_eq!(cs.tip(), a2.id());
+    assert_eq!(cs.tip_work(), cs.get(&b2.id()).unwrap().total_work);
+
+    // One more unit of work on the losing branch flips the tie into a real reorg.
+    let b3 = TestBlock::new("b3", b2.id(), 1);
+    let (tip_changed, reorg, _) = accepted(cs.insert(b3.clone()));
+    assert!(tip_changed);
+    let reorg = reorg.expect("crossing the tie must reorganize");
+    assert_eq!(reorg.fork_point, gid);
+    assert_eq!(reorg.disconnected, vec![a2.id(), a1.id()]);
+    assert_eq!(reorg.connected, vec![b1.id(), b2.id(), b3.id()]);
+}
+
+#[test]
+fn equal_work_tie_is_stable_under_random_tie_break() {
+    // Whatever winner the seeded tie-break picks, both stores must agree, and
+    // re-delivering the loser must not flap the tip back.
+    let (mut cs1, gid) = store(ForkRule::HeaviestChain, TieBreak::Random { seed: 42 });
+    let (mut cs2, _) = store(ForkRule::HeaviestChain, TieBreak::Random { seed: 42 });
+    let a = TestBlock::new("a", gid, 5);
+    let b = TestBlock::new("b", gid, 5);
+    cs1.insert(a.clone());
+    cs1.insert(b.clone());
+    // Deliver in the opposite order to the second store.
+    cs2.insert(b.clone());
+    cs2.insert(a.clone());
+    assert_eq!(
+        cs1.tip(),
+        cs2.tip(),
+        "random tie-break must be order-independent for a fixed seed"
+    );
+    assert_eq!(cs1.insert(a), InsertOutcome::Duplicate);
+    assert_eq!(cs1.insert(b), InsertOutcome::Duplicate);
+    assert_eq!(cs1.tip(), cs2.tip());
+}
+
+#[test]
+fn zero_work_extension_wins_tie_only_on_own_branch() {
+    // A zero-work block strictly extending the tip advances it (microblock rule)...
+    let (mut cs, gid) = store(ForkRule::HeaviestChain, TieBreak::FirstSeen);
+    let key_a = TestBlock::new("key_a", gid, 10);
+    cs.insert(key_a.clone());
+    let micro = TestBlock::new("micro", key_a.id(), 0);
+    let (tip_changed, reorg, _) = accepted(cs.insert(micro.clone()));
+    assert!(tip_changed);
+    assert!(reorg.is_none(), "extending the tip is not a reorg");
+    assert_eq!(cs.tip(), micro.id());
+
+    // ...but a zero-work block on a *competing* equal-work branch does not steal the tip.
+    let key_b = TestBlock::new("key_b", gid, 10);
+    cs.insert(key_b.clone());
+    let micro_b = TestBlock::new("micro_b", key_b.id(), 0);
+    let (tip_changed, _, _) = accepted(cs.insert(micro_b.clone()));
+    assert!(!tip_changed, "zero-work block on a rival branch must not win the tie");
+    assert_eq!(cs.tip(), micro.id());
+}
+
+// ---------------------------------------------------------------------------
+// Orphan adoption
+// ---------------------------------------------------------------------------
+
+#[test]
+fn orphan_adoption_triggers_reorg_when_branch_completes() {
+    let (mut cs, gid) = store(ForkRule::HeaviestChain, TieBreak::FirstSeen);
+    let a1 = TestBlock::new("a1", gid, 1);
+    let a2 = TestBlock::new("a2", a1.id(), 1);
+    cs.insert(a1.clone());
+    cs.insert(a2.clone());
+    assert_eq!(cs.tip(), a2.id());
+
+    // The heavier b-branch arrives out of order: children first, root last.
+    let b1 = TestBlock::new("b1", gid, 2);
+    let b2 = TestBlock::new("b2", b1.id(), 2);
+    let b3 = TestBlock::new("b3", b2.id(), 2);
+    assert!(matches!(cs.insert(b3.clone()), InsertOutcome::Orphaned { .. }));
+    assert!(matches!(cs.insert(b2.clone()), InsertOutcome::Orphaned { .. }));
+    assert_eq!(cs.orphan_count(), 2);
+    assert_eq!(cs.tip(), a2.id(), "orphans alone must not move the tip");
+
+    // The missing root connects the whole buffered branch in one insert and the
+    // reorg must describe the full switch, not just the root.
+    let (tip_changed, reorg, also_connected) = accepted(cs.insert(b1.clone()));
+    assert!(tip_changed);
+    assert_eq!(cs.orphan_count(), 0);
+    assert_eq!(also_connected, vec![b2.id(), b3.id()]);
+    let reorg = reorg.expect("adopting a heavier orphan branch reorganizes");
+    assert_eq!(reorg.fork_point, gid);
+    assert_eq!(reorg.disconnected, vec![a2.id(), a1.id()]);
+    assert_eq!(reorg.connected, vec![b1.id(), b2.id(), b3.id()]);
+    assert_eq!(cs.tip(), b3.id());
+}
+
+#[test]
+fn orphan_adoption_with_equal_work_does_not_reorg() {
+    let (mut cs, gid) = store(ForkRule::HeaviestChain, TieBreak::FirstSeen);
+    let a1 = TestBlock::new("a1", gid, 2);
+    cs.insert(a1.clone());
+
+    // An equal-work branch delivered out of order must still lose the first-seen tie
+    // once adopted.
+    let b1 = TestBlock::new("b1", gid, 1);
+    let b2 = TestBlock::new("b2", b1.id(), 1);
+    assert!(matches!(cs.insert(b2.clone()), InsertOutcome::Orphaned { .. }));
+    let (tip_changed, reorg, also_connected) = accepted(cs.insert(b1.clone()));
+    assert!(!tip_changed);
+    assert!(reorg.is_none());
+    assert_eq!(also_connected, vec![b2.id()]);
+    assert_eq!(cs.tip(), a1.id());
+    // The adopted branch is fully queryable even though it lost.
+    assert_eq!(cs.height_of(&b2.id()), Some(2));
+    assert!(!cs.is_in_main_chain(&b2.id()));
+}
+
+// ---------------------------------------------------------------------------
+// Rollback past an epoch boundary
+// ---------------------------------------------------------------------------
+
+#[test]
+fn rollback_past_epoch_boundary_disconnects_microblock_span() {
+    // Bitcoin-NG shape: key blocks carry work, the microblocks between them none.
+    // Epoch 1 is key1 + three microblocks; the rival branch outweighs the whole
+    // epoch, so the rollback must cross the key-block (epoch) boundary and
+    // disconnect the entire span back to genesis.
+    let (mut cs, gid) = store(ForkRule::HeaviestChain, TieBreak::FirstSeen);
+    let key1 = TestBlock::new("key1", gid, 10);
+    let m1 = TestBlock::new("m1", key1.id(), 0);
+    let m2 = TestBlock::new("m2", m1.id(), 0);
+    let m3 = TestBlock::new("m3", m2.id(), 0);
+    for block in [key1.clone(), m1.clone(), m2.clone(), m3.clone()] {
+        cs.insert(block);
+    }
+    assert_eq!(cs.tip(), m3.id());
+    assert_eq!(cs.tip_height(), 4);
+
+    // Rival epoch with more work: key block + one microblock.
+    let rival_key = TestBlock::new("rival_key", gid, 11);
+    let rival_m1 = TestBlock::new("rival_m1", rival_key.id(), 0);
+    let (tip_changed, reorg, _) = accepted(cs.insert(rival_key.clone()));
+    assert!(tip_changed);
+    let reorg = reorg.expect("heavier rival key block rolls back the epoch");
+    assert_eq!(reorg.fork_point, gid);
+    assert_eq!(
+        reorg.disconnected,
+        vec![m3.id(), m2.id(), m1.id(), key1.id()],
+        "the whole epoch — microblocks first, then its key block — must disconnect"
+    );
+    assert_eq!(reorg.connected, vec![rival_key.id()]);
+
+    // The rival leader's microblocks now extend the new epoch normally.
+    let (tip_changed, reorg, _) = accepted(cs.insert(rival_m1.clone()));
+    assert!(tip_changed);
+    assert!(reorg.is_none());
+    assert_eq!(cs.tip(), rival_m1.id());
+    assert_eq!(cs.tip_height(), 2);
+
+    // The displaced epoch remains in the tree for fraud-proof/poison purposes.
+    for id in [key1.id(), m1.id(), m2.id(), m3.id()] {
+        assert!(cs.contains(&id));
+        assert!(!cs.is_in_main_chain(&id));
+    }
+}
+
+#[test]
+fn rollback_to_mid_epoch_fork_point_keeps_shared_prefix() {
+    // The fork can also sit *inside* an epoch: two microblock chains extend the same
+    // key block (a leader equivocation shape). A heavier successor key block built on
+    // the shorter microblock chain must disconnect only the suffix past the shared
+    // microblock, not the key block itself.
+    let (mut cs, gid) = store(ForkRule::HeaviestChain, TieBreak::FirstSeen);
+    let key1 = TestBlock::new("key1", gid, 10);
+    let shared = TestBlock::new("shared", key1.id(), 0);
+    let long_a = TestBlock::new("long_a", shared.id(), 0);
+    let long_b = TestBlock::new("long_b", long_a.id(), 0);
+    for block in [key1.clone(), shared.clone(), long_a.clone(), long_b.clone()] {
+        cs.insert(block);
+    }
+    assert_eq!(cs.tip(), long_b.id());
+
+    // The next leader mined on the shorter prefix (it had not yet seen long_a/long_b).
+    let key2 = TestBlock::new("key2", shared.id(), 10);
+    let (tip_changed, reorg, _) = accepted(cs.insert(key2.clone()));
+    assert!(tip_changed);
+    let reorg = reorg.expect("switching microblock suffix is a reorg");
+    assert_eq!(reorg.fork_point, shared.id(), "shared microblock prefix survives");
+    assert_eq!(reorg.disconnected, vec![long_b.id(), long_a.id()]);
+    assert_eq!(reorg.connected, vec![key2.id()]);
+    assert_eq!(cs.tip(), key2.id());
+    assert!(cs.is_in_main_chain(&shared.id()));
+    assert!(cs.is_in_main_chain(&key1.id()));
+}

@@ -165,17 +165,23 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut p = NgParams::default();
-        p.leader_fee_percent = 150;
+        let p = NgParams {
+            leader_fee_percent: 150,
+            ..NgParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = NgParams::default();
-        p.microblock_interval_ms = 1;
-        p.min_microblock_interval_ms = 10;
+        let p = NgParams {
+            microblock_interval_ms: 1,
+            min_microblock_interval_ms: 10,
+            ..NgParams::default()
+        };
         assert!(p.validate().is_err());
 
-        let mut p = NgParams::default();
-        p.key_block_interval_ms = 0;
+        let p = NgParams {
+            key_block_interval_ms: 0,
+            ..NgParams::default()
+        };
         assert!(p.validate().is_err());
     }
 }

@@ -1,0 +1,106 @@
+//! Property tests for the fee engine (`ng_core::fees`): the §4.4 split must conserve
+//! value for every fee in the full `Amount` range and never panic, and the rounding
+//! remainder must always land on the next leader.
+
+use ng_chain::amount::Amount;
+use ng_core::fees::{build_coinbase, split_fee, CoinbasePlan};
+use ng_core::params::NgParams;
+use ng_crypto::keys::KeyPair;
+use proptest::prelude::*;
+
+proptest! {
+    // The coinbase case derives real Schnorr key pairs, so the count is kept moderate.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Conservation over the full `Amount` domain: current-leader share plus
+    /// next-leader share (which absorbs the rounding remainder) equals the fee
+    /// exactly, for every split percentage, with no panics anywhere in the range.
+    #[test]
+    fn split_fee_conserves_value_over_full_range(
+        fee in any::<u64>(),
+        leader_pct in 0u64..=100,
+    ) {
+        let params = NgParams {
+            leader_fee_percent: leader_pct,
+            ..NgParams::default()
+        };
+        let split = split_fee(Amount::from_sats(fee), &params);
+        prop_assert_eq!(split.current_leader + split.next_leader, Amount::from_sats(fee));
+    }
+
+    /// The current leader receives exactly `floor(fee * pct / 100)`: the remainder of
+    /// the integer division always goes to the next leader, never the current one.
+    #[test]
+    fn rounding_remainder_goes_to_next_leader(
+        fee in any::<u64>(),
+        leader_pct in 0u64..=100,
+    ) {
+        let params = NgParams {
+            leader_fee_percent: leader_pct,
+            ..NgParams::default()
+        };
+        let split = split_fee(Amount::from_sats(fee), &params);
+        let exact_floor = ((fee as u128) * (leader_pct as u128) / 100) as u64;
+        prop_assert_eq!(split.current_leader.sats(), exact_floor);
+        prop_assert_eq!(split.next_leader.sats(), fee - exact_floor);
+    }
+
+    /// The split is monotone in the percentage: a larger leader share never pays the
+    /// current leader less.
+    #[test]
+    fn split_fee_monotone_in_percentage(
+        fee in any::<u64>(),
+        leader_pct in 0u64..100,
+    ) {
+        let lower = NgParams {
+            leader_fee_percent: leader_pct,
+            ..NgParams::default()
+        };
+        let higher = NgParams {
+            leader_fee_percent: leader_pct + 1,
+            ..NgParams::default()
+        };
+        let fee = Amount::from_sats(fee);
+        prop_assert!(
+            split_fee(fee, &lower).current_leader <= split_fee(fee, &higher).current_leader
+        );
+    }
+
+    /// Degenerate percentages: 0% pays everything to the next leader, 100% everything
+    /// to the current leader, across the full range.
+    #[test]
+    fn split_fee_degenerate_percentages(fee in any::<u64>()) {
+        let fee = Amount::from_sats(fee);
+        let all_next = split_fee(fee, &NgParams { leader_fee_percent: 0, ..NgParams::default() });
+        prop_assert_eq!(all_next.current_leader, Amount::ZERO);
+        prop_assert_eq!(all_next.next_leader, fee);
+        let all_current = split_fee(fee, &NgParams { leader_fee_percent: 100, ..NgParams::default() });
+        prop_assert_eq!(all_current.current_leader, fee);
+        prop_assert_eq!(all_current.next_leader, Amount::ZERO);
+    }
+
+    /// Coinbase construction built on top of the split also conserves value: the
+    /// outputs always sum to reward + closing-epoch fees, whether or not the previous
+    /// leader is distinct from the new one.
+    #[test]
+    fn coinbase_outputs_conserve_reward_plus_fees(
+        fees in 0u64..=1_000_000_000_000,
+        self_succession in any::<bool>(),
+    ) {
+        let params = NgParams::default();
+        let new_leader = KeyPair::from_id(1).address();
+        let previous_leader = if self_succession {
+            new_leader
+        } else {
+            KeyPair::from_id(2).address()
+        };
+        let plan = CoinbasePlan {
+            new_leader,
+            previous_leader: Some(previous_leader),
+            previous_epoch_fees: Amount::from_sats(fees),
+        };
+        let outputs = build_coinbase(&plan, &params);
+        let total: Amount = outputs.iter().map(|o| o.amount).sum();
+        prop_assert_eq!(total, params.key_block_reward + Amount::from_sats(fees));
+    }
+}

@@ -103,7 +103,7 @@ impl MerkleTree {
         let mut siblings = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling_idx = if idx.is_multiple_of(2) { idx + 1 } else { idx - 1 };
             let sibling = if sibling_idx < level.len() {
                 level[sibling_idx]
             } else {
@@ -126,7 +126,7 @@ impl MerkleProof {
         let mut acc = *leaf;
         let mut idx = self.leaf_index;
         for sibling in &self.siblings {
-            acc = if idx % 2 == 0 {
+            acc = if idx.is_multiple_of(2) {
                 hash_pair(&acc, sibling)
             } else {
                 hash_pair(sibling, &acc)

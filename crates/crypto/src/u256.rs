@@ -126,10 +126,10 @@ impl U256 {
     pub fn overflowing_add(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *limb = s2;
             carry = c1 || c2;
         }
         (U256 { limbs: out }, carry)
@@ -159,10 +159,10 @@ impl U256 {
     pub fn overflowing_sub(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            out[i] = d2;
+            *limb = d2;
             borrow = b1 || b2;
         }
         (U256 { limbs: out }, borrow)
@@ -332,13 +332,13 @@ impl U256 {
         let limb_shift = n / 64;
         let bit_shift = n % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 {
+        for (i, limb) in out.iter_mut().enumerate() {
             if i + limb_shift < 4 {
                 let mut v = self.limbs[i + limb_shift] >> bit_shift;
                 if bit_shift > 0 && i + limb_shift + 1 < 4 {
                     v |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
                 }
-                out[i] = v;
+                *limb = v;
             }
         }
         U256 { limbs: out }
@@ -468,44 +468,36 @@ impl Shr<usize> for U256 {
 impl BitAnd for U256 {
     type Output = U256;
     fn bitand(self, rhs: U256) -> U256 {
-        let mut out = [0u64; 4];
-        for i in 0..4 {
-            out[i] = self.limbs[i] & rhs.limbs[i];
+        U256 {
+            limbs: std::array::from_fn(|i| self.limbs[i] & rhs.limbs[i]),
         }
-        U256 { limbs: out }
     }
 }
 
 impl BitOr for U256 {
     type Output = U256;
     fn bitor(self, rhs: U256) -> U256 {
-        let mut out = [0u64; 4];
-        for i in 0..4 {
-            out[i] = self.limbs[i] | rhs.limbs[i];
+        U256 {
+            limbs: std::array::from_fn(|i| self.limbs[i] | rhs.limbs[i]),
         }
-        U256 { limbs: out }
     }
 }
 
 impl BitXor for U256 {
     type Output = U256;
     fn bitxor(self, rhs: U256) -> U256 {
-        let mut out = [0u64; 4];
-        for i in 0..4 {
-            out[i] = self.limbs[i] ^ rhs.limbs[i];
+        U256 {
+            limbs: std::array::from_fn(|i| self.limbs[i] ^ rhs.limbs[i]),
         }
-        U256 { limbs: out }
     }
 }
 
 impl Not for U256 {
     type Output = U256;
     fn not(self) -> U256 {
-        let mut out = [0u64; 4];
-        for i in 0..4 {
-            out[i] = !self.limbs[i];
+        U256 {
+            limbs: std::array::from_fn(|i| !self.limbs[i]),
         }
-        U256 { limbs: out }
     }
 }
 

@@ -268,7 +268,7 @@ impl Peer {
                 // The caller owns the object store; surface each request.
                 items
                     .into_iter()
-                    .map(|item| PeerAction::Announced(item))
+                    .map(PeerAction::Announced)
                     .collect()
             }
             carried @ (Message::Block(_)

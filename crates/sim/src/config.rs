@@ -151,14 +151,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut c = ExperimentConfig::default();
-        c.nodes = 1;
+        let c = ExperimentConfig {
+            nodes: 1,
+            ..ExperimentConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ExperimentConfig::default();
-        c.min_degree = 0;
+        let c = ExperimentConfig {
+            min_degree: 0,
+            ..ExperimentConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = ExperimentConfig::default();
-        c.bandwidth_bps = 0.0;
+        let c = ExperimentConfig {
+            bandwidth_bps: 0.0,
+            ..ExperimentConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -259,8 +259,8 @@ mod tests {
         let t_small = net.transfer_time_ms(50.0, 10_000);
         let t_big = net.transfer_time_ms(50.0, 100_000);
         // 10 kB at 100 kbit/s ≈ 800 ms serialisation; 100 kB ≈ 8000 ms.
-        assert!(t_small >= 800 && t_small <= 1000, "t_small = {t_small}");
-        assert!(t_big >= 8000 && t_big <= 8200, "t_big = {t_big}");
+        assert!((800..=1000).contains(&t_small), "t_small = {t_small}");
+        assert!((8000..=8200).contains(&t_big), "t_big = {t_big}");
         // Linearity: the increment matches the size ratio.
         let delta = (t_big - t_small) as f64;
         assert!((delta - 7200.0).abs() < 100.0);

@@ -103,7 +103,7 @@ impl Default for PaymentBuilder {
 
 impl PaymentBuilder {
     /// Orders the spendable coins according to the configured strategy.
-    fn ordered_coins(&self, coins: &mut Vec<OwnedCoin>) {
+    fn ordered_coins(&self, coins: &mut [OwnedCoin]) {
         match self.strategy {
             SelectionStrategy::LargestFirst => {
                 coins.sort_by(|a, b| b.amount.cmp(&a.amount).then(a.outpoint.cmp(&b.outpoint)))

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the Bitcoin-NG reproduction workspace.
+#
+# Mirrors .github/workflows/ci.yml so the same gate runs locally and in CI:
+#   1. release build of every crate and target
+#   2. the full test suite (facade integration tests + every crate's unit tests)
+#   3. clippy with warnings denied
+#
+# The workspace has no registry dependencies (everything external is vendored
+# under vendor/), so this runs fully offline.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (facade: integration + property suites)"
+cargo test -q
+
+echo "==> cargo test --workspace -q (all crates)"
+cargo test --workspace -q
+
+echo "==> cargo build --workspace --all-targets (benches, bins, examples)"
+cargo build --workspace --all-targets
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI checks passed."

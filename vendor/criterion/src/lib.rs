@@ -1,0 +1,168 @@
+//! Minimal Criterion-compatible benchmarking harness.
+//!
+//! Supports the API surface this workspace's benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::throughput`], [`Bencher::iter`],
+//! [`criterion_group!`] and [`criterion_main!`] — with a simple fixed-budget timing
+//! loop instead of Criterion's statistical machinery. Results print as
+//! `name ... time/iter (throughput)` lines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times the closure: a short warm-up, then batches until the measurement budget
+    /// (~20 ms) is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let time = if ns_per_iter >= 1e9 {
+        format!("{:.3} s", ns_per_iter / 1e9)
+    } else if ns_per_iter >= 1e6 {
+        format!("{:.3} ms", ns_per_iter / 1e6)
+    } else if ns_per_iter >= 1e3 {
+        format!("{:.3} µs", ns_per_iter / 1e3)
+    } else {
+        format!("{ns_per_iter:.1} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mbps = bytes as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0);
+            format!("  ({mbps:.1} MiB/s)")
+        }
+        Some(Throughput::Elements(elements)) => {
+            let eps = elements as f64 / ns_per_iter * 1e9;
+            format!("  ({eps:.0} elem/s)")
+        }
+        None => String::new(),
+    };
+    println!("bench: {name:<50} {time:>12}/iter{rate}");
+}
+
+/// Top-level benchmark driver (a drastically simplified `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors Criterion's CLI hook; arguments are ignored here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        report(&name.to_string(), bencher.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Mirrors Criterion's sample-count hint; the fixed-budget loop ignores it.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Mirrors Criterion's measurement-time hint; the fixed-budget loop ignores it.
+    pub fn measurement_time(&mut self, _duration: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, name),
+            bencher.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}

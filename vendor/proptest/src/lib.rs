@@ -1,0 +1,131 @@
+//! Minimal property-testing harness exposing the subset of the `proptest` API this
+//! workspace uses: the [`proptest!`] macro, integer/float range strategies,
+//! [`collection::vec`], `any::<T>()`, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`
+//! and [`test_runner::Config`] (`ProptestConfig`).
+//!
+//! Generation is a deterministic SplitMix64 stream seeded from the test name, so
+//! failures reproduce exactly across runs. There is no shrinking: the failing input is
+//! reported as-is in the panic message.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// Declares property tests. Each function runs its body for `Config::cases` inputs
+/// drawn from the strategies to the right of each `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`] — one test function per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($param:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $param = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($param), " = {:?}, "),+),
+                    $(&$param),+
+                );
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest case {} of {} failed: {}\n  inputs: {}",
+                            __case + 1, __config.cases, __msg, __inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*))
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __left, __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(__left == __right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let __left = &$left;
+        let __right = &$right;
+        $crate::prop_assert!(
+            __left != __right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __left
+        );
+    }};
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,64 @@
+//! Test-runner plumbing: per-test configuration, case outcomes and the deterministic
+//! RNG stream backing every strategy.
+
+/// Per-`proptest!` configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Outcome of a single property case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions did not hold; skip it without failing.
+    Reject,
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+/// Deterministic SplitMix64 generator, seeded from the test name so each property has
+/// a stable but distinct input stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test name (FNV-1a over the name bytes).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

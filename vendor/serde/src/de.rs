@@ -1,0 +1,98 @@
+//! Deserialization half: [`Deserialize`] / [`Deserializer`] plus the
+//! [`ValueDeserializer`] adapter and helpers used by derive-generated code.
+//!
+//! Instead of serde's visitor machinery, a [`Deserializer`] here simply surrenders an
+//! owned [`Value`] tree; `Deserialize` impls pattern-match on it. This keeps generic
+//! user code (`D: Deserializer<'de>`, `D::Error: de::Error`) source-compatible while
+//! staying small.
+
+use crate::value::Value;
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Error constraint for deserializers (mirrors `serde::de::Error`).
+pub trait Error: Sized + Display {
+    /// Builds an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data-format frontend that yields the [`Value`] data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Consumes the deserializer, yielding the underlying value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from the [`Value`] data model through any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Marker for types deserializable without borrowing, with a blanket impl.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Adapter turning an owned [`Value`] into a [`Deserializer`] with a chosen error type.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E: Error> ValueDeserializer<E> {
+    /// Wraps a value for deserialization.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Deserializes a `T` from an owned [`Value`].
+pub fn from_value<'de, T: Deserialize<'de>, E: Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::<E>::new(value))
+}
+
+/// Looks up `key` in the entries of a struct map, cloning the value.
+pub fn field_value<E: Error>(entries: &[(String, Value)], key: &str) -> Result<Value, E> {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| E::custom(format!("missing field `{key}`")))
+}
+
+/// Deserializes struct field `key` from the entries of a struct map.
+pub fn from_field<'de, T: Deserialize<'de>, E: Error>(
+    entries: &[(String, Value)],
+    key: &str,
+) -> Result<T, E> {
+    from_value(field_value::<E>(entries, key)?)
+}
+
+/// Deserializes positional element `index` from a sequence (tuple structs/variants).
+pub fn from_element<'de, T: Deserialize<'de>, E: Error>(
+    items: &[Value],
+    index: usize,
+) -> Result<T, E> {
+    let value = items
+        .get(index)
+        .cloned()
+        .ok_or_else(|| E::custom(format!("missing tuple element {index}")))?;
+    from_value(value)
+}
+
+/// Produces a uniform "expected X, got Y" error.
+pub fn type_error<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, got {}", got.kind()))
+}

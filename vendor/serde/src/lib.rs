@@ -1,0 +1,22 @@
+//! A minimal, self-contained re-implementation of the subset of `serde` used by this
+//! workspace.
+//!
+//! The build environment has no access to a crates registry, so this vendored crate
+//! provides the same trait names and call shapes as real serde — `Serialize`,
+//! `Serializer`, `Deserialize`, `Deserializer`, `ser::Error`, `de::Error`, and the
+//! derive macros — backed by a simple owned [`value::Value`] data model instead of
+//! serde's zero-copy visitor machinery. `serde_json` (also vendored) renders that data
+//! model to and from JSON text, which is the only serialization format the workspace
+//! uses.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,389 @@
+//! The owned data model backing this vendored serde, plus the single [`Serializer`]
+//! implementation ([`ValueSerializer`]) that builds it.
+
+use crate::ser::{
+    Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant,
+    SerializeTuple, SerializeTupleVariant, Serializer,
+};
+use std::fmt;
+
+/// A loosely-typed serialized value — the equivalent of `serde_json::Value`, shared by
+/// the serializer and deserializer halves of this crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for `None` and unit).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (struct fields, externally-tagged variants).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the map entries if this value is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this value is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short human-readable description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// The error type shared by serialization and deserialization in this vendored stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl crate::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl crate::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes any [`Serialize`] type into the [`Value`] data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// The canonical [`Serializer`]: builds a [`Value`] tree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ValueSerializer;
+
+/// In-progress sequence produced by [`ValueSerializer`].
+#[derive(Debug, Default)]
+pub struct SeqBuilder {
+    items: Vec<Value>,
+}
+
+/// In-progress map/struct produced by [`ValueSerializer`].
+#[derive(Debug, Default)]
+pub struct MapBuilder {
+    entries: Vec<(String, Value)>,
+    variant: Option<&'static str>,
+}
+
+/// In-progress tuple/tuple-variant produced by [`ValueSerializer`].
+#[derive(Debug, Default)]
+pub struct TupleBuilder {
+    items: Vec<Value>,
+    variant: Option<&'static str>,
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqBuilder;
+    type SerializeTuple = TupleBuilder;
+    type SerializeMap = MapBuilder;
+    type SerializeStruct = MapBuilder;
+    type SerializeTupleVariant = TupleBuilder;
+    type SerializeStructVariant = MapBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        if v >= 0 {
+            Ok(Value::U64(v as u64))
+        } else {
+            Ok(Value::I64(v))
+        }
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::U64(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::F64(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::Str(v.to_owned()))
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<Value, Error> {
+        Ok(Value::Seq(v.iter().map(|b| Value::U64(*b as u64)).collect()))
+    }
+
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::Str(variant.to_owned()))
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        let inner = value.serialize(ValueSerializer)?;
+        Ok(Value::Map(vec![(variant.to_owned(), inner)]))
+    }
+
+    fn serialize_value_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: Value,
+    ) -> Result<Value, Error> {
+        Ok(Value::Map(vec![(variant.to_owned(), value)]))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<TupleBuilder, Error> {
+        Ok(TupleBuilder {
+            items: Vec::with_capacity(len),
+            variant: None,
+        })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+            variant: None,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len),
+            variant: None,
+        })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<TupleBuilder, Error> {
+        Ok(TupleBuilder {
+            items: Vec::with_capacity(len),
+            variant: Some(variant),
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<MapBuilder, Error> {
+        Ok(MapBuilder {
+            entries: Vec::with_capacity(len),
+            variant: Some(variant),
+        })
+    }
+}
+
+impl SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Seq(self.items))
+    }
+}
+
+impl TupleBuilder {
+    fn finish(self) -> Value {
+        let seq = Value::Seq(self.items);
+        match self.variant {
+            Some(variant) => Value::Map(vec![(variant.to_owned(), seq)]),
+            None => seq,
+        }
+    }
+}
+
+impl SerializeTuple for TupleBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl SerializeTupleVariant for TupleBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl MapBuilder {
+    fn finish(self) -> Value {
+        let map = Value::Map(self.entries);
+        match self.variant {
+            Some(variant) => Value::Map(vec![(variant.to_owned(), map)]),
+            None => map,
+        }
+    }
+}
+
+impl SerializeMap for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        let key = match key.serialize(ValueSerializer)? {
+            Value::Str(s) => s,
+            other => {
+                return Err(crate::ser::Error::custom(format!(
+                    "map keys must serialize to strings, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        self.entries.push((key, value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl SerializeStruct for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entries
+            .push((key.to_owned(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+
+    fn serialize_field_value(&mut self, key: &'static str, value: Value) -> Result<(), Error> {
+        self.entries.push((key.to_owned(), value));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}
+
+impl SerializeStructVariant for MapBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entries
+            .push((key.to_owned(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+
+    fn serialize_field_value(&mut self, key: &'static str, value: Value) -> Result<(), Error> {
+        self.entries.push((key.to_owned(), value));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(self.finish())
+    }
+}

@@ -1,0 +1,609 @@
+//! Derive macros for the vendored minimal serde.
+//!
+//! Implemented directly on `proc_macro` token streams (the build environment has no
+//! `syn`/`quote`), so parsing is deliberately limited to the shapes this workspace
+//! uses: structs (named, tuple, unit) and enums (unit, newtype, tuple, struct
+//! variants), simple type parameters without bounds or where-clauses, and the
+//! `#[serde(with = "path")]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+}
+
+struct Field {
+    name: Option<String>,
+    with: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Self {
+        Parser {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let tok = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        tok
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("serde derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consumes leading attributes, returning the `with` path if a
+    /// `#[serde(with = "...")]` attribute is present.
+    fn eat_attrs(&mut self) -> Option<String> {
+        let mut with = None;
+        while self.at_punct('#') {
+            self.pos += 1;
+            match self.bump() {
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Bracket => {
+                    if let Some(path) = parse_serde_with(group.stream()) {
+                        with = Some(path);
+                    }
+                }
+                other => panic!("serde derive: expected attribute body, found {other:?}"),
+            }
+        }
+        with
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(super)`, ... if present.
+    fn eat_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skips a type (or any token run) up to a top-level `,`, tracking `<`/`>` depth.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0usize;
+        let mut prev_was_dash = false;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle_depth == 0 {
+                        break;
+                    }
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' && !prev_was_dash {
+                        angle_depth = angle_depth.saturating_sub(1);
+                    }
+                    prev_was_dash = c == '-';
+                }
+                _ => prev_was_dash = false,
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parses `<A, B, ...>` after the type name, returning the parameter names.
+    /// Bounds inside the list are skipped; only plain type parameters are supported.
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        if !self.eat_punct('<') {
+            return params;
+        }
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        while depth > 0 {
+            match self.bump() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => {
+                        depth += 1;
+                        at_param_start = false;
+                    }
+                    '>' => {
+                        depth -= 1;
+                    }
+                    ',' if depth == 1 => at_param_start = true,
+                    '\'' => {
+                        // Lifetime: consume its identifier, do not record it.
+                        self.pos += 1;
+                        at_param_start = false;
+                    }
+                    _ => at_param_start = false,
+                },
+                Some(TokenTree::Ident(ident)) => {
+                    if at_param_start && depth == 1 {
+                        params.push(ident.to_string());
+                    }
+                    at_param_start = false;
+                }
+                Some(_) => at_param_start = false,
+                None => panic!("serde derive: unterminated generic parameter list"),
+            }
+        }
+        params
+    }
+}
+
+fn parse_serde_with(stream: TokenStream) -> Option<String> {
+    let mut toks = stream.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let group = match toks.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => group,
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.as_slice() {
+        [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if key.to_string() == "with" && eq.as_char() == '=' =>
+        {
+            let raw = lit.to_string();
+            Some(raw.trim_matches('"').to_string())
+        }
+        _ => panic!(
+            "serde derive: unsupported #[serde(...)] attribute; only `with = \"path\"` is supported"
+        ),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut parser = Parser::new(input);
+    parser.eat_attrs();
+    parser.eat_visibility();
+    let kind = parser.expect_ident();
+    let name = parser.expect_ident();
+    let generics = parser.parse_generics();
+    let data = match kind.as_str() {
+        "struct" => match parser.bump() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(group.stream())))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(parse_tuple_fields(group.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("serde derive: unsupported struct body {other:?} (where-clauses are not supported)"),
+        },
+        "enum" => match parser.bump() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(group.stream()))
+            }
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}` (unions are not supported)"),
+    };
+    Item {
+        name,
+        generics,
+        data,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut parser = Parser::new(stream);
+    let mut fields = Vec::new();
+    while parser.peek().is_some() {
+        let with = parser.eat_attrs();
+        parser.eat_visibility();
+        let name = parser.expect_ident();
+        if !parser.eat_punct(':') {
+            panic!("serde derive: expected `:` after field `{name}`");
+        }
+        parser.skip_type();
+        parser.eat_punct(',');
+        fields.push(Field {
+            name: Some(name),
+            with,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut parser = Parser::new(stream);
+    let mut fields = Vec::new();
+    while parser.peek().is_some() {
+        let with = parser.eat_attrs();
+        parser.eat_visibility();
+        parser.skip_type();
+        parser.eat_punct(',');
+        fields.push(Field { name: None, with });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut parser = Parser::new(stream);
+    let mut variants = Vec::new();
+    while parser.peek().is_some() {
+        parser.eat_attrs();
+        let name = parser.expect_ident();
+        let fields = match parser.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = Fields::Named(parse_named_fields(group.stream()));
+                parser.pos += 1;
+                fields
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let fields = Fields::Tuple(parse_tuple_fields(group.stream()));
+                parser.pos += 1;
+                fields
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if parser.eat_punct('=') {
+            parser.skip_type();
+        }
+        parser.eat_punct(',');
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+fn ser_impl_header(item: &Item) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::Serialize for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: ::serde::Serialize"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::Serialize for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn ser_with_value(path: &str, expr: &str) -> String {
+    format!(
+        "{path}::serialize({expr}, ::serde::value::ValueSerializer)\
+         .map_err(|__e| <__S::Error as ::serde::ser::Error>::custom(__e))?"
+    )
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Unit) => "::serde::Serializer::serialize_unit(__serializer)".to_string(),
+        Data::Struct(Fields::Named(fields)) => {
+            let mut out = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for field in fields {
+                let fname = field.name.as_ref().unwrap();
+                match &field.with {
+                    None => out.push_str(&format!(
+                        "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{fname}\", &self.{fname})?;\n"
+                    )),
+                    Some(path) => out.push_str(&format!(
+                        "{{ let __v = {}; ::serde::ser::SerializeStruct::serialize_field_value(&mut __state, \"{fname}\", __v)?; }}\n",
+                        ser_with_value(path, &format!("&self.{fname}"))
+                    )),
+                }
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__state)");
+            out
+        }
+        Data::Struct(Fields::Tuple(fields)) if fields.len() == 1 => match &fields[0].with {
+            None => "::serde::Serialize::serialize(&self.0, __serializer)".to_string(),
+            Some(path) => format!("{path}::serialize(&self.0, __serializer)"),
+        },
+        Data::Struct(Fields::Tuple(fields)) => {
+            let mut out = format!(
+                "let mut __state = ::serde::Serializer::serialize_tuple(__serializer, {})?;\n",
+                fields.len()
+            );
+            for (i, field) in fields.iter().enumerate() {
+                if field.with.is_some() {
+                    panic!("serde derive: `with` on multi-field tuple structs is not supported");
+                }
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTuple::serialize_element(&mut __state, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTuple::end(__state)");
+            out
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(__serializer, \"{name}\", {index}u32, \"{vname}\"),\n"
+                    )),
+                    Fields::Tuple(fields) if fields.len() == 1 => match &fields[0].with {
+                        None => arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", __f0),\n"
+                        )),
+                        Some(path) => arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => {{ let __v = {}; ::serde::Serializer::serialize_value_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", __v) }},\n",
+                            ser_with_value(path, "__f0")
+                        )),
+                    },
+                    Fields::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{ let mut __state = ::serde::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", {})?;\n",
+                            binders.join(", "),
+                            fields.len()
+                        );
+                        for (i, field) in fields.iter().enumerate() {
+                            if field.with.is_some() {
+                                panic!("serde derive: `with` on multi-field tuple variants is not supported");
+                            }
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, __f{i})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTupleVariant::end(__state) },\n");
+                        arms.push_str(&arm);
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<String> = fields
+                            .iter()
+                            .map(|f| f.name.clone().unwrap())
+                            .collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{ let mut __state = ::serde::Serializer::serialize_struct_variant(__serializer, \"{name}\", {index}u32, \"{vname}\", {})?;\n",
+                            binders.join(", "),
+                            fields.len()
+                        );
+                        for field in fields {
+                            let fname = field.name.as_ref().unwrap();
+                            match &field.with {
+                                None => arm.push_str(&format!(
+                                    "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{fname}\", {fname})?;\n"
+                                )),
+                                Some(path) => arm.push_str(&format!(
+                                    "{{ let __v = {}; ::serde::ser::SerializeStructVariant::serialize_field_value(&mut __state, \"{fname}\", __v)?; }}\n",
+                                    ser_with_value(path, fname)
+                                )),
+                            }
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__state) },\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n}}\n}}\n",
+        ser_impl_header(item)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+fn de_impl_header(item: &Item) -> String {
+    if item.generics.is_empty() {
+        format!("impl<'de> ::serde::Deserialize<'de> for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: ::serde::Deserialize<'de>"))
+            .collect();
+        format!(
+            "impl<'de, {}> ::serde::Deserialize<'de> for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn de_error(msg: &str) -> String {
+    format!("<__D::Error as ::serde::de::Error>::custom({msg})")
+}
+
+fn de_named_fields(constructor: &str, fields: &[Field], entries_expr: &str) -> String {
+    let mut out = format!("::core::result::Result::Ok({constructor} {{\n");
+    for field in fields {
+        let fname = field.name.as_ref().unwrap();
+        match &field.with {
+            None => out.push_str(&format!(
+                "{fname}: ::serde::de::from_field::<_, __D::Error>({entries_expr}, \"{fname}\")?,\n"
+            )),
+            Some(path) => out.push_str(&format!(
+                "{fname}: {path}::deserialize(::serde::de::ValueDeserializer::<__D::Error>::new(::serde::de::field_value::<__D::Error>({entries_expr}, \"{fname}\")?))?,\n"
+            )),
+        }
+    }
+    out.push_str("})");
+    out
+}
+
+fn de_tuple_fields(constructor: &str, fields: &[Field], items_expr: &str) -> String {
+    let mut parts = Vec::new();
+    for (i, field) in fields.iter().enumerate() {
+        match &field.with {
+            None => parts.push(format!(
+                "::serde::de::from_element::<_, __D::Error>({items_expr}, {i})?"
+            )),
+            Some(path) => parts.push(format!(
+                "{path}::deserialize(::serde::de::ValueDeserializer::<__D::Error>::new({items_expr}.get({i}).cloned().unwrap_or(::serde::value::Value::Null)))?"
+            )),
+        }
+    }
+    format!(
+        "::core::result::Result::Ok({constructor}({}))",
+        parts.join(", ")
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let expected_map = de_error(&format!("\"{name}: expected map\""));
+    let expected_seq = de_error(&format!("\"{name}: expected sequence\""));
+    let body = match &item.data {
+        Data::Struct(Fields::Unit) => format!(
+            "let _ = ::serde::Deserializer::deserialize_value(__deserializer)?;\n\
+             ::core::result::Result::Ok({name})"
+        ),
+        Data::Struct(Fields::Named(fields)) => format!(
+            "let __value = ::serde::Deserializer::deserialize_value(__deserializer)?;\n\
+             let __entries = __value.as_map().ok_or_else(|| {expected_map})?;\n{}",
+            de_named_fields(name, fields, "__entries")
+        ),
+        Data::Struct(Fields::Tuple(fields)) if fields.len() == 1 => match &fields[0].with {
+            None => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__deserializer)?))"
+            ),
+            Some(path) => format!(
+                "::core::result::Result::Ok({name}({path}::deserialize(__deserializer)?))"
+            ),
+        },
+        Data::Struct(Fields::Tuple(fields)) => format!(
+            "let __value = ::serde::Deserializer::deserialize_value(__deserializer)?;\n\
+             let __items = __value.as_seq().ok_or_else(|| {expected_seq})?;\n{}",
+            de_tuple_fields(name, fields, "__items")
+        ),
+        Data::Enum(variants) => {
+            let unknown = de_error(&format!(
+                "format!(\"unknown variant `{{__other}}` of {name}\")"
+            ));
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(fields) if fields.len() == 1 => match &fields[0].with {
+                        None => data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(::serde::de::from_value::<_, __D::Error>(__v.clone())?)),\n"
+                        )),
+                        Some(path) => data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}({path}::deserialize(::serde::de::ValueDeserializer::<__D::Error>::new(__v.clone()))?)),\n"
+                        )),
+                    },
+                    Fields::Tuple(fields) => data_arms.push_str(&format!(
+                        "\"{vname}\" => {{ let __items = __v.as_seq().ok_or_else(|| {expected_seq})?;\n{} }},\n",
+                        de_tuple_fields(&format!("{name}::{vname}"), fields, "__items")
+                    )),
+                    Fields::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vname}\" => {{ let __entries = __v.as_map().ok_or_else(|| {expected_map})?;\n{} }},\n",
+                        de_named_fields(&format!("{name}::{vname} "), fields, "__entries")
+                    )),
+                }
+            }
+            format!(
+                "let __value = ::serde::Deserializer::deserialize_value(__deserializer)?;\n\
+                 match &__value {{\n\
+                 ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err({unknown}),\n\
+                 }},\n\
+                 ::serde::value::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err({unknown}),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::core::result::Result::Err({}),\n\
+                 }}",
+                de_error(&format!(
+                    "\"{name}: expected variant name or single-entry map\""
+                ))
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         {body}\n}}\n}}\n",
+        de_impl_header(item)
+    )
+}
