@@ -213,6 +213,32 @@ impl UtxoSet {
     pub fn insert_unchecked(&mut self, outpoint: OutPoint, entry: UtxoEntry) {
         self.entries.insert(outpoint, entry);
     }
+
+    /// Removes an output regardless of spend rules, returning the removed entry.
+    /// Used by ledger views that replay blocks without signature checking.
+    pub fn remove_unchecked(&mut self, outpoint: &OutPoint) -> Option<UtxoEntry> {
+        self.entries.remove(outpoint)
+    }
+
+    /// A deterministic commitment to the entire set: entries are serialised in
+    /// outpoint order and hashed. Two nodes hold the same UTXO state iff their
+    /// commitments match, which is how the live testnet checks convergence.
+    pub fn commitment(&self) -> ng_crypto::sha256::Hash256 {
+        let mut keys: Vec<&OutPoint> = self.entries.keys().collect();
+        keys.sort_unstable_by_key(|op| (op.txid, op.vout));
+        let mut data = Vec::with_capacity(keys.len() * 80 + 8);
+        data.extend_from_slice(&(keys.len() as u64).to_le_bytes());
+        for outpoint in keys {
+            let entry = &self.entries[outpoint];
+            data.extend_from_slice(&outpoint.txid.0);
+            data.extend_from_slice(&outpoint.vout.to_le_bytes());
+            data.extend_from_slice(&entry.output.amount.sats().to_le_bytes());
+            data.extend_from_slice(&entry.output.address.0 .0);
+            data.extend_from_slice(&entry.height.to_le_bytes());
+            data.push(entry.coinbase as u8);
+        }
+        ng_crypto::sha256::sha256(&data)
+    }
 }
 
 #[cfg(test)]
@@ -357,5 +383,35 @@ mod tests {
         assert_eq!(owned.len(), 1);
         assert_eq!(owned[0].0, outpoint);
         assert_eq!(set.total_value(), Amount::from_coins(5));
+    }
+
+    #[test]
+    fn commitment_is_insertion_order_independent() {
+        let alice = KeyPair::from_id(14);
+        let bob = KeyPair::from_id(15);
+        let out_a = OutPoint::new(ng_crypto::sha256::sha256(b"a"), 0);
+        let out_b = OutPoint::new(ng_crypto::sha256::sha256(b"b"), 1);
+        let entry_a = UtxoEntry {
+            output: TxOutput::new(Amount::from_sats(10), alice.address()),
+            height: 1,
+            coinbase: false,
+        };
+        let entry_b = UtxoEntry {
+            output: TxOutput::new(Amount::from_sats(20), bob.address()),
+            height: 2,
+            coinbase: true,
+        };
+        let mut forward = UtxoSet::new();
+        forward.insert_unchecked(out_a, entry_a);
+        forward.insert_unchecked(out_b, entry_b);
+        let mut backward = UtxoSet::new();
+        backward.insert_unchecked(out_b, entry_b);
+        backward.insert_unchecked(out_a, entry_a);
+        assert_eq!(forward.commitment(), backward.commitment());
+
+        // Any state difference changes the commitment.
+        backward.remove_unchecked(&out_a);
+        assert_ne!(forward.commitment(), backward.commitment());
+        assert_ne!(UtxoSet::new().commitment(), forward.commitment());
     }
 }

@@ -140,22 +140,34 @@ impl NgNode {
         kb
     }
 
+    /// Timestamp of the last microblock this node produced (0 if none yet).
+    pub fn last_microblock_ms(&self) -> u64 {
+        self.last_microblock_ms
+    }
+
+    /// True if this node could produce a microblock at `now_ms`: it is the leader and
+    /// both the protocol minimum and the configured production interval have elapsed.
+    /// Production hook for external schedulers (the live daemon's event loop), which
+    /// check readiness before assembling a payload from their mempool.
+    pub fn microblock_ready(&self, now_ms: u64) -> bool {
+        if !self.is_leader() {
+            return false;
+        }
+        let params = self.chain.params();
+        let parent = self.chain.tip();
+        let parent_time = self.chain.get(&parent).map(|b| b.time_ms()).unwrap_or(0);
+        now_ms >= parent_time + params.min_microblock_interval_ms
+            && now_ms >= self.last_microblock_ms + params.microblock_interval_ms
+    }
+
     /// Produces (and adopts) a microblock carrying `payload` if this node is the
     /// current leader and the minimum microblock spacing has elapsed (§4.2).
     pub fn produce_microblock(&mut self, now_ms: u64, payload: Payload) -> Option<MicroBlock> {
-        if !self.is_leader() {
+        if !self.microblock_ready(now_ms) {
             return None;
         }
         let params = *self.chain.params();
         let parent = self.chain.tip();
-        let parent_time = self.chain.get(&parent).map(|b| b.time_ms()).unwrap_or(0);
-        // Respect both the protocol minimum and the configured production interval.
-        if now_ms < parent_time + params.min_microblock_interval_ms {
-            return None;
-        }
-        if now_ms < self.last_microblock_ms + params.microblock_interval_ms {
-            return None;
-        }
         let header = MicroHeader {
             prev: parent,
             time_ms: now_ms,
@@ -277,7 +289,22 @@ mod tests {
     #[test]
     fn non_leader_cannot_produce_microblocks() {
         let mut node = NgNode::new(1, params(), 42);
+        assert!(!node.microblock_ready(1_000));
         assert!(node.produce_microblock(1_000, synthetic_payload(1, 0)).is_none());
+    }
+
+    #[test]
+    fn microblock_ready_tracks_spacing_rules() {
+        let mut node = NgNode::new(1, params(), 42);
+        node.mine_and_adopt_key_block(1_000);
+        // Too close to the key block (min interval 10 ms).
+        assert!(!node.microblock_ready(1_005));
+        assert!(node.microblock_ready(1_100));
+        node.produce_microblock(1_100, synthetic_payload(1, 0)).unwrap();
+        assert_eq!(node.last_microblock_ms(), 1_100);
+        // Configured production interval is 100 ms.
+        assert!(!node.microblock_ready(1_150));
+        assert!(node.microblock_ready(1_200));
     }
 
     #[test]

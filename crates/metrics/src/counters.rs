@@ -1,0 +1,176 @@
+//! Lightweight atomic counters for live nodes.
+//!
+//! The simulator produces a complete [`crate::log::ExperimentLog`] after the fact; a
+//! live daemon instead needs cheap always-on counters it can bump from its event loop
+//! and expose in status reports. [`NodeCounters`] groups the counters a Bitcoin-NG
+//! node maintains; [`CounterSnapshot`] is the plain-data copy handed to reports.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single monotonically increasing event counter, safe to bump from any thread.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The counters a live node maintains across its event loop.
+#[derive(Debug, Default)]
+pub struct NodeCounters {
+    /// Messages received from peers (after decoding).
+    pub messages_in: Counter,
+    /// Messages sent to peers.
+    pub messages_out: Counter,
+    /// Connections established (inbound + outbound).
+    pub connections: Counter,
+    /// Connections lost or dropped.
+    pub disconnects: Counter,
+    /// Blocks accepted into the chain (key blocks + microblocks, local or remote).
+    pub blocks_accepted: Counter,
+    /// Blocks rejected by validation.
+    pub blocks_rejected: Counter,
+    /// Blocks buffered because their parent was unknown.
+    pub blocks_orphaned: Counter,
+    /// Duplicate blocks ignored.
+    pub blocks_duplicate: Counter,
+    /// Main-chain reorganisations applied.
+    pub reorgs: Counter,
+    /// Key blocks mined by this node.
+    pub key_blocks_mined: Counter,
+    /// Microblocks produced by this node while leader.
+    pub microblocks_produced: Counter,
+    /// Transactions accepted into the mempool.
+    pub txs_accepted: Counter,
+    /// `getheaders` requests served to peers.
+    pub sync_requests_served: Counter,
+    /// `headers` batches received while syncing from peers.
+    pub sync_batches_received: Counter,
+}
+
+impl NodeCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plain-data copy of every counter at this instant.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            messages_in: self.messages_in.get(),
+            messages_out: self.messages_out.get(),
+            connections: self.connections.get(),
+            disconnects: self.disconnects.get(),
+            blocks_accepted: self.blocks_accepted.get(),
+            blocks_rejected: self.blocks_rejected.get(),
+            blocks_orphaned: self.blocks_orphaned.get(),
+            blocks_duplicate: self.blocks_duplicate.get(),
+            reorgs: self.reorgs.get(),
+            key_blocks_mined: self.key_blocks_mined.get(),
+            microblocks_produced: self.microblocks_produced.get(),
+            txs_accepted: self.txs_accepted.get(),
+            sync_requests_served: self.sync_requests_served.get(),
+            sync_batches_received: self.sync_batches_received.get(),
+        }
+    }
+}
+
+/// Point-in-time values of a [`NodeCounters`] set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Messages received from peers.
+    pub messages_in: u64,
+    /// Messages sent to peers.
+    pub messages_out: u64,
+    /// Connections established.
+    pub connections: u64,
+    /// Connections lost or dropped.
+    pub disconnects: u64,
+    /// Blocks accepted into the chain.
+    pub blocks_accepted: u64,
+    /// Blocks rejected by validation.
+    pub blocks_rejected: u64,
+    /// Blocks buffered for a missing parent.
+    pub blocks_orphaned: u64,
+    /// Duplicate blocks ignored.
+    pub blocks_duplicate: u64,
+    /// Main-chain reorganisations applied.
+    pub reorgs: u64,
+    /// Key blocks mined locally.
+    pub key_blocks_mined: u64,
+    /// Microblocks produced locally.
+    pub microblocks_produced: u64,
+    /// Transactions accepted into the mempool.
+    pub txs_accepted: u64,
+    /// `getheaders` requests served.
+    pub sync_requests_served: u64,
+    /// `headers` batches received.
+    pub sync_batches_received: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn snapshot_copies_values() {
+        let counters = NodeCounters::new();
+        counters.blocks_accepted.add(3);
+        counters.reorgs.incr();
+        let snap = counters.snapshot();
+        assert_eq!(snap.blocks_accepted, 3);
+        assert_eq!(snap.reorgs, 1);
+        assert_eq!(snap.messages_in, 0);
+        // Snapshots are decoupled from later updates.
+        counters.reorgs.incr();
+        assert_eq!(snap.reorgs, 1);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let counters = Arc::new(NodeCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&counters);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.messages_in.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counters.snapshot().messages_in, 4000);
+    }
+}

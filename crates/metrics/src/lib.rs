@@ -8,15 +8,18 @@
 //! * [`timeline`] — per-node best-tip timelines reconstructed from the log.
 //! * [`report`] — the metric computations.
 //! * [`stats`] — percentile helpers.
+//! * [`counters`] — atomic event counters for live (non-simulated) nodes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod log;
 pub mod report;
 pub mod stats;
 pub mod timeline;
 
+pub use counters::{Counter, CounterSnapshot, NodeCounters};
 pub use log::{BlockRecord, ChainIndex, ExperimentLog, Receipt};
 pub use report::{compute_report, MetricsReport};
 pub use stats::{mean, percentile, quartiles, summarize, Quartiles, Summary};

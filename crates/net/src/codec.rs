@@ -143,6 +143,7 @@ impl FrameCodec {
 mod tests {
     use super::*;
     use crate::message::{InvItem, InvKind, ProtocolKind};
+    use crate::sync::HeaderRecord;
     use ng_crypto::sha256::sha256;
     use proptest::prelude::*;
 
@@ -159,6 +160,16 @@ mod tests {
                 InvItem::new(InvKind::KeyBlock, sha256(b"k")),
                 InvItem::new(InvKind::MicroBlock, sha256(b"m")),
             ]),
+            Message::GetHeaders {
+                locator: vec![sha256(b"tip"), sha256(b"genesis")],
+                limit: 128,
+            },
+            Message::Headers(vec![HeaderRecord {
+                id: sha256(b"h1"),
+                prev: sha256(b"h0"),
+                kind: InvKind::MicroBlock,
+                height: 12,
+            }]),
             Message::Ping(7),
         ]
     }

@@ -49,6 +49,11 @@ impl GossipRelay {
         self.peers.len()
     }
 
+    /// Number of registered connections whose handshake has completed.
+    pub fn ready_peer_count(&self) -> usize {
+        self.peers.values().filter(|p| p.is_ready()).count()
+    }
+
     /// True if the relay already holds the object.
     pub fn has_object(&self, id: &Hash256) -> bool {
         self.objects.contains_key(id)

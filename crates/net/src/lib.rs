@@ -15,8 +15,11 @@
 //! * [`peer`] — the per-connection state machine (handshake, inventory bookkeeping).
 //! * [`gossip`] — the node-level relay: what to send to whom when a block or
 //!   transaction first becomes known.
+//! * [`sync`] — block locators and batched header serving for catching up with peers
+//!   that are ahead (fresh nodes, partition healing).
 //! * [`tcp`] — a small blocking TCP transport (std::net + threads) used by the
-//!   examples; the discrete-event simulator in `ng-sim` is used for large-scale runs.
+//!   examples and the `ng_node` daemon; the discrete-event simulator in `ng-sim` is
+//!   used for large-scale runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,10 +28,12 @@ pub mod codec;
 pub mod gossip;
 pub mod message;
 pub mod peer;
+pub mod sync;
 pub mod tcp;
 
 pub use codec::{CodecError, FrameCodec};
 pub use gossip::{GossipAction, GossipRelay};
 pub use message::{InvItem, InvKind, Message, ProtocolKind};
 pub use peer::{Peer, PeerAction, PeerError, PeerState};
+pub use sync::{build_locator, ids_after_locator, locate_fork_index, HeaderRecord};
 pub use tcp::{TcpEndpoint, TcpEvent};

@@ -5,6 +5,7 @@
 //! carriers) extended with Bitcoin-NG's two block types. Message bodies are serialized
 //! with serde; framing, checksums and size limits live in [`crate::codec`].
 
+use crate::sync::HeaderRecord;
 use ng_baseline::btc_block::BtcBlock;
 use ng_chain::transaction::Transaction;
 use ng_core::block::{KeyBlock, MicroBlock};
@@ -77,6 +78,17 @@ pub enum Message {
     MicroBlock(Box<MicroBlock>),
     /// A transaction.
     Tx(Box<Transaction>),
+    /// Header-sync request: a block locator (main-chain hashes, newest first) plus the
+    /// maximum number of header records the sender is willing to receive.
+    GetHeaders {
+        /// Exponentially spaced main-chain hashes, newest first.
+        locator: Vec<Hash256>,
+        /// Maximum number of records in the reply.
+        limit: u32,
+    },
+    /// Header-sync response: main-chain blocks after the locator's fork point, oldest
+    /// first. A batch shorter than the requested limit means the tip was reached.
+    Headers(Vec<HeaderRecord>),
     /// Keepalive probe.
     Ping(u64),
     /// Keepalive response (echoes the probe nonce).
@@ -95,6 +107,8 @@ impl Message {
             Message::KeyBlock(_) => "keyblock",
             Message::MicroBlock(_) => "microblock",
             Message::Tx(_) => "tx",
+            Message::GetHeaders { .. } => "getheaders",
+            Message::Headers(_) => "headers",
             Message::Ping(_) => "ping",
             Message::Pong(_) => "pong",
         }
@@ -130,6 +144,15 @@ mod tests {
         assert_eq!(Message::Verack.command(), "verack");
         assert_eq!(Message::Ping(1).command(), "ping");
         assert_eq!(Message::Inv(vec![]).command(), "inv");
+        assert_eq!(
+            Message::GetHeaders {
+                locator: vec![],
+                limit: 16
+            }
+            .command(),
+            "getheaders"
+        );
+        assert_eq!(Message::Headers(vec![]).command(), "headers");
     }
 
     #[test]
@@ -162,6 +185,16 @@ mod tests {
             Message::Verack,
             Message::Inv(vec![InvItem::new(InvKind::KeyBlock, sha256(b"a"))]),
             Message::GetData(vec![InvItem::new(InvKind::MicroBlock, sha256(b"b"))]),
+            Message::GetHeaders {
+                locator: vec![sha256(b"tip"), sha256(b"older")],
+                limit: 64,
+            },
+            Message::Headers(vec![crate::sync::HeaderRecord {
+                id: sha256(b"kb"),
+                prev: sha256(b"parent"),
+                kind: InvKind::KeyBlock,
+                height: 7,
+            }]),
             Message::Ping(99),
             Message::Pong(99),
         ];

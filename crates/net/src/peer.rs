@@ -271,6 +271,18 @@ impl Peer {
                     .map(PeerAction::Announced)
                     .collect()
             }
+            sync @ Message::GetHeaders { .. } => {
+                // The caller owns the chain; surface the request for it to serve.
+                vec![PeerAction::Deliver(sync)]
+            }
+            Message::Headers(records) => {
+                // The serving peer has every block it describes; remember that so the
+                // fetched blocks are not announced straight back to it.
+                for record in &records {
+                    self.known.insert(record.id);
+                }
+                vec![PeerAction::Deliver(Message::Headers(records))]
+            }
             carried @ (Message::Block(_)
             | Message::KeyBlock(_)
             | Message::MicroBlock(_)
@@ -374,6 +386,37 @@ mod tests {
         let (mut alice, _) = handshake_pair();
         let actions = alice.on_message(Message::Ping(77), 5, 300);
         assert_eq!(actions, vec![PeerAction::Send(Message::Pong(77))]);
+    }
+
+    #[test]
+    fn sync_messages_are_delivered_and_remembered() {
+        let (mut alice, _) = handshake_pair();
+        let request = Message::GetHeaders {
+            locator: vec![sha256(b"tip")],
+            limit: 32,
+        };
+        assert_eq!(
+            alice.on_message(request.clone(), 5, 500),
+            vec![PeerAction::Deliver(request)]
+        );
+        let record = crate::sync::HeaderRecord {
+            id: sha256(b"kb1"),
+            prev: sha256(b"kb0"),
+            kind: InvKind::KeyBlock,
+            height: 3,
+        };
+        let actions = alice.on_message(Message::Headers(vec![record]), 5, 501);
+        assert_eq!(actions, vec![PeerAction::Deliver(Message::Headers(vec![record]))]);
+        // The serving peer is now known to have the described block.
+        assert!(alice.knows(&record.id));
+
+        // Sync messages before the handshake are protocol violations.
+        let mut fresh = Peer::inbound(9, ProtocolKind::BitcoinNg);
+        let actions = fresh.on_message(Message::Headers(vec![]), 0, 0);
+        assert!(matches!(
+            actions.last(),
+            Some(PeerAction::Disconnect(PeerError::MessageBeforeHandshake("headers")))
+        ));
     }
 
     #[test]

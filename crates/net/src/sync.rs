@@ -1,0 +1,171 @@
+//! Header synchronisation: block locators and batched header serving.
+//!
+//! When a node connects to a peer whose best chain is ahead of its own (a fresh node,
+//! or one returning from a partition), gossip alone cannot help — `inv` only announces
+//! *new* objects. The sync protocol closes the gap the way Bitcoin does: the
+//! lagging side sends a *block locator* (exponentially spaced main-chain hashes,
+//! newest first), the serving side finds the latest locator entry on its own main
+//! chain and replies with a batch of [`HeaderRecord`]s for everything after it. The
+//! requester fetches the blocks it is missing through the ordinary `getdata` path and
+//! asks for the next batch until a partial batch signals the tip was reached.
+//!
+//! The functions here are pure — they operate on main-chain id slices — so the whole
+//! exchange is unit-testable without sockets; `ng_node` drives them over TCP.
+
+use crate::message::InvKind;
+use ng_crypto::sha256::Hash256;
+use serde::{Deserialize, Serialize};
+
+/// Default maximum number of header records per `headers` batch.
+pub const DEFAULT_HEADER_BATCH: u32 = 256;
+
+/// A compact description of one block, enough for a peer to decide whether it needs
+/// the full block and to request blocks in parent-before-child order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderRecord {
+    /// The block id.
+    pub id: Hash256,
+    /// The parent block id.
+    pub prev: Hash256,
+    /// Whether the block is a key block or a microblock.
+    pub kind: InvKind,
+    /// Height of the block on the server's main chain.
+    pub height: u64,
+}
+
+/// Builds a block locator over a main chain (genesis first, as returned by
+/// `ChainStore::main_chain`): the last ~10 blocks densely, then exponentially sparser
+/// steps, always ending with genesis. Returned newest first.
+pub fn build_locator(main_chain: &[Hash256]) -> Vec<Hash256> {
+    let mut locator = Vec::new();
+    if main_chain.is_empty() {
+        return locator;
+    }
+    let mut index = main_chain.len() - 1;
+    let mut step = 1usize;
+    loop {
+        locator.push(main_chain[index]);
+        if index == 0 {
+            break;
+        }
+        if locator.len() >= 10 {
+            step = step.saturating_mul(2);
+        }
+        index = index.saturating_sub(step);
+    }
+    locator
+}
+
+/// Index into `main_chain` of the most recent block that also appears in `locator`
+/// (the fork point from the server's perspective). Falls back to 0 — the shared
+/// genesis — when nothing matches.
+pub fn locate_fork_index(main_chain: &[Hash256], locator: &[Hash256]) -> usize {
+    // The locator is newest-first, so the first hit is the latest common block.
+    for hash in locator {
+        if let Some(pos) = main_chain.iter().rposition(|id| id == hash) {
+            return pos;
+        }
+    }
+    0
+}
+
+/// The ids a server should describe in response to a locator: everything on its main
+/// chain after the fork point, capped at `limit`. A full batch (`len() == limit`)
+/// tells the requester to ask again; a partial batch means the tip was reached.
+pub fn ids_after_locator<'a>(
+    main_chain: &'a [Hash256],
+    locator: &[Hash256],
+    limit: usize,
+) -> &'a [Hash256] {
+    let fork = locate_fork_index(main_chain, locator);
+    let start = (fork + 1).min(main_chain.len());
+    let end = (start + limit).min(main_chain.len());
+    &main_chain[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_crypto::sha256::sha256;
+
+    fn chain(n: usize) -> Vec<Hash256> {
+        (0..n).map(|i| sha256(&(i as u64).to_le_bytes())).collect()
+    }
+
+    #[test]
+    fn locator_on_short_chain_lists_everything() {
+        let c = chain(5);
+        let loc = build_locator(&c);
+        let mut expect: Vec<Hash256> = c.clone();
+        expect.reverse();
+        assert_eq!(loc, expect);
+    }
+
+    #[test]
+    fn locator_is_dense_near_tip_and_sparse_near_genesis() {
+        let c = chain(200);
+        let loc = build_locator(&c);
+        // Newest first, genesis last.
+        assert_eq!(loc.first(), c.last());
+        assert_eq!(loc.last(), Some(&c[0]));
+        // The first ten entries step by one.
+        for (offset, id) in loc.iter().take(10).enumerate() {
+            assert_eq!(*id, c[c.len() - 1 - offset]);
+        }
+        // Exponential spacing keeps the locator logarithmic in chain length.
+        assert!(loc.len() < 30, "locator too long: {}", loc.len());
+    }
+
+    #[test]
+    fn empty_chain_gives_empty_locator() {
+        assert!(build_locator(&[]).is_empty());
+    }
+
+    #[test]
+    fn fork_index_finds_latest_common_block() {
+        let shared = chain(50);
+        // The "server" extends the shared prefix by 20 blocks.
+        let mut server = shared.clone();
+        server.extend((100..120).map(|i| sha256(&(i as u64).to_le_bytes())));
+        // The "client" extends it differently by 3 blocks.
+        let mut client = shared.clone();
+        client.extend((200..203).map(|i| sha256(&(i as u64).to_le_bytes())));
+
+        let locator = build_locator(&client);
+        let fork = locate_fork_index(&server, &locator);
+        // The latest common block the locator exposes is within the dense window of
+        // the client's last 10 entries plus one sparse step, i.e. at or before 49.
+        assert!(fork < 50);
+        assert_eq!(server[fork], shared[fork]);
+    }
+
+    #[test]
+    fn unknown_locator_falls_back_to_genesis() {
+        let server = chain(10);
+        let locator = vec![sha256(b"not on this chain")];
+        assert_eq!(locate_fork_index(&server, &locator), 0);
+    }
+
+    #[test]
+    fn ids_after_locator_serves_batches_until_tip() {
+        let server = chain(30);
+        let client = server[..10].to_vec();
+        let locator = build_locator(&client);
+        let first = ids_after_locator(&server, &locator, 8);
+        assert_eq!(first.len(), 8, "full batch");
+        assert_eq!(first[0], server[10]);
+        // Pretend the client caught up to block 25; next batch is partial.
+        let caught_up = server[..26].to_vec();
+        let locator = build_locator(&caught_up);
+        let last = ids_after_locator(&server, &locator, 8);
+        assert_eq!(last, &server[26..30]);
+        assert!(last.len() < 8, "partial batch signals the tip");
+    }
+
+    #[test]
+    fn synced_peer_gets_empty_batch() {
+        let server = chain(12);
+        let locator = build_locator(&server);
+        assert!(ids_after_locator(&server, &locator, 16).is_empty());
+    }
+}

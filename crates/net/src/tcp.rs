@@ -15,7 +15,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -54,6 +54,7 @@ pub struct TcpEndpoint {
     events_tx: Sender<TcpEvent>,
     writers: Arc<Mutex<HashMap<u64, TcpStream>>>,
     next_connection: Arc<AtomicU64>,
+    closing: Arc<AtomicBool>,
     codec: FrameCodec,
 }
 
@@ -70,6 +71,7 @@ impl TcpEndpoint {
             events_tx,
             writers: Arc::new(Mutex::new(HashMap::new())),
             next_connection: Arc::new(AtomicU64::new(0)),
+            closing: Arc::new(AtomicBool::new(false)),
             codec: FrameCodec::default(),
         };
         endpoint.spawn_acceptor(listener);
@@ -119,13 +121,31 @@ impl TcpEndpoint {
         self.writers.lock().len()
     }
 
+    /// Stops the endpoint: closes every connection and unblocks the acceptor thread
+    /// so it exits (instead of leaking a blocked thread plus the bound listener for
+    /// the life of the process). Idempotent; also called on drop.
+    pub fn shutdown(&self) {
+        if self.closing.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for (_, stream) in self.writers.lock().drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        // Wake the acceptor blocked in `incoming()`; it sees `closing` and exits.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
     fn spawn_acceptor(&self, listener: TcpListener) {
         let events_tx = self.events_tx.clone();
         let writers = Arc::clone(&self.writers);
         let next_connection = Arc::clone(&self.next_connection);
+        let closing = Arc::clone(&self.closing);
         let codec = self.codec.clone();
         thread::spawn(move || {
             for stream in listener.incoming() {
+                if closing.load(Ordering::SeqCst) {
+                    break;
+                }
                 let Ok(stream) = stream else { break };
                 register_stream(
                     stream,
@@ -148,6 +168,12 @@ impl TcpEndpoint {
             &self.next_connection,
             self.codec.clone(),
         )
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -294,6 +320,30 @@ mod tests {
             }
         }
         assert!(disconnected, "no Disconnected event observed");
+    }
+
+    #[test]
+    fn shutdown_closes_connections_and_stops_accepting() {
+        let server = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let client = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let conn = client.connect(server.local_addr()).unwrap();
+        assert!(wait_connection(&server, Duration::from_secs(5)).is_some());
+        server.shutdown();
+        assert_eq!(server.connection_count(), 0);
+        // The client's side of the connection dies; sending eventually errors.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if client.send(conn, &Message::Ping(1)).is_err() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "connection to a shut-down endpoint never died"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        // Shutdown is idempotent.
+        server.shutdown();
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Property tests for the wire format: every [`Message`] variant must survive an
+//! encode→decode round trip (also under arbitrary stream chunking), and malformed
+//! frames — truncated, corrupted, or mislabelled — must surface a [`CodecError`]
+//! instead of panicking or yielding a bogus message.
+
+use bytes::{BufMut, BytesMut};
+use ng_baseline::btc_block::BtcBlock;
+use ng_chain::amount::Amount;
+use ng_chain::payload::Payload;
+use ng_chain::transaction::{OutPoint, TransactionBuilder};
+use ng_core::block::{MicroBlock, MicroHeader};
+use ng_core::params::NgParams;
+use ng_core::NgNode;
+use ng_crypto::keys::KeyPair;
+use ng_crypto::pow::Target;
+use ng_crypto::sha256::sha256;
+use ng_crypto::signer::{SchnorrSigner, Signer};
+use ng_net::codec::{CodecError, FrameCodec, HEADER_LEN};
+use ng_net::message::{InvItem, InvKind, Message, ProtocolKind};
+use ng_net::sync::HeaderRecord;
+use proptest::prelude::*;
+
+/// One instance of every `Message` variant, parameterised by a seed so the property
+/// tests exercise varying payload contents.
+fn every_variant(seed: u64) -> Vec<Message> {
+    let mut node = NgNode::new(seed % 7 + 1, NgParams::default(), seed);
+    let key_block = node.mine_and_adopt_key_block(1_000 + seed);
+    let payload = Payload::Synthetic {
+        bytes: 200 + seed % 1_000,
+        tx_count: 1 + seed % 9,
+        total_fees: Amount::from_sats(seed % 10_000),
+        tag: seed,
+    };
+    let micro_header = MicroHeader {
+        prev: key_block.id(),
+        time_ms: 2_000 + seed,
+        payload_digest: payload.digest(),
+        leader: node.id,
+    };
+    let micro = MicroBlock {
+        signature: SchnorrSigner::new(*node.keys()).sign(&micro_header.signing_hash()),
+        header: micro_header,
+        payload: payload.clone(),
+    };
+    let tx = TransactionBuilder::new()
+        .input(OutPoint::new(sha256(&seed.to_le_bytes()), (seed % 4) as u32))
+        .output(Amount::from_sats(1 + seed), KeyPair::from_id(seed + 1).address())
+        .payload(seed.to_le_bytes().to_vec())
+        .build();
+    let btc = BtcBlock {
+        prev: sha256(&seed.to_le_bytes()),
+        time_ms: seed,
+        target: Target::regtest(),
+        nonce: seed,
+        miner: seed % 5,
+        payload,
+    };
+    vec![
+        Message::Version {
+            node_id: seed,
+            protocol: if seed.is_multiple_of(2) {
+                ProtocolKind::BitcoinNg
+            } else {
+                ProtocolKind::Bitcoin
+            },
+            best_height: seed % 1_000,
+            time_ms: seed,
+        },
+        Message::Verack,
+        Message::Inv(vec![
+            InvItem::new(InvKind::Block, sha256(b"b")),
+            InvItem::new(InvKind::KeyBlock, sha256(&seed.to_le_bytes())),
+            InvItem::new(InvKind::MicroBlock, sha256(b"m")),
+            InvItem::new(InvKind::Transaction, sha256(b"t")),
+        ]),
+        Message::GetData(vec![InvItem::new(InvKind::KeyBlock, sha256(&seed.to_le_bytes()))]),
+        Message::Block(Box::new(btc)),
+        Message::KeyBlock(Box::new(key_block)),
+        Message::MicroBlock(Box::new(micro)),
+        Message::Tx(Box::new(tx)),
+        Message::GetHeaders {
+            locator: (0..seed % 12)
+                .map(|i| sha256(&(seed + i).to_le_bytes()))
+                .collect(),
+            limit: 1 + (seed % 512) as u32,
+        },
+        Message::Headers(
+            (0..seed % 8)
+                .map(|i| HeaderRecord {
+                    id: sha256(&(seed + i).to_le_bytes()),
+                    prev: sha256(&(seed + i + 1).to_le_bytes()),
+                    kind: if i % 2 == 0 {
+                        InvKind::KeyBlock
+                    } else {
+                        InvKind::MicroBlock
+                    },
+                    height: i,
+                })
+                .collect(),
+        ),
+        Message::Ping(seed),
+        Message::Pong(seed.wrapping_mul(31)),
+    ]
+}
+
+#[test]
+fn every_message_variant_is_covered() {
+    // If a new variant is added, `every_variant` (and these tests) must learn it.
+    let commands: Vec<&str> = every_variant(1).iter().map(|m| m.command()).collect();
+    assert_eq!(
+        commands,
+        vec![
+            "version", "verack", "inv", "getdata", "block", "keyblock", "microblock",
+            "tx", "getheaders", "headers", "ping", "pong"
+        ]
+    );
+}
+
+proptest! {
+    // Each case builds real blocks and Schnorr signatures; 16 cases keeps the suite
+    // fast while still varying every payload.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every variant round-trips through a frame, for varying contents.
+    #[test]
+    fn prop_all_variants_round_trip(seed in 0u64..10_000) {
+        let codec = FrameCodec::default();
+        for message in every_variant(seed) {
+            let frame = codec.encode(&message).unwrap();
+            let mut buf = BytesMut::from(&frame[..]);
+            let decoded = codec.decode(&mut buf).unwrap().expect("complete frame");
+            prop_assert_eq!(&decoded, &message, "variant {}", message.command());
+            prop_assert!(buf.is_empty());
+        }
+    }
+
+    /// Concatenated variant frames survive arbitrary stream chunking.
+    #[test]
+    fn prop_round_trip_survives_chunking(seed in 0u64..5_000, split in 1usize..700) {
+        let codec = FrameCodec::default();
+        let messages = every_variant(seed);
+        let mut stream = Vec::new();
+        for message in &messages {
+            stream.extend_from_slice(&codec.encode(message).unwrap());
+        }
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(split) {
+            buf.put_slice(chunk);
+            decoded.extend(codec.decode_all(&mut buf).unwrap());
+        }
+        prop_assert_eq!(decoded, messages);
+    }
+
+    /// A truncated frame never yields a message and never errors (the decoder waits
+    /// for more bytes), no matter where the cut lands.
+    #[test]
+    fn prop_truncated_frames_wait_instead_of_panicking(seed in 0u64..5_000, frac in 0usize..1_000) {
+        let codec = FrameCodec::default();
+        for message in every_variant(seed) {
+            let frame = codec.encode(&message).unwrap();
+            let cut = frac * (frame.len() - 1) / 1_000; // 0 ≤ cut < len
+            let mut buf = BytesMut::from(&frame[..cut]);
+            prop_assert_eq!(codec.decode(&mut buf), Ok(None), "cut at {} of {}", cut, frame.len());
+        }
+    }
+
+    /// Flipping any single byte of a frame makes the decoder error (bad magic, bad
+    /// length, bad checksum or undecodable body) — never panic, never silently
+    /// accept, with one principled exception: a corrupted *length* field may merely
+    /// make the frame incomplete, which reads as `Ok(None)` (waiting for bytes).
+    #[test]
+    fn prop_corrupted_frames_error_instead_of_panicking(seed in 0u64..2_000, pos_sel in 0usize..10_000, flip in 1u8..=255) {
+        let codec = FrameCodec::default();
+        for message in every_variant(seed) {
+            let frame = codec.encode(&message).unwrap();
+            let pos = pos_sel % frame.len();
+            let mut bytes = frame.to_vec();
+            bytes[pos] ^= flip;
+            let mut buf = BytesMut::from(&bytes[..]);
+            match codec.decode(&mut buf) {
+                Err(_) => {}
+                Ok(None) => {
+                    // Only a corrupted length field may leave the frame "incomplete".
+                    prop_assert!((4..8).contains(&pos), "silent wait from flip at {pos}");
+                }
+                Ok(Some(decoded)) => {
+                    prop_assert!(false, "corrupt frame decoded as {}", decoded.command());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn garbage_streams_are_rejected_without_panic() {
+    let codec = FrameCodec::default();
+    // Pure noise: bad magic.
+    let mut buf = BytesMut::from(&[0xAAu8; 64][..]);
+    assert!(matches!(codec.decode(&mut buf), Err(CodecError::BadMagic(_))));
+
+    // Valid magic, absurd length: rejected before allocating.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"NGRP");
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 4]);
+    let mut buf = BytesMut::from(&bytes[..]);
+    assert!(matches!(
+        codec.decode(&mut buf),
+        Err(CodecError::OversizedFrame { .. })
+    ));
+
+    // Valid magic and plausible length, garbage body: checksum catches it.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"NGRP");
+    bytes.extend_from_slice(&8u32.to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 4]); // checksum
+    bytes.extend_from_slice(&[0x55u8; 8]); // body
+    let mut buf = BytesMut::from(&bytes[..]);
+    assert_eq!(codec.decode(&mut buf), Err(CodecError::BadChecksum));
+
+    // A frame whose body passes the checksum but is not valid JSON for a Message.
+    let body = b"not a message";
+    let checksum = &ng_crypto::sha256::double_sha256(body).0[..4];
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"NGRP");
+    bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(checksum);
+    bytes.extend_from_slice(body);
+    let mut buf = BytesMut::from(&bytes[..]);
+    assert!(matches!(codec.decode(&mut buf), Err(CodecError::BadBody(_))));
+    assert_eq!(buf.len(), 0, "the bad frame was consumed");
+}
+
+#[test]
+fn header_shorter_than_minimum_waits() {
+    let codec = FrameCodec::default();
+    for n in 0..HEADER_LEN {
+        let mut buf = BytesMut::from(&b"NGRP\x01\x00\x00\x00\x00\x00\x00\x00"[..n.min(12)]);
+        assert_eq!(codec.decode(&mut buf), Ok(None), "short header of {n} bytes");
+    }
+}

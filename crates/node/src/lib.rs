@@ -1,0 +1,27 @@
+//! # ng-node
+//!
+//! The live Bitcoin-NG node. Everything below this crate is I/O-free by design —
+//! `ng_core` holds the protocol state machine, `ng_chain` the ledger substrate,
+//! `ng_net` the wire stack — and this crate is the consumer that wires them into a
+//! daemon speaking the framed protocol over real TCP sockets, the way the paper's
+//! operational client serves its testbed (§7).
+//!
+//! * [`daemon`] — the event-loop daemon: handshake, locator-based header/block sync,
+//!   gossip relay, leader microblock streaming, fork-choice-driven reorg handling,
+//!   with [`ng_metrics::NodeCounters`] throughout.
+//! * [`ledger`] — the UTXO view replayed from the main chain, whose
+//!   commitment is the convergence criterion between nodes.
+//! * [`testnet`] — an in-process loopback network harness (N daemons on ephemeral
+//!   ports, deterministic keys, injected mining triggers, partitions and healing),
+//!   also available as the `ng-testnet` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod ledger;
+pub mod testnet;
+
+pub use daemon::{now_ms, spawn, NodeConfig, NodeHandle, NodeSnapshot};
+pub use ledger::rebuild_utxo;
+pub use testnet::{testnet_params, ConvergenceReport, Testnet};

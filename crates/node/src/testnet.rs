@@ -1,0 +1,204 @@
+//! The in-process loopback testnet: N daemons on ephemeral loopback ports.
+//!
+//! The harness mirrors the paper's testbed methodology in miniature: deterministic
+//! per-node keys, mining triggered by injection rather than real proof-of-work
+//! search, and a convergence criterion — identical main-chain tips *and* identical
+//! UTXO commitments on every node — checked against a wall-clock budget. It also
+//! supports partitioning the network into groups and healing it again, which forces
+//! a real reorg over real sockets.
+
+use crate::daemon::{spawn, NodeConfig, NodeHandle, NodeSnapshot};
+use ng_core::params::NgParams;
+use ng_crypto::sha256::Hash256;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Protocol parameters tuned for loopback latencies: microblocks may follow their
+/// parent after 1 ms, and production is allowed every 2 ms.
+pub fn testnet_params() -> NgParams {
+    NgParams {
+        min_microblock_interval_ms: 1,
+        microblock_interval_ms: 2,
+        ..NgParams::default()
+    }
+}
+
+/// A running loopback network.
+pub struct Testnet {
+    nodes: Vec<NodeHandle>,
+}
+
+/// The outcome of a convergence wait.
+#[derive(Clone, Debug)]
+pub struct ConvergenceReport {
+    /// True if every node agreed on tip and UTXO commitment within the budget.
+    pub converged: bool,
+    /// The agreed tip (of node 0 if not converged).
+    pub tip: Hash256,
+    /// The agreed UTXO commitment (of node 0 if not converged).
+    pub utxo_commitment: Hash256,
+    /// How long the wait took.
+    pub elapsed: Duration,
+    /// Final per-node snapshots.
+    pub snapshots: Vec<NodeSnapshot>,
+}
+
+impl fmt::Display for ConvergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "convergence: {} after {:.1?}",
+            if self.converged { "REACHED" } else { "NOT reached" },
+            self.elapsed
+        )?;
+        writeln!(
+            f,
+            "{:<6} {:>7} {:>14} {:>14} {:>7} {:>8} {:>8} {:>7}",
+            "node", "height", "tip", "utxo", "peers", "msgs-in", "msgs-out", "reorgs"
+        )?;
+        for snap in &self.snapshots {
+            writeln!(
+                f,
+                "{:<6} {:>7} {:>14} {:>14} {:>7} {:>8} {:>8} {:>7}",
+                snap.id,
+                snap.height,
+                &snap.tip.to_hex()[..12],
+                &snap.utxo_commitment.to_hex()[..12],
+                snap.ready_peers,
+                snap.counters.messages_in,
+                snap.counters.messages_out,
+                snap.counters.reorgs,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl Testnet {
+    /// Launches `n` nodes with the given parameters and connects them in a full mesh.
+    pub fn launch(n: usize, params: NgParams) -> std::io::Result<Testnet> {
+        Self::launch_with(n, params, false)
+    }
+
+    /// Launches `n` nodes, optionally with autonomous microblock streaming.
+    pub fn launch_with(
+        n: usize,
+        params: NgParams,
+        auto_microblocks: bool,
+    ) -> std::io::Result<Testnet> {
+        assert!(n >= 1, "a testnet needs at least one node");
+        let mut nodes = Vec::with_capacity(n);
+        for id in 0..n as u64 {
+            let mut config = NodeConfig::loopback(id, params);
+            config.auto_microblocks = auto_microblocks;
+            nodes.push(spawn(config)?);
+        }
+        let net = Testnet { nodes };
+        net.connect_mesh(&(0..n).collect::<Vec<_>>());
+        net.wait_ready(Duration::from_secs(10));
+        Ok(net)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the network has no nodes (never the case after `launch`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Handle to node `i`.
+    pub fn node(&self, i: usize) -> &NodeHandle {
+        &self.nodes[i]
+    }
+
+    /// Snapshots of every node, in id order.
+    pub fn snapshots(&self) -> Vec<NodeSnapshot> {
+        self.nodes
+            .iter()
+            .filter_map(|node| node.snapshot())
+            .collect()
+    }
+
+    /// Connects every pair within `group` (lower index dials higher).
+    fn connect_mesh(&self, group: &[usize]) {
+        for (pos, &a) in group.iter().enumerate() {
+            for &b in &group[pos + 1..] {
+                let _ = self.nodes[a].connect(self.nodes[b].addr());
+            }
+        }
+    }
+
+    /// Waits until every node has completed its handshakes (best effort).
+    fn wait_ready(&self, budget: Duration) {
+        let deadline = Instant::now() + budget;
+        let expected = self.nodes.len() - 1;
+        while Instant::now() < deadline {
+            let snapshots = self.snapshots();
+            if snapshots.len() == self.nodes.len()
+                && snapshots.iter().all(|snap| snap.ready_peers >= expected)
+            {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Splits the network: connections are dropped everywhere, then each group is
+    /// reconnected as its own full mesh. Indices not listed in any group end up
+    /// isolated.
+    pub fn partition(&self, groups: &[&[usize]]) {
+        for node in &self.nodes {
+            node.disconnect_all();
+        }
+        // Give the reader threads a moment to surface the disconnects.
+        std::thread::sleep(Duration::from_millis(50));
+        for group in groups {
+            self.connect_mesh(group);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    /// Heals any partition by re-establishing the full mesh.
+    pub fn heal(&self) {
+        self.partition(&[&(0..self.nodes.len()).collect::<Vec<_>>()]);
+    }
+
+    /// Polls until every node reports the same tip and the same UTXO commitment, or
+    /// the budget elapses.
+    pub fn wait_for_convergence(&self, budget: Duration) -> ConvergenceReport {
+        let started = Instant::now();
+        let deadline = started + budget;
+        loop {
+            let snapshots = self.snapshots();
+            let complete = snapshots.len() == self.nodes.len();
+            let converged = complete
+                && snapshots
+                    .windows(2)
+                    .all(|w| w[0].tip == w[1].tip && w[0].utxo_commitment == w[1].utxo_commitment);
+            if converged || Instant::now() >= deadline {
+                let (tip, utxo_commitment) = snapshots
+                    .first()
+                    .map(|s| (s.tip, s.utxo_commitment))
+                    .unwrap_or((Hash256::ZERO, Hash256::ZERO));
+                return ConvergenceReport {
+                    converged,
+                    tip,
+                    utxo_commitment,
+                    elapsed: started.elapsed(),
+                    snapshots,
+                };
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Shuts every node down.
+    pub fn shutdown(self) {
+        for node in self.nodes {
+            node.shutdown();
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end loopback testnet tests: five real daemons on real sockets.
+//!
+//! These are the live-network counterpart of the facade's simulator-driven
+//! `protocol_integration` suite: leadership rotates through every node by injected
+//! mining triggers, transactions flow through gossip into leader microblocks, and
+//! convergence means *identical main-chain tips and identical UTXO commitments* on
+//! every node within a bounded wall-clock budget. The second test partitions the
+//! network, lets both sides diverge, and checks that healing forces a reorg over
+//! real sockets.
+
+use ng_chain::amount::Amount;
+use ng_chain::transaction::{OutPoint, Transaction, TransactionBuilder};
+use ng_crypto::keys::KeyPair;
+use ng_crypto::sha256::sha256;
+use ng_node::testnet::{testnet_params, Testnet};
+use std::time::{Duration, Instant};
+
+fn test_tx(seq: u64) -> Transaction {
+    TransactionBuilder::new()
+        .input(OutPoint::new(sha256(&seq.to_le_bytes()), 0))
+        .output(Amount::from_sats(1_000 + seq), KeyPair::from_id(seq).address())
+        .build()
+}
+
+/// Keeps asking the leader for a microblock until one is produced (production is
+/// rate-limited by the protocol's microblock spacing).
+fn stream_one_microblock(net: &Testnet, leader: usize) {
+    for _ in 0..200 {
+        if net.node(leader).produce_microblock().is_some() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("node {leader} failed to produce a microblock");
+}
+
+#[test]
+fn five_nodes_with_rotating_leaders_converge() {
+    let started = Instant::now();
+    let net = Testnet::launch(5, testnet_params()).expect("bind loopback sockets");
+
+    let mut tx_seq = 0u64;
+    for leader in 0..5 {
+        net.node(leader).mine_key_block().expect("mining trigger");
+        // Three transactions per epoch, submitted to the new leader and gossiped.
+        for _ in 0..3 {
+            tx_seq += 1;
+            assert!(net.node(leader).submit_tx(test_tx(tx_seq)));
+        }
+        stream_one_microblock(&net, leader);
+        // Let every node adopt this epoch before the next leader mines, so each key
+        // block extends the microblock and nothing is pruned.
+        let report = net.wait_for_convergence(Duration::from_secs(10));
+        assert!(
+            report.converged,
+            "epoch led by node {leader} did not converge:\n{report}"
+        );
+    }
+
+    let report = net.wait_for_convergence(Duration::from_secs(10));
+    assert!(report.converged, "final state diverged:\n{report}");
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "convergence budget exceeded: {:?}",
+        started.elapsed()
+    );
+
+    // All five epochs (key block + microblock each) are on every main chain.
+    for snap in &report.snapshots {
+        assert_eq!(snap.height, 10, "node {}:\n{report}", snap.id);
+        assert_eq!(snap.chain_len, 11, "10 blocks + genesis");
+        assert_eq!(snap.mempool_len, 0, "all transactions serialized");
+        assert_eq!(snap.ready_peers, 4, "full mesh");
+        assert!(snap.counters.blocks_accepted >= 10);
+        assert!(snap.counters.messages_in > 0 && snap.counters.messages_out > 0);
+    }
+    // Every node derived the same non-trivial UTXO state: 5 coinbases + 15 tx outputs.
+    let tips: Vec<_> = report.snapshots.iter().map(|s| s.tip).collect();
+    assert!(tips.windows(2).all(|w| w[0] == w[1]));
+    let roots: Vec<_> = report.snapshots.iter().map(|s| s.utxo_commitment).collect();
+    assert!(roots.windows(2).all(|w| w[0] == w[1]));
+    // Each node produced exactly its own epoch's blocks.
+    for (id, node) in (0..5).map(|i| (i as u64, net.node(i))) {
+        let counters = node.counters().snapshot();
+        assert_eq!(counters.key_blocks_mined, 1, "node {id}");
+        assert_eq!(counters.microblocks_produced, 1, "node {id}");
+    }
+    net.shutdown();
+}
+
+#[test]
+fn partition_and_heal_forces_a_reorg_over_sockets() {
+    let net = Testnet::launch(5, testnet_params()).expect("bind loopback sockets");
+
+    // Shared history: node 0 leads one full epoch.
+    net.node(0).mine_key_block().expect("mining trigger");
+    assert!(net.node(0).submit_tx(test_tx(1_000)));
+    stream_one_microblock(&net, 0);
+    let report = net.wait_for_convergence(Duration::from_secs(10));
+    assert!(report.converged, "no shared history:\n{report}");
+
+    // Split: {0, 1, 2} vs {3, 4}.
+    net.partition(&[&[0, 1, 2], &[3, 4]]);
+
+    // The minority side mines one key block and serializes a doomed transaction.
+    net.node(3).mine_key_block().expect("mining trigger");
+    assert!(net.node(3).submit_tx(test_tx(2_000)));
+    stream_one_microblock(&net, 3);
+
+    // The majority side mines two key blocks — strictly more work.
+    net.node(0).mine_key_block().expect("mining trigger");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snaps = net.snapshots();
+        if snaps[0].tip == snaps[1].tip && snaps[1].tip == snaps[2].tip {
+            break;
+        }
+        assert!(Instant::now() < deadline, "majority group did not sync");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    net.node(1).mine_key_block().expect("mining trigger");
+
+    // Both sides settled on different chains.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (majority_tip, minority_tip) = loop {
+        let snaps = net.snapshots();
+        let majority_agree = snaps[0].tip == snaps[1].tip && snaps[1].tip == snaps[2].tip;
+        let minority_agree = snaps[3].tip == snaps[4].tip;
+        if majority_agree && minority_agree {
+            break (snaps[0].tip, snaps[3].tip);
+        }
+        assert!(Instant::now() < deadline, "groups did not settle internally");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_ne!(majority_tip, minority_tip, "partition had no effect");
+
+    // Heal. The minority must reorg onto the majority's heavier chain.
+    net.heal();
+    let report = net.wait_for_convergence(Duration::from_secs(20));
+    assert!(report.converged, "network did not re-converge:\n{report}");
+    assert_eq!(
+        report.tip, majority_tip,
+        "the heavier branch must win:\n{report}"
+    );
+    for snap in &report.snapshots[3..] {
+        assert!(
+            snap.counters.reorgs >= 1,
+            "minority node {} never reorged:\n{report}",
+            snap.id
+        );
+    }
+    // Header sync (not plain gossip) carried the catch-up.
+    assert!(
+        report
+            .snapshots
+            .iter()
+            .any(|s| s.counters.sync_batches_received > 0),
+        "no sync batches observed:\n{report}"
+    );
+    // The minority's serialized transaction fell off the main chain and is back in
+    // its mempool awaiting re-serialization.
+    let minority_snap = net.node(3).snapshot().expect("snapshot");
+    assert!(
+        minority_snap.mempool_len >= 1,
+        "disconnected transaction was not reinserted:\n{report}"
+    );
+    net.shutdown();
+}

@@ -4,10 +4,15 @@
 # Mirrors .github/workflows/ci.yml so the same gate runs locally and in CI:
 #   1. release build of every crate and target
 #   2. the full test suite (facade integration tests + every crate's unit tests)
-#   3. clippy with warnings denied
+#   3. the live-network suites under explicit timeouts
+#   4. clippy with warnings denied
 #
 # The workspace has no registry dependencies (everything external is vendored
 # under vendor/), so this runs fully offline.
+#
+# The net/node/attacks suites open real sockets and run multi-threaded event
+# loops; each runs under `timeout` so a hung socket loop fails the gate fast
+# instead of wedging the workflow.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,10 +21,20 @@ echo "==> cargo build --release"
 cargo build --release
 
 echo "==> cargo test -q (facade: integration + property suites)"
-cargo test -q
+timeout 900 cargo test -q
 
-echo "==> cargo test --workspace -q (all crates)"
-cargo test --workspace -q
+echo "==> cargo test --workspace -q (all crates except the timed live-network suites)"
+timeout 1200 cargo test --workspace -q \
+  --exclude ng_net --exclude ng_node --exclude ng_attacks
+
+echo "==> cargo test -p ng_net -q (codec round-trip properties, 120s budget)"
+timeout 120 cargo test -q -p ng_net
+
+echo "==> cargo test -p ng_node -q (loopback testnet convergence, 300s budget)"
+timeout 300 cargo test -q -p ng_node
+
+echo "==> cargo test -p ng_attacks -q (attack scenarios vs paper bounds, 300s budget)"
+timeout 300 cargo test -q -p ng_attacks
 
 echo "==> cargo build --workspace --all-targets (benches, bins, examples)"
 cargo build --workspace --all-targets

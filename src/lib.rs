@@ -14,5 +14,6 @@ pub use ng_crypto as crypto;
 pub use ng_incentives as incentives;
 pub use ng_metrics as metrics;
 pub use ng_net as net;
+pub use ng_node as node;
 pub use ng_sim as sim;
 pub use ng_wallet as wallet;

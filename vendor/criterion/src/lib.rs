@@ -42,6 +42,29 @@ impl Bencher {
         }
         self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
     }
+
+    /// Times the closure on fresh input from `setup` each iteration; only the
+    /// closure's execution is counted, not the setup.
+    pub fn iter_with_setup<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+    ) {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let budget = Duration::from_millis(20);
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while measured < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = measured.as_nanos() as f64 / iters.max(1) as f64;
+    }
 }
 
 fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
