@@ -1,0 +1,180 @@
+//! Micro-benchmarks of the pure protocol engine: `Engine::handle` throughput on the
+//! three hot message paths a live node spends its time in — header-sync serving,
+//! inv/getdata gossip, and leader microblock streaming.
+//!
+//! Because the engine is sans-I/O, these measure exactly the protocol cost the
+//! daemon pays per message with zero socket noise — the baseline the sans-I/O split
+//! exists to expose. `ns/iter` here is nanoseconds per handled message (or per
+//! submit+serialize cycle for the stream workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ng_chain::amount::Amount;
+use ng_chain::transaction::{OutPoint, Transaction, TransactionBuilder};
+use ng_core::params::NgParams;
+use ng_crypto::keys::KeyPair;
+use ng_crypto::sha256::sha256;
+use ng_net::message::{InvItem, InvKind, Message, ProtocolKind};
+use ng_node::engine::{Engine, EngineConfig, Input};
+use std::hint::black_box;
+
+fn stream_params() -> NgParams {
+    NgParams {
+        min_microblock_interval_ms: 1,
+        microblock_interval_ms: 1,
+        ..NgParams::default()
+    }
+}
+
+/// Pre-built distinct transactions: construction (key derivation, hashing) must not
+/// pollute the measured engine cost. Unlike `ng_node::testnet::test_tx` this reuses
+/// one recipient — deriving a fresh key pair per transaction is an EC scalar
+/// multiplication, far too slow for pools of 10^5 transactions.
+fn tx_pool(n: u64) -> Vec<Transaction> {
+    let address = KeyPair::from_id(9).address();
+    (0..n)
+        .map(|seq| {
+            TransactionBuilder::new()
+                .input(OutPoint::new(sha256(&seq.to_le_bytes()), 0))
+                .output(Amount::from_sats(1_000 + seq), address)
+                .build()
+        })
+        .collect()
+}
+
+/// An engine with `peers` handshaken connections (keys `0..peers`) and their
+/// opening header syncs settled.
+fn ready_engine(peers: u64, params: NgParams) -> Engine {
+    let mut engine = Engine::new(EngineConfig::new(1_000, params));
+    for key in 0..peers {
+        engine.handle(
+            0,
+            Input::PeerConnected {
+                peer: key,
+                inbound: true,
+            },
+        );
+        engine.handle(
+            0,
+            Input::Message {
+                peer: key,
+                message: Message::Version {
+                    node_id: 10_000 + key,
+                    protocol: ProtocolKind::BitcoinNg,
+                    best_height: 0,
+                    time_ms: 0,
+                },
+            },
+        );
+        engine.handle(
+            0,
+            Input::Message {
+                peer: key,
+                message: Message::Verack,
+            },
+        );
+        // Settle the engine's opening sync so no request stays outstanding.
+        engine.handle(
+            0,
+            Input::Message {
+                peer: key,
+                message: Message::Headers(vec![]),
+            },
+        );
+    }
+    engine
+}
+
+/// Sync workload: serve full 256-record `getheaders` batches off a 400-block chain.
+fn bench_sync_serving(c: &mut Criterion) {
+    let mut engine = ready_engine(1, NgParams::default());
+    let mut now = 1_000u64;
+    for _ in 0..400 {
+        engine.handle(now, Input::MineKeyBlock);
+        now += 10_000;
+    }
+    c.bench_function("engine_serve_getheaders_256_of_400", |b| {
+        b.iter(|| {
+            black_box(engine.handle(
+                now,
+                Input::Message {
+                    peer: 0,
+                    message: Message::GetHeaders {
+                        locator: Vec::new(), // unknown locator: serve from genesis
+                        limit: 256,
+                    },
+                },
+            ))
+        })
+    });
+}
+
+/// Gossip workload (receive side): a peer announces an unknown object; the engine
+/// books it and answers with `getdata`.
+fn bench_inv_gossip(c: &mut Criterion) {
+    let mut engine = ready_engine(8, NgParams::default());
+    let mut seq = 0u64;
+    c.bench_function("engine_handle_inv_unknown", |b| {
+        b.iter(|| {
+            seq += 1;
+            let item = InvItem::new(InvKind::MicroBlock, sha256(&seq.to_le_bytes()));
+            black_box(engine.handle(
+                1_000,
+                Input::Message {
+                    peer: seq % 8,
+                    message: Message::Inv(vec![item]),
+                },
+            ))
+        })
+    });
+}
+
+/// Gossip workload (send side): accept a locally submitted transaction and fan its
+/// announcement out to 8 ready peers (the broadcast-collapse path).
+fn bench_tx_gossip(c: &mut Criterion) {
+    let mut engine = ready_engine(8, NgParams::default());
+    engine.handle(1_000, Input::MineKeyBlock);
+    let pool = tx_pool(200_000);
+    let mut seq = 0usize;
+    c.bench_function("engine_submit_tx_fanout_8", |b| {
+        b.iter(|| {
+            let tx = pool[seq % pool.len()].clone();
+            seq += 1;
+            black_box(engine.handle(2_000, Input::SubmitTx(Box::new(tx))))
+        })
+    });
+}
+
+/// Microblock-stream workload: one leader cycle — submit a 4-transaction batch,
+/// serialize it into a signed microblock, roll the ledger view.
+fn bench_microblock_stream(c: &mut Criterion) {
+    let mut engine = ready_engine(2, stream_params());
+    engine.handle(1_000, Input::MineKeyBlock);
+    let pool = tx_pool(100_000);
+    let mut now = 2_000u64;
+    let mut seq = 0usize;
+    c.bench_function("engine_stream_microblock_4tx", |b| {
+        b.iter(|| {
+            for _ in 0..4 {
+                let tx = pool[seq % pool.len()].clone();
+                seq += 1;
+                engine.handle(now, Input::SubmitTx(Box::new(tx)));
+            }
+            now += 10;
+            black_box(engine.handle(
+                now,
+                Input::ProduceMicroblock {
+                    require_transactions: true,
+                },
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sync_serving,
+    bench_inv_gossip,
+    bench_tx_gossip,
+    bench_microblock_stream
+);
+criterion_main!(benches);

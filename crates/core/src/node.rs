@@ -160,6 +160,24 @@ impl NgNode {
             && now_ms >= self.last_microblock_ms + params.microblock_interval_ms
     }
 
+    /// The earliest timestamp at which [`Self::microblock_ready`] would return true,
+    /// or `None` when this node is not the leader (no amount of waiting helps — only
+    /// a new key block can). Event-loop drivers arm their wakeup timer with this
+    /// deadline instead of polling, so an idle node sleeps until the protocol
+    /// actually allows the next microblock.
+    pub fn next_microblock_ms(&self) -> Option<u64> {
+        if !self.is_leader() {
+            return None;
+        }
+        let params = self.chain.params();
+        let parent = self.chain.tip();
+        let parent_time = self.chain.get(&parent).map(|b| b.time_ms()).unwrap_or(0);
+        Some(
+            (parent_time + params.min_microblock_interval_ms)
+                .max(self.last_microblock_ms + params.microblock_interval_ms),
+        )
+    }
+
     /// Produces (and adopts) a microblock carrying `payload` if this node is the
     /// current leader and the minimum microblock spacing has elapsed (§4.2).
     pub fn produce_microblock(&mut self, now_ms: u64, payload: Payload) -> Option<MicroBlock> {
@@ -305,6 +323,24 @@ mod tests {
         // Configured production interval is 100 ms.
         assert!(!node.microblock_ready(1_150));
         assert!(node.microblock_ready(1_200));
+    }
+
+    #[test]
+    fn next_microblock_ms_matches_readiness() {
+        let mut node = NgNode::new(1, params(), 42);
+        assert_eq!(node.next_microblock_ms(), None, "not leader yet");
+        node.mine_and_adopt_key_block(1_000);
+        // Gated by the 10 ms minimum distance from the parent key block.
+        let deadline = node.next_microblock_ms().expect("leader");
+        assert_eq!(deadline, 1_010);
+        assert!(!node.microblock_ready(deadline - 1));
+        assert!(node.microblock_ready(deadline));
+        node.produce_microblock(1_100, synthetic_payload(1, 0)).unwrap();
+        // Now gated by the 100 ms production interval.
+        let deadline = node.next_microblock_ms().expect("still leader");
+        assert_eq!(deadline, 1_200);
+        assert!(!node.microblock_ready(deadline - 1));
+        assert!(node.microblock_ready(deadline));
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub struct NodeCounters {
     pub sync_requests_served: Counter,
     /// `headers` batches received while syncing from peers.
     pub sync_batches_received: Counter,
+    /// Timer-driven wakeups (the driver fired a deadline the engine armed via a
+    /// `SetTimer` effect).
+    pub timer_wakeups: Counter,
+    /// Broadcast effects executed (one per effect, not per fan-out destination).
+    pub broadcasts: Counter,
 }
 
 impl NodeCounters {
@@ -90,6 +95,8 @@ impl NodeCounters {
             txs_accepted: self.txs_accepted.get(),
             sync_requests_served: self.sync_requests_served.get(),
             sync_batches_received: self.sync_batches_received.get(),
+            timer_wakeups: self.timer_wakeups.get(),
+            broadcasts: self.broadcasts.get(),
         }
     }
 }
@@ -125,6 +132,10 @@ pub struct CounterSnapshot {
     pub sync_requests_served: u64,
     /// `headers` batches received.
     pub sync_batches_received: u64,
+    /// Timer-driven wakeups.
+    pub timer_wakeups: u64,
+    /// Broadcast effects executed.
+    pub broadcasts: u64,
 }
 
 #[cfg(test)]

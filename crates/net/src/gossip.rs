@@ -54,6 +54,19 @@ impl GossipRelay {
         self.peers.values().filter(|p| p.is_ready()).count()
     }
 
+    /// Keys of every ready connection, sorted (drivers expand `Broadcast` effects
+    /// over this list; sorting keeps effect execution deterministic).
+    pub fn ready_peers(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .peers
+            .iter()
+            .filter(|(_, p)| p.is_ready())
+            .map(|(k, _)| *k)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
     /// True if the relay already holds the object.
     pub fn has_object(&self, id: &Hash256) -> bool {
         self.objects.contains_key(id)

@@ -35,5 +35,7 @@ pub use codec::{CodecError, FrameCodec};
 pub use gossip::{GossipAction, GossipRelay};
 pub use message::{InvItem, InvKind, Message, ProtocolKind};
 pub use peer::{Peer, PeerAction, PeerError, PeerState};
-pub use sync::{build_locator, ids_after_locator, locate_fork_index, HeaderRecord};
+pub use sync::{
+    build_locator, ids_after_locator, locate_fork_index, HeaderRecord, PeerSyncState, SyncStep,
+};
 pub use tcp::{TcpEndpoint, TcpEvent};

@@ -83,6 +83,99 @@ pub fn ids_after_locator<'a>(
     &main_chain[start..end]
 }
 
+/// What a syncing node should do next with one peer, as reported by
+/// [`PeerSyncState::advance`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncStep {
+    /// An outstanding request or in-flight block download; wait for it.
+    Wait,
+    /// The last batch was full — request the next one.
+    RequestNext,
+    /// A partial (or empty) batch arrived and every requested block was delivered:
+    /// the sync with this peer is complete.
+    Done,
+}
+
+/// Per-connection header-sync state: one instance per peer a node is syncing with.
+///
+/// The state machine is pure bookkeeping — the caller owns the chain and the wire.
+/// A sync round trips through: [`Self::next_locator`] → send `getheaders` (recorded
+/// via [`Self::request_sent`]) → [`Self::batch_received`] with the `headers` reply →
+/// `getdata` for the missing blocks (recorded via [`Self::mark_requested`]) →
+/// [`Self::block_delivered`] per arriving block — consulting [`Self::advance`] after
+/// each reply or delivery to decide whether to request another batch, keep waiting,
+/// or finish.
+#[derive(Clone, Debug, Default)]
+pub struct PeerSyncState {
+    /// Waiting for a `headers` reply to an outstanding `getheaders`.
+    awaiting_batch: bool,
+    /// Block ids requested via `getdata` and not yet delivered.
+    in_flight: std::collections::HashSet<Hash256>,
+    /// The last batch was full, so another `getheaders` follows once `in_flight`
+    /// drains.
+    last_batch_full: bool,
+    /// Tail of the last served batch. Leading the next locator with it guarantees
+    /// forward progress even when a full batch added nothing new locally (e.g. the
+    /// peer's blocks all sit on a side branch we already hold) — without it, the
+    /// unchanged main-chain locator would fetch the identical batch forever.
+    last_served: Option<Hash256>,
+}
+
+impl PeerSyncState {
+    /// Fresh idle state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True while a request or download is outstanding (a new sync should not start).
+    pub fn in_progress(&self) -> bool {
+        self.awaiting_batch || !self.in_flight.is_empty()
+    }
+
+    /// The locator for the next `getheaders`: the caller's main chain, led by the
+    /// tail of the last served batch (see `last_served` above).
+    pub fn next_locator(&self, main_chain: &[Hash256]) -> Vec<Hash256> {
+        let mut locator = build_locator(main_chain);
+        if let Some(last) = self.last_served {
+            locator.insert(0, last);
+        }
+        locator
+    }
+
+    /// Records that a `getheaders` went out and its reply is now awaited.
+    pub fn request_sent(&mut self) {
+        self.awaiting_batch = true;
+    }
+
+    /// Records an arrived `headers` batch (served against a request of `limit`).
+    pub fn batch_received(&mut self, records: &[HeaderRecord], limit: u32) {
+        self.awaiting_batch = false;
+        self.last_batch_full = records.len() as u32 >= limit;
+        self.last_served = records.last().map(|r| r.id).or(self.last_served);
+    }
+
+    /// Records that the listed blocks were requested via `getdata`.
+    pub fn mark_requested(&mut self, ids: impl IntoIterator<Item = Hash256>) {
+        self.in_flight.extend(ids);
+    }
+
+    /// Records a delivered block (a no-op for blocks this sync did not request).
+    pub fn block_delivered(&mut self, id: &Hash256) {
+        self.in_flight.remove(id);
+    }
+
+    /// What to do next: wait, request the next batch, or finish.
+    pub fn advance(&self) -> SyncStep {
+        if self.in_progress() {
+            SyncStep::Wait
+        } else if self.last_batch_full {
+            SyncStep::RequestNext
+        } else {
+            SyncStep::Done
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +260,55 @@ mod tests {
         let server = chain(12);
         let locator = build_locator(&server);
         assert!(ids_after_locator(&server, &locator, 16).is_empty());
+    }
+
+    fn record(id: Hash256) -> HeaderRecord {
+        HeaderRecord {
+            id,
+            prev: sha256(b"parent"),
+            kind: InvKind::KeyBlock,
+            height: 1,
+        }
+    }
+
+    #[test]
+    fn sync_state_walks_request_download_request_cycle() {
+        let mut state = PeerSyncState::new();
+        assert!(!state.in_progress());
+
+        // Round 1: a full batch with two missing blocks.
+        state.request_sent();
+        assert_eq!(state.advance(), SyncStep::Wait);
+        let batch: Vec<HeaderRecord> =
+            (0..4u64).map(|i| record(sha256(&i.to_le_bytes()))).collect();
+        state.batch_received(&batch, 4);
+        state.mark_requested([batch[2].id, batch[3].id]);
+        assert_eq!(state.advance(), SyncStep::Wait, "downloads in flight");
+        state.block_delivered(&batch[2].id);
+        assert_eq!(state.advance(), SyncStep::Wait);
+        state.block_delivered(&batch[3].id);
+        assert_eq!(state.advance(), SyncStep::RequestNext, "full batch continues");
+
+        // Round 2: a partial batch with nothing missing ends the sync.
+        state.request_sent();
+        state.batch_received(&batch[..1], 4);
+        assert_eq!(state.advance(), SyncStep::Done);
+    }
+
+    #[test]
+    fn locator_leads_with_last_served_tail() {
+        let main = chain(5);
+        let mut state = PeerSyncState::new();
+        assert_eq!(state.next_locator(&main)[0], main[4], "plain locator at first");
+        let tail = sha256(b"served-tail");
+        state.request_sent();
+        state.batch_received(&[record(tail)], 8);
+        let locator = state.next_locator(&main);
+        assert_eq!(locator[0], tail, "served tail guarantees forward progress");
+        assert_eq!(locator[1], main[4]);
+        // An empty follow-up batch keeps the previous tail.
+        state.request_sent();
+        state.batch_received(&[], 8);
+        assert_eq!(state.next_locator(&main)[0], tail);
     }
 }

@@ -1,53 +1,92 @@
-//! `ng-testnet` — launch a local N-node Bitcoin-NG network on loopback sockets,
-//! rotate leadership through every node while streaming transactions, and print a
-//! convergence report.
+//! `ng-testnet` — run an N-node Bitcoin-NG network, rotate leadership through every
+//! node while streaming transactions, optionally force a partition/heal reorg, and
+//! print a convergence report.
 //!
 //! ```text
-//! ng-testnet [--nodes N] [--epochs E] [--txs T] [--timeout-secs S]
+//! ng-testnet [--driver sim|tcp] [--nodes N] [--seed S] [--duration-ms D]
+//!            [--partition] [--epochs E] [--txs T] [--timeout-secs S]
 //! ```
+//!
+//! Two drivers execute the same protocol engine:
+//!
+//! * `sim` (default) — the deterministic in-process network: seeded latencies, no
+//!   sockets, virtual time. The whole scenario is a pure function of `--seed`.
+//! * `tcp` — real daemons on loopback sockets and wall-clock time (`--seed` only
+//!   affects generated transactions here; socket scheduling is up to the OS).
 //!
 //! Exits 0 if all nodes converged to an identical tip and UTXO commitment, 1
 //! otherwise.
 
-use ng_chain::amount::Amount;
-use ng_chain::transaction::{OutPoint, TransactionBuilder};
-use ng_crypto::keys::KeyPair;
-use ng_crypto::sha256::sha256;
-use ng_node::testnet::{testnet_params, Testnet};
+use ng_node::simnet::{SimConfig, SimNet};
+use ng_node::testnet::{test_tx, testnet_params, Testnet};
 use std::time::Duration;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Driver {
+    Sim,
+    Tcp,
+}
+
 struct Options {
+    driver: Driver,
     nodes: usize,
+    seed: u64,
+    /// Virtual-time budget per settle phase (sim driver).
+    duration_ms: u64,
+    partition: bool,
     epochs: usize,
     txs_per_epoch: usize,
+    /// Wall-clock convergence budget (tcp driver).
     timeout: Duration,
 }
 
 fn parse_args() -> Options {
     let mut options = Options {
+        driver: Driver::Sim,
         nodes: 3,
+        seed: 42,
+        duration_ms: 30_000,
+        partition: false,
         epochs: 0, // 0 = one round of leadership per node
         txs_per_epoch: 5,
         timeout: Duration::from_secs(30),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut take = |name: &str| -> usize {
+        let mut take = |name: &str| -> u64 {
             args.next()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or_else(|| panic!("{name} expects a number"))
         };
         match flag.as_str() {
-            "--nodes" => options.nodes = take("--nodes").max(1),
-            "--epochs" => options.epochs = take("--epochs"),
-            "--txs" => options.txs_per_epoch = take("--txs"),
-            "--timeout-secs" => options.timeout = Duration::from_secs(take("--timeout-secs") as u64),
+            "--driver" => {
+                options.driver = match args.next().as_deref() {
+                    Some("sim") => Driver::Sim,
+                    Some("tcp") => Driver::Tcp,
+                    other => {
+                        eprintln!("--driver expects 'sim' or 'tcp', got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--nodes" => options.nodes = (take("--nodes") as usize).max(1),
+            "--seed" => options.seed = take("--seed"),
+            "--duration-ms" => options.duration_ms = take("--duration-ms").max(1),
+            "--partition" => options.partition = true,
+            "--epochs" => options.epochs = take("--epochs") as usize,
+            "--txs" => options.txs_per_epoch = take("--txs") as usize,
+            "--timeout-secs" => options.timeout = Duration::from_secs(take("--timeout-secs")),
             "--help" | "-h" => {
                 println!(
-                    "ng-testnet [--nodes N] [--epochs E] [--txs T] [--timeout-secs S]\n\
-                     Launches N loopback nodes, rotates leadership for E epochs\n\
-                     (default: one per node) with T transactions each, and prints a\n\
-                     convergence report."
+                    "ng-testnet [--driver sim|tcp] [--nodes N] [--seed S] [--duration-ms D]\n\
+                     \x20          [--partition] [--epochs E] [--txs T] [--timeout-secs S]\n\
+                     Runs N nodes, rotates leadership for E epochs (default: one per\n\
+                     node) with T transactions each, optionally forces a partition/heal\n\
+                     reorg, and prints a convergence report.\n\
+                     \n\
+                     Drivers (same protocol engine behind both):\n\
+                     \x20 sim  deterministic in-process scheduler, virtual time (default)\n\
+                     \x20 tcp  real daemons on loopback sockets, wall-clock time"
                 );
                 std::process::exit(0);
             }
@@ -63,15 +102,70 @@ fn parse_args() -> Options {
     options
 }
 
-fn main() {
-    let options = parse_args();
-    println!(
-        "launching {} loopback nodes, {} epochs, {} txs per epoch",
-        options.nodes, options.epochs, options.txs_per_epoch
-    );
-    let net = Testnet::launch(options.nodes, testnet_params()).expect("bind loopback sockets");
+/// The scripted scenario over the deterministic in-process driver.
+fn run_sim(options: &Options) -> bool {
+    let mut net = SimNet::new(SimConfig::new(options.nodes, options.seed));
+    let all: Vec<usize> = (0..options.nodes).collect();
+    net.connect_mesh(&all);
+    net.run(options.duration_ms);
 
-    let mut tx_seq = 0u64;
+    let mut tx_seq = options.seed.wrapping_mul(1_000_003);
+    for epoch in 0..options.epochs {
+        let leader = epoch % options.nodes;
+        let kb = net.mine_key_block(leader);
+        println!(
+            "epoch {epoch}: node {leader} mined key block {} at t={}ms",
+            &kb.to_hex()[..12],
+            net.now_ms()
+        );
+        for _ in 0..options.txs_per_epoch {
+            tx_seq += 1;
+            net.submit_tx(leader, test_tx(tx_seq));
+        }
+        net.run(options.duration_ms / 4 + 1);
+        let mut produced = 0;
+        while net.produce_microblock(leader).is_some() {
+            produced += 1;
+            net.run(options.duration_ms / 4 + 1);
+            if net.engine(leader).mempool_len() == 0 {
+                break;
+            }
+        }
+        println!("epoch {epoch}: node {leader} streamed {produced} microblock(s)");
+    }
+
+    if options.partition && options.nodes >= 2 {
+        let mid = options.nodes.div_ceil(2);
+        let (majority, minority) = all.split_at(mid);
+        println!(
+            "partitioning {{{majority:?}}} vs {{{minority:?}}} at t={}ms",
+            net.now_ms()
+        );
+        net.partition(&[majority, minority]);
+        net.mine_key_block(minority[0]);
+        net.run(options.duration_ms / 4 + 1);
+        net.mine_key_block(majority[0]);
+        net.run(options.duration_ms / 4 + 1);
+        if majority.len() > 1 {
+            net.mine_key_block(majority[1]);
+        } else {
+            net.mine_key_block(majority[0]);
+        }
+        net.run(options.duration_ms / 4 + 1);
+        println!("healing at t={}ms", net.now_ms());
+        net.heal();
+    }
+
+    net.run(options.duration_ms);
+    let report = net.report();
+    println!("{report}");
+    report.converged
+}
+
+/// The original loopback-socket scenario over real daemons.
+fn run_tcp(options: &Options) -> bool {
+    let net = Testnet::launch(options.nodes, testnet_params()).expect("bind loopback sockets");
+    let mut tx_seq = options.seed.wrapping_mul(1_000_003);
     for epoch in 0..options.epochs {
         let leader = epoch % options.nodes;
         let kb = net
@@ -82,17 +176,9 @@ fn main() {
             "epoch {epoch}: node {leader} mined key block {}",
             &kb.to_hex()[..12]
         );
-        // Hand the leader a batch of transactions and let it serialize them.
         for _ in 0..options.txs_per_epoch {
             tx_seq += 1;
-            let tx = TransactionBuilder::new()
-                .input(OutPoint::new(sha256(&tx_seq.to_le_bytes()), 0))
-                .output(
-                    Amount::from_sats(1_000 + tx_seq),
-                    KeyPair::from_id(tx_seq).address(),
-                )
-                .build();
-            net.node(leader).submit_tx(tx);
+            net.node(leader).submit_tx(test_tx(tx_seq));
         }
         // Stream microblocks until the mempool drains.
         let mut produced = 0;
@@ -113,9 +199,60 @@ fn main() {
         println!("epoch {epoch}: node {leader} streamed {produced} microblock(s)");
     }
 
+    if options.partition && options.nodes >= 2 {
+        let all: Vec<usize> = (0..options.nodes).collect();
+        let mid = options.nodes.div_ceil(2);
+        let (majority, minority) = all.split_at(mid);
+        println!("partitioning {{{majority:?}}} vs {{{minority:?}}}");
+        net.partition(&[majority, minority]);
+        net.node(minority[0]).mine_key_block();
+        net.node(majority[0]).mine_key_block();
+        std::thread::sleep(Duration::from_millis(100));
+        // Same miner choice as run_sim: the second majority block comes from the
+        // group's second node when there is one.
+        net.node(majority[if majority.len() > 1 { 1 } else { 0 }])
+            .mine_key_block();
+        std::thread::sleep(Duration::from_millis(100));
+        println!("healing");
+        net.heal();
+    }
+
     let report = net.wait_for_convergence(options.timeout);
     println!("{report}");
     let ok = report.converged;
     net.shutdown();
+    ok
+}
+
+fn main() {
+    let options = parse_args();
+    match options.driver {
+        Driver::Sim => println!(
+            "driver: sim — deterministic in-process scheduler, {} nodes, seed {}, \
+             virtual budget {} ms{}",
+            options.nodes,
+            options.seed,
+            options.duration_ms,
+            if options.partition {
+                ", partition/heal scenario"
+            } else {
+                ""
+            }
+        ),
+        Driver::Tcp => println!(
+            "driver: tcp — loopback sockets, {} nodes, wall-clock timeout {:?}{}",
+            options.nodes,
+            options.timeout,
+            if options.partition {
+                ", partition/heal scenario"
+            } else {
+                ""
+            }
+        ),
+    }
+    let ok = match options.driver {
+        Driver::Sim => run_sim(&options),
+        Driver::Tcp => run_tcp(&options),
+    };
     std::process::exit(if ok { 0 } else { 1 });
 }

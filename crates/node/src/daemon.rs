@@ -1,54 +1,45 @@
-//! The live node daemon: one event loop composing the protocol state machine
-//! (`ng_core::NgNode`), the mempool (`ng_chain`), and the wire stack (`ng_net`).
+//! The live-node driver: real TCP sockets and wall-clock time around the pure
+//! [`Engine`].
 //!
-//! The daemon runs on its own thread. A forwarder moves [`TcpEvent`]s from the
-//! transport into the same channel that carries control [`Command`]s, so the loop is a
-//! single `recv_timeout` — no locks around the protocol state. Everything the paper's
-//! operational node does over the network happens here:
-//!
-//! * **handshake** — `version`/`verack` via the [`Peer`] state machine;
-//! * **block sync** — on handshake with a peer that is ahead (or on an orphan block),
-//!   locator-based `getheaders`/`headers` batches, then `getdata` for missing blocks;
-//! * **gossip** — accepted blocks and transactions announced via `inv`, served on
-//!   `getdata`, exactly once per peer;
-//! * **microblock streaming** — while leader, transactions are drained from the
-//!   mempool into signed microblocks (on command, or on a timer in auto mode);
-//! * **fork choice** — reorgs surfaced by the chain layer roll the mempool and the
-//!   UTXO ledger view back and forward.
-//!
-//! [`ng_metrics::NodeCounters`] are bumped throughout and exposed in
-//! [`NodeSnapshot`]s for the testnet harness's convergence reports.
+//! All protocol logic lives in [`crate::engine`]; this module only moves bytes and
+//! clocks. The daemon runs on its own thread. A forwarder moves [`TcpEvent`]s from
+//! the transport into the same channel that carries control [`Command`]s, so the
+//! loop is a single `recv_timeout` whose timeout is the deadline of the engine's
+//! last [`Effect::SetTimer`] — an idle daemon sleeps until the next protocol
+//! deadline instead of polling on a fixed tick. Effects map one-to-one onto I/O:
+//! `Send`/`Broadcast` write frames, `Disconnect` closes sockets, `Report` bumps the
+//! shared [`NodeCounters`]. The deterministic in-process counterpart of this driver
+//! is [`crate::simnet::SimNet`].
 
-use crate::ledger::rebuild_utxo;
+use crate::engine::{Effect, Engine, EngineConfig, Input as EngineInput, ReportEvent};
+use crate::report::{record, NodeSnapshot};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use ng_chain::amount::Amount;
-use ng_chain::chainstore::InsertOutcome;
-use ng_chain::mempool::Mempool;
-use ng_chain::payload::Payload;
 use ng_chain::transaction::Transaction;
-use ng_chain::utxo::UtxoSet;
-use ng_core::block::NgBlock;
-use ng_core::node::NgNode;
 use ng_core::params::NgParams;
 use ng_crypto::sha256::Hash256;
-use ng_metrics::counters::{CounterSnapshot, NodeCounters};
-use ng_net::message::{InvItem, InvKind, Message, ProtocolKind};
-use ng_net::peer::{Peer, PeerAction};
-use ng_net::sync::{build_locator, ids_after_locator, HeaderRecord, DEFAULT_HEADER_BATCH};
+use ng_metrics::counters::NodeCounters;
+use ng_net::sync::DEFAULT_HEADER_BATCH;
 use ng_net::tcp::{TcpEndpoint, TcpEvent};
-use ng_net::GossipRelay;
-use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-/// Wall-clock milliseconds since the Unix epoch (the daemon's notion of `now_ms`).
+/// Wall-anchored monotonic milliseconds (the daemon's notion of `now_ms`): the
+/// Unix-epoch offset is sampled once per process and advanced by a monotonic
+/// `Instant`, so a system clock step can never move this backwards — a backward
+/// step would otherwise stall every armed `SetTimer` deadline until wall-clock
+/// time re-reached it.
 pub fn now_ms() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
+    static ORIGIN: OnceLock<(Instant, u64)> = OnceLock::new();
+    let (start, epoch_ms) = ORIGIN.get_or_init(|| {
+        let epoch_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        (Instant::now(), epoch_ms)
+    });
+    epoch_ms + start.elapsed().as_millis() as u64
 }
 
 /// Configuration of one daemon.
@@ -64,14 +55,12 @@ pub struct NodeConfig {
     pub tie_break_seed: u64,
     /// Listen address; use port 0 for an ephemeral loopback port.
     pub listen_addr: String,
-    /// When true the daemon streams microblocks from its mempool on its own while it
+    /// When true the engine streams microblocks from its mempool on its own while it
     /// is the leader; when false microblocks are produced only on command (the
     /// deterministic mode the test harness uses).
     pub auto_microblocks: bool,
     /// Maximum header records requested/served per sync batch.
     pub header_batch: u32,
-    /// Event-loop tick (idle wakeup for timers) in milliseconds.
-    pub tick_ms: u64,
 }
 
 impl NodeConfig {
@@ -84,34 +73,19 @@ impl NodeConfig {
             listen_addr: "127.0.0.1:0".to_string(),
             auto_microblocks: false,
             header_batch: DEFAULT_HEADER_BATCH,
-            tick_ms: 5,
         }
     }
-}
 
-/// A point-in-time view of one node, as reported to the harness.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
-pub struct NodeSnapshot {
-    /// The node id.
-    pub id: u64,
-    /// Current main-chain tip.
-    pub tip: Hash256,
-    /// Height of the tip.
-    pub height: u64,
-    /// Commitment to the UTXO set derived from the main chain.
-    pub utxo_commitment: Hash256,
-    /// Total blocks known (key + micro, excluding orphans).
-    pub chain_len: usize,
-    /// Pending transactions in the mempool.
-    pub mempool_len: usize,
-    /// Connections whose handshake completed.
-    pub ready_peers: usize,
-    /// True if this node is the current leader.
-    pub is_leader: bool,
-    /// The node's view of the current leader.
-    pub leader: Option<u64>,
-    /// Event counters.
-    pub counters: CounterSnapshot,
+    /// The engine half of this configuration.
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig {
+            id: self.id,
+            params: self.params,
+            tie_break_seed: self.tie_break_seed,
+            auto_microblocks: self.auto_microblocks,
+            header_batch: self.header_batch,
+        }
+    }
 }
 
 /// Control messages accepted by the daemon.
@@ -126,7 +100,7 @@ enum Command {
 }
 
 /// What the event loop receives: transport events and control commands, merged.
-enum Input {
+enum DriverInput {
     Tcp(TcpEvent),
     Cmd(Command),
 }
@@ -135,13 +109,17 @@ enum Input {
 pub struct NodeHandle {
     id: u64,
     addr: SocketAddr,
-    input_tx: Sender<Input>,
+    input_tx: Sender<DriverInput>,
     counters: Arc<NodeCounters>,
     thread: Option<JoinHandle<()>>,
 }
 
 /// How long handle calls wait for the daemon before giving up.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Liveness backstop for the event loop when the engine armed no timer: wake up
+/// occasionally even if no input and no deadline arrives.
+const IDLE_BACKSTOP: Duration = Duration::from_secs(60);
 
 impl NodeHandle {
     /// The node id.
@@ -161,7 +139,7 @@ impl NodeHandle {
 
     fn request<T>(&self, make: impl FnOnce(Sender<T>) -> Command) -> Option<T> {
         let (tx, rx) = unbounded();
-        self.input_tx.send(Input::Cmd(make(tx))).ok()?;
+        self.input_tx.send(DriverInput::Cmd(make(tx))).ok()?;
         rx.recv_timeout(REPLY_TIMEOUT).ok()
     }
 
@@ -203,7 +181,7 @@ impl NodeHandle {
     }
 
     fn shutdown_inner(&mut self) {
-        let _ = self.input_tx.send(Input::Cmd(Command::Shutdown));
+        let _ = self.input_tx.send(DriverInput::Cmd(Command::Shutdown));
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -214,23 +192,6 @@ impl Drop for NodeHandle {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
-}
-
-/// Per-connection header-sync bookkeeping.
-#[derive(Default)]
-struct SyncState {
-    /// Waiting for a `headers` reply to an outstanding `getheaders`.
-    awaiting_batch: bool,
-    /// Block ids requested via `getdata` and not yet delivered.
-    in_flight: HashSet<Hash256>,
-    /// The last batch was full, so another `getheaders` follows once `in_flight`
-    /// drains.
-    last_batch_full: bool,
-    /// Tail of the last served batch. Leading the next locator with it guarantees
-    /// forward progress even when a full batch added nothing new locally (e.g. the
-    /// peer's blocks all sit on a side branch we already hold) — without it, the
-    /// unchanged main-chain locator would fetch the identical batch forever.
-    last_served: Option<Hash256>,
 }
 
 /// Spawns a daemon and returns its handle.
@@ -245,17 +206,22 @@ pub fn spawn(config: NodeConfig) -> std::io::Result<NodeHandle> {
     let forward_tx = input_tx.clone();
     std::thread::spawn(move || {
         while let Ok(event) = events.recv() {
-            if forward_tx.send(Input::Tcp(event)).is_err() {
+            if forward_tx.send(DriverInput::Tcp(event)).is_err() {
                 break;
             }
         }
     });
 
     let id = config.id;
-    let daemon_counters = Arc::clone(&counters);
+    let daemon = Daemon {
+        engine: Engine::new(config.engine()),
+        endpoint,
+        counters: Arc::clone(&counters),
+        deadline_ms: None,
+    };
     let thread = std::thread::Builder::new()
         .name(format!("ng-node-{id}"))
-        .spawn(move || Daemon::new(config, endpoint, daemon_counters).run(input_rx))?;
+        .spawn(move || daemon.run(input_rx))?;
 
     Ok(NodeHandle {
         id,
@@ -266,93 +232,68 @@ pub fn spawn(config: NodeConfig) -> std::io::Result<NodeHandle> {
     })
 }
 
+/// The thin I/O driver around the engine.
 struct Daemon {
-    config: NodeConfig,
-    node: NgNode,
-    mempool: Mempool,
-    utxo: UtxoSet,
-    /// Transaction ids serialized on the current main chain; rebuilt with `utxo`.
-    confirmed_txids: HashSet<Hash256>,
-    /// Carrier messages of blocks the chain buffered as orphans, keyed by block id.
-    /// The chain layer adopts them internally once the parent arrives without
-    /// surfacing which ones; this stash lets the daemon announce (and store in the
-    /// relay) adopted orphans so peers can still fetch them.
-    orphan_carriers: HashMap<Hash256, Message>,
-    relay: GossipRelay,
+    engine: Engine,
     endpoint: TcpEndpoint,
     counters: Arc<NodeCounters>,
-    sync: HashMap<u64, SyncState>,
-    connections: HashSet<u64>,
+    /// Deadline of the engine's last `SetTimer` effect, if still pending.
+    deadline_ms: Option<u64>,
 }
 
-/// Cap on stashed orphan carriers (a misbehaving peer could otherwise grow the
-/// stash without bound by sending parentless blocks).
-const MAX_ORPHAN_CARRIERS: usize = 1024;
-
 impl Daemon {
-    fn new(mut config: NodeConfig, endpoint: TcpEndpoint, counters: Arc<NodeCounters>) -> Self {
-        // Keep the requested batch inside what `serve_headers` is willing to serve;
-        // otherwise every served batch would look partial and sync would stop early.
-        config.header_batch = config.header_batch.clamp(1, 4096);
-        let node = NgNode::new(config.id, config.params, config.tie_break_seed);
-        let mut daemon = Daemon {
-            config,
-            node,
-            mempool: Mempool::new(),
-            utxo: UtxoSet::new(),
-            confirmed_txids: HashSet::new(),
-            orphan_carriers: HashMap::new(),
-            relay: GossipRelay::new(),
-            endpoint,
-            counters,
-            sync: HashMap::new(),
-            connections: HashSet::new(),
-        };
-        daemon.rebuild_ledger_view();
-        daemon
-    }
-
-    /// Re-derives everything that is a function of the current main chain: the UTXO
-    /// set and the set of serialized transaction ids.
-    fn rebuild_ledger_view(&mut self) {
-        self.utxo = rebuild_utxo(self.node.chain());
-        self.confirmed_txids.clear();
-        let chain = self.node.chain();
-        for id in chain.store().main_chain() {
-            let Some(txs) = chain
-                .get(&id)
-                .and_then(|b| b.as_micro())
-                .and_then(|m| m.payload.transactions())
-            else {
-                continue;
-            };
-            self.confirmed_txids.extend(txs.iter().map(|t| t.txid()));
-        }
-    }
-
-    fn run(mut self, input_rx: Receiver<Input>) {
-        let tick = Duration::from_millis(self.config.tick_ms.max(1));
+    fn run(mut self, input_rx: Receiver<DriverInput>) {
         loop {
-            match input_rx.recv_timeout(tick) {
-                Ok(Input::Tcp(event)) => self.handle_tcp(event),
-                Ok(Input::Cmd(Command::Shutdown)) => break,
-                Ok(Input::Cmd(cmd)) => self.handle_command(cmd),
-                Err(RecvTimeoutError::Timeout) => {}
+            let timeout = match self.deadline_ms {
+                Some(deadline) => Duration::from_millis(deadline.saturating_sub(now_ms()).max(1)),
+                None => IDLE_BACKSTOP,
+            };
+            match input_rx.recv_timeout(timeout) {
+                Ok(DriverInput::Tcp(event)) => self.on_tcp(event),
+                Ok(DriverInput::Cmd(Command::Shutdown)) => break,
+                Ok(DriverInput::Cmd(command)) => self.on_command(command),
+                Err(RecvTimeoutError::Timeout) => self.on_timeout(),
                 Err(RecvTimeoutError::Disconnected) => break,
             }
-            if self.config.auto_microblocks {
-                self.try_stream_microblock();
-            }
         }
     }
 
-    fn height(&self) -> u64 {
-        self.node.chain().store().tip_height()
+    /// Feeds one input to the engine and executes the returned effects; returns the
+    /// reported events so command handlers can resolve replies from them.
+    fn dispatch(&mut self, input: EngineInput) -> Vec<ReportEvent> {
+        let effects = self.engine.handle(now_ms(), input);
+        let mut reports = Vec::new();
+        for effect in effects {
+            match effect {
+                Effect::Send { peer, message } => self.send(peer, &message),
+                Effect::Broadcast { message } => {
+                    self.counters.broadcasts.incr();
+                    for peer in self.engine.ready_peers() {
+                        self.send(peer, &message);
+                    }
+                }
+                Effect::SetTimer { deadline_ms } => self.deadline_ms = Some(deadline_ms),
+                Effect::Disconnect { peer } => {
+                    // No disconnect counter bump here: closing the socket makes the
+                    // reader thread emit `TcpEvent::Disconnected`, which counts it.
+                    self.endpoint.close(peer);
+                }
+                Effect::Report(event) => {
+                    record(&self.counters, &event);
+                    reports.push(event);
+                }
+            }
+        }
+        reports
     }
 
-    // ---- transport events ----------------------------------------------------
+    fn send(&self, peer: u64, message: &ng_net::message::Message) {
+        if self.endpoint.send(peer, message).is_ok() {
+            self.counters.messages_out.incr();
+        }
+    }
 
-    fn handle_tcp(&mut self, event: TcpEvent) {
+    fn on_tcp(&mut self, event: TcpEvent) {
         match event {
             TcpEvent::Connected {
                 connection,
@@ -360,384 +301,47 @@ impl Daemon {
                 ..
             } => {
                 self.counters.connections.incr();
-                self.connections.insert(connection);
-                // Outbound peers were registered (and greeted) by the connect command;
-                // inbound ones wait for the remote's version.
-                if inbound {
-                    self.relay.add_peer(
-                        connection,
-                        Peer::inbound(self.config.id, ProtocolKind::BitcoinNg),
-                    );
-                }
+                // Outbound connections were registered (and greeted) by the connect
+                // command; the engine ignores the duplicate registration.
+                self.dispatch(EngineInput::PeerConnected {
+                    peer: connection,
+                    inbound,
+                });
             }
             TcpEvent::Message {
                 connection,
                 message,
             } => {
                 self.counters.messages_in.incr();
-                self.handle_message(connection, message);
+                self.dispatch(EngineInput::Message {
+                    peer: connection,
+                    message,
+                });
             }
             TcpEvent::Disconnected { connection, .. } => {
                 self.counters.disconnects.incr();
-                self.connections.remove(&connection);
-                self.relay.remove_peer(connection);
-                self.sync.remove(&connection);
+                self.dispatch(EngineInput::PeerDisconnected { peer: connection });
             }
         }
     }
 
-    fn handle_message(&mut self, connection: u64, message: Message) {
-        let now = now_ms();
-        let height = self.height();
-        let Some(peer) = self.relay.peer_mut(connection) else {
-            return;
-        };
-        let actions = peer.on_message(message, height, now);
-        let mut routable = Vec::new();
-        for action in actions {
-            match action {
-                PeerAction::HandshakeComplete { .. } => {
-                    // Flush the handshake replies queued so far, then sync. The sync is
-                    // unconditional: after a partition heals, both sides can sit at the
-                    // same *height* on different chains (microblocks add height without
-                    // work), so heights cannot tell who needs blocks. A peer that is
-                    // already in sync just answers with an empty headers batch.
-                    self.flush_routable(connection, std::mem::take(&mut routable));
-                    self.start_sync(connection);
-                }
-                PeerAction::Disconnect(_) => {
-                    // No disconnect counter bump here: closing the socket makes the
-                    // reader thread emit `TcpEvent::Disconnected`, which counts it.
-                    self.endpoint.close(connection);
-                    self.relay.remove_peer(connection);
-                    self.sync.remove(&connection);
-                    return;
-                }
-                other => routable.push(other),
-            }
-        }
-        self.flush_routable(connection, routable);
-    }
-
-    fn flush_routable(&mut self, connection: u64, actions: Vec<PeerAction>) {
-        if actions.is_empty() {
-            return;
-        }
-        let (outgoing, delivered) = self.relay.route(connection, actions);
-        for action in outgoing {
-            self.send(action.to, &action.message);
-        }
-        for message in delivered {
-            self.handle_delivered(connection, message);
+    fn on_timeout(&mut self) {
+        if self.deadline_ms.is_some_and(|deadline| now_ms() >= deadline) {
+            self.deadline_ms = None;
+            self.counters.timer_wakeups.incr();
+            self.dispatch(EngineInput::Tick);
         }
     }
 
-    fn send(&self, connection: u64, message: &Message) {
-        if self.endpoint.send(connection, message).is_ok() {
-            self.counters.messages_out.incr();
-        }
-    }
-
-    // ---- delivered objects ---------------------------------------------------
-
-    fn handle_delivered(&mut self, from: u64, message: Message) {
-        match message {
-            Message::KeyBlock(kb) => {
-                let carrier = Message::KeyBlock(kb.clone());
-                self.accept_block(Some(from), NgBlock::Key(*kb), carrier);
-            }
-            Message::MicroBlock(mb) => {
-                let carrier = Message::MicroBlock(mb.clone());
-                self.accept_block(Some(from), NgBlock::Micro(*mb), carrier);
-            }
-            Message::Block(_) => {
-                // A Bitcoin-flavour block has no place on an NG chain.
-                self.counters.blocks_rejected.incr();
-            }
-            Message::Tx(tx) => {
-                self.accept_tx(Some(from), *tx);
-            }
-            Message::GetHeaders { locator, limit } => {
-                self.serve_headers(from, &locator, limit);
-            }
-            Message::Headers(records) => {
-                self.handle_headers(from, records);
-            }
-            _ => {}
-        }
-    }
-
-    fn accept_tx(&mut self, from: Option<u64>, tx: Transaction) -> bool {
-        let txid = tx.txid();
-        if self.mempool.contains(&txid) {
-            return false;
-        }
-        // Gossip is multi-hop: a transaction can arrive after the microblock that
-        // serialized it. Anything already on the main chain has no business in the
-        // mempool.
-        if self.confirmed_txids.contains(&txid) {
-            return false;
-        }
-        let fee = self.utxo.fee_unchecked(&tx).unwrap_or(Amount::ZERO);
-        if !self.mempool.insert_with_fee(tx.clone(), fee) {
-            return false;
-        }
-        self.counters.txs_accepted.incr();
-        let announcements = self.relay.announce(Message::Tx(Box::new(tx)), from);
-        for action in announcements {
-            self.send(action.to, &action.message);
-        }
-        true
-    }
-
-    fn accept_block(&mut self, from: Option<u64>, block: NgBlock, carrier: Message) {
-        let id = block.id();
-        let now = now_ms();
-        match self.node.on_block(block, now) {
-            Ok(InsertOutcome::Accepted {
-                tip_changed, reorg, ..
-            }) => {
-                self.counters.blocks_accepted.incr();
-                if reorg.is_some() {
-                    self.counters.reorgs.incr();
-                }
-                if tip_changed {
-                    self.roll_mempool(reorg.map(|r| r.disconnected));
-                }
-                let announcements = self.relay.announce(carrier, from);
-                for action in announcements {
-                    self.send(action.to, &action.message);
-                }
-                self.flush_adopted_orphans();
-            }
-            Ok(InsertOutcome::Duplicate) => {
-                self.counters.blocks_duplicate.incr();
-            }
-            Ok(InsertOutcome::Orphaned { .. }) => {
-                self.counters.blocks_orphaned.incr();
-                // Keep the carrier so the block can be announced and served once its
-                // ancestors arrive (the chain layer adopts it without telling us).
-                if self.orphan_carriers.len() < MAX_ORPHAN_CARRIERS {
-                    self.orphan_carriers.insert(id, carrier);
-                }
-                // We are missing history; a header sync with the sender fills the gap.
-                if let Some(from) = from {
-                    self.start_sync(from);
-                }
-            }
-            Err(_) => {
-                self.counters.blocks_rejected.incr();
-            }
-        }
-        if let Some(from) = from {
-            self.note_sync_delivery(from, id);
-        }
-    }
-
-    /// Announces stashed orphans that the chain has meanwhile adopted, so they enter
-    /// the relay's object store (peers `getdata` them during sync) and propagate.
-    fn flush_adopted_orphans(&mut self) {
-        if self.orphan_carriers.is_empty() {
-            return;
-        }
-        let adopted: Vec<Hash256> = self
-            .orphan_carriers
-            .keys()
-            .filter(|id| self.node.chain().store().contains(id))
-            .copied()
-            .collect();
-        for id in adopted {
-            let Some(carrier) = self.orphan_carriers.remove(&id) else {
-                continue;
-            };
-            let announcements = self.relay.announce(carrier, None);
-            for action in announcements {
-                self.send(action.to, &action.message);
-            }
-        }
-    }
-
-    /// Rolls the ledger view and mempool across a tip change: the UTXO set and the
-    /// confirmed-transaction set are re-derived from the new main chain, reorg-
-    /// disconnected transactions return to the pool, and everything now serialized on
-    /// the main chain (including orphan-adopted descendants) leaves it.
-    fn roll_mempool(&mut self, disconnected: Option<Vec<Hash256>>) {
-        // Rebuild first, so reinserted transactions get their fees computed against
-        // the post-reorg UTXO set (their inputs are unspent again on the new branch).
-        self.rebuild_ledger_view();
-        for id in disconnected.unwrap_or_default() {
-            if let Some(txs) = self.microblock_transactions(&id) {
-                self.mempool.reinsert(txs, &self.utxo);
-            }
-        }
-        let confirmed: Vec<Hash256> = self.confirmed_txids.iter().copied().collect();
-        self.mempool.remove_all(confirmed.iter());
-    }
-
-    fn microblock_transactions(&self, id: &Hash256) -> Option<Vec<Transaction>> {
-        let block = self.node.chain().get(id)?;
-        let txs = block.as_micro()?.payload.transactions()?;
-        Some(txs.to_vec())
-    }
-
-    // ---- header sync ---------------------------------------------------------
-
-    fn start_sync(&mut self, connection: u64) {
-        let state = self.sync.entry(connection).or_default();
-        if state.awaiting_batch || !state.in_flight.is_empty() {
-            return; // a sync with this peer is already in progress
-        }
-        self.request_headers(connection);
-    }
-
-    /// Sends the next `getheaders` for this connection's sync.
-    fn request_headers(&mut self, connection: u64) {
-        let state = self.sync.entry(connection).or_default();
-        state.awaiting_batch = true;
-        let last_served = state.last_served;
-        let mut locator = build_locator(&self.node.chain().store().main_chain());
-        if let Some(last) = last_served {
-            locator.insert(0, last);
-        }
-        let limit = self.config.header_batch;
-        self.send(connection, &Message::GetHeaders { locator, limit });
-    }
-
-    fn serve_headers(&mut self, connection: u64, locator: &[Hash256], limit: u32) {
-        self.counters.sync_requests_served.incr();
-        let chain = self.node.chain().store().main_chain();
-        let limit = (limit as usize).clamp(1, 4096);
-        let records: Vec<HeaderRecord> = ids_after_locator(&chain, locator, limit)
-            .iter()
-            .filter_map(|id| {
-                let stored = self.node.chain().store().get(id)?;
-                Some(HeaderRecord {
-                    id: *id,
-                    prev: stored.block.prev(),
-                    kind: if stored.block.is_key() {
-                        InvKind::KeyBlock
-                    } else {
-                        InvKind::MicroBlock
-                    },
-                    height: stored.height,
-                })
-            })
-            .collect();
-        self.send(connection, &Message::Headers(records));
-    }
-
-    fn handle_headers(&mut self, connection: u64, records: Vec<HeaderRecord>) {
-        self.counters.sync_batches_received.incr();
-        let full = records.len() as u32 >= self.config.header_batch;
-        let missing: Vec<InvItem> = records
-            .iter()
-            .filter(|r| !self.node.chain().store().contains(&r.id))
-            .map(|r| InvItem::new(r.kind, r.id))
-            .collect();
-        let state = self.sync.entry(connection).or_default();
-        state.awaiting_batch = false;
-        state.last_batch_full = full;
-        state.last_served = records.last().map(|r| r.id).or(state.last_served);
-        if missing.is_empty() {
-            if full {
-                // A full batch of blocks we already had: walk further along the
-                // peer's chain (the locator now leads with this batch's tail).
-                self.request_headers(connection);
-            } else {
-                self.sync.remove(&connection);
-            }
-            return;
-        }
-        state.in_flight.extend(missing.iter().map(|i| i.id));
-        let request = self
-            .relay
-            .peer_mut(connection)
-            .and_then(|peer| peer.request(&missing));
-        if let Some(request) = request {
-            self.send(connection, &request);
-        }
-    }
-
-    /// Records a block arrival against the connection's sync state and requests the
-    /// next batch when the current one has fully arrived.
-    fn note_sync_delivery(&mut self, connection: u64, id: Hash256) {
-        let Some(state) = self.sync.get_mut(&connection) else {
-            return;
-        };
-        state.in_flight.remove(&id);
-        if state.in_flight.is_empty() && !state.awaiting_batch {
-            if state.last_batch_full {
-                self.request_headers(connection);
-            } else {
-                self.sync.remove(&connection);
-            }
-        }
-    }
-
-    // ---- block production ----------------------------------------------------
-
-    fn mine_key_block(&mut self) -> Hash256 {
-        let kb = self.node.mine_and_adopt_key_block(now_ms());
-        self.counters.key_blocks_mined.incr();
-        self.counters.blocks_accepted.incr();
-        self.rebuild_ledger_view();
-        let id = kb.id();
-        let announcements = self.relay.announce(Message::KeyBlock(Box::new(kb)), None);
-        for action in announcements {
-            self.send(action.to, &action.message);
-        }
-        id
-    }
-
-    fn produce_microblock(&mut self, require_transactions: bool) -> Option<Hash256> {
-        let now = now_ms();
-        if !self.node.microblock_ready(now) {
-            return None;
-        }
-        let budget = self.config.params.max_microblock_payload_bytes() as usize;
-        let txs = self.mempool.select_fifo(budget);
-        if require_transactions && txs.is_empty() {
-            return None;
-        }
-        let txids: Vec<Hash256> = txs.iter().map(|t| t.txid()).collect();
-        let micro = self.node.produce_microblock(now, Payload::Transactions(txs))?;
-        self.counters.microblocks_produced.incr();
-        self.counters.blocks_accepted.incr();
-        self.mempool.remove_all(txids.iter());
-        self.rebuild_ledger_view();
-        let id = micro.id();
-        let announcements = self
-            .relay
-            .announce(Message::MicroBlock(Box::new(micro)), None);
-        for action in announcements {
-            self.send(action.to, &action.message);
-        }
-        Some(id)
-    }
-
-    fn try_stream_microblock(&mut self) {
-        if self.mempool.is_empty() {
-            return;
-        }
-        self.produce_microblock(true);
-    }
-
-    // ---- commands ------------------------------------------------------------
-
-    fn handle_command(&mut self, command: Command) {
+    fn on_command(&mut self, command: Command) {
         match command {
             Command::Connect(addr, reply) => {
                 let result = match self.endpoint.connect(addr) {
                     Ok(connection) => {
-                        self.connections.insert(connection);
-                        let (peer, hello) = Peer::outbound(
-                            self.config.id,
-                            ProtocolKind::BitcoinNg,
-                            self.height(),
-                            now_ms(),
-                        );
-                        self.relay.add_peer(connection, peer);
-                        self.send(connection, &hello);
+                        self.dispatch(EngineInput::PeerConnected {
+                            peer: connection,
+                            inbound: false,
+                        });
                         Ok(connection)
                     }
                     Err(e) => Err(e.to_string()),
@@ -745,44 +349,47 @@ impl Daemon {
                 let _ = reply.send(result);
             }
             Command::MineKeyBlock(reply) => {
-                let id = self.mine_key_block();
-                let _ = reply.send(id);
+                let mined = self
+                    .dispatch(EngineInput::MineKeyBlock)
+                    .iter()
+                    .find_map(|event| match event {
+                        ReportEvent::KeyBlockMined { id } => Some(*id),
+                        _ => None,
+                    })
+                    .expect("mining always succeeds on the regtest target");
+                let _ = reply.send(mined);
             }
             Command::ProduceMicroblock(reply) => {
-                let id = self.produce_microblock(false);
-                let _ = reply.send(id);
+                let produced = self
+                    .dispatch(EngineInput::ProduceMicroblock {
+                        require_transactions: false,
+                    })
+                    .iter()
+                    .find_map(|event| match event {
+                        ReportEvent::MicroblockProduced { id } => Some(*id),
+                        _ => None,
+                    });
+                let _ = reply.send(produced);
             }
             Command::SubmitTx(tx, reply) => {
-                let accepted = self.accept_tx(None, *tx);
+                let accepted = self
+                    .dispatch(EngineInput::SubmitTx(tx))
+                    .iter()
+                    .any(|event| matches!(event, ReportEvent::TxAccepted { .. }));
                 let _ = reply.send(accepted);
             }
             Command::Snapshot(reply) => {
-                let _ = reply.send(self.snapshot());
+                let snapshot = NodeSnapshot::collect(&self.engine, self.counters.snapshot());
+                let _ = reply.send(snapshot);
             }
             Command::DisconnectAll(reply) => {
-                for connection in self.connections.drain() {
-                    self.endpoint.close(connection);
-                    self.relay.remove_peer(connection);
-                    self.sync.remove(&connection);
+                for peer in self.engine.connected_peers() {
+                    self.endpoint.close(peer);
+                    self.dispatch(EngineInput::PeerDisconnected { peer });
                 }
                 let _ = reply.send(());
             }
             Command::Shutdown => unreachable!("handled by the run loop"),
-        }
-    }
-
-    fn snapshot(&self) -> NodeSnapshot {
-        NodeSnapshot {
-            id: self.config.id,
-            tip: self.node.tip(),
-            height: self.height(),
-            utxo_commitment: self.utxo.commitment(),
-            chain_len: self.node.chain().len(),
-            mempool_len: self.mempool.len(),
-            ready_peers: self.relay.ready_peer_count(),
-            is_leader: self.node.is_leader(),
-            leader: self.node.current_leader(),
-            counters: self.counters.snapshot(),
         }
     }
 }

@@ -1,0 +1,1130 @@
+//! The sans-I/O protocol engine: the entire Bitcoin-NG peer protocol as one pure,
+//! deterministic state machine.
+//!
+//! [`Engine::handle`] consumes an [`Input`] — a connection event, a decoded wire
+//! [`Message`], a timer tick, or a local command — together with the caller's clock
+//! (`now_ms`), and returns the [`Effect`]s the caller must execute. The engine itself
+//! never touches sockets, threads, message queues, or clocks: all I/O and time arrive as
+//! inputs and leave as effects. Two drivers exercise the same engine:
+//!
+//! * [`crate::daemon`] — real TCP sockets and wall-clock time (the live node);
+//! * [`crate::simnet`] — N engines wired through a seeded in-process scheduler with
+//!   configurable latency, loss, and partitions (deterministic scenario testing).
+//!
+//! Everything the daemon used to interleave with its event loop lives here: the
+//! version handshake (via [`ng_net::peer::Peer`]), locator-based header/block sync
+//! (via [`ng_net::sync::PeerSyncState`]), `inv`/`getdata` gossip (via
+//! [`ng_net::GossipRelay`]), leader microblock streaming from the mempool, fork-choice
+//! reorg handling over the replayed UTXO ledger view, and poison-evidence
+//! construction hooks exposed by the underlying [`NgNode`].
+//!
+//! Determinism contract: for a fixed [`EngineConfig`], an identical sequence of
+//! `(now_ms, Input)` pairs produces an identical sequence of effects, byte for byte.
+//! Every internal iteration that feeds an effect is over an ordered collection or
+//! explicitly sorted. The `SimNet` determinism suite enforces this property across
+//! seeds.
+
+use crate::ledger::rebuild_utxo;
+use ng_chain::amount::Amount;
+use ng_chain::chainstore::InsertOutcome;
+use ng_chain::mempool::Mempool;
+use ng_chain::payload::Payload;
+use ng_chain::transaction::Transaction;
+use ng_chain::utxo::UtxoSet;
+use ng_core::block::NgBlock;
+use ng_core::node::NgNode;
+use ng_core::params::NgParams;
+use ng_crypto::sha256::Hash256;
+use ng_net::message::{InvItem, InvKind, Message, ProtocolKind};
+use ng_net::peer::{Peer, PeerAction};
+use ng_net::sync::{ids_after_locator, HeaderRecord, PeerSyncState, SyncStep, DEFAULT_HEADER_BATCH};
+use ng_net::GossipRelay;
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+
+/// Static configuration of one engine (the protocol-relevant subset of the old
+/// daemon config — no addresses, no tick rates).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Stable node id; also seeds the deterministic key pair.
+    pub id: u64,
+    /// Protocol parameters (shared by every node of a network).
+    pub params: NgParams,
+    /// Seed of the random equal-work tie-break (§3 fn. 2). Every node of a network
+    /// MUST share this value: nodes seeding it differently resolve the same
+    /// equal-work fork differently and can split permanently.
+    pub tie_break_seed: u64,
+    /// When true the engine streams microblocks from its mempool on its own while it
+    /// is the leader, arming `SetTimer` effects for the next production deadline;
+    /// when false microblocks are produced only on [`Input::ProduceMicroblock`] (the
+    /// deterministic mode the test harnesses use).
+    pub auto_microblocks: bool,
+    /// Maximum header records requested/served per sync batch.
+    pub header_batch: u32,
+}
+
+impl EngineConfig {
+    /// A config with the given id and parameters and the default knobs.
+    pub fn new(id: u64, params: NgParams) -> Self {
+        EngineConfig {
+            id,
+            params,
+            tie_break_seed: 0,
+            auto_microblocks: false,
+            header_batch: DEFAULT_HEADER_BATCH,
+        }
+    }
+}
+
+/// Everything that can happen to an engine. Connection events and decoded wire
+/// messages come from the driver's transport; `Tick` is the driver firing a deadline
+/// the engine armed via [`Effect::SetTimer`]; the rest are local commands.
+#[derive(Clone, Debug, Serialize)]
+pub enum Input {
+    /// A connection to a remote peer was established. `peer` is the driver's key for
+    /// the connection; `inbound` says who dialed (the outbound side speaks first).
+    PeerConnected {
+        /// Driver-assigned connection key.
+        peer: u64,
+        /// True if the remote initiated the connection.
+        inbound: bool,
+    },
+    /// A connection went away (socket closed, link severed).
+    PeerDisconnected {
+        /// Driver-assigned connection key.
+        peer: u64,
+    },
+    /// A decoded message arrived on a connection.
+    Message {
+        /// Driver-assigned connection key.
+        peer: u64,
+        /// The decoded message.
+        message: Message,
+    },
+    /// A timer armed via [`Effect::SetTimer`] fired.
+    Tick,
+    /// Local command: mine (and adopt and announce) a key block.
+    MineKeyBlock,
+    /// Local command: produce one microblock from the mempool if leader and due.
+    ProduceMicroblock {
+        /// When true, an empty mempool produces nothing (instead of an empty block).
+        require_transactions: bool,
+    },
+    /// Local command: submit a transaction to the mempool (and gossip).
+    SubmitTx(Box<Transaction>),
+}
+
+/// What the driver must do after a [`Engine::handle`] call, in order.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum Effect {
+    /// Send `message` on connection `peer`.
+    Send {
+        /// Destination connection key.
+        peer: u64,
+        /// The message to transmit.
+        message: Message,
+    },
+    /// Send `message` to every ready peer (the driver expands this over
+    /// [`Engine::ready_peers`]). Emitted for freshly produced local objects, which
+    /// by construction no peer knows yet.
+    Broadcast {
+        /// The message to transmit to every ready peer.
+        message: Message,
+    },
+    /// Arm (or re-arm) the driver's single wakeup timer for an absolute deadline on
+    /// the driver's clock; the driver feeds [`Input::Tick`] once it passes. A later
+    /// `SetTimer` replaces any earlier one.
+    SetTimer {
+        /// Absolute deadline in the driver's `now_ms` timebase.
+        deadline_ms: u64,
+    },
+    /// Close the connection (the engine has already forgotten the peer).
+    Disconnect {
+        /// Connection key to close.
+        peer: u64,
+    },
+    /// A protocol event for observability. The engine never counts anything itself —
+    /// drivers feed these to [`ng_metrics::counters::NodeCounters`] (see
+    /// [`crate::report::record`]), keeping the engine free of shared state.
+    Report(ReportEvent),
+}
+
+/// Protocol events surfaced via [`Effect::Report`]. Block/transaction ids double as
+/// return values: drivers resolve command replies (e.g. "what did I just mine?") by
+/// scanning the reported events.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum ReportEvent {
+    /// A connection completed its version handshake.
+    PeerReady {
+        /// Connection key.
+        peer: u64,
+        /// The remote's stable node id.
+        node_id: u64,
+    },
+    /// A peer violated the protocol and was disconnected.
+    PeerMisbehaved {
+        /// Connection key.
+        peer: u64,
+        /// Human-readable violation.
+        reason: String,
+    },
+    /// A block joined the chain (local or remote).
+    BlockAccepted {
+        /// The block id.
+        id: Hash256,
+        /// Whether the main-chain tip changed.
+        tip_changed: bool,
+        /// Whether blocks left the main chain (a reorg).
+        reorg: bool,
+    },
+    /// A duplicate block was ignored.
+    BlockDuplicate {
+        /// The block id.
+        id: Hash256,
+    },
+    /// A block was buffered because its parent is unknown.
+    BlockOrphaned {
+        /// The block id.
+        id: Hash256,
+    },
+    /// A block failed validation.
+    BlockRejected {
+        /// The block id.
+        id: Hash256,
+    },
+    /// This node mined (and adopted) a key block.
+    KeyBlockMined {
+        /// The key block id.
+        id: Hash256,
+    },
+    /// This node produced (and adopted) a microblock as leader.
+    MicroblockProduced {
+        /// The microblock id.
+        id: Hash256,
+    },
+    /// A transaction entered the mempool.
+    TxAccepted {
+        /// The transaction id.
+        txid: Hash256,
+    },
+    /// A `getheaders` request was served.
+    SyncRequestServed {
+        /// Requesting connection key.
+        peer: u64,
+    },
+    /// A `headers` batch arrived while syncing.
+    SyncBatchReceived {
+        /// Serving connection key.
+        peer: u64,
+        /// Number of records in the batch.
+        count: usize,
+    },
+}
+
+/// Cap on stashed orphan carriers (a misbehaving peer could otherwise grow the
+/// stash without bound by sending parentless blocks).
+const MAX_ORPHAN_CARRIERS: usize = 1024;
+
+/// The pure Bitcoin-NG protocol engine. See the module docs for the contract.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    node: NgNode,
+    mempool: Mempool,
+    utxo: UtxoSet,
+    /// Transaction ids serialized on the current main chain; rebuilt with `utxo`.
+    confirmed_txids: HashSet<Hash256>,
+    /// Carrier messages of blocks the chain buffered as orphans, keyed by block id.
+    /// The chain layer adopts them internally once the parent arrives without
+    /// surfacing which ones; this stash lets the engine announce (and store in the
+    /// relay) adopted orphans so peers can still fetch them.
+    orphan_carriers: HashMap<Hash256, Message>,
+    relay: GossipRelay,
+    sync: HashMap<u64, PeerSyncState>,
+    /// Every registered connection key (ready or not).
+    peers: HashSet<u64>,
+    /// The deadline of the last `SetTimer` effect emitted, to avoid re-arming the
+    /// driver with a deadline it already holds. Cleared when a `Tick` consumes it.
+    last_timer: Option<u64>,
+}
+
+impl Engine {
+    /// Creates an engine over a fresh chain (genesis only).
+    pub fn new(mut config: EngineConfig) -> Self {
+        // Keep the requested batch inside what `serve_headers` is willing to serve;
+        // otherwise every served batch would look partial and sync would stop early.
+        config.header_batch = config.header_batch.clamp(1, 4096);
+        let node = NgNode::new(config.id, config.params, config.tie_break_seed);
+        let mut engine = Engine {
+            config,
+            node,
+            mempool: Mempool::new(),
+            utxo: UtxoSet::new(),
+            confirmed_txids: HashSet::new(),
+            orphan_carriers: HashMap::new(),
+            relay: GossipRelay::new(),
+            sync: HashMap::new(),
+            peers: HashSet::new(),
+            last_timer: None,
+        };
+        engine.rebuild_ledger_view();
+        engine
+    }
+
+    /// Feeds one input to the engine and returns the effects to execute, in order.
+    pub fn handle(&mut self, now_ms: u64, input: Input) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        match input {
+            Input::PeerConnected { peer, inbound } => {
+                self.on_connected(peer, inbound, now_ms, &mut effects)
+            }
+            Input::PeerDisconnected { peer } => self.forget_peer(peer),
+            Input::Message { peer, message } => {
+                self.on_message(peer, message, now_ms, &mut effects)
+            }
+            Input::Tick => {
+                // The driver consumed the armed deadline; anything still pending
+                // must be re-armed below.
+                self.last_timer = None;
+            }
+            Input::MineKeyBlock => self.mine_key_block(now_ms, &mut effects),
+            Input::ProduceMicroblock {
+                require_transactions,
+            } => {
+                self.produce_microblock(now_ms, require_transactions, &mut effects);
+            }
+            Input::SubmitTx(tx) => {
+                self.accept_tx(None, *tx, &mut effects);
+            }
+        }
+        self.autostream(now_ms, &mut effects);
+        self.arm_timer(now_ms, &mut effects);
+        effects
+    }
+
+    // ---- queries (drivers and snapshots) --------------------------------------
+
+    /// The node id.
+    pub fn id(&self) -> u64 {
+        self.config.id
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Read access to the underlying protocol node.
+    pub fn node(&self) -> &NgNode {
+        &self.node
+    }
+
+    /// Current main-chain tip.
+    pub fn tip(&self) -> Hash256 {
+        self.node.tip()
+    }
+
+    /// Height of the tip.
+    pub fn height(&self) -> u64 {
+        self.node.chain().store().tip_height()
+    }
+
+    /// Commitment to the UTXO set derived from the main chain.
+    pub fn utxo_commitment(&self) -> Hash256 {
+        self.utxo.commitment()
+    }
+
+    /// The replayed UTXO ledger view.
+    pub fn utxo(&self) -> &UtxoSet {
+        &self.utxo
+    }
+
+    /// Total blocks known (key + micro, excluding orphans).
+    pub fn chain_len(&self) -> usize {
+        self.node.chain().len()
+    }
+
+    /// Pending transactions in the mempool.
+    pub fn mempool_len(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// True if this node is the current leader.
+    pub fn is_leader(&self) -> bool {
+        self.node.is_leader()
+    }
+
+    /// The node's view of the current leader.
+    pub fn current_leader(&self) -> Option<u64> {
+        self.node.current_leader()
+    }
+
+    /// Connections whose handshake completed, sorted (the expansion set for
+    /// [`Effect::Broadcast`]).
+    pub fn ready_peers(&self) -> Vec<u64> {
+        self.relay.ready_peers()
+    }
+
+    /// Number of connections whose handshake completed.
+    pub fn ready_peer_count(&self) -> usize {
+        self.relay.ready_peer_count()
+    }
+
+    /// Every registered connection key, sorted (drivers tear these down on
+    /// disconnect-all commands).
+    pub fn connected_peers(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.peers.iter().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    // ---- connection lifecycle -------------------------------------------------
+
+    fn on_connected(&mut self, peer: u64, inbound: bool, now_ms: u64, effects: &mut Vec<Effect>) {
+        if !self.peers.insert(peer) {
+            return; // already registered (e.g. the driver echoes its own dial)
+        }
+        if inbound {
+            // The remote dialed; it speaks first and we answer with our version.
+            self.relay
+                .add_peer(peer, Peer::inbound(self.config.id, ProtocolKind::BitcoinNg));
+        } else {
+            let (state, hello) = Peer::outbound(
+                self.config.id,
+                ProtocolKind::BitcoinNg,
+                self.height(),
+                now_ms,
+            );
+            self.relay.add_peer(peer, state);
+            effects.push(Effect::Send {
+                peer,
+                message: hello,
+            });
+        }
+    }
+
+    fn forget_peer(&mut self, peer: u64) {
+        self.peers.remove(&peer);
+        self.relay.remove_peer(peer);
+        self.sync.remove(&peer);
+    }
+
+    // ---- incoming messages ----------------------------------------------------
+
+    fn on_message(&mut self, peer: u64, message: Message, now_ms: u64, effects: &mut Vec<Effect>) {
+        let height = self.height();
+        let Some(state) = self.relay.peer_mut(peer) else {
+            return; // unknown or already-forgotten connection
+        };
+        let actions = state.on_message(message, height, now_ms);
+        let mut routable = Vec::new();
+        for action in actions {
+            match action {
+                PeerAction::HandshakeComplete { node_id, .. } => {
+                    // Flush the handshake replies queued so far, then sync. The sync
+                    // is unconditional: after a partition heals, both sides can sit
+                    // at the same *height* on different chains (microblocks add
+                    // height without work), so heights cannot tell who needs blocks.
+                    // A peer that is already in sync just answers with an empty
+                    // headers batch.
+                    self.flush_routable(peer, std::mem::take(&mut routable), now_ms, effects);
+                    effects.push(Effect::Report(ReportEvent::PeerReady { peer, node_id }));
+                    self.start_sync(peer, effects);
+                }
+                PeerAction::Disconnect(error) => {
+                    effects.push(Effect::Report(ReportEvent::PeerMisbehaved {
+                        peer,
+                        reason: error.to_string(),
+                    }));
+                    effects.push(Effect::Disconnect { peer });
+                    self.forget_peer(peer);
+                    return;
+                }
+                other => routable.push(other),
+            }
+        }
+        self.flush_routable(peer, routable, now_ms, effects);
+    }
+
+    fn flush_routable(
+        &mut self,
+        peer: u64,
+        actions: Vec<PeerAction>,
+        now_ms: u64,
+        effects: &mut Vec<Effect>,
+    ) {
+        if actions.is_empty() {
+            return;
+        }
+        let (outgoing, delivered) = self.relay.route(peer, actions);
+        for action in outgoing {
+            effects.push(Effect::Send {
+                peer: action.to,
+                message: action.message,
+            });
+        }
+        for message in delivered {
+            self.handle_delivered(peer, message, now_ms, effects);
+        }
+    }
+
+    // ---- delivered objects ----------------------------------------------------
+
+    fn handle_delivered(
+        &mut self,
+        from: u64,
+        message: Message,
+        now_ms: u64,
+        effects: &mut Vec<Effect>,
+    ) {
+        match message {
+            Message::KeyBlock(kb) => {
+                let carrier = Message::KeyBlock(kb.clone());
+                self.accept_block(Some(from), NgBlock::Key(*kb), carrier, now_ms, effects);
+            }
+            Message::MicroBlock(mb) => {
+                let carrier = Message::MicroBlock(mb.clone());
+                self.accept_block(Some(from), NgBlock::Micro(*mb), carrier, now_ms, effects);
+            }
+            Message::Block(b) => {
+                // A Bitcoin-flavour block has no place on an NG chain.
+                effects.push(Effect::Report(ReportEvent::BlockRejected { id: b.id() }));
+            }
+            Message::Tx(tx) => {
+                self.accept_tx(Some(from), *tx, effects);
+            }
+            Message::GetHeaders { locator, limit } => {
+                self.serve_headers(from, &locator, limit, effects);
+            }
+            Message::Headers(records) => {
+                self.handle_headers(from, records, effects);
+            }
+            _ => {}
+        }
+    }
+
+    fn accept_tx(&mut self, from: Option<u64>, tx: Transaction, effects: &mut Vec<Effect>) -> bool {
+        let txid = tx.txid();
+        if self.mempool.contains(&txid) {
+            return false;
+        }
+        // Gossip is multi-hop: a transaction can arrive after the microblock that
+        // serialized it. Anything already on the main chain has no business in the
+        // mempool.
+        if self.confirmed_txids.contains(&txid) {
+            return false;
+        }
+        // A transaction that cannot fit an empty microblock can never be serialized
+        // on this chain; pooling it would head-of-line-block FIFO selection (and, in
+        // auto mode, spin the production timer) forever.
+        if tx.serialized_size() as u64 > self.config.params.max_microblock_payload_bytes() {
+            return false;
+        }
+        let fee = self.utxo.fee_unchecked(&tx).unwrap_or(Amount::ZERO);
+        if !self.mempool.insert_with_fee(tx.clone(), fee) {
+            return false;
+        }
+        effects.push(Effect::Report(ReportEvent::TxAccepted { txid }));
+        self.announce(Message::Tx(Box::new(tx)), from, effects);
+        true
+    }
+
+    fn accept_block(
+        &mut self,
+        from: Option<u64>,
+        block: NgBlock,
+        carrier: Message,
+        now_ms: u64,
+        effects: &mut Vec<Effect>,
+    ) {
+        let id = block.id();
+        match self.node.on_block(block, now_ms) {
+            Ok(InsertOutcome::Accepted {
+                tip_changed, reorg, ..
+            }) => {
+                let reorged = reorg.is_some();
+                if tip_changed {
+                    self.roll_mempool(reorg.map(|r| r.disconnected));
+                }
+                effects.push(Effect::Report(ReportEvent::BlockAccepted {
+                    id,
+                    tip_changed,
+                    reorg: reorged,
+                }));
+                self.announce(carrier, from, effects);
+                self.flush_adopted_orphans(effects);
+            }
+            Ok(InsertOutcome::Duplicate) => {
+                effects.push(Effect::Report(ReportEvent::BlockDuplicate { id }));
+            }
+            Ok(InsertOutcome::Orphaned { .. }) => {
+                effects.push(Effect::Report(ReportEvent::BlockOrphaned { id }));
+                // Keep the carrier so the block can be announced and served once its
+                // ancestors arrive (the chain layer adopts it without telling us).
+                if self.orphan_carriers.len() < MAX_ORPHAN_CARRIERS {
+                    self.orphan_carriers.insert(id, carrier);
+                }
+                // We are missing history; a header sync with the sender fills the gap.
+                if let Some(from) = from {
+                    self.start_sync(from, effects);
+                }
+            }
+            Err(_) => {
+                effects.push(Effect::Report(ReportEvent::BlockRejected { id }));
+            }
+        }
+        if let Some(from) = from {
+            self.note_sync_delivery(from, id, effects);
+        }
+    }
+
+    /// Stores a newly known object in the relay and emits its announcements: a
+    /// single [`Effect::Broadcast`] when every ready peer needs it (a freshly
+    /// produced local object), per-peer [`Effect::Send`]s otherwise.
+    fn announce(&mut self, carrier: Message, from: Option<u64>, effects: &mut Vec<Effect>) {
+        let actions = self.relay.announce(carrier, from);
+        if from.is_none() && !actions.is_empty() && actions.len() == self.relay.ready_peer_count() {
+            effects.push(Effect::Broadcast {
+                message: actions.into_iter().next().expect("non-empty").message,
+            });
+        } else {
+            for action in actions {
+                effects.push(Effect::Send {
+                    peer: action.to,
+                    message: action.message,
+                });
+            }
+        }
+    }
+
+    /// Announces stashed orphans that the chain has meanwhile adopted, so they enter
+    /// the relay's object store (peers `getdata` them during sync) and propagate.
+    fn flush_adopted_orphans(&mut self, effects: &mut Vec<Effect>) {
+        if self.orphan_carriers.is_empty() {
+            return;
+        }
+        let mut adopted: Vec<Hash256> = self
+            .orphan_carriers
+            .keys()
+            .filter(|id| self.node.chain().store().contains(id))
+            .copied()
+            .collect();
+        // Sorted so the emitted announcements are independent of hash-map order.
+        adopted.sort_unstable();
+        for id in adopted {
+            let Some(carrier) = self.orphan_carriers.remove(&id) else {
+                continue;
+            };
+            self.announce(carrier, None, effects);
+        }
+    }
+
+    /// Re-derives everything that is a function of the current main chain: the UTXO
+    /// set and the set of serialized transaction ids.
+    fn rebuild_ledger_view(&mut self) {
+        self.utxo = rebuild_utxo(self.node.chain());
+        self.confirmed_txids.clear();
+        let chain = self.node.chain();
+        for id in chain.store().main_chain() {
+            let Some(txs) = chain
+                .get(&id)
+                .and_then(|b| b.as_micro())
+                .and_then(|m| m.payload.transactions())
+            else {
+                continue;
+            };
+            self.confirmed_txids.extend(txs.iter().map(|t| t.txid()));
+        }
+    }
+
+    /// Rolls the ledger view and mempool across a tip change: the UTXO set and the
+    /// confirmed-transaction set are re-derived from the new main chain, reorg-
+    /// disconnected transactions return to the pool, and everything now serialized on
+    /// the main chain (including orphan-adopted descendants) leaves it.
+    fn roll_mempool(&mut self, disconnected: Option<Vec<Hash256>>) {
+        // Rebuild first, so reinserted transactions get their fees computed against
+        // the post-reorg UTXO set (their inputs are unspent again on the new branch).
+        self.rebuild_ledger_view();
+        for id in disconnected.unwrap_or_default() {
+            if let Some(txs) = self.microblock_transactions(&id) {
+                self.mempool.reinsert(txs, &self.utxo);
+            }
+        }
+        let confirmed: Vec<Hash256> = self.confirmed_txids.iter().copied().collect();
+        self.mempool.remove_all(confirmed.iter());
+    }
+
+    fn microblock_transactions(&self, id: &Hash256) -> Option<Vec<Transaction>> {
+        let block = self.node.chain().get(id)?;
+        let txs = block.as_micro()?.payload.transactions()?;
+        Some(txs.to_vec())
+    }
+
+    // ---- header sync ----------------------------------------------------------
+
+    fn start_sync(&mut self, peer: u64, effects: &mut Vec<Effect>) {
+        if self.sync.entry(peer).or_default().in_progress() {
+            return; // a sync with this peer is already running
+        }
+        self.request_headers(peer, effects);
+    }
+
+    /// Sends the next `getheaders` for this connection's sync.
+    fn request_headers(&mut self, peer: u64, effects: &mut Vec<Effect>) {
+        let main_chain = self.node.chain().store().main_chain();
+        let state = self.sync.entry(peer).or_default();
+        let locator = state.next_locator(&main_chain);
+        state.request_sent();
+        effects.push(Effect::Send {
+            peer,
+            message: Message::GetHeaders {
+                locator,
+                limit: self.config.header_batch,
+            },
+        });
+    }
+
+    fn serve_headers(
+        &mut self,
+        peer: u64,
+        locator: &[Hash256],
+        limit: u32,
+        effects: &mut Vec<Effect>,
+    ) {
+        effects.push(Effect::Report(ReportEvent::SyncRequestServed { peer }));
+        let chain = self.node.chain().store().main_chain();
+        let limit = (limit as usize).clamp(1, 4096);
+        let records: Vec<HeaderRecord> = ids_after_locator(&chain, locator, limit)
+            .iter()
+            .filter_map(|id| {
+                let stored = self.node.chain().store().get(id)?;
+                Some(HeaderRecord {
+                    id: *id,
+                    prev: stored.block.prev(),
+                    kind: if stored.block.is_key() {
+                        InvKind::KeyBlock
+                    } else {
+                        InvKind::MicroBlock
+                    },
+                    height: stored.height,
+                })
+            })
+            .collect();
+        effects.push(Effect::Send {
+            peer,
+            message: Message::Headers(records),
+        });
+    }
+
+    fn handle_headers(&mut self, peer: u64, records: Vec<HeaderRecord>, effects: &mut Vec<Effect>) {
+        effects.push(Effect::Report(ReportEvent::SyncBatchReceived {
+            peer,
+            count: records.len(),
+        }));
+        let missing: Vec<InvItem> = records
+            .iter()
+            .filter(|r| !self.node.chain().store().contains(&r.id))
+            .map(|r| InvItem::new(r.kind, r.id))
+            .collect();
+        let step = {
+            let state = self.sync.entry(peer).or_default();
+            state.batch_received(&records, self.config.header_batch);
+            if !missing.is_empty() {
+                state.mark_requested(missing.iter().map(|i| i.id));
+            }
+            state.advance()
+        };
+        if missing.is_empty() {
+            match step {
+                // A full batch of blocks we already had: walk further along the
+                // peer's chain (the locator now leads with this batch's tail).
+                SyncStep::RequestNext => self.request_headers(peer, effects),
+                SyncStep::Done => {
+                    self.sync.remove(&peer);
+                }
+                SyncStep::Wait => {}
+            }
+            return;
+        }
+        let request = self
+            .relay
+            .peer_mut(peer)
+            .and_then(|state| state.request(&missing));
+        if let Some(request) = request {
+            effects.push(Effect::Send {
+                peer,
+                message: request,
+            });
+        }
+    }
+
+    /// Records a block arrival against the connection's sync state and requests the
+    /// next batch when the current one has fully arrived.
+    fn note_sync_delivery(&mut self, peer: u64, id: Hash256, effects: &mut Vec<Effect>) {
+        let Some(state) = self.sync.get_mut(&peer) else {
+            return;
+        };
+        state.block_delivered(&id);
+        match state.advance() {
+            SyncStep::Wait => {}
+            SyncStep::RequestNext => self.request_headers(peer, effects),
+            SyncStep::Done => {
+                self.sync.remove(&peer);
+            }
+        }
+    }
+
+    // ---- block production -----------------------------------------------------
+
+    fn mine_key_block(&mut self, now_ms: u64, effects: &mut Vec<Effect>) {
+        let kb = self.node.mine_and_adopt_key_block(now_ms);
+        self.rebuild_ledger_view();
+        let id = kb.id();
+        effects.push(Effect::Report(ReportEvent::KeyBlockMined { id }));
+        self.announce(Message::KeyBlock(Box::new(kb)), None, effects);
+    }
+
+    fn produce_microblock(
+        &mut self,
+        now_ms: u64,
+        require_transactions: bool,
+        effects: &mut Vec<Effect>,
+    ) -> Option<Hash256> {
+        if !self.node.microblock_ready(now_ms) {
+            return None;
+        }
+        let budget = self.config.params.max_microblock_payload_bytes() as usize;
+        let txs = self.mempool.select_fifo(budget);
+        if require_transactions && txs.is_empty() {
+            return None;
+        }
+        let txids: Vec<Hash256> = txs.iter().map(|t| t.txid()).collect();
+        let micro = self
+            .node
+            .produce_microblock(now_ms, Payload::Transactions(txs))?;
+        self.mempool.remove_all(txids.iter());
+        self.rebuild_ledger_view();
+        let id = micro.id();
+        effects.push(Effect::Report(ReportEvent::MicroblockProduced { id }));
+        self.announce(Message::MicroBlock(Box::new(micro)), None, effects);
+        Some(id)
+    }
+
+    /// In auto mode, drain whatever the protocol's spacing rules allow right now.
+    fn autostream(&mut self, now_ms: u64, effects: &mut Vec<Effect>) {
+        if !self.config.auto_microblocks {
+            return;
+        }
+        while !self.mempool.is_empty() && self.produce_microblock(now_ms, true, effects).is_some() {}
+    }
+
+    /// Arms the driver's wakeup timer for the next production deadline, if there is
+    /// one and the driver does not hold it already.
+    fn arm_timer(&mut self, now_ms: u64, effects: &mut Vec<Effect>) {
+        if !self.config.auto_microblocks || self.mempool.is_empty() {
+            return;
+        }
+        let Some(deadline) = self.node.next_microblock_ms() else {
+            return; // not leader: only a new key block unblocks production
+        };
+        // Never arm a deadline in the past: if production were possible now,
+        // `autostream` above would already have run it.
+        let deadline = deadline.max(now_ms + 1);
+        if self.last_timer != Some(deadline) {
+            self.last_timer = Some(deadline);
+            effects.push(Effect::SetTimer {
+                deadline_ms: deadline,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testnet::test_tx;
+    use ng_chain::transaction::{OutPoint, TransactionBuilder};
+    use ng_crypto::keys::KeyPair;
+    use ng_crypto::sha256::sha256;
+
+    fn params() -> NgParams {
+        NgParams {
+            min_microblock_interval_ms: 1,
+            microblock_interval_ms: 2,
+            ..NgParams::default()
+        }
+    }
+
+    fn engine(id: u64) -> Engine {
+        Engine::new(EngineConfig::new(id, params()))
+    }
+
+    /// Runs every message effect between two engines until both queues drain.
+    /// `a` talks to `b` over connection key 0 on both sides.
+    fn pump(now: u64, a: &mut Engine, b: &mut Engine, first: Vec<Effect>, from_a: bool) {
+        let mut queues: Vec<Vec<Message>> = vec![Vec::new(), Vec::new()]; // to a, to b
+        let absorb = |effects: Vec<Effect>, sender_is_a: bool, queues: &mut Vec<Vec<Message>>| {
+            for effect in effects {
+                match effect {
+                    Effect::Send { message, .. } | Effect::Broadcast { message } => {
+                        queues[if sender_is_a { 1 } else { 0 }].push(message);
+                    }
+                    _ => {}
+                }
+            }
+        };
+        absorb(first, from_a, &mut queues);
+        loop {
+            if let Some(message) = queues[1].first().cloned() {
+                queues[1].remove(0);
+                let effects = b.handle(now, Input::Message { peer: 0, message });
+                absorb(effects, false, &mut queues);
+            } else if let Some(message) = queues[0].first().cloned() {
+                queues[0].remove(0);
+                let effects = a.handle(now, Input::Message { peer: 0, message });
+                absorb(effects, true, &mut queues);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn connect(now: u64, a: &mut Engine, b: &mut Engine) {
+        let hello = a.handle(
+            now,
+            Input::PeerConnected {
+                peer: 0,
+                inbound: false,
+            },
+        );
+        assert!(matches!(
+            hello.first(),
+            Some(Effect::Send {
+                message: Message::Version { .. },
+                ..
+            })
+        ));
+        b.handle(
+            now,
+            Input::PeerConnected {
+                peer: 0,
+                inbound: true,
+            },
+        );
+        pump(now, a, b, hello, true);
+        assert_eq!(a.ready_peer_count(), 1);
+        assert_eq!(b.ready_peer_count(), 1);
+    }
+
+    #[test]
+    fn handshake_completes_between_two_engines() {
+        let mut a = engine(1);
+        let mut b = engine(2);
+        connect(1_000, &mut a, &mut b);
+        assert_eq!(a.ready_peers(), vec![0]);
+    }
+
+    #[test]
+    fn mined_key_block_is_broadcast_and_reported() {
+        let mut a = engine(1);
+        let mut b = engine(2);
+        connect(1_000, &mut a, &mut b);
+        let effects = a.handle(2_000, Input::MineKeyBlock);
+        let mined = effects.iter().find_map(|e| match e {
+            Effect::Report(ReportEvent::KeyBlockMined { id }) => Some(*id),
+            _ => None,
+        });
+        assert!(mined.is_some());
+        // Fresh local block: announced as a single broadcast inv.
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::Broadcast { message: Message::Inv(_) })));
+        // Delivering the inv to b triggers getdata → block → adoption.
+        pump(2_000, &mut a, &mut b, effects, true);
+        assert_eq!(b.tip(), mined.unwrap());
+        assert_eq!(b.current_leader(), Some(1));
+    }
+
+    #[test]
+    fn transactions_flow_into_leader_microblocks() {
+        let mut a = engine(1);
+        let mut b = engine(2);
+        connect(1_000, &mut a, &mut b);
+        let effects = a.handle(2_000, Input::MineKeyBlock);
+        pump(2_000, &mut a, &mut b, effects, true);
+
+        // Submit to the non-leader; gossip carries it to the leader.
+        let effects = b.handle(2_100, Input::SubmitTx(Box::new(test_tx(1))));
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::Report(ReportEvent::TxAccepted { .. }))));
+        pump(2_100, &mut a, &mut b, effects, false);
+        assert_eq!(a.mempool_len(), 1, "gossip delivered the tx to the leader");
+
+        let effects = a.handle(
+            2_200,
+            Input::ProduceMicroblock {
+                require_transactions: true,
+            },
+        );
+        let produced = effects.iter().any(|e| {
+            matches!(e, Effect::Report(ReportEvent::MicroblockProduced { .. }))
+        });
+        assert!(produced);
+        pump(2_200, &mut a, &mut b, effects, true);
+        assert_eq!(a.tip(), b.tip());
+        assert_eq!(a.utxo_commitment(), b.utxo_commitment());
+        assert_eq!(a.mempool_len(), 0, "serialized tx left the mempool");
+        assert_eq!(b.mempool_len(), 0, "confirmed tx rolled out of b's pool too");
+    }
+
+    #[test]
+    fn duplicate_and_confirmed_transactions_are_ignored() {
+        let mut a = engine(1);
+        a.handle(1_000, Input::MineKeyBlock);
+        let tx = test_tx(7);
+        let accepted = a.handle(1_100, Input::SubmitTx(Box::new(tx.clone())));
+        assert!(accepted
+            .iter()
+            .any(|e| matches!(e, Effect::Report(ReportEvent::TxAccepted { .. }))));
+        // A duplicate produces no report.
+        let dup = a.handle(1_101, Input::SubmitTx(Box::new(tx.clone())));
+        assert!(dup.is_empty());
+        // Serialize it; resubmitting the now-confirmed tx is also ignored.
+        a.handle(
+            1_200,
+            Input::ProduceMicroblock {
+                require_transactions: true,
+            },
+        );
+        assert_eq!(a.mempool_len(), 0);
+        let confirmed = a.handle(1_300, Input::SubmitTx(Box::new(tx)));
+        assert!(confirmed.is_empty());
+        assert_eq!(a.mempool_len(), 0);
+    }
+
+    #[test]
+    fn auto_mode_arms_timer_and_streams_on_tick() {
+        let mut config = EngineConfig::new(1, params());
+        config.auto_microblocks = true;
+        let mut a = Engine::new(config);
+        a.handle(1_000, Input::MineKeyBlock);
+        // An empty mempool arms nothing.
+        assert!(!a
+            .handle(1_000, Input::Tick)
+            .iter()
+            .any(|e| matches!(e, Effect::SetTimer { .. })));
+
+        // A submitted tx is streamed immediately (spacing already elapsed) and the
+        // timer stays unarmed because the pool drained.
+        let effects = a.handle(1_100, Input::SubmitTx(Box::new(test_tx(1))));
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::Report(ReportEvent::MicroblockProduced { .. }))));
+        assert_eq!(a.mempool_len(), 0);
+
+        // A second tx inside the production interval cannot be streamed yet: the
+        // engine arms the exact protocol deadline instead.
+        let effects = a.handle(1_101, Input::SubmitTx(Box::new(test_tx(2))));
+        let deadline = effects.iter().find_map(|e| match e {
+            Effect::SetTimer { deadline_ms } => Some(*deadline_ms),
+            _ => None,
+        });
+        assert_eq!(deadline, Some(1_102), "production interval is 2 ms");
+        assert_eq!(a.mempool_len(), 1);
+
+        // Re-arming with the same deadline is suppressed until a tick consumes it.
+        let effects = a.handle(1_101, Input::SubmitTx(Box::new(test_tx(3))));
+        assert!(!effects.iter().any(|e| matches!(e, Effect::SetTimer { .. })));
+
+        // The tick at the deadline streams the pending transactions.
+        let effects = a.handle(1_102, Input::Tick);
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::Report(ReportEvent::MicroblockProduced { .. }))));
+        assert_eq!(a.mempool_len(), 0);
+    }
+
+    #[test]
+    fn misbehaving_peer_is_disconnected_and_forgotten() {
+        let mut a = engine(1);
+        a.handle(
+            1_000,
+            Input::PeerConnected {
+                peer: 9,
+                inbound: true,
+            },
+        );
+        // A ping before the handshake is a protocol violation.
+        let effects = a.handle(
+            1_001,
+            Input::Message {
+                peer: 9,
+                message: Message::Ping(1),
+            },
+        );
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::Report(ReportEvent::PeerMisbehaved { .. }))));
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::Disconnect { peer: 9 })));
+        assert!(a.connected_peers().is_empty());
+        // Later input on the dead connection is ignored.
+        assert!(a
+            .handle(
+                1_002,
+                Input::Message {
+                    peer: 9,
+                    message: Message::Ping(2),
+                },
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn handshake_sync_catches_a_fresh_node_up() {
+        let mut a = engine(1);
+        let mut b = engine(2);
+        // b builds two epochs on its own before a ever connects.
+        b.handle(1_000, Input::MineKeyBlock);
+        b.handle(2_000, Input::MineKeyBlock);
+        connect(3_000, &mut a, &mut b);
+        assert_eq!(a.tip(), b.tip(), "handshake sync caught the fresh node up");
+        assert_eq!(a.height(), 2);
+    }
+
+    #[test]
+    fn orphan_block_triggers_header_sync_with_sender() {
+        let mut a = engine(1);
+        let mut b = engine(2);
+        connect(1_000, &mut a, &mut b);
+        // b mines two epochs, but the first announcement is dropped on the wire: a
+        // only ever hears about the *second* key block, whose parent it lacks.
+        let _lost = b.handle(2_000, Input::MineKeyBlock);
+        let announced = b.handle(3_000, Input::MineKeyBlock);
+        pump(3_000, &mut a, &mut b, announced, false);
+        // Receiving the parentless block forced a header sync with its sender,
+        // which backfilled the missing epoch and adopted the stashed orphan.
+        assert_eq!(a.tip(), b.tip(), "orphan-triggered sync converged the chains");
+        assert_eq!(a.height(), 2);
+    }
+
+    #[test]
+    fn oversized_transaction_is_rejected() {
+        let mut p = params();
+        p.max_microblock_bytes = 512;
+        let mut a = Engine::new(EngineConfig::new(1, p));
+        a.handle(1_000, Input::MineKeyBlock);
+        let mut builder = TransactionBuilder::new().input(OutPoint::new(sha256(b"big"), 0));
+        for seq in 0..64u64 {
+            builder = builder.output(Amount::from_sats(1 + seq), KeyPair::from_id(9).address());
+        }
+        let big = builder.build();
+        assert!(big.serialized_size() as u64 > a.config().params.max_microblock_payload_bytes());
+        // Rejected outright: no report, nothing pooled, no production timer to spin.
+        let effects = a.handle(1_100, Input::SubmitTx(Box::new(big)));
+        assert!(effects.is_empty());
+        assert_eq!(a.mempool_len(), 0);
+    }
+}

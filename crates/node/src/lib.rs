@@ -1,27 +1,42 @@
 //! # ng-node
 //!
-//! The live Bitcoin-NG node. Everything below this crate is I/O-free by design —
-//! `ng_core` holds the protocol state machine, `ng_chain` the ledger substrate,
-//! `ng_net` the wire stack — and this crate is the consumer that wires them into a
-//! daemon speaking the framed protocol over real TCP sockets, the way the paper's
-//! operational client serves its testbed (§7).
+//! The live Bitcoin-NG node, built sans-I/O: the entire peer protocol — version
+//! handshake, locator-based header/block sync, `inv`/`getdata` gossip, leader
+//! microblock streaming, fork-choice reorg handling, poison construction hooks — is
+//! one pure state machine, [`engine::Engine`], consuming `(now_ms, Input)` and
+//! returning `Effect`s. Two drivers execute those effects:
 //!
-//! * [`daemon`] — the event-loop daemon: handshake, locator-based header/block sync,
-//!   gossip relay, leader microblock streaming, fork-choice-driven reorg handling,
-//!   with [`ng_metrics::NodeCounters`] throughout.
-//! * [`ledger`] — the UTXO view replayed from the main chain, whose
-//!   commitment is the convergence criterion between nodes.
-//! * [`testnet`] — an in-process loopback network harness (N daemons on ephemeral
-//!   ports, deterministic keys, injected mining triggers, partitions and healing),
-//!   also available as the `ng-testnet` binary.
+//! * [`daemon`] — real TCP sockets and wall-clock time, the way the paper's
+//!   operational client serves its testbed (§7); the event loop sleeps until the
+//!   engine's next `SetTimer` deadline.
+//! * [`simnet`] — N engines wired through a seeded in-process message scheduler
+//!   with configurable latency, loss, and partitions: no sockets, no threads, fully
+//!   deterministic, and fast enough to sweep thousands of seeds.
+//!
+//! Supporting modules:
+//!
+//! * [`engine`] — the pure protocol engine (`Input` → `Vec<Effect>`).
+//! * [`report`] — the `ReportEvent` → [`ng_metrics::counters::NodeCounters`] bridge
+//!   and the [`report::NodeSnapshot`] convergence view.
+//! * [`ledger`] — the UTXO view replayed from the main chain, whose commitment is
+//!   the convergence criterion between nodes.
+//! * [`testnet`] — an in-process loopback network harness over real daemons (N
+//!   sockets on ephemeral ports), also available as the `ng-testnet` binary —
+//!   which can drive either the TCP or the SimNet backend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod daemon;
+pub mod engine;
 pub mod ledger;
+pub mod report;
+pub mod simnet;
 pub mod testnet;
 
-pub use daemon::{now_ms, spawn, NodeConfig, NodeHandle, NodeSnapshot};
+pub use daemon::{now_ms, spawn, NodeConfig, NodeHandle};
+pub use engine::{Effect, Engine, EngineConfig, Input, ReportEvent};
 pub use ledger::rebuild_utxo;
+pub use report::NodeSnapshot;
+pub use simnet::{SimConfig, SimNet};
 pub use testnet::{testnet_params, ConvergenceReport, Testnet};

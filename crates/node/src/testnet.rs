@@ -7,9 +7,13 @@
 //! supports partitioning the network into groups and healing it again, which forces
 //! a real reorg over real sockets.
 
-use crate::daemon::{spawn, NodeConfig, NodeHandle, NodeSnapshot};
+use crate::daemon::{spawn, NodeConfig, NodeHandle};
+use crate::report::NodeSnapshot;
+use ng_chain::amount::Amount;
+use ng_chain::transaction::{OutPoint, Transaction, TransactionBuilder};
 use ng_core::params::NgParams;
-use ng_crypto::sha256::Hash256;
+use ng_crypto::keys::KeyPair;
+use ng_crypto::sha256::{sha256, Hash256};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -21,6 +25,19 @@ pub fn testnet_params() -> NgParams {
         microblock_interval_ms: 2,
         ..NgParams::default()
     }
+}
+
+/// A deterministic single-input test transaction: `seq` keys the input outpoint,
+/// the output amount, and the recipient, so distinct `seq` values never collide in
+/// a mempool. Shared by the harnesses, the scenario suites, and `ng-testnet`.
+pub fn test_tx(seq: u64) -> Transaction {
+    TransactionBuilder::new()
+        .input(OutPoint::new(sha256(&seq.to_le_bytes()), 0))
+        .output(
+            Amount::from_sats(1_000 + seq),
+            KeyPair::from_id(seq).address(),
+        )
+        .build()
 }
 
 /// A running loopback network.

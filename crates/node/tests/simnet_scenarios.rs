@@ -1,0 +1,181 @@
+//! Scenario tests over the deterministic in-process network — the `SimNet`
+//! counterpart of the loopback-TCP `testnet_convergence` suite, plus a seed sweep.
+//!
+//! The parity tests mirror the TCP suite's two scenarios (rotating leaders;
+//! partition/heal reorg) against the *same* `Engine`, but run in milliseconds of
+//! wall-clock time. The sweep then drives 64 seeds of randomised topology stress —
+//! partition shapes, latency ranges, and message loss all drawn from the seed — and
+//! asserts that every one of them converges to identical tips and UTXO commitments
+//! after a reliable heal, which no fixed hand-written scenario could cover.
+
+use ng_crypto::rng::SimRng;
+use ng_node::simnet::{SimConfig, SimNet};
+use ng_node::testnet::test_tx;
+
+#[test]
+fn five_nodes_with_rotating_leaders_converge() {
+    let mut net = SimNet::new(SimConfig::new(5, 1));
+    net.connect_mesh(&[0, 1, 2, 3, 4]);
+    assert!(net.run(2_000), "handshakes settle");
+
+    let mut tx_seq = 0u64;
+    for leader in 0..5 {
+        net.mine_key_block(leader);
+        for _ in 0..3 {
+            tx_seq += 1;
+            assert!(net.submit_tx(leader, test_tx(tx_seq)));
+        }
+        net.run(500);
+        net.produce_microblock(leader)
+            .expect("leader with a non-empty mempool produces");
+        assert!(net.run(2_000), "epoch settles");
+        assert!(net.converged(), "epoch led by {leader}:\n{}", net.report());
+    }
+
+    let report = net.report();
+    for snap in &report.snapshots {
+        assert_eq!(snap.height, 10, "node {}:\n{report}", snap.id);
+        assert_eq!(snap.chain_len, 11, "10 blocks + genesis");
+        assert_eq!(snap.mempool_len, 0, "all transactions serialized");
+        assert_eq!(snap.ready_peers, 4, "full mesh");
+        assert!(snap.counters.blocks_accepted >= 10);
+        assert!(snap.counters.messages_in > 0 && snap.counters.messages_out > 0);
+    }
+    for (id, snap) in report.snapshots.iter().enumerate() {
+        assert_eq!(snap.counters.key_blocks_mined, 1, "node {id}");
+        assert_eq!(snap.counters.microblocks_produced, 1, "node {id}");
+    }
+}
+
+#[test]
+fn partition_and_heal_forces_a_reorg() {
+    let mut net = SimNet::new(SimConfig::new(5, 2));
+    net.connect_mesh(&[0, 1, 2, 3, 4]);
+    net.run(2_000);
+
+    // Shared history: node 0 leads one full epoch.
+    net.mine_key_block(0);
+    assert!(net.submit_tx(0, test_tx(1_000)));
+    net.run(500);
+    net.produce_microblock(0).expect("leader produces");
+    assert!(net.run(2_000));
+    assert!(net.converged(), "no shared history:\n{}", net.report());
+
+    // Split: {0, 1, 2} vs {3, 4}.
+    net.partition(&[&[0, 1, 2], &[3, 4]]);
+
+    // The minority side mines one key block and serializes a doomed transaction.
+    net.mine_key_block(3);
+    assert!(net.submit_tx(3, test_tx(2_000)));
+    net.run(500);
+    net.produce_microblock(3).expect("minority leader produces");
+    net.run(2_000);
+
+    // The majority side mines two key blocks — strictly more work.
+    net.mine_key_block(0);
+    net.run(2_000);
+    net.mine_key_block(1);
+    net.run(2_000);
+
+    let snaps = net.snapshots();
+    let majority_tip = snaps[0].tip;
+    assert_eq!(snaps[1].tip, majority_tip);
+    assert_eq!(snaps[2].tip, majority_tip);
+    let minority_tip = snaps[3].tip;
+    assert_eq!(snaps[4].tip, minority_tip);
+    assert_ne!(majority_tip, minority_tip, "partition had no effect");
+
+    // Heal. The minority must reorg onto the majority's heavier chain.
+    net.heal();
+    assert!(net.run(10_000), "healed network goes quiescent");
+    let report = net.report();
+    assert!(report.converged, "network did not re-converge:\n{report}");
+    assert_eq!(report.tip, majority_tip, "the heavier branch must win:\n{report}");
+    for snap in &report.snapshots[3..] {
+        assert!(
+            snap.counters.reorgs >= 1,
+            "minority node {} never reorged:\n{report}",
+            snap.id
+        );
+    }
+    // Header sync (not plain gossip) carried the catch-up.
+    assert!(
+        report
+            .snapshots
+            .iter()
+            .any(|s| s.counters.sync_batches_received > 0),
+        "no sync batches observed:\n{report}"
+    );
+    // The minority's serialized transaction fell off the main chain and is back in
+    // its mempool awaiting re-serialization.
+    assert!(
+        report.snapshots[3].mempool_len >= 1,
+        "disconnected transaction was not reinserted:\n{report}"
+    );
+}
+
+/// 64 seeds of randomised stress: topology size, latency range, loss rate, number
+/// of epochs, and the partition's group split are all drawn from the seed. Every
+/// run must converge after a reliable heal — and every node must agree on both tip
+/// and UTXO commitment.
+#[test]
+fn seed_sweep_random_partitions_latency_and_loss_all_converge() {
+    for seed in 0..64u64 {
+        let mut shape = SimRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F));
+        let nodes = 3 + shape.next_below(4) as usize; // 3..=6
+        let mut config = SimConfig::new(nodes, seed);
+        config.min_latency_ms = 1 + shape.next_below(5);
+        config.max_latency_ms = config.min_latency_ms + 1 + shape.next_below(40);
+        config.loss = shape.range_f64(0.0, 0.25);
+        let epochs = 1 + shape.next_below(3) as usize;
+
+        let mut net = SimNet::new(config);
+        let all: Vec<usize> = (0..nodes).collect();
+        net.connect_mesh(&all);
+        net.run(2_000);
+
+        let mut tx_seq = seed.wrapping_mul(101_159);
+        for epoch in 0..epochs {
+            let leader = epoch % nodes;
+            net.mine_key_block(leader);
+            for _ in 0..3 {
+                tx_seq += 1;
+                net.submit_tx(leader, test_tx(tx_seq));
+            }
+            net.run(1_000);
+            net.produce_microblock(leader);
+            net.run(1_000);
+        }
+
+        // A random two-way split (both sides non-empty), divergence on both sides.
+        let cut = 1 + shape.next_below((nodes - 1) as u64) as usize;
+        let (left, right) = all.split_at(cut);
+        net.partition(&[left, right]);
+        net.mine_key_block(left[0]);
+        net.run(1_000);
+        net.mine_key_block(right[0]);
+        net.run(1_000);
+        // One side does strictly more work so the heal has a clear winner.
+        net.mine_key_block(left[0]);
+        net.run(1_000);
+
+        // The healed network is reliable: loss off, reconnect, resync.
+        net.set_loss(0.0);
+        net.heal();
+        assert!(
+            net.run(120_000),
+            "seed {seed}: network never went quiescent\n{}",
+            net.report()
+        );
+        let report = net.report();
+        assert!(
+            report.converged,
+            "seed {seed} ({nodes} nodes): did not converge\n{report}"
+        );
+        let first = &report.snapshots[0];
+        for snap in &report.snapshots[1..] {
+            assert_eq!(snap.tip, first.tip, "seed {seed}");
+            assert_eq!(snap.utxo_commitment, first.utxo_commitment, "seed {seed}");
+        }
+    }
+}

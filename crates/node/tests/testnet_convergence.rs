@@ -8,19 +8,9 @@
 //! network, lets both sides diverge, and checks that healing forces a reorg over
 //! real sockets.
 
-use ng_chain::amount::Amount;
-use ng_chain::transaction::{OutPoint, Transaction, TransactionBuilder};
-use ng_crypto::keys::KeyPair;
-use ng_crypto::sha256::sha256;
-use ng_node::testnet::{testnet_params, Testnet};
+use ng_core::params::NgParams;
+use ng_node::testnet::{test_tx, testnet_params, Testnet};
 use std::time::{Duration, Instant};
-
-fn test_tx(seq: u64) -> Transaction {
-    TransactionBuilder::new()
-        .input(OutPoint::new(sha256(&seq.to_le_bytes()), 0))
-        .output(Amount::from_sats(1_000 + seq), KeyPair::from_id(seq).address())
-        .build()
-}
 
 /// Keeps asking the leader for a microblock until one is produced (production is
 /// rate-limited by the protocol's microblock spacing).
@@ -163,6 +153,51 @@ fn partition_and_heal_forces_a_reorg_over_sockets() {
     assert!(
         minority_snap.mempool_len >= 1,
         "disconnected transaction was not reinserted:\n{report}"
+    );
+    net.shutdown();
+}
+
+/// The daemon's timer-driven production path over real sockets: `SetTimer` →
+/// `recv_timeout` deadline → `Tick`. The transactions are pooled *before* the key
+/// block is mined, so the mining dispatch itself arms the 300 ms production
+/// deadline — production can only happen via a timer wakeup, never inline at
+/// submit time, no matter how slowly the test thread is scheduled.
+#[test]
+fn auto_streaming_over_tcp_is_timer_driven() {
+    let params = NgParams {
+        min_microblock_interval_ms: 300,
+        microblock_interval_ms: 300,
+        ..NgParams::default()
+    };
+    let net = Testnet::launch_with(3, params, true).expect("bind loopback sockets");
+    assert!(net.node(0).submit_tx(test_tx(1)));
+    assert!(net.node(0).submit_tx(test_tx(2)));
+    net.node(0).mine_key_block().expect("mining trigger");
+
+    // No explicit produce command anywhere: the leader's engine armed a deadline
+    // 300 ms out and the daemon sleeps until it fires.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let snap = net.node(0).snapshot().expect("snapshot");
+        if snap.mempool_len == 0 && snap.counters.microblocks_produced >= 1 {
+            assert!(
+                snap.counters.timer_wakeups >= 1,
+                "production happened without a timer wakeup"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "auto mode never drained the pool: {snap:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let report = net.wait_for_convergence(Duration::from_secs(10));
+    assert!(report.converged, "auto-mode network diverged:\n{report}");
+    assert!(
+        report.snapshots.iter().all(|s| s.mempool_len == 0),
+        "gossiped transactions were not rolled out everywhere:\n{report}"
     );
     net.shutdown();
 }

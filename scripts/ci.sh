@@ -10,9 +10,10 @@
 # The workspace has no registry dependencies (everything external is vendored
 # under vendor/), so this runs fully offline.
 #
-# The net/node/attacks suites open real sockets and run multi-threaded event
-# loops; each runs under `timeout` so a hung socket loop fails the gate fast
-# instead of wedging the workflow.
+# The net/attacks suites and the node crate's loopback-convergence suite open
+# real sockets and run multi-threaded event loops; each runs under `timeout` so
+# a hung socket loop fails the gate fast instead of wedging the workflow. The
+# SimNet suites are socket-free and deterministic, so they run bare.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,8 +31,15 @@ timeout 1200 cargo test --workspace -q \
 echo "==> cargo test -p ng_net -q (codec round-trip properties, 120s budget)"
 timeout 120 cargo test -q -p ng_net
 
-echo "==> cargo test -p ng_node -q (loopback testnet convergence, 300s budget)"
-timeout 300 cargo test -q -p ng_node
+echo "==> cargo test -p ng_node -q --lib --bins (pure engine + driver units, socket-free)"
+cargo test -q -p ng_node --lib --bins
+
+echo "==> SimNet determinism + seed-sweep suites (socket-free and deterministic: no timeout wrapper needed)"
+cargo test -q -p ng_node --test simnet_determinism
+cargo test -q -p ng_node --test simnet_scenarios
+
+echo "==> cargo test -p ng_node -q --test testnet_convergence (loopback sockets, 300s budget)"
+timeout 300 cargo test -q -p ng_node --test testnet_convergence
 
 echo "==> cargo test -p ng_attacks -q (attack scenarios vs paper bounds, 300s budget)"
 timeout 300 cargo test -q -p ng_attacks
