@@ -17,11 +17,21 @@ use ng_net::message::{InvItem, InvKind, Message, ProtocolKind};
 use ng_node::engine::{Engine, EngineConfig, Input};
 use std::hint::black_box;
 
+/// Unchecked-ledger parameters: the synthetic `tx_pool` transactions spend
+/// nonexistent outpoints, so these workloads (which measure protocol overhead, not
+/// ledger validation — that is `ledger_bench`'s job) disable full tx validation.
+fn unchecked_params() -> NgParams {
+    NgParams {
+        validate_transactions: false,
+        ..NgParams::default()
+    }
+}
+
 fn stream_params() -> NgParams {
     NgParams {
         min_microblock_interval_ms: 1,
         microblock_interval_ms: 1,
-        ..NgParams::default()
+        ..unchecked_params()
     }
 }
 
@@ -111,7 +121,7 @@ fn bench_sync_serving(c: &mut Criterion) {
 /// Gossip workload (receive side): a peer announces an unknown object; the engine
 /// books it and answers with `getdata`.
 fn bench_inv_gossip(c: &mut Criterion) {
-    let mut engine = ready_engine(8, NgParams::default());
+    let mut engine = ready_engine(8, unchecked_params());
     let mut seq = 0u64;
     c.bench_function("engine_handle_inv_unknown", |b| {
         b.iter(|| {
@@ -131,7 +141,7 @@ fn bench_inv_gossip(c: &mut Criterion) {
 /// Gossip workload (send side): accept a locally submitted transaction and fan its
 /// announcement out to 8 ready peers (the broadcast-collapse path).
 fn bench_tx_gossip(c: &mut Criterion) {
-    let mut engine = ready_engine(8, NgParams::default());
+    let mut engine = ready_engine(8, unchecked_params());
     engine.handle(1_000, Input::MineKeyBlock);
     let pool = tx_pool(200_000);
     let mut seq = 0usize;

@@ -1,0 +1,184 @@
+//! Emits a machine-readable snapshot of the incremental chainstate's hot-path
+//! latencies (microblock-cycle cost at two chain depths, a depth-8 reorg, and the
+//! old rebuild-from-genesis cost for contrast) as JSON on stdout.
+//!
+//! `scripts/bench_snapshot.sh` redirects this into `BENCH_ledger.json` so the
+//! repository tracks the perf trajectory from PR 4 on; CI runs a small-iteration
+//! smoke invocation to keep the tool from rotting.
+//!
+//! Usage: `ledger_snapshot [--iters N]` (default 200).
+
+use ng_chain::amount::Amount;
+use ng_chain::transaction::{OutPoint, Transaction, TransactionBuilder};
+use ng_core::params::NgParams;
+use ng_crypto::keys::KeyPair;
+use ng_crypto::sha256::sha256;
+use ng_node::engine::{Engine, EngineConfig, Input};
+use ng_node::ledger::rebuild_utxo;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn unchecked_params() -> NgParams {
+    NgParams {
+        min_microblock_interval_ms: 1,
+        microblock_interval_ms: 1,
+        validate_transactions: false,
+        ..NgParams::default()
+    }
+}
+
+fn tx_pool(n: u64) -> Vec<Transaction> {
+    let address = KeyPair::from_id(9).address();
+    (0..n)
+        .map(|seq| {
+            TransactionBuilder::new()
+                .input(OutPoint::new(sha256(&seq.to_le_bytes()), 0))
+                .output(Amount::from_sats(1_000 + seq), address)
+                .build()
+        })
+        .collect()
+}
+
+fn engine_with_chain(microblocks: u64) -> (Engine, u64) {
+    let mut engine = Engine::new(EngineConfig::new(1, unchecked_params()));
+    let mut now = 1_000u64;
+    engine.handle(now, Input::MineKeyBlock);
+    for tx in tx_pool(microblocks) {
+        now += 10;
+        engine.handle(now, Input::SubmitTx(Box::new(tx)));
+        engine.handle(
+            now,
+            Input::ProduceMicroblock {
+                require_transactions: true,
+            },
+        );
+    }
+    (engine, now)
+}
+
+/// Median of per-iteration microseconds for one leader cycle at a chain depth.
+fn cycle_us(depth: u64, iters: usize) -> f64 {
+    let (mut engine, start) = engine_with_chain(depth);
+    let pool = tx_pool(50_000);
+    let mut seq = depth as usize;
+    let mut now = start;
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        for _ in 0..4 {
+            let tx = pool[seq % pool.len()].clone();
+            seq += 1;
+            engine.handle(now, Input::SubmitTx(Box::new(tx)));
+        }
+        now += 10;
+        black_box(engine.handle(
+            now,
+            Input::ProduceMicroblock {
+                require_transactions: true,
+            },
+        ));
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    median(samples)
+}
+
+/// Median microseconds for one heal-style reorg of the given depth: a node that
+/// built `depth` transaction-bearing microblocks adopts a heavier two-key-block
+/// branch, rewinding its ledger through undo records and connecting the rival
+/// epoch — chain insertion, fork choice and the incremental view roll included.
+fn reorg_us(depth: u64, iters: usize) -> f64 {
+    use ng_core::node::NgNode;
+    use ng_node::chainstate::ChainView;
+
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let params = unchecked_params();
+        let mut node = NgNode::new(1, params, 0);
+        let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+        let kb = node.mine_and_adopt_key_block(1_000);
+        let mut now = 2_000u64;
+        for tx in tx_pool(depth) {
+            node.produce_microblock(
+                now,
+                ng_chain::payload::Payload::Transactions(vec![tx]),
+            )
+            .expect("leader produces");
+            now += 10;
+        }
+        view.sync(node.chain_mut()).expect("unchecked connect");
+        // A competing miner who never saw the microblocks: two key blocks on the
+        // epoch boundary outweigh the zero-work microblock run.
+        let mut rival = NgNode::new(2, params, 0);
+        rival
+            .on_block(ng_core::block::NgBlock::Key(kb), 1_001)
+            .expect("shared epoch");
+        let rival_kb1 = rival.mine_and_adopt_key_block(now + 10);
+        let rival_kb2 = rival.mine_and_adopt_key_block(now + 20);
+        let t = Instant::now();
+        node.on_block(ng_core::block::NgBlock::Key(rival_kb1), now + 30)
+            .expect("rival branch accepted");
+        node.on_block(ng_core::block::NgBlock::Key(rival_kb2.clone()), now + 40)
+            .expect("rival branch wins");
+        black_box(view.sync(node.chain_mut()).expect("reorg roll"));
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(node.tip(), rival_kb2.id(), "reorg applied");
+        assert_eq!(view.anchor(), rival_kb2.id(), "view followed the reorg");
+    }
+    median(samples)
+}
+
+/// Median microseconds for one from-genesis replay (the old per-tip-change cost).
+fn rebuild_us(depth: u64, iters: usize) -> f64 {
+    let (engine, _) = engine_with_chain(depth);
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(rebuild_utxo(engine.node().chain()).rolling_commitment());
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    median(samples)
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut iters = 200usize;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--iters" {
+            iters = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--iters takes a positive integer");
+            i += 2;
+        } else {
+            eprintln!("unknown argument {}", args[i]);
+            std::process::exit(2);
+        }
+    }
+    let iters = iters.max(3);
+
+    let cycle_16 = cycle_us(16, iters);
+    let cycle_1024 = cycle_us(1024, iters);
+    let reorg_8 = reorg_us(8, (iters / 10).max(3));
+    let rebuild_1024 = rebuild_us(1024, (iters / 10).max(3));
+
+    println!("{{");
+    println!("  \"schema\": \"bench_ledger/v1\",");
+    println!("  \"iters\": {iters},");
+    println!("  \"microblock_cycle_4tx_us\": {{");
+    println!("    \"chain_16\": {cycle_16:.1},");
+    println!("    \"chain_1024\": {cycle_1024:.1},");
+    println!(
+        "    \"depth_ratio\": {:.3}",
+        cycle_1024 / cycle_16.max(f64::EPSILON)
+    );
+    println!("  }},");
+    println!("  \"reorg_depth8_us\": {reorg_8:.1},");
+    println!("  \"rebuild_from_genesis_1024_us\": {rebuild_1024:.1}");
+    println!("}}");
+}

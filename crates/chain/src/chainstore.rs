@@ -8,10 +8,129 @@
 //! Bitcoin-NG key blocks and the simulator's lightweight block descriptors.
 
 use crate::forkchoice::{ForkRule, TieBreak};
+use crate::undo::BlockUndo;
 use ng_crypto::pow::Work;
 use ng_crypto::sha256::Hash256;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Default bound on buffered orphan blocks. Orphans arrive from untrusted peers
+/// before any validation can tie them to the chain, so an unbounded buffer is a
+/// memory-exhaustion vector; at the cap the oldest orphan is evicted first (it can
+/// always be re-fetched through header sync once its parent arrives).
+pub const DEFAULT_ORPHAN_CAP: usize = 512;
+
+/// One buffered item: arrival sequence, the item's own id, the item.
+type BufferedItem<T> = (u64, Hash256, T);
+
+/// A bounded buffer of items waiting on a missing parent, with oldest-first
+/// eviction at capacity. Backs both the chain store's orphan buffer and the NG
+/// chain state's pending-validation buffer — anything an untrusted peer can fill
+/// before validation runs must be bounded.
+#[derive(Clone, Debug)]
+pub struct BoundedParentBuffer<T> {
+    entries: HashMap<Hash256, Vec<BufferedItem<T>>>,
+    /// Ids of every buffered item: a re-sent duplicate must not buffer a second
+    /// copy (at capacity each duplicate would evict a distinct honest item,
+    /// turning retransmission into an eviction amplifier).
+    buffered: std::collections::HashSet<Hash256>,
+    seq: u64,
+    cap: usize,
+}
+
+impl<T> BoundedParentBuffer<T> {
+    /// A buffer holding at most `cap` items.
+    pub fn new(cap: usize) -> Self {
+        BoundedParentBuffer {
+            entries: HashMap::new(),
+            buffered: std::collections::HashSet::new(),
+            seq: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Overrides the bound (tests use tiny caps).
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap.max(1);
+    }
+
+    /// Total buffered items across all parents (tracked by the id set, so O(1)).
+    pub fn len(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffered.is_empty()
+    }
+
+    /// The parent ids currently waited on.
+    pub fn parents(&self) -> impl Iterator<Item = &Hash256> {
+        self.entries.keys()
+    }
+
+    /// Buffers an item (identified by `id`) under its missing parent, evicting the
+    /// globally oldest buffered item first when at capacity. A duplicate id is a
+    /// no-op: retransmitting the same item never evicts anything.
+    pub fn insert(&mut self, parent: Hash256, id: Hash256, item: T) {
+        if self.buffered.contains(&id) {
+            return;
+        }
+        while self.len() >= self.cap {
+            let oldest = self
+                .entries
+                .iter()
+                .filter_map(|(p, v)| v.iter().map(|(seq, _, _)| *seq).min().map(|seq| (seq, *p)))
+                .min()
+                .map(|(_, p)| p);
+            let Some(victim) = oldest else { break };
+            if let Some(list) = self.entries.get_mut(&victim) {
+                if let Some(pos) = list
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (seq, _, _))| *seq)
+                    .map(|(pos, _)| pos)
+                {
+                    let (_, evicted_id, _) = list.remove(pos);
+                    self.buffered.remove(&evicted_id);
+                }
+                if list.is_empty() {
+                    self.entries.remove(&victim);
+                }
+            }
+        }
+        self.seq += 1;
+        self.buffered.insert(id);
+        self.entries
+            .entry(parent)
+            .or_default()
+            .push((self.seq, id, item));
+    }
+
+    /// Removes and returns everything buffered under `parent` (in arrival order).
+    pub fn take(&mut self, parent: &Hash256) -> Vec<T> {
+        self.entries
+            .remove(parent)
+            .map(|list| {
+                list.into_iter()
+                    .map(|(_, id, item)| {
+                        self.buffered.remove(&id);
+                        item
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Drops everything buffered under `parent` without returning it.
+    pub fn remove_parent(&mut self, parent: &Hash256) {
+        if let Some(list) = self.entries.remove(parent) {
+            for (_, id, _) in list {
+                self.buffered.remove(&id);
+            }
+        }
+    }
+}
 
 /// Minimal interface a block must offer to live in a [`ChainStore`].
 pub trait BlockLike: Clone {
@@ -81,8 +200,12 @@ pub enum InsertOutcome {
 pub struct ChainStore<B: BlockLike> {
     blocks: HashMap<Hash256, StoredBlock<B>>,
     children: HashMap<Hash256, Vec<Hash256>>,
-    /// Buffered blocks whose parent has not arrived, keyed by the missing parent.
-    orphans: HashMap<Hash256, Vec<B>>,
+    /// Buffered blocks whose parent has not arrived, bounded with oldest-first
+    /// eviction (see [`DEFAULT_ORPHAN_CAP`]).
+    orphans: BoundedParentBuffer<B>,
+    /// Per-block ledger undo records, stored alongside the blocks they rewind
+    /// (populated by the node's chainstate when it connects a block).
+    undo: HashMap<Hash256, BlockUndo>,
     /// Subtree work rooted at each block (own work + all descendants), for GHOST.
     subtree_work: HashMap<Hash256, Work>,
     genesis: Hash256,
@@ -112,7 +235,8 @@ impl<B: BlockLike> ChainStore<B> {
         ChainStore {
             blocks,
             children: HashMap::new(),
-            orphans: HashMap::new(),
+            orphans: BoundedParentBuffer::new(DEFAULT_ORPHAN_CAP),
+            undo: HashMap::new(),
             subtree_work,
             genesis: id,
             tip: id,
@@ -120,6 +244,11 @@ impl<B: BlockLike> ChainStore<B> {
             tie,
             arrival_counter: 1,
         }
+    }
+
+    /// Overrides the orphan-buffer bound (tests use tiny caps).
+    pub fn set_orphan_cap(&mut self, cap: usize) {
+        self.orphans.set_cap(cap);
     }
 
     /// The genesis block id.
@@ -159,7 +288,7 @@ impl<B: BlockLike> ChainStore<B> {
 
     /// Number of buffered orphan blocks.
     pub fn orphan_count(&self) -> usize {
-        self.orphans.values().map(|v| v.len()).sum()
+        self.orphans.len()
     }
 
     /// Looks up a stored block.
@@ -191,7 +320,7 @@ impl<B: BlockLike> ChainStore<B> {
         }
         let parent = block.parent();
         if !self.blocks.contains_key(&parent) {
-            self.orphans.entry(parent).or_default().push(block);
+            self.orphans.insert(parent, id, block);
             return InsertOutcome::Orphaned {
                 missing_parent: parent,
             };
@@ -208,18 +337,16 @@ impl<B: BlockLike> ChainStore<B> {
             // numbering (and thus first-seen tie-breaks) between identical runs.
             let mut ready: Vec<Hash256> = self
                 .orphans
-                .keys()
+                .parents()
                 .filter(|p| self.blocks.contains_key(*p))
                 .copied()
                 .collect();
             ready.sort_unstable();
             for parent in ready {
-                if let Some(children) = self.orphans.remove(&parent) {
-                    for child in children {
-                        if !self.blocks.contains_key(&child.id()) {
-                            self.connect(child, &mut connected_ids);
-                            progress = true;
-                        }
+                for child in self.orphans.take(&parent) {
+                    if !self.blocks.contains_key(&child.id()) {
+                        self.connect(child, &mut connected_ids);
+                        progress = true;
                     }
                 }
             }
@@ -266,19 +393,104 @@ impl<B: BlockLike> ChainStore<B> {
             },
         );
         self.children.entry(parent).or_default().push(id);
-        // Update subtree work up the ancestor chain (for GHOST).
-        self.subtree_work.insert(id, own_work);
-        let mut cursor = parent;
-        loop {
-            let entry = self.subtree_work.entry(cursor).or_insert(Work::ZERO);
-            *entry = *entry + own_work;
-            if cursor == self.genesis {
-                break;
+        // Update subtree work up the ancestor chain. Only GHOST reads subtree
+        // totals; under the chain rules the walk would make every insert O(depth),
+        // so it is skipped and [`Self::subtree_work_of`] computes on demand.
+        if self.rule == ForkRule::Ghost {
+            self.subtree_work.insert(id, own_work);
+            let mut cursor = parent;
+            loop {
+                let entry = self.subtree_work.entry(cursor).or_insert(Work::ZERO);
+                *entry = *entry + own_work;
+                if cursor == self.genesis {
+                    break;
+                }
+                cursor = self.blocks[&cursor].block.parent();
             }
-            cursor = self.blocks[&cursor].block.parent();
         }
         connected.push(id);
         self.reevaluate_tip(&id);
+    }
+
+    // ---- per-block undo records ----------------------------------------------
+
+    /// Stores the ledger undo record produced when `id` was connected.
+    pub fn set_undo(&mut self, id: Hash256, undo: BlockUndo) {
+        self.undo.insert(id, undo);
+    }
+
+    /// The stored undo record for a block, if any.
+    pub fn undo_of(&self, id: &Hash256) -> Option<&BlockUndo> {
+        self.undo.get(id)
+    }
+
+    /// Removes and returns a block's undo record (consumed on disconnect).
+    pub fn take_undo(&mut self, id: &Hash256) -> Option<BlockUndo> {
+        self.undo.remove(id)
+    }
+
+    /// Removes a block and its entire descendant subtree from the tree — the
+    /// structural backstop behind validate-on-connect: a block whose transactions
+    /// fail full validation is cut out, and the best remaining tip re-selected
+    /// deterministically. Returns the removed ids (the target first). The genesis
+    /// block cannot be invalidated.
+    pub fn invalidate(&mut self, id: &Hash256) -> Vec<Hash256> {
+        if *id == self.genesis || !self.blocks.contains_key(id) {
+            return Vec::new();
+        }
+        // Collect the subtree rooted at `id`.
+        let mut removed = Vec::new();
+        let mut stack = vec![*id];
+        while let Some(cur) = stack.pop() {
+            removed.push(cur);
+            stack.extend(self.children.get(&cur).into_iter().flatten().copied());
+        }
+        // The whole subtree's work leaves every remaining ancestor's subtree total
+        // (only maintained under GHOST).
+        let parent = self.blocks[id].block.parent();
+        if self.rule == ForkRule::Ghost {
+            let subtree = self.subtree_work.get(id).copied().unwrap_or(Work::ZERO);
+            let mut cursor = parent;
+            loop {
+                if let Some(entry) = self.subtree_work.get_mut(&cursor) {
+                    *entry = *entry - subtree;
+                }
+                if cursor == self.genesis {
+                    break;
+                }
+                cursor = self.blocks[&cursor].block.parent();
+            }
+        }
+        if let Some(siblings) = self.children.get_mut(&parent) {
+            siblings.retain(|c| c != id);
+        }
+        for gone in &removed {
+            self.blocks.remove(gone);
+            self.children.remove(gone);
+            self.subtree_work.remove(gone);
+            self.undo.remove(gone);
+            self.orphans.remove_parent(gone);
+        }
+        // Re-select the tip by replaying fork choice over the survivors in arrival
+        // order, which reproduces the insertion-order-dependent tie-breaks exactly.
+        // This is O(surviving blocks), but only on invalidation of the current tip
+        // — a path an attacker can reach no faster than one correctly signed block
+        // per attempt, whose Schnorr verification (milliseconds) dwarfs this scan
+        // until chains grow past ~10^5 blocks.
+        if removed.contains(&self.tip) {
+            self.tip = self.genesis;
+            let mut survivors: Vec<Hash256> = self
+                .blocks
+                .keys()
+                .filter(|b| **b != self.genesis)
+                .copied()
+                .collect();
+            survivors.sort_unstable_by_key(|b| self.blocks[b].arrival);
+            for block in survivors {
+                self.reevaluate_tip(&block);
+            }
+        }
+        removed
     }
 
     /// Re-evaluates the best tip after `candidate` was connected.
@@ -366,9 +578,23 @@ impl<B: BlockLike> ChainStore<B> {
         }
     }
 
-    /// Work of the subtree rooted at `id` (own work plus all descendants).
+    /// Work of the subtree rooted at `id` (own work plus all descendants). Under
+    /// GHOST this reads the incrementally maintained totals; under the chain rules
+    /// (which never consult subtree work on the hot path) it is computed on demand.
     pub fn subtree_work_of(&self, id: &Hash256) -> Work {
-        self.subtree_work.get(id).copied().unwrap_or(Work::ZERO)
+        if self.rule == ForkRule::Ghost {
+            return self.subtree_work.get(id).copied().unwrap_or(Work::ZERO);
+        }
+        if !self.blocks.contains_key(id) {
+            return Work::ZERO;
+        }
+        let mut total = Work::ZERO;
+        let mut stack = vec![*id];
+        while let Some(cur) = stack.pop() {
+            total = total + self.blocks[&cur].block.work();
+            stack.extend(self.children_of(&cur).iter().copied());
+        }
+        total
     }
 
     /// The main chain from genesis to the tip (inclusive), genesis first.
@@ -730,6 +956,112 @@ mod tests {
             cs.subtree_work_of(&gid),
             Work(ng_crypto::u256::U256::from_u64(10))
         );
+    }
+
+    #[test]
+    fn orphan_buffer_is_bounded_with_oldest_first_eviction() {
+        let (mut cs, gid) = store(ForkRule::HeaviestChain);
+        cs.set_orphan_cap(8);
+        // A spamming peer sends far more parentless blocks than the cap.
+        for i in 0..10_000 {
+            let phantom_parent = sha256(format!("phantom-{i}").as_bytes());
+            let orphan = TestBlock::new(&format!("spam-{i}"), phantom_parent, 1);
+            assert!(matches!(cs.insert(orphan), InsertOutcome::Orphaned { .. }));
+            assert!(cs.orphan_count() <= 8, "buffer exceeded its bound");
+        }
+        assert_eq!(cs.orphan_count(), 8);
+        // Eviction is oldest-first: the parent of the newest spam block still adopts
+        // its buffered child, while the oldest orphan is long gone. (TestBlock ids
+        // are label hashes, so a block labelled "phantom-9999" IS the missing parent
+        // the orphan named.)
+        match cs.insert(TestBlock::new("phantom-9999", gid, 1)) {
+            InsertOutcome::Accepted { also_connected, .. } => {
+                assert_eq!(also_connected.len(), 1, "newest orphan survived and connected");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        match cs.insert(TestBlock::new("phantom-0", gid, 1)) {
+            InsertOutcome::Accepted { also_connected, .. } => {
+                assert!(also_connected.is_empty(), "oldest orphan was evicted");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_orphan_retransmission_does_not_evict_honest_orphans() {
+        let (mut cs, gid) = store(ForkRule::HeaviestChain);
+        cs.set_orphan_cap(4);
+        for i in 0..4 {
+            let phantom = sha256(format!("p-{i}").as_bytes());
+            cs.insert(TestBlock::new(&format!("honest-{i}"), phantom, 1));
+        }
+        assert_eq!(cs.orphan_count(), 4);
+        // One parentless block re-sent many times buffers exactly once: the first
+        // copy displaces the single oldest honest orphan, every retransmission
+        // after that is a no-op.
+        let spam = TestBlock::new("spam", sha256(b"phantom-spam"), 1);
+        for _ in 0..100 {
+            cs.insert(spam.clone());
+        }
+        assert_eq!(cs.orphan_count(), 4, "cap respected");
+        // honest-3 (the newest honest orphan) survived the retransmission storm —
+        // adopting its parent connects it. (TestBlock ids are label hashes, so a
+        // block labelled "p-3" IS the phantom parent honest-3 named.)
+        match cs.insert(TestBlock::new("p-3", gid, 1)) {
+            InsertOutcome::Accepted { also_connected, .. } => {
+                assert_eq!(also_connected.len(), 1, "honest-3 survived the spam");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undo_records_are_stored_taken_and_dropped_on_invalidate() {
+        let (mut cs, gid) = store(ForkRule::HeaviestChain);
+        let a = TestBlock::new("a", gid, 1);
+        cs.insert(a.clone());
+        cs.set_undo(a.id(), crate::undo::BlockUndo::default());
+        assert!(cs.undo_of(&a.id()).is_some());
+        let taken = cs.take_undo(&a.id());
+        assert!(taken.is_some());
+        assert!(cs.undo_of(&a.id()).is_none());
+
+        cs.set_undo(a.id(), crate::undo::BlockUndo::default());
+        cs.invalidate(&a.id());
+        assert!(cs.undo_of(&a.id()).is_none(), "invalidate drops undo records");
+    }
+
+    #[test]
+    fn invalidate_removes_subtree_and_reselects_previous_branch() {
+        let (mut cs, gid) = store(ForkRule::HeaviestChain);
+        // Branch a: two blocks (work 2). Branch b: three blocks (work 3) — wins.
+        let a1 = TestBlock::new("a1", gid, 1);
+        let a2 = TestBlock::new("a2", a1.id(), 1);
+        let b1 = TestBlock::new("b1", gid, 1);
+        let b2 = TestBlock::new("b2", b1.id(), 1);
+        let b3 = TestBlock::new("b3", b2.id(), 1);
+        for blk in [a1.clone(), a2.clone(), b1.clone(), b2.clone(), b3.clone()] {
+            cs.insert(blk);
+        }
+        assert_eq!(cs.tip(), b3.id());
+        // b2 turns out invalid: b2 and b3 disappear, and the heaviest remaining
+        // branch (a, work 2, beating b1's work 1) becomes the tip again.
+        let removed = cs.invalidate(&b2.id());
+        assert_eq!(removed.len(), 2);
+        assert!(removed.contains(&b2.id()) && removed.contains(&b3.id()));
+        assert!(!cs.contains(&b2.id()) && !cs.contains(&b3.id()));
+        assert!(cs.contains(&b1.id()));
+        assert_eq!(cs.tip(), a2.id());
+        assert_eq!(cs.children_of(&b1.id()), &[] as &[Hash256]);
+        // Subtree work was subtracted up the ancestor chain.
+        assert_eq!(
+            cs.subtree_work_of(&b1.id()),
+            Work(ng_crypto::u256::U256::from_u64(1))
+        );
+        // Genesis cannot be invalidated; unknown ids are a no-op.
+        assert!(cs.invalidate(&gid).is_empty());
+        assert!(cs.invalidate(&sha256(b"unknown")).is_empty());
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub enum BlockError {
     BadLeaderSignature,
     /// A microblock exceeds the leader's permitted generation rate (§4.2).
     MicroblockRateExceeded,
+    /// The block (or an ancestor) was previously invalidated — its transactions
+    /// failed full validation when it connected to the ledger — and is refused
+    /// without revalidation.
+    KnownInvalid(Hash256),
     /// Generic structural problem.
     Malformed(&'static str),
 }
@@ -130,6 +134,7 @@ impl fmt::Display for BlockError {
             BlockError::BadTimestamp => write!(f, "bad timestamp"),
             BlockError::BadLeaderSignature => write!(f, "bad leader signature"),
             BlockError::MicroblockRateExceeded => write!(f, "microblock rate exceeded"),
+            BlockError::KnownInvalid(h) => write!(f, "block {h} is known invalid"),
             BlockError::Malformed(reason) => write!(f, "malformed block: {reason}"),
         }
     }

@@ -9,8 +9,12 @@
 //! * [`mempool`] — pending transactions ordered by fee rate (the paper's experiments
 //!   pre-fill mempools with independent transactions, §7).
 //! * [`block`] — block headers, Bitcoin blocks and proof-of-work/merkle validation.
-//! * [`chainstore`] — a generic block tree with work accounting, reorg computation and
-//!   orphan handling, reused by every protocol in the workspace.
+//! * [`chainstore`] — a generic block tree with work accounting, reorg computation,
+//!   bounded orphan handling and per-block undo storage, reused by every protocol in
+//!   the workspace.
+//! * [`undo`] — per-block undo records for incremental (connect/disconnect)
+//!   chainstate maintenance.
+//! * [`sigcache`] — a bounded signature-verification cache keyed by txid.
 //! * [`forkchoice`] — heaviest-chain, longest-chain and GHOST tip selection.
 //! * [`difficulty`] — epoch-based difficulty adjustment.
 //! * [`genesis`] — genesis block/chain construction helpers.
@@ -28,7 +32,9 @@ pub mod forkchoice;
 pub mod genesis;
 pub mod mempool;
 pub mod payload;
+pub mod sigcache;
 pub mod transaction;
+pub mod undo;
 pub mod utxo;
 
 pub use amount::Amount;
@@ -38,5 +44,7 @@ pub use error::{BlockError, TxError};
 pub use forkchoice::{ForkChoice, ForkRule, TieBreak};
 pub use mempool::Mempool;
 pub use payload::Payload;
+pub use sigcache::SigCache;
 pub use transaction::{OutPoint, Transaction, TxInput, TxOutput};
+pub use undo::BlockUndo;
 pub use utxo::UtxoSet;

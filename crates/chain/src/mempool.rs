@@ -56,6 +56,12 @@ impl Mempool {
         self.entries.contains_key(txid)
     }
 
+    /// The pending entry for a transaction id, if any (chained-spend admission
+    /// resolves inputs against pending parents through this).
+    pub fn get(&self, txid: &Hash256) -> Option<&MempoolEntry> {
+        self.entries.get(txid)
+    }
+
     /// Inserts a transaction, computing its fee against the supplied UTXO set. Returns
     /// false if it was already present or spends unknown inputs.
     pub fn insert(&mut self, tx: Transaction, utxo: &UtxoSet) -> bool {
@@ -125,29 +131,22 @@ impl Mempool {
         }
     }
 
-    /// Re-inserts transactions from a disconnected block (reorg handling).
-    pub fn reinsert(&mut self, txs: impl IntoIterator<Item = Transaction>, utxo: &UtxoSet) {
-        for tx in txs {
-            if tx.is_coinbase() {
-                continue;
-            }
-            let fee = utxo.fee_unchecked(&tx).unwrap_or(Amount::ZERO);
-            self.insert_with_fee(tx, fee);
-        }
-    }
-
     /// Selects transactions by descending fee rate until `max_bytes` is filled.
+    ///
+    /// Fee rates are compared exactly by cross-multiplying in `u128`
+    /// (`fee_a·size_b` vs `fee_b·size_a`): an `f64` quotient loses precision above
+    /// 2^53 sats, which made the ordering non-total and could rank a higher-paying
+    /// transaction below a lower-paying one.
     ///
     /// Selection is greedy and does not consider in-mempool dependencies; the paper's
     /// experiment transactions are independent by construction.
     pub fn select_by_fee_rate(&self, max_bytes: usize) -> Vec<Transaction> {
         let mut entries: Vec<&MempoolEntry> = self.entries.values().collect();
         entries.sort_by(|a, b| {
-            let rate_a = a.fee.sats() as f64 / a.size.max(1) as f64;
-            let rate_b = b.fee.sats() as f64 / b.size.max(1) as f64;
-            rate_b
-                .partial_cmp(&rate_a)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            let cross_a = a.fee.sats() as u128 * b.size.max(1) as u128;
+            let cross_b = b.fee.sats() as u128 * a.size.max(1) as u128;
+            cross_b
+                .cmp(&cross_a)
                 .then_with(|| a.tx.txid().cmp(&b.tx.txid()))
         });
         let mut selected = Vec::new();
@@ -192,7 +191,7 @@ impl Mempool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transaction::{OutPoint, TransactionBuilder, TxOutput};
+    use crate::transaction::{OutPoint, TransactionBuilder};
     use ng_crypto::keys::KeyPair;
 
     fn synthetic_tx(id: u64, fee: u64) -> (Transaction, Amount) {
@@ -244,6 +243,37 @@ mod tests {
     }
 
     #[test]
+    fn fee_rate_ordering_is_exact_above_f64_precision() {
+        // Two transactions of identical size with fees that differ by 1 sat above
+        // 2^53: as f64 both fees round to the same value, so the old float-quotient
+        // comparison saw a tie and let the txid tie-break decide — potentially
+        // ranking the lower-paying transaction first. u128 cross-multiplication
+        // keeps the ordering exact.
+        let base: u64 = (1 << 53) + 4; // not representable gap: base and base+1 collapse in f64
+        assert_eq!(base as f64, (base + 1) as f64, "premise: f64 cannot tell them apart");
+        let (tx_low, _) = synthetic_tx(1, 0);
+        let (tx_high, _) = synthetic_tx(2, 0);
+        assert_eq!(tx_low.serialized_size(), tx_high.serialized_size());
+        // Make the higher-fee transaction the one the txid tie-break would rank last,
+        // so only exact comparison can promote it.
+        let (first, second) = if tx_low.txid() < tx_high.txid() {
+            (tx_low, tx_high)
+        } else {
+            (tx_high, tx_low)
+        };
+        let mut pool = Mempool::new();
+        pool.insert_with_fee(first.clone(), Amount::from_sats(base));
+        pool.insert_with_fee(second.clone(), Amount::from_sats(base + 1));
+        let selected = pool.select_by_fee_rate(first.serialized_size());
+        assert_eq!(selected.len(), 1);
+        assert_eq!(
+            selected[0].txid(),
+            second.txid(),
+            "the strictly higher 2^53+5-sat fee must win over 2^53+4"
+        );
+    }
+
+    #[test]
     fn fifo_selection_respects_insertion_order_and_size() {
         let mut pool = Mempool::new();
         let mut order = Vec::new();
@@ -274,21 +304,6 @@ mod tests {
                 .sum();
             assert!(total <= budget, "budget {budget} exceeded with {total}");
         }
-    }
-
-    #[test]
-    fn reinsert_skips_coinbase() {
-        let mut pool = Mempool::new();
-        let utxo = UtxoSet::new();
-        let kp = KeyPair::from_id(9);
-        let cb = Transaction::coinbase(
-            vec![TxOutput::new(Amount::from_coins(50), kp.address())],
-            b"cb",
-        );
-        let (regular, _) = synthetic_tx(3, 5);
-        pool.reinsert(vec![cb, regular.clone()], &utxo);
-        assert_eq!(pool.len(), 1);
-        assert!(pool.contains(&regular.txid()));
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Bounded id sets: a FIFO-evicting set of 32-byte ids, and the
+//! signature-verification cache built on it.
+//!
+//! Schnorr verification dominates transaction validation cost. Because a txid is the
+//! double SHA-256 of the *entire* serialized transaction — signatures and public keys
+//! included — "the signatures of transaction X verify against the outputs it spends"
+//! is a pure function of the txid: an outpoint's address and amount are fixed by the
+//! transaction that created it and never vary across branches. A node can therefore
+//! remember the verdict once and skip re-verification when the same transaction comes
+//! back — reorg-reconnected blocks, gossip duplicates, mempool re-admission — while
+//! still re-running every state-dependent check (existence, maturity, conservation)
+//! against the live UTXO view.
+//!
+//! Only *successful* verifications are cached: a negative cache would let an attacker
+//! poison honest nodes against a transaction id.
+
+use ng_crypto::sha256::Hash256;
+use std::collections::{HashSet, VecDeque};
+
+/// Default capacity: at ~200 bytes per pooled transaction this covers far more
+/// transactions than a microblock interval serializes.
+pub const DEFAULT_SIG_CACHE_CAP: usize = 1 << 16;
+
+/// A bounded set of 32-byte ids with FIFO (oldest-first) eviction. Everything an
+/// untrusted peer can grow must be bounded; this is the shared primitive behind the
+/// signature cache and the known-invalid block set.
+#[derive(Clone, Debug)]
+pub struct BoundedIdSet {
+    members: HashSet<Hash256>,
+    order: VecDeque<Hash256>,
+    cap: usize,
+}
+
+impl BoundedIdSet {
+    /// A set holding at most `cap` ids (oldest evicted first).
+    pub fn new(cap: usize) -> Self {
+        BoundedIdSet {
+            members: HashSet::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: &Hash256) -> bool {
+        self.members.contains(id)
+    }
+
+    /// Inserts an id, evicting the oldest member at capacity. Returns false if the
+    /// id was already present.
+    pub fn insert(&mut self, id: Hash256) -> bool {
+        if !self.members.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        while self.order.len() > self.cap {
+            if let Some(evicted) = self.order.pop_front() {
+                self.members.remove(&evicted);
+            }
+        }
+        true
+    }
+
+    /// Number of ids held.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if no ids are held.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// A bounded FIFO set of transaction ids whose signatures verified, with hit/miss
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct SigCache {
+    verified: BoundedIdSet,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for SigCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_SIG_CACHE_CAP)
+    }
+}
+
+impl SigCache {
+    /// Creates a cache holding at most `cap` verdicts (oldest evicted first).
+    pub fn new(cap: usize) -> Self {
+        SigCache {
+            verified: BoundedIdSet::new(cap),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// True if this transaction's signatures are known good; counts the lookup.
+    pub fn lookup(&mut self, txid: &Hash256) -> bool {
+        if self.verified.contains(txid) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Read-only membership test (no hit/miss accounting).
+    pub fn contains(&self, txid: &Hash256) -> bool {
+        self.verified.contains(txid)
+    }
+
+    /// Records a successful verification, evicting the oldest verdict at capacity.
+    pub fn insert(&mut self, txid: Hash256) {
+        self.verified.insert(txid);
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.verified.len()
+    }
+
+    /// True if no verdicts are cached.
+    pub fn is_empty(&self) -> bool {
+        self.verified.is_empty()
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that required a real verification.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_crypto::sha256::sha256;
+
+    #[test]
+    fn lookup_insert_and_stats() {
+        let mut cache = SigCache::new(8);
+        let id = sha256(b"tx");
+        assert!(!cache.lookup(&id));
+        cache.insert(id);
+        assert!(cache.lookup(&id));
+        assert!(cache.contains(&id));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut cache = SigCache::new(2);
+        let ids: Vec<_> = (0u8..3).map(|i| sha256(&[i])).collect();
+        for id in &ids {
+            cache.insert(*id);
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.contains(&ids[0]), "oldest evicted");
+        assert!(cache.contains(&ids[1]) && cache.contains(&ids[2]));
+        // Re-inserting an existing id does not grow or reorder the queue.
+        cache.insert(ids[2]);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn bounded_id_set_basics() {
+        let mut set = BoundedIdSet::new(2);
+        assert!(set.is_empty());
+        let a = sha256(b"a");
+        assert!(set.insert(a));
+        assert!(!set.insert(a), "duplicate insert reports false");
+        assert!(set.contains(&a));
+        set.insert(sha256(b"b"));
+        set.insert(sha256(b"c"));
+        assert_eq!(set.len(), 2);
+        assert!(!set.contains(&a), "oldest evicted at capacity");
+    }
+}

@@ -1,0 +1,55 @@
+//! Per-block undo records: everything needed to rewind one connected block off a
+//! ledger view.
+//!
+//! An incremental chainstate connects and disconnects blocks instead of replaying the
+//! chain from genesis on every tip change. Connecting a block produces a [`BlockUndo`]
+//! — the consumed entries, the created outpoints, and any entries an unchecked replay
+//! overwrote — which is stored alongside the block in the
+//! [`ChainStore`](crate::chainstore::ChainStore) and consumed when a reorg walks the
+//! block back off the active branch.
+
+use crate::transaction::OutPoint;
+use crate::utxo::{TxUndo, UtxoEntry};
+use serde::{Deserialize, Serialize};
+
+/// Undo information for one connected block.
+///
+/// Disconnecting walks `txs` in reverse, restoring each transaction's consumed
+/// entries and removing its created outputs; after unapplying transaction `i`, the
+/// `replaced` entries recorded at index `i` are re-inserted (an unchecked replay may
+/// overwrite an existing outpoint; a validated connect never does). Key-block
+/// coinbase outputs, which have no carrying transaction, are listed in `coinbase`
+/// and removed last.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BlockUndo {
+    /// Per-transaction undo records, in application order.
+    pub txs: Vec<TxUndo>,
+    /// Outpoints of key-block coinbase outputs inserted directly (keyed by block id).
+    pub coinbase: Vec<OutPoint>,
+    /// Entries overwritten during an unchecked connect, tagged with the index of the
+    /// transaction (into `txs`) whose outputs did the overwriting.
+    pub replaced: Vec<(u32, OutPoint, UtxoEntry)>,
+}
+
+impl BlockUndo {
+    /// True if connecting the block changed nothing (e.g. a synthetic payload).
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty() && self.coinbase.is_empty() && self.replaced.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_undo_is_empty() {
+        let undo = BlockUndo::default();
+        assert!(undo.is_empty());
+        let undo = BlockUndo {
+            coinbase: vec![OutPoint::new(ng_crypto::sha256::sha256(b"kb"), 0)],
+            ..Default::default()
+        };
+        assert!(!undo.is_empty());
+    }
+}

@@ -7,8 +7,10 @@
 
 use crate::amount::Amount;
 use crate::error::TxError;
+use crate::sigcache::SigCache;
 use crate::transaction::{OutPoint, Transaction, TxOutput};
 use ng_crypto::keys::Address;
+use ng_crypto::sha256::Hash256;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -31,7 +33,16 @@ pub struct UtxoSet {
     /// were created ("this transaction can only be spent after a maturity period of 100
     /// blocks", §4.4).
     pub coinbase_maturity: u64,
+    /// Rolling order-independent commitment: the XOR of a domain-tagged digest of
+    /// every entry, updated on each mutation. Insertion and removal are O(1), so a
+    /// node can expose a set commitment per block without re-hashing the whole set
+    /// (which [`Self::commitment`] still does, as the strong form used by tests).
+    rolling: Hash256,
 }
+
+/// Resolver for transaction inputs missing from the UTXO set — mempool admission
+/// passes a lookup into the pending pool so chained spends validate fully.
+pub type InputResolver<'a> = &'a dyn Fn(&OutPoint) -> Option<TxOutput>;
 
 /// Undo information for one applied transaction, sufficient to rewind it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -47,10 +58,7 @@ pub struct TxUndo {
 impl UtxoSet {
     /// Creates an empty set with the standard 100-block coinbase maturity.
     pub fn new() -> Self {
-        UtxoSet {
-            entries: HashMap::new(),
-            coinbase_maturity: 100,
-        }
+        Self::with_maturity(100)
     }
 
     /// Creates an empty set with a custom coinbase maturity (small-scale tests use 0).
@@ -58,7 +66,50 @@ impl UtxoSet {
         UtxoSet {
             entries: HashMap::new(),
             coinbase_maturity: maturity,
+            rolling: Hash256::ZERO,
         }
+    }
+
+    /// Domain-tagged digest of one entry, the unit the rolling commitment XORs.
+    fn entry_digest(outpoint: &OutPoint, entry: &UtxoEntry) -> Hash256 {
+        let mut data = Vec::with_capacity(16 + 32 + 4 + 8 + 32 + 8 + 1);
+        data.extend_from_slice(b"BitcoinNG/utxo-v1");
+        data.extend_from_slice(&outpoint.txid.0);
+        data.extend_from_slice(&outpoint.vout.to_le_bytes());
+        data.extend_from_slice(&entry.output.amount.sats().to_le_bytes());
+        data.extend_from_slice(&entry.output.address.0 .0);
+        data.extend_from_slice(&entry.height.to_le_bytes());
+        data.push(entry.coinbase as u8);
+        ng_crypto::sha256::sha256(&data)
+    }
+
+    /// Folds an entry digest into (or out of — XOR is its own inverse) the rolling
+    /// commitment.
+    fn toggle_rolling(&mut self, outpoint: &OutPoint, entry: &UtxoEntry) {
+        let digest = Self::entry_digest(outpoint, entry);
+        for (acc, byte) in self.rolling.0.iter_mut().zip(digest.0.iter()) {
+            *acc ^= byte;
+        }
+    }
+
+    /// Inserts an entry, maintaining the rolling commitment; returns the entry this
+    /// replaced, if the outpoint was already present.
+    fn slot_insert(&mut self, outpoint: OutPoint, entry: UtxoEntry) -> Option<UtxoEntry> {
+        let replaced = self.entries.insert(outpoint, entry);
+        if let Some(old) = &replaced {
+            self.toggle_rolling(&outpoint, old);
+        }
+        self.toggle_rolling(&outpoint, &entry);
+        replaced
+    }
+
+    /// Removes an entry, maintaining the rolling commitment.
+    fn slot_remove(&mut self, outpoint: &OutPoint) -> Option<UtxoEntry> {
+        let removed = self.entries.remove(outpoint);
+        if let Some(old) = &removed {
+            self.toggle_rolling(outpoint, old);
+        }
+        removed
     }
 
     /// Number of unspent outputs.
@@ -113,35 +164,87 @@ impl UtxoSet {
     ///
     /// Returns the transaction fee on success.
     pub fn validate(&self, tx: &Transaction, height: u64) -> Result<Amount, TxError> {
+        self.validate_impl(tx, height, None, None)
+    }
+
+    /// Like [`Self::validate`], but skips the per-input Schnorr verification when the
+    /// cache already proved this exact transaction's signatures (the txid commits to
+    /// every signature byte, and an outpoint's address/amount are immutable, so a
+    /// cached verdict stays sound across reorgs and re-gossip). State-dependent
+    /// checks — input existence, maturity, value conservation — always run.
+    pub fn validate_cached(
+        &self,
+        tx: &Transaction,
+        height: u64,
+        cache: &mut SigCache,
+    ) -> Result<Amount, TxError> {
+        self.validate_impl(tx, height, Some(cache), None)
+    }
+
+    /// Like [`Self::validate_cached`], but inputs missing from the set may resolve
+    /// through `resolve` — mempool admission passes a lookup into the pending pool
+    /// so a chained spend of a not-yet-serialized parent validates fully
+    /// (signatures, vouts, value conservation) without duplicating these rules at
+    /// the call site. Resolved outputs are unconfirmed, so no maturity applies.
+    pub fn validate_chained(
+        &self,
+        tx: &Transaction,
+        height: u64,
+        cache: &mut SigCache,
+        resolve: InputResolver<'_>,
+    ) -> Result<Amount, TxError> {
+        self.validate_impl(tx, height, Some(cache), Some(resolve))
+    }
+
+    fn validate_impl(
+        &self,
+        tx: &Transaction,
+        height: u64,
+        mut cache: Option<&mut SigCache>,
+        resolve: Option<InputResolver<'_>>,
+    ) -> Result<Amount, TxError> {
         if tx.is_coinbase() {
             return Err(TxError::UnexpectedCoinbase);
         }
         if tx.outputs.is_empty() {
             return Err(TxError::NoOutputs);
         }
+        let sigs_known_good = match cache.as_deref_mut() {
+            Some(cache) => cache.lookup(&tx.txid()),
+            None => false,
+        };
         let mut seen = std::collections::HashSet::new();
         let mut total_in = Amount::ZERO;
         for (i, input) in tx.inputs.iter().enumerate() {
             if !seen.insert(input.outpoint) {
                 return Err(TxError::DuplicateInput(input.outpoint));
             }
-            let entry = self
-                .entries
-                .get(&input.outpoint)
-                .ok_or(TxError::MissingInput(input.outpoint))?;
-            if entry.coinbase && height < entry.height + self.coinbase_maturity {
-                return Err(TxError::ImmatureCoinbase {
-                    outpoint: input.outpoint,
-                    created_at: entry.height,
-                    spend_height: height,
-                });
-            }
-            if !tx.verify_input(i, &entry.output) {
+            let output = match self.entries.get(&input.outpoint) {
+                Some(entry) => {
+                    if entry.coinbase && height < entry.height + self.coinbase_maturity {
+                        return Err(TxError::ImmatureCoinbase {
+                            outpoint: input.outpoint,
+                            created_at: entry.height,
+                            spend_height: height,
+                        });
+                    }
+                    entry.output
+                }
+                None => resolve
+                    .and_then(|resolve| resolve(&input.outpoint))
+                    .ok_or(TxError::MissingInput(input.outpoint))?,
+            };
+            if !sigs_known_good && !tx.verify_input(i, &output) {
                 return Err(TxError::BadSignature(input.outpoint));
             }
             total_in = total_in
-                .checked_add(entry.output.amount)
+                .checked_add(output.amount)
                 .ok_or(TxError::ValueOverflow)?;
+        }
+        if let Some(cache) = cache {
+            if !sigs_known_good {
+                cache.insert(tx.txid());
+            }
         }
         let total_out = tx
             .outputs
@@ -176,14 +279,13 @@ impl UtxoSet {
         let mut spent = Vec::with_capacity(tx.inputs.len());
         for input in &tx.inputs {
             let entry = self
-                .entries
-                .remove(&input.outpoint)
+                .slot_remove(&input.outpoint)
                 .expect("apply called with missing input; validate first");
             spent.push((input.outpoint, entry));
         }
         let coinbase = tx.is_coinbase();
         for (vout, output) in tx.outputs.iter().enumerate() {
-            self.entries.insert(
+            self.slot_insert(
                 OutPoint::new(txid, vout as u32),
                 UtxoEntry {
                     output: *output,
@@ -202,27 +304,38 @@ impl UtxoSet {
     /// Rewinds a previously applied transaction using its undo record.
     pub fn unapply(&mut self, undo: &TxUndo) {
         for vout in 0..undo.output_count {
-            self.entries.remove(&OutPoint::new(undo.txid, vout));
+            self.slot_remove(&OutPoint::new(undo.txid, vout));
         }
         for (outpoint, entry) in &undo.spent {
-            self.entries.insert(*outpoint, *entry);
+            self.slot_insert(*outpoint, *entry);
         }
     }
 
-    /// Directly inserts an output (used for genesis allocations and simulator set-up).
-    pub fn insert_unchecked(&mut self, outpoint: OutPoint, entry: UtxoEntry) {
-        self.entries.insert(outpoint, entry);
+    /// Directly inserts an output (used for genesis allocations, simulator set-up and
+    /// unchecked ledger replay). Returns the entry it replaced, if the outpoint was
+    /// already present — undo-exact replay records these.
+    pub fn insert_unchecked(&mut self, outpoint: OutPoint, entry: UtxoEntry) -> Option<UtxoEntry> {
+        self.slot_insert(outpoint, entry)
     }
 
     /// Removes an output regardless of spend rules, returning the removed entry.
     /// Used by ledger views that replay blocks without signature checking.
     pub fn remove_unchecked(&mut self, outpoint: &OutPoint) -> Option<UtxoEntry> {
-        self.entries.remove(outpoint)
+        self.slot_remove(outpoint)
+    }
+
+    /// The rolling order-independent commitment: XOR of a domain-tagged digest of
+    /// every entry, maintained incrementally. O(1) to read, equal for equal sets no
+    /// matter how they were built, and what the live node exposes per block — the
+    /// differential suites pin it against a fresh replay's rolling commitment.
+    pub fn rolling_commitment(&self) -> Hash256 {
+        self.rolling
     }
 
     /// A deterministic commitment to the entire set: entries are serialised in
     /// outpoint order and hashed. Two nodes hold the same UTXO state iff their
-    /// commitments match, which is how the live testnet checks convergence.
+    /// commitments match. O(n log n) — the strong form the oracle tests compare;
+    /// the hot path reads [`Self::rolling_commitment`] instead.
     pub fn commitment(&self) -> ng_crypto::sha256::Hash256 {
         let mut keys: Vec<&OutPoint> = self.entries.keys().collect();
         keys.sort_unstable_by_key(|op| (op.txid, op.vout));
@@ -413,5 +526,73 @@ mod tests {
         backward.remove_unchecked(&out_a);
         assert_ne!(forward.commitment(), backward.commitment());
         assert_ne!(UtxoSet::new().commitment(), forward.commitment());
+    }
+
+    #[test]
+    fn rolling_commitment_tracks_every_mutation_path() {
+        let alice = KeyPair::from_id(20);
+        let bob = KeyPair::from_id(21);
+        let (mut set, outpoint) = funded_set(&alice, 30);
+        let via_apply = set.rolling_commitment();
+
+        // The same state built through unchecked inserts yields the same rolling
+        // commitment (order independence across mutation APIs).
+        let mut manual = UtxoSet::with_maturity(0);
+        for (op, entry) in set.outpoints_of(&alice.address()) {
+            manual.insert_unchecked(op, entry);
+        }
+        assert_eq!(manual.rolling_commitment(), via_apply);
+
+        // Apply + unapply round-trips the commitment exactly.
+        let tx = spend(&alice, outpoint, bob.address(), Amount::from_coins(30));
+        let undo = set.apply(&tx, 1);
+        assert_ne!(set.rolling_commitment(), via_apply);
+        set.unapply(&undo);
+        assert_eq!(set.rolling_commitment(), via_apply);
+
+        // Overwriting an existing entry folds the old digest out first.
+        let replaced = manual.insert_unchecked(
+            outpoint,
+            UtxoEntry {
+                output: TxOutput::new(Amount::from_sats(1), bob.address()),
+                height: 9,
+                coinbase: false,
+            },
+        );
+        assert!(replaced.is_some());
+        manual.remove_unchecked(&outpoint);
+        manual.insert_unchecked(outpoint, replaced.unwrap());
+        assert_eq!(manual.rolling_commitment(), via_apply);
+
+        // Empty sets agree at zero.
+        assert_eq!(
+            UtxoSet::new().rolling_commitment(),
+            UtxoSet::with_maturity(0).rolling_commitment()
+        );
+    }
+
+    #[test]
+    fn sig_cache_skips_reverification_but_not_state_checks() {
+        use crate::sigcache::SigCache;
+        let alice = KeyPair::from_id(22);
+        let bob = KeyPair::from_id(23);
+        let (mut set, outpoint) = funded_set(&alice, 10);
+        let tx = spend(&alice, outpoint, bob.address(), Amount::from_coins(9));
+        let mut cache = SigCache::new(16);
+
+        let fee = set.validate_cached(&tx, 1, &mut cache).unwrap();
+        assert_eq!(fee, Amount::from_coins(1));
+        assert_eq!(cache.hits(), 0);
+        let fee = set.validate_cached(&tx, 1, &mut cache).unwrap();
+        assert_eq!(fee, Amount::from_coins(1));
+        assert_eq!(cache.hits(), 1, "second validation hits the cache");
+
+        // A cached verdict never bypasses state-dependent checks: once the input is
+        // spent, validation still fails.
+        set.apply(&tx, 1);
+        assert!(matches!(
+            set.validate_cached(&tx, 2, &mut cache),
+            Err(TxError::MissingInput(_))
+        ));
     }
 }

@@ -8,9 +8,11 @@ use ng_chain::amount::Amount;
 use ng_chain::chainstore::{BlockLike, ChainStore, InsertOutcome};
 use ng_chain::error::BlockError;
 use ng_chain::forkchoice::{ForkRule, TieBreak};
+use ng_chain::chainstore::BoundedParentBuffer;
+use ng_chain::sigcache::{BoundedIdSet, SigCache};
 use ng_crypto::keys::Address;
 use ng_crypto::sha256::Hash256;
-use ng_crypto::signer::verify_signature;
+use ng_crypto::signer::{verify_signature, SignatureBytes};
 use ng_crypto::PublicKey;
 use std::collections::{HashMap, HashSet};
 
@@ -30,16 +32,61 @@ pub struct ClosingEpoch {
     pub microblocks: u64,
 }
 
+/// Bound on blocks buffered while their parent is missing. Like the chain store's
+/// orphan buffer, the pending buffer fills from untrusted peers before validation
+/// can run, so it must not grow without limit; the oldest entry is evicted first.
+const MAX_PENDING_BLOCKS: usize = 512;
+
 /// The Bitcoin-NG chain state machine.
 #[derive(Clone, Debug)]
 pub struct NgChainState {
     params: NgParams,
     store: ChainStore<NgBlock>,
-    /// Blocks whose parent has not been validated yet, keyed by the missing parent.
-    pending: HashMap<Hash256, Vec<NgBlock>>,
+    /// Blocks whose parent has not been validated yet, bounded with oldest-first
+    /// eviction (see [`MAX_PENDING_BLOCKS`]).
+    pending: BoundedParentBuffer<NgBlock>,
+    /// Blocks that failed full validation when connecting to the ledger (and their
+    /// descendants). Re-offered copies are refused without revalidation. Bounded
+    /// FIFO: an evicted id merely costs a revalidation (which re-rejects it), so
+    /// even a leader mass-producing invalid microblocks cannot grow memory.
+    invalid: BoundedIdSet,
+    /// Verified microblock leader signatures, keyed by a digest binding the signing
+    /// hash, the leader public key *and* the signature bytes (see
+    /// [`microblock_sig_digest`]). Primed when this node signs its own microblocks,
+    /// so a producer does not pay a full Schnorr verification to re-check the
+    /// signature it computed a microsecond earlier.
+    microblock_sigs: SigCache,
+    /// Block id → the id of its epoch's key block, maintained on insert so leader
+    /// lookups are O(1) instead of walking the epoch's microblock run (an epoch can
+    /// hold thousands of microblocks at high stream rates).
+    epoch_key: HashMap<Hash256, Hash256>,
     /// Leaders already hit by an accepted poison transaction, per epoch key block
     /// ("Only one poison transaction can be placed per cheater", §4.5).
     poisoned: HashSet<(u64, Hash256)>,
+}
+
+/// Digest binding everything a cached microblock-signature verdict depends on: the
+/// header's signing hash, the leader public key it must verify under, and the
+/// signature bytes themselves. A cache hit on this digest is exactly the statement
+/// "this signature verifies this header under this key".
+pub fn microblock_sig_digest(
+    micro: &MicroBlock,
+    leader_pubkey: &PublicKey,
+) -> Hash256 {
+    let mut data = Vec::with_capacity(32 + 33 + 1 + 65);
+    data.extend_from_slice(&micro.header.signing_hash().0);
+    data.extend_from_slice(&leader_pubkey.to_compressed());
+    match &micro.signature {
+        SignatureBytes::Schnorr(bytes) => {
+            data.push(1);
+            data.extend_from_slice(bytes);
+        }
+        SignatureBytes::Simulated(h) => {
+            data.push(2);
+            data.extend_from_slice(&h.0);
+        }
+    }
+    ng_crypto::sha256::tagged_hash("BitcoinNG/microblock-sig", &data)
 }
 
 /// Builds the deterministic genesis key block shared by every node.
@@ -60,6 +107,9 @@ impl NgChainState {
     /// Creates a chain state rooted at the deterministic genesis key block.
     pub fn new(params: NgParams, tie_break_seed: u64) -> Self {
         let genesis = NgBlock::Key(genesis_key_block(&params));
+        let genesis_id = genesis.id();
+        let mut epoch_key = HashMap::new();
+        epoch_key.insert(genesis_id, genesis_id);
         NgChainState {
             params,
             store: ChainStore::new(
@@ -69,8 +119,23 @@ impl NgChainState {
                     seed: tie_break_seed,
                 },
             ),
-            pending: HashMap::new(),
+            pending: BoundedParentBuffer::new(MAX_PENDING_BLOCKS),
+            invalid: BoundedIdSet::new(1 << 16),
+            microblock_sigs: SigCache::new(4096),
+            epoch_key,
             poisoned: HashSet::new(),
+        }
+    }
+
+    /// Records that a microblock's leader signature is known good — called by the
+    /// producing node right after signing, so validation on insert skips the
+    /// redundant Schnorr verification of a signature this process just computed.
+    /// A no-op if the epoch leader cannot be resolved (the insert path would reject
+    /// such a block anyway).
+    pub fn note_microblock_signature(&mut self, micro: &MicroBlock) {
+        if let Some((_, key)) = self.epoch_key_block(&micro.header.prev) {
+            let digest = microblock_sig_digest(micro, &key.leader_pubkey);
+            self.microblock_sigs.insert(digest);
         }
     }
 
@@ -106,7 +171,7 @@ impl NgChainState {
 
     /// Number of blocks waiting for a missing parent.
     pub fn pending_count(&self) -> usize {
-        self.pending.values().map(|v| v.len()).sum()
+        self.pending.len()
     }
 
     /// Looks up a block.
@@ -114,8 +179,14 @@ impl NgChainState {
         self.store.get(id).map(|s| &s.block)
     }
 
-    /// Walks up from `start` (inclusive) to the nearest key block and returns it.
+    /// The key block of the epoch containing `start` (inclusive): O(1) through the
+    /// maintained epoch map, with a walk up the microblock run as the fallback.
     pub fn epoch_key_block(&self, start: &Hash256) -> Option<(Hash256, &KeyBlock)> {
+        if let Some(key_id) = self.epoch_key.get(start) {
+            if let Some(NgBlock::Key(k)) = self.store.get(key_id).map(|s| &s.block) {
+                return Some((*key_id, k));
+            }
+        }
         let mut cursor = *start;
         loop {
             let stored = self.store.get(&cursor)?;
@@ -124,6 +195,22 @@ impl NgChainState {
             }
             cursor = stored.block.parent();
         }
+    }
+
+    /// Records a freshly stored block's epoch key block in the O(1) lookup map.
+    fn note_epoch(&mut self, id: Hash256, parent: Hash256, is_key: bool) {
+        let epoch = if is_key {
+            id
+        } else {
+            match self.epoch_key.get(&parent) {
+                Some(key_id) => *key_id,
+                None => match self.epoch_key_block(&parent) {
+                    Some((key_id, _)) => key_id,
+                    None => return,
+                },
+            }
+        };
+        self.epoch_key.insert(id, epoch);
     }
 
     /// The leader currently entitled to produce microblocks on the main chain: the
@@ -228,7 +315,11 @@ impl NgChainState {
         if micro.header.leader != key.miner {
             return Err(BlockError::BadLeaderSignature);
         }
-        if self.params.verify_microblock_signatures {
+        if self.params.verify_microblock_signatures
+            && !self
+                .microblock_sigs
+                .contains(&microblock_sig_digest(micro, &key.leader_pubkey))
+        {
             verify_signature(
                 &key.leader_pubkey,
                 &micro.header.signing_hash(),
@@ -240,34 +331,42 @@ impl NgChainState {
     }
 
     /// Validates and inserts a block. Blocks with unknown parents are buffered and
-    /// revalidated once the parent arrives.
+    /// revalidated once the parent arrives; blocks previously invalidated by the
+    /// ledger (or descending from one) are refused outright.
     pub fn insert(&mut self, block: NgBlock, now_ms: u64) -> Result<InsertOutcome, BlockError> {
         let id = block.id();
+        if self.invalid.contains(&id) {
+            return Err(BlockError::KnownInvalid(id));
+        }
         if self.store.contains(&id) {
             return Ok(InsertOutcome::Duplicate);
         }
         let parent = block.prev();
+        if self.invalid.contains(&parent) {
+            return Err(BlockError::KnownInvalid(parent));
+        }
         if !self.store.contains(&parent) {
-            self.pending.entry(parent).or_default().push(block);
+            self.pending.insert(parent, id, block);
             return Ok(InsertOutcome::Orphaned {
                 missing_parent: parent,
             });
         }
         self.validate(&block, now_ms)?;
+        let is_key = block.is_key();
         let mut outcome = self.store.insert(block);
+        self.note_epoch(id, parent, is_key);
         // Connect any pending descendants that are now valid.
         let mut newly_connected = vec![id];
         while let Some(ready_parent) = newly_connected.pop() {
-            let Some(waiting) = self.pending.remove(&ready_parent) else {
-                continue;
-            };
-            for child in waiting {
+            for child in self.pending.take(&ready_parent) {
                 let child_id = child.id();
-                if self.store.contains(&child_id) {
+                if self.store.contains(&child_id) || self.invalid.contains(&child_id) {
                     continue;
                 }
                 if self.validate(&child, now_ms).is_ok() {
+                    let child_is_key = child.is_key();
                     let child_outcome = self.store.insert(child);
+                    self.note_epoch(child_id, ready_parent, child_is_key);
                     // Keep the most informative outcome: a later reorg supersedes.
                     if let InsertOutcome::Accepted {
                         tip_changed: true, ..
@@ -280,6 +379,41 @@ impl NgChainState {
             }
         }
         Ok(outcome)
+    }
+
+    /// Cuts a block (and its descendant subtree) out of the tree after its
+    /// transactions failed full validation on connect, re-selecting the best
+    /// remaining tip. Every removed id is remembered as invalid so re-offered
+    /// copies are refused without revalidation. Returns the removed ids.
+    pub fn invalidate(&mut self, id: &Hash256) -> Vec<Hash256> {
+        let removed = self.store.invalidate(id);
+        for gone in &removed {
+            self.invalid.insert(*gone);
+            self.pending.remove_parent(gone);
+            self.epoch_key.remove(gone);
+        }
+        self.invalid.insert(*id);
+        removed
+    }
+
+    /// True if the block was invalidated by the ledger (directly or via an ancestor).
+    pub fn is_invalid(&self, id: &Hash256) -> bool {
+        self.invalid.contains(id)
+    }
+
+    /// Stores the ledger undo record produced when `id` connected.
+    pub fn set_undo(&mut self, id: Hash256, undo: ng_chain::undo::BlockUndo) {
+        self.store.set_undo(id, undo);
+    }
+
+    /// The stored undo record for a block, if any.
+    pub fn undo_of(&self, id: &Hash256) -> Option<&ng_chain::undo::BlockUndo> {
+        self.store.undo_of(id)
+    }
+
+    /// Removes and returns a block's undo record (consumed on disconnect).
+    pub fn take_undo(&mut self, id: &Hash256) -> Option<ng_chain::undo::BlockUndo> {
+        self.store.take_undo(id)
     }
 
     /// Key blocks on the current main chain, genesis first.
@@ -572,6 +706,72 @@ mod tests {
         chain.insert(NgBlock::Micro(m1.clone()), 2_000).unwrap();
         assert!(!chain.is_confirmed(&m1.id(), 2_100, 500));
         assert!(chain.is_confirmed(&m1.id(), 2_600, 500));
+    }
+
+    #[test]
+    fn pending_buffer_is_bounded_against_spam() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb.clone()), 1_000).unwrap();
+        // A spamming peer floods microblocks whose parents do not exist.
+        let mut m = make_microblock(5, kb.id(), 2_000, 0);
+        for i in 0..2_000u64 {
+            m.header.prev = ng_crypto::sha256::sha256(&i.to_le_bytes());
+            assert!(matches!(
+                chain.insert(NgBlock::Micro(m.clone()), 2_000),
+                Ok(InsertOutcome::Orphaned { .. })
+            ));
+            assert!(
+                chain.pending_count() <= MAX_PENDING_BLOCKS,
+                "pending buffer exceeded its bound"
+            );
+        }
+        assert_eq!(chain.pending_count(), MAX_PENDING_BLOCKS);
+    }
+
+    #[test]
+    fn invalidated_blocks_are_cut_out_and_refused_thereafter() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb.clone()), 1_000).unwrap();
+        let m1 = make_microblock(5, kb.id(), 2_000, 0);
+        let m2 = make_microblock(5, m1.id(), 3_000, 0);
+        chain.insert(NgBlock::Micro(m1.clone()), 2_000).unwrap();
+        chain.insert(NgBlock::Micro(m2.clone()), 3_000).unwrap();
+        assert_eq!(chain.tip(), m2.id());
+
+        let removed = chain.invalidate(&m1.id());
+        assert_eq!(removed.len(), 2, "m1 and its descendant m2 removed");
+        assert!(chain.is_invalid(&m1.id()) && chain.is_invalid(&m2.id()));
+        assert_eq!(chain.tip(), kb.id(), "tip falls back to the key block");
+
+        // Re-offering the invalid block (or a child of it) is refused outright.
+        assert_eq!(
+            chain.insert(NgBlock::Micro(m1.clone()), 4_000),
+            Err(BlockError::KnownInvalid(m1.id()))
+        );
+        let m2_id = m2.id();
+        assert_eq!(
+            chain.insert(NgBlock::Micro(m2), 4_000),
+            Err(BlockError::KnownInvalid(m2_id))
+        );
+        // A fresh child of an invalid block is refused through the parent check.
+        let m3 = make_microblock(5, m1.id(), 5_000, 0);
+        assert_eq!(
+            chain.insert(NgBlock::Micro(m3), 5_000),
+            Err(BlockError::KnownInvalid(m1.id()))
+        );
+    }
+
+    #[test]
+    fn undo_records_round_trip_through_the_chain_state() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb.clone()), 1_000).unwrap();
+        chain.set_undo(kb.id(), ng_chain::undo::BlockUndo::default());
+        assert!(chain.undo_of(&kb.id()).is_some());
+        assert!(chain.take_undo(&kb.id()).is_some());
+        assert!(chain.undo_of(&kb.id()).is_none());
     }
 
     #[test]

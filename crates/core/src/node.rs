@@ -73,6 +73,13 @@ impl NgNode {
         &self.chain
     }
 
+    /// Mutable access to the chain state — used by the node's incremental
+    /// chainstate to store per-block undo records as it connects blocks and to
+    /// invalidate blocks whose transactions fail validation on connect.
+    pub fn chain_mut(&mut self) -> &mut NgChainState {
+        &mut self.chain
+    }
+
     /// The deterministic genesis key block for a parameter set (all nodes share it).
     pub fn genesis(params: &NgParams) -> KeyBlock {
         genesis_key_block(params)
@@ -201,6 +208,9 @@ impl NgNode {
         if micro.size_bytes() > params.max_microblock_bytes {
             return None;
         }
+        // We computed this signature a moment ago: prime the chain's signature
+        // cache so validation on insert does not pay a redundant verification.
+        self.chain.note_microblock_signature(&micro);
         self.chain
             .insert(NgBlock::Micro(micro.clone()), now_ms)
             .ok()?;

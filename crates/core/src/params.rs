@@ -39,6 +39,13 @@ pub struct NgParams {
     /// Whether microblock signatures are verified. The paper's testbed skips the check
     /// (§7); the library enables it by default.
     pub verify_microblock_signatures: bool,
+    /// Whether microblock transactions are fully validated against the live UTXO view
+    /// when a block connects to the ledger (inputs exist and are unspent, coinbase
+    /// maturity, input signatures, no value inflation). Enabled by default — a
+    /// Byzantine leader must not be able to spend nonexistent outputs or mint value.
+    /// The synthetic-workload harnesses disable it, mirroring the paper's testbed
+    /// methodology (§7) of skipping per-transaction checks.
+    pub validate_transactions: bool,
     /// How far in the future a block timestamp may lie (milliseconds) before the block
     /// is rejected.
     pub max_future_drift_ms: u64,
@@ -57,6 +64,7 @@ impl Default for NgParams {
             key_block_interval_ms: 100_000,
             key_block_target: Target::regtest(),
             verify_microblock_signatures: true,
+            validate_transactions: true,
             max_future_drift_ms: 2 * 60 * 60 * 1000,
         }
     }
@@ -69,6 +77,7 @@ impl NgParams {
         NgParams {
             microblock_interval_ms,
             verify_microblock_signatures: false,
+            validate_transactions: false,
             ..Default::default()
         }
     }
@@ -81,6 +90,7 @@ impl NgParams {
             key_block_interval_ms: 100_000,
             max_microblock_bytes,
             verify_microblock_signatures: false,
+            validate_transactions: false,
             ..Default::default()
         }
     }
@@ -132,6 +142,8 @@ mod tests {
         assert_eq!(p.next_leader_fee_percent(), 60);
         assert_eq!(p.coinbase_maturity, 100);
         assert_eq!(p.poison_reward_percent, 5);
+        assert!(p.verify_microblock_signatures);
+        assert!(p.validate_transactions, "full tx validation is the default");
         assert!(p.validate().is_ok());
     }
 
@@ -141,6 +153,7 @@ mod tests {
         assert_eq!(freq.microblock_interval_ms, 1_000);
         assert_eq!(freq.key_block_interval_ms, 100_000);
         assert!(!freq.verify_microblock_signatures);
+        assert!(!freq.validate_transactions, "testbed presets skip tx checks (§7)");
 
         let size = NgParams::evaluation_size_sweep(80_000);
         assert_eq!(size.max_microblock_bytes, 80_000);

@@ -162,6 +162,19 @@ impl Add for Work {
     }
 }
 
+impl std::ops::Sub for Work {
+    type Output = Work;
+    /// Saturating subtraction: removing more work than is accumulated (which a
+    /// correct caller never does) floors at zero instead of wrapping.
+    fn sub(self, rhs: Work) -> Work {
+        if rhs.0 >= self.0 {
+            Work::ZERO
+        } else {
+            Work(self.0 - rhs.0)
+        }
+    }
+}
+
 impl fmt::Debug for Target {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Target(0x{})", self.0.to_hex())

@@ -70,6 +70,13 @@ pub struct NodeCounters {
     pub timer_wakeups: Counter,
     /// Broadcast effects executed (one per effect, not per fan-out destination).
     pub broadcasts: Counter,
+    /// Blocks connected to the incremental ledger view.
+    pub ledger_blocks_connected: Counter,
+    /// Blocks disconnected from the incremental ledger view (reorg rewinds).
+    pub ledger_blocks_disconnected: Counter,
+    /// Peers disconnected for protocol violations (bad handshakes, microblocks
+    /// with invalid transactions).
+    pub peers_misbehaved: Counter,
 }
 
 impl NodeCounters {
@@ -97,6 +104,9 @@ impl NodeCounters {
             sync_batches_received: self.sync_batches_received.get(),
             timer_wakeups: self.timer_wakeups.get(),
             broadcasts: self.broadcasts.get(),
+            ledger_blocks_connected: self.ledger_blocks_connected.get(),
+            ledger_blocks_disconnected: self.ledger_blocks_disconnected.get(),
+            peers_misbehaved: self.peers_misbehaved.get(),
         }
     }
 }
@@ -136,6 +146,12 @@ pub struct CounterSnapshot {
     pub timer_wakeups: u64,
     /// Broadcast effects executed.
     pub broadcasts: u64,
+    /// Blocks connected to the incremental ledger view.
+    pub ledger_blocks_connected: u64,
+    /// Blocks disconnected from the incremental ledger view.
+    pub ledger_blocks_disconnected: u64,
+    /// Peers disconnected for protocol violations.
+    pub peers_misbehaved: u64,
 }
 
 #[cfg(test)]

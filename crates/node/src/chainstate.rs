@@ -1,0 +1,641 @@
+//! The incremental chainstate: a ledger view maintained by *connecting* and
+//! *disconnecting* blocks instead of replaying the chain from genesis.
+//!
+//! PR 3's engine re-derived its UTXO set and confirmed-transaction set with
+//! [`crate::ledger::rebuild_utxo`] on **every** tip change — O(chain length) work per
+//! microblock, directly against the paper's claim that microblock throughput is
+//! bounded only by network capacity (§4, §8). Worse, the replay applied microblock
+//! transactions unchecked, so a Byzantine leader could spend nonexistent outputs or
+//! mint value and every honest node would still "converge" on the corrupt ledger.
+//!
+//! [`ChainView`] fixes both structurally:
+//!
+//! * **Incremental**: the view tracks the block it currently reflects (its *anchor*)
+//!   and rolls to a new tip by walking the fork — disconnecting with the per-block
+//!   [`BlockUndo`] records stored in the chain store, connecting by applying each
+//!   block's effects. Per-block cost is O(transactions in the block), independent of
+//!   chain length; the set commitment is the UTXO set's O(1) rolling commitment.
+//! * **Validate-on-connect**: when [`NgParams::validate_transactions`] is set (the
+//!   default), every microblock transaction is fully validated against the live UTXO
+//!   view as the block connects — inputs exist and are unspent, coinbase maturity,
+//!   input signatures (through a bounded [`SigCache`], so reorg-reconnected and
+//!   gossip-revalidated transactions skip re-verification), and value conservation.
+//!   A failing block makes [`ChainView::sync`] return a [`ConnectError`]; the engine
+//!   invalidates the block out of the tree and disconnects the peer that sent it.
+//!
+//! [`crate::ledger::rebuild_utxo`] remains as the differential-testing oracle: the
+//! equivalence suite drives arbitrary reorg schedules and asserts the incremental
+//! view and a fresh replay agree at every step.
+
+use ng_chain::amount::Amount;
+use ng_chain::error::TxError;
+use ng_chain::sigcache::SigCache;
+use ng_chain::transaction::{OutPoint, Transaction};
+use ng_chain::undo::BlockUndo;
+use ng_chain::utxo::{TxUndo, UtxoEntry, UtxoSet};
+use ng_core::block::NgBlock;
+use ng_core::chain::NgChainState;
+use ng_core::params::NgParams;
+use ng_crypto::sha256::Hash256;
+use std::collections::HashMap;
+
+/// Why a block could not join the ledger view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConnectError {
+    /// The offending block.
+    pub block: Hash256,
+    /// Index of the failing transaction within the block's payload.
+    pub tx_index: usize,
+    /// What the transaction did wrong.
+    pub error: TxError,
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "block {} transaction {} invalid: {}",
+            self.block, self.tx_index, self.error
+        )
+    }
+}
+
+/// What changed across one [`ChainView::sync`]: the engine rolls its mempool from
+/// this instead of re-deriving the whole confirmed set.
+#[derive(Clone, Debug, Default)]
+pub struct SyncDelta {
+    /// Transaction ids newly serialized on the main chain, in connect order.
+    pub connected_txids: Vec<Hash256>,
+    /// Transactions of disconnected microblocks in **chain order** (oldest block
+    /// first, block order within) — parents always precede the children that spend
+    /// them, so re-admission can resolve chained spends front to back.
+    pub disconnected_txs: Vec<Transaction>,
+    /// Blocks connected to the view.
+    pub connected_blocks: u64,
+    /// Blocks disconnected from the view.
+    pub disconnected_blocks: u64,
+}
+
+impl SyncDelta {
+    /// True if the sync was a no-op (view already at the tip).
+    pub fn is_empty(&self) -> bool {
+        self.connected_blocks == 0 && self.disconnected_blocks == 0
+    }
+}
+
+/// The incremental ledger view. See the module docs.
+#[derive(Clone, Debug)]
+pub struct ChainView {
+    /// The block the view currently reflects (always in the chain store).
+    anchor: Hash256,
+    utxo: UtxoSet,
+    /// Reference-counted ids of transactions serialized on the connected prefix
+    /// (counted, not set-membership: an unchecked chain may serialize one id twice).
+    confirmed: HashMap<Hash256, u32>,
+    sig_cache: SigCache,
+    /// Whether connects fully validate transactions (`NgParams::validate_transactions`).
+    validate: bool,
+}
+
+impl ChainView {
+    /// A view anchored at the genesis block (whose coinbase is empty) for the given
+    /// parameter set.
+    pub fn new(params: &NgParams, genesis: Hash256) -> Self {
+        ChainView {
+            anchor: genesis,
+            utxo: UtxoSet::with_maturity(params.coinbase_maturity),
+            confirmed: HashMap::new(),
+            sig_cache: SigCache::default(),
+            validate: params.validate_transactions,
+        }
+    }
+
+    /// The block the view currently reflects.
+    pub fn anchor(&self) -> Hash256 {
+        self.anchor
+    }
+
+    /// Read access to the live UTXO set.
+    pub fn utxo(&self) -> &UtxoSet {
+        &self.utxo
+    }
+
+    /// The O(1) rolling commitment to the UTXO set.
+    pub fn commitment(&self) -> Hash256 {
+        self.utxo.rolling_commitment()
+    }
+
+    /// True if full transaction validation is enabled for this view.
+    pub fn validating(&self) -> bool {
+        self.validate
+    }
+
+    /// True if the transaction id is serialized on the connected chain prefix.
+    pub fn is_confirmed(&self, txid: &Hash256) -> bool {
+        self.confirmed.contains_key(txid)
+    }
+
+    /// Number of distinct confirmed transaction ids (oracle tests compare this).
+    pub fn confirmed_len(&self) -> usize {
+        self.confirmed.len()
+    }
+
+    /// Signature-cache statistics `(hits, misses)`.
+    pub fn sig_cache_stats(&self) -> (u64, u64) {
+        (self.sig_cache.hits(), self.sig_cache.misses())
+    }
+
+    /// The fee a transaction would pay if admitted at `height`, under this view's
+    /// validation policy: full (cached-signature) validation when validating,
+    /// otherwise the unchecked fee with zero as the unknown-input fallback.
+    pub fn admission_fee(&mut self, tx: &Transaction, height: u64) -> Result<Amount, TxError> {
+        if self.validate {
+            self.utxo.validate_cached(tx, height, &mut self.sig_cache)
+        } else {
+            Ok(self.utxo.fee_unchecked(tx).unwrap_or(Amount::ZERO))
+        }
+    }
+
+    /// Like [`Self::admission_fee`], but inputs missing from the UTXO view may
+    /// resolve through `resolve` (the engine passes a lookup into its mempool, so a
+    /// chained spend of a pending parent validates fully — signatures, vouts and
+    /// value conservation included — and its verification lands in the signature
+    /// cache for connect time).
+    pub fn chained_admission_fee(
+        &mut self,
+        tx: &Transaction,
+        height: u64,
+        resolve: ng_chain::utxo::InputResolver<'_>,
+    ) -> Result<Amount, TxError> {
+        debug_assert!(self.validate, "chained admission only runs under validation");
+        self.utxo
+            .validate_chained(tx, height, &mut self.sig_cache, resolve)
+    }
+
+    /// Splits candidate transactions into the prefix-valid set (each validated
+    /// against the view with all earlier selections applied, so in-payload chains
+    /// are honoured) and the invalid rest with the error that disqualified each.
+    /// The view is left unchanged. With validation off, every candidate is valid by
+    /// definition.
+    pub fn filter_valid(
+        &mut self,
+        txs: Vec<Transaction>,
+        height: u64,
+    ) -> (Vec<Transaction>, Vec<(Hash256, TxError)>) {
+        if !self.validate {
+            return (txs, Vec::new());
+        }
+        let mut valid = Vec::with_capacity(txs.len());
+        let mut invalid = Vec::new();
+        let mut undos: Vec<TxUndo> = Vec::with_capacity(txs.len());
+        for tx in txs {
+            match self.utxo.validate_cached(&tx, height, &mut self.sig_cache) {
+                Ok(_) => {
+                    undos.push(self.utxo.apply(&tx, height));
+                    valid.push(tx);
+                }
+                Err(error) => invalid.push((tx.txid(), error)),
+            }
+        }
+        for undo in undos.iter().rev() {
+            self.utxo.unapply(undo);
+        }
+        (valid, invalid)
+    }
+
+    /// Rolls the view to the chain's current tip, disconnecting and connecting along
+    /// the fork path. On a [`ConnectError`] the view stops at the last good block
+    /// (the failing block's parent); the caller is expected to invalidate the
+    /// offender and call `sync` again.
+    pub fn sync(&mut self, chain: &mut NgChainState) -> Result<SyncDelta, ConnectError> {
+        let target = chain.tip();
+        self.sync_to(chain, target)
+    }
+
+    /// Like [`Self::sync`] but towards an explicit target block — the differential
+    /// suite and the benchmarks use this to walk the view across fork branches the
+    /// fork-choice rule would not select.
+    pub fn sync_to(
+        &mut self,
+        chain: &mut NgChainState,
+        target: Hash256,
+    ) -> Result<SyncDelta, ConnectError> {
+        let mut delta = SyncDelta::default();
+        self.sync_into(chain, target, &mut delta)?;
+        Ok(delta)
+    }
+
+    /// The accumulating form of [`Self::sync_to`]: everything rolled — including the
+    /// blocks disconnected *before* a connect failure — lands in `delta`, so a
+    /// caller that invalidates the offender and retries never loses the
+    /// disconnected transactions of a partially completed roll.
+    pub fn sync_into(
+        &mut self,
+        chain: &mut NgChainState,
+        target: Hash256,
+        delta: &mut SyncDelta,
+    ) -> Result<(), ConnectError> {
+        if target == self.anchor {
+            return Ok(());
+        }
+        let fork = chain
+            .store()
+            .find_fork_point(&self.anchor, &target)
+            .expect("anchor and target share at least the genesis block");
+        while self.anchor != fork {
+            self.disconnect_block(chain, delta);
+        }
+        // Walk target → fork only (never to genesis): the sync cost is bounded by
+        // the fork depth, not the chain length.
+        let connect_path: Vec<Hash256> = {
+            let mut path = Vec::new();
+            let mut cursor = target;
+            while cursor != fork {
+                path.push(cursor);
+                cursor = chain
+                    .store()
+                    .get(&cursor)
+                    .expect("connect path blocks exist")
+                    .block
+                    .prev();
+            }
+            path.reverse();
+            path
+        };
+        for id in connect_path {
+            self.connect_block(chain, id, delta)?;
+        }
+        Ok(())
+    }
+
+    /// Connects one block (a child of the current anchor) to the view, producing and
+    /// storing its undo record. On a transaction failure the partially applied block
+    /// is rolled back exactly and the anchor is left unchanged.
+    fn connect_block(
+        &mut self,
+        chain: &mut NgChainState,
+        id: Hash256,
+        delta: &mut SyncDelta,
+    ) -> Result<(), ConnectError> {
+        let stored = chain.store().get(&id).expect("connect path blocks exist");
+        let height = stored.height;
+        let block = stored.block.clone();
+        let mut undo = BlockUndo::default();
+        match &block {
+            NgBlock::Key(kb) => {
+                for (vout, output) in kb.coinbase.iter().enumerate() {
+                    let outpoint = OutPoint::new(id, vout as u32);
+                    let replaced = self.utxo.insert_unchecked(
+                        outpoint,
+                        UtxoEntry {
+                            output: *output,
+                            height,
+                            coinbase: true,
+                        },
+                    );
+                    debug_assert!(replaced.is_none(), "key-block ids are unique");
+                    undo.coinbase.push(outpoint);
+                }
+            }
+            NgBlock::Micro(mb) => {
+                if let Some(txs) = mb.payload.transactions() {
+                    for (index, tx) in txs.iter().enumerate() {
+                        if let Err(error) = self.apply_tx(tx, height, &mut undo) {
+                            self.rollback_partial(&undo);
+                            return Err(ConnectError {
+                                block: id,
+                                tx_index: index,
+                                error,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for tx_undo in &undo.txs {
+            *self.confirmed.entry(tx_undo.txid).or_insert(0) += 1;
+            delta.connected_txids.push(tx_undo.txid);
+        }
+        chain.set_undo(id, undo);
+        self.anchor = id;
+        delta.connected_blocks += 1;
+        Ok(())
+    }
+
+    /// Applies one transaction under the view's validation policy, appending to the
+    /// block undo.
+    fn apply_tx(
+        &mut self,
+        tx: &Transaction,
+        height: u64,
+        undo: &mut BlockUndo,
+    ) -> Result<(), TxError> {
+        if self.validate {
+            self.utxo.validate_cached(tx, height, &mut self.sig_cache)?;
+            undo.txs.push(self.utxo.apply(tx, height));
+            return Ok(());
+        }
+        // Unchecked replay, byte-for-byte what `rebuild_utxo` does — but recording
+        // exactly which entries existed so the block can still be rewound.
+        let tx_index = undo.txs.len() as u32;
+        let mut spent = Vec::with_capacity(tx.inputs.len());
+        for input in &tx.inputs {
+            if let Some(entry) = self.utxo.remove_unchecked(&input.outpoint) {
+                spent.push((input.outpoint, entry));
+            }
+        }
+        let txid = tx.txid();
+        for (vout, output) in tx.outputs.iter().enumerate() {
+            let outpoint = OutPoint::new(txid, vout as u32);
+            let replaced = self.utxo.insert_unchecked(
+                outpoint,
+                UtxoEntry {
+                    output: *output,
+                    height,
+                    coinbase: tx.is_coinbase(),
+                },
+            );
+            if let Some(old) = replaced {
+                undo.replaced.push((tx_index, outpoint, old));
+            }
+        }
+        undo.txs.push(TxUndo {
+            txid,
+            output_count: tx.outputs.len() as u32,
+            spent,
+        });
+        Ok(())
+    }
+
+    /// Rewinds the transactions of a partially connected block (connect failed
+    /// midway): walk the recorded undos backwards, interleaving the replaced-entry
+    /// restores at their recorded positions.
+    fn rollback_partial(&mut self, undo: &BlockUndo) {
+        for (index, tx_undo) in undo.txs.iter().enumerate().rev() {
+            self.utxo.unapply(tx_undo);
+            for (tx_index, outpoint, entry) in undo.replaced.iter().rev() {
+                if *tx_index as usize == index {
+                    self.utxo.insert_unchecked(*outpoint, *entry);
+                }
+            }
+        }
+        for outpoint in undo.coinbase.iter().rev() {
+            self.utxo.remove_unchecked(outpoint);
+        }
+    }
+
+    /// Disconnects the anchor block from the view using its stored undo record,
+    /// moving the anchor to its parent.
+    fn disconnect_block(&mut self, chain: &mut NgChainState, delta: &mut SyncDelta) {
+        let id = self.anchor;
+        let parent = chain
+            .store()
+            .get(&id)
+            .expect("anchored block exists")
+            .block
+            .prev();
+        let undo = chain
+            .take_undo(&id)
+            .expect("every connected block stored an undo record");
+        for tx_undo in &undo.txs {
+            if let Some(count) = self.confirmed.get_mut(&tx_undo.txid) {
+                *count -= 1;
+                if *count == 0 {
+                    self.confirmed.remove(&tx_undo.txid);
+                }
+            }
+        }
+        self.rollback_partial(&undo);
+        if let Some(txs) = chain
+            .get(&id)
+            .and_then(|b| b.as_micro())
+            .and_then(|m| m.payload.transactions())
+        {
+            // Blocks disconnect tip-down; prepending each block's transactions
+            // keeps the accumulated list in chain (parent-before-child) order.
+            delta
+                .disconnected_txs
+                .splice(0..0, txs.iter().filter(|tx| !tx.is_coinbase()).cloned());
+        }
+        self.anchor = parent;
+        delta.disconnected_blocks += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::rebuild_utxo;
+    use ng_chain::payload::Payload;
+    use ng_chain::transaction::TransactionBuilder;
+    use ng_core::node::NgNode;
+    use ng_crypto::keys::KeyPair;
+    use ng_crypto::sha256::sha256;
+    use ng_crypto::signer::{SchnorrSigner, Signer};
+
+    fn unchecked_params() -> NgParams {
+        NgParams {
+            min_microblock_interval_ms: 1,
+            microblock_interval_ms: 1,
+            validate_transactions: false,
+            ..NgParams::default()
+        }
+    }
+
+    fn validated_params() -> NgParams {
+        NgParams {
+            min_microblock_interval_ms: 1,
+            microblock_interval_ms: 1,
+            coinbase_maturity: 0,
+            ..NgParams::default()
+        }
+    }
+
+    fn fake_tx(seq: u64) -> Transaction {
+        TransactionBuilder::new()
+            .input(OutPoint::new(sha256(&seq.to_le_bytes()), 0))
+            .output(Amount::from_sats(1_000 + seq), KeyPair::from_id(seq).address())
+            .build()
+    }
+
+    /// Asserts the view and a fresh genesis replay agree on both commitments.
+    fn assert_matches_oracle(view: &ChainView, node: &NgNode) {
+        let oracle = rebuild_utxo(node.chain());
+        assert_eq!(view.commitment(), oracle.rolling_commitment());
+        assert_eq!(view.utxo().commitment(), oracle.commitment());
+    }
+
+    #[test]
+    fn incremental_connect_tracks_the_replay_oracle() {
+        let mut node = NgNode::new(1, unchecked_params(), 7);
+        let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+        node.mine_and_adopt_key_block(1_000);
+        view.sync(node.chain_mut()).unwrap();
+        assert_matches_oracle(&view, &node);
+
+        for round in 0..5u64 {
+            let txs = vec![fake_tx(round * 2), fake_tx(round * 2 + 1)];
+            node.produce_microblock(2_000 + round, Payload::Transactions(txs))
+                .expect("leader produces");
+            let delta = view.sync(node.chain_mut()).unwrap();
+            assert_eq!(delta.connected_blocks, 1);
+            assert_eq!(delta.connected_txids.len(), 2);
+            assert_matches_oracle(&view, &node);
+        }
+        assert_eq!(view.confirmed_len(), 10);
+        assert!(view.is_confirmed(&fake_tx(0).txid()));
+        assert!(!view.is_confirmed(&fake_tx(99).txid()));
+    }
+
+    #[test]
+    fn sync_to_walks_forks_back_and_forth_exactly() {
+        // Build a fork: one epoch, then two competing microblock branches.
+        let mut node = NgNode::new(1, unchecked_params(), 7);
+        let kb = node.mine_and_adopt_key_block(1_000);
+        let main1 = node
+            .produce_microblock(2_000, Payload::Transactions(vec![fake_tx(1), fake_tx(2)]))
+            .unwrap();
+        let main2 = node
+            .produce_microblock(3_000, Payload::Transactions(vec![fake_tx(3)]))
+            .unwrap();
+        // A competing branch signed by the same leader, parented at the key block.
+        let alt_payload = Payload::Transactions(vec![fake_tx(4)]);
+        let alt_header = ng_core::block::MicroHeader {
+            prev: kb.id(),
+            time_ms: 2_500,
+            payload_digest: alt_payload.digest(),
+            leader: 1,
+        };
+        let alt = ng_core::block::MicroBlock {
+            signature: SchnorrSigner::new(*node.keys())
+                .sign(&alt_header.signing_hash()),
+            header: alt_header,
+            payload: alt_payload,
+        };
+        node.on_block(NgBlock::Micro(alt.clone()), 2_501).unwrap();
+
+        let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+        let delta = view.sync_to(node.chain_mut(), main2.id()).unwrap();
+        assert_eq!(delta.connected_blocks, 3, "kb + two microblocks");
+        let on_main = view.commitment();
+
+        // Walk to the alt branch: two disconnects (with undo), one connect.
+        let delta = view.sync_to(node.chain_mut(), alt.id()).unwrap();
+        assert_eq!(delta.disconnected_blocks, 2);
+        assert_eq!(delta.connected_blocks, 1);
+        assert_eq!(delta.disconnected_txs.len(), 3, "main-branch txs come back");
+        assert!(view.is_confirmed(&fake_tx(4).txid()));
+        assert!(!view.is_confirmed(&fake_tx(1).txid()));
+
+        // And back again: the commitment round-trips exactly.
+        view.sync_to(node.chain_mut(), main2.id()).unwrap();
+        assert_eq!(view.commitment(), on_main);
+        assert_eq!(view.anchor(), main2.id());
+        assert!(view.is_confirmed(&fake_tx(1).txid()), "reconnected via {}", main1.id());
+        // Follow the fork-choice tip (whichever branch won) and pin the oracle.
+        view.sync(node.chain_mut()).unwrap();
+        assert_matches_oracle(&view, &node);
+    }
+
+    #[test]
+    fn validated_connect_accepts_real_spends_and_reports_fees() {
+        let mut node = NgNode::new(1, validated_params(), 7);
+        let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+        let kb = node.mine_and_adopt_key_block(1_000);
+        view.sync(node.chain_mut()).unwrap();
+        // The key block's coinbase (25 coins to the miner) is spendable at maturity 0.
+        let coinbase_out = OutPoint::new(kb.id(), 0);
+        assert!(view.utxo().contains(&coinbase_out));
+        let mut spend = TransactionBuilder::new()
+            .input(coinbase_out)
+            .output(Amount::from_coins(24), KeyPair::from_id(2).address())
+            .build();
+        spend.sign_all_inputs(&SchnorrSigner::new(*node.keys()));
+
+        let fee = view.admission_fee(&spend, 2).unwrap();
+        assert_eq!(fee, Amount::from_coins(1));
+        node.produce_microblock(2_000, Payload::Transactions(vec![spend.clone()]))
+            .unwrap();
+        let delta = view.sync(node.chain_mut()).unwrap();
+        assert_eq!(delta.connected_txids, vec![spend.txid()]);
+        assert!(!view.utxo().contains(&coinbase_out), "input consumed");
+        assert_eq!(
+            view.utxo().balance_of(&KeyPair::from_id(2).address()),
+            Amount::from_coins(24)
+        );
+        let (hits, _) = view.sig_cache_stats();
+        assert!(hits >= 1, "connect reused the admission-time verification");
+        assert_matches_oracle(&view, &node);
+    }
+
+    #[test]
+    fn validated_connect_rejects_phantom_spends_and_rolls_back_exactly() {
+        let mut node = NgNode::new(1, validated_params(), 7);
+        let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+        let kb = node.mine_and_adopt_key_block(1_000);
+        view.sync(node.chain_mut()).unwrap();
+        let clean = view.commitment();
+
+        // A valid spend followed by a phantom spend in one block: the block must be
+        // rejected as a whole and the valid prefix rolled back.
+        let mut good = TransactionBuilder::new()
+            .input(OutPoint::new(kb.id(), 0))
+            .output(Amount::from_coins(25), KeyPair::from_id(2).address())
+            .build();
+        good.sign_all_inputs(&SchnorrSigner::new(*node.keys()));
+        let phantom = fake_tx(77);
+        node.produce_microblock(
+            2_000,
+            Payload::Transactions(vec![good, phantom.clone()]),
+        )
+        .expect("the producing node does not self-validate payloads");
+        let err = view.sync(node.chain_mut()).unwrap_err();
+        assert_eq!(err.tx_index, 1);
+        assert!(matches!(err.error, TxError::MissingInput(_)));
+        assert_eq!(view.anchor(), kb.id(), "view stays at the last good block");
+        assert_eq!(view.commitment(), clean, "partial block fully rolled back");
+
+        // Invalidating the offender and re-syncing converges on the pruned chain.
+        node.chain_mut().invalidate(&err.block);
+        let delta = view.sync(node.chain_mut()).unwrap();
+        assert!(delta.is_empty());
+        assert_matches_oracle(&view, &node);
+    }
+
+    #[test]
+    fn filter_valid_drops_invalid_candidates_and_preserves_chains() {
+        let mut node = NgNode::new(1, validated_params(), 7);
+        let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+        let kb = node.mine_and_adopt_key_block(1_000);
+        view.sync(node.chain_mut()).unwrap();
+        let before = view.commitment();
+
+        let signer = SchnorrSigner::new(*node.keys());
+        let mut parent = TransactionBuilder::new()
+            .input(OutPoint::new(kb.id(), 0))
+            .output(Amount::from_coins(25), node.keys().address())
+            .build();
+        parent.sign_all_inputs(&signer);
+        // A child spending the parent's in-payload output: valid only because the
+        // filter applies earlier selections before validating later ones.
+        let mut child = TransactionBuilder::new()
+            .input(OutPoint::new(parent.txid(), 0))
+            .output(Amount::from_coins(24), KeyPair::from_id(3).address())
+            .build();
+        child.sign_all_inputs(&signer);
+        let phantom = fake_tx(5);
+
+        let (valid, invalid) = view.filter_valid(
+            vec![parent.clone(), phantom.clone(), child.clone()],
+            2,
+        );
+        assert_eq!(
+            valid.iter().map(|t| t.txid()).collect::<Vec<_>>(),
+            vec![parent.txid(), child.txid()]
+        );
+        assert_eq!(invalid.len(), 1);
+        assert_eq!(invalid[0].0, phantom.txid());
+        assert!(matches!(invalid[0].1, TxError::MissingInput(_)));
+        assert_eq!(view.commitment(), before, "filtering leaves the view unchanged");
+    }
+}

@@ -24,8 +24,7 @@
 //! explicitly sorted. The `SimNet` determinism suite enforces this property across
 //! seeds.
 
-use crate::ledger::rebuild_utxo;
-use ng_chain::amount::Amount;
+use crate::chainstate::ChainView;
 use ng_chain::chainstore::InsertOutcome;
 use ng_chain::mempool::Mempool;
 use ng_chain::payload::Payload;
@@ -219,6 +218,13 @@ pub enum ReportEvent {
         /// Number of records in the batch.
         count: usize,
     },
+    /// The incremental chainstate rolled across a tip change.
+    LedgerRolled {
+        /// Blocks connected to the ledger view.
+        connected: u64,
+        /// Blocks disconnected from the ledger view (non-zero on reorgs).
+        disconnected: u64,
+    },
 }
 
 /// Cap on stashed orphan carriers (a misbehaving peer could otherwise grow the
@@ -231,14 +237,19 @@ pub struct Engine {
     config: EngineConfig,
     node: NgNode,
     mempool: Mempool,
-    utxo: UtxoSet,
-    /// Transaction ids serialized on the current main chain; rebuilt with `utxo`.
-    confirmed_txids: HashSet<Hash256>,
-    /// Carrier messages of blocks the chain buffered as orphans, keyed by block id.
-    /// The chain layer adopts them internally once the parent arrives without
-    /// surfacing which ones; this stash lets the engine announce (and store in the
-    /// relay) adopted orphans so peers can still fetch them.
+    /// The incremental ledger view: UTXO set, confirmed-txid set and rolling
+    /// commitment, maintained by connecting/disconnecting blocks (never by replay).
+    view: ChainView,
+    /// Carrier messages of blocks not yet relayable, keyed by block id: chain-level
+    /// orphans (announced once the parent arrives and they are adopted) and, under
+    /// full validation, side-branch microblocks (announced if their branch wins and
+    /// validates). Bounded: `orphan_order` drives oldest-first eviction at
+    /// [`MAX_ORPHAN_CARRIERS`] — losing-branch carriers must not accumulate for the
+    /// node's lifetime.
     orphan_carriers: HashMap<Hash256, Message>,
+    /// Insertion order of `orphan_carriers` keys (may lag behind removals; stale
+    /// ids are skipped during eviction and compacted periodically).
+    orphan_order: std::collections::VecDeque<Hash256>,
     relay: GossipRelay,
     sync: HashMap<u64, PeerSyncState>,
     /// Every registered connection key (ready or not).
@@ -255,20 +266,19 @@ impl Engine {
         // otherwise every served batch would look partial and sync would stop early.
         config.header_batch = config.header_batch.clamp(1, 4096);
         let node = NgNode::new(config.id, config.params, config.tie_break_seed);
-        let mut engine = Engine {
+        let view = ChainView::new(&config.params, node.chain().genesis_id());
+        Engine {
             config,
             node,
             mempool: Mempool::new(),
-            utxo: UtxoSet::new(),
-            confirmed_txids: HashSet::new(),
+            view,
             orphan_carriers: HashMap::new(),
+            orphan_order: std::collections::VecDeque::new(),
             relay: GossipRelay::new(),
             sync: HashMap::new(),
             peers: HashSet::new(),
             last_timer: None,
-        };
-        engine.rebuild_ledger_view();
-        engine
+        }
     }
 
     /// Feeds one input to the engine and returns the effects to execute, in order.
@@ -329,14 +339,25 @@ impl Engine {
         self.node.chain().store().tip_height()
     }
 
-    /// Commitment to the UTXO set derived from the main chain.
+    /// Commitment to the UTXO set derived from the main chain — the convergence
+    /// criterion between nodes. This is the strong sorted-hash commitment: the XOR
+    /// rolling commitment is GF(2)-linear and an adversary who can craft outputs
+    /// could engineer colliding divergent ledgers, so equality claims between nodes
+    /// use the collision-resistant form. It is only computed when a driver
+    /// snapshots or a harness polls convergence — never on the per-block hot path,
+    /// which maintains [`ChainView::commitment`] incrementally instead.
     pub fn utxo_commitment(&self) -> Hash256 {
-        self.utxo.commitment()
+        self.view.utxo().commitment()
     }
 
-    /// The replayed UTXO ledger view.
+    /// The incrementally maintained UTXO ledger view.
     pub fn utxo(&self) -> &UtxoSet {
-        &self.utxo
+        self.view.utxo()
+    }
+
+    /// The incremental chainstate (anchor, confirmed set, signature cache stats).
+    pub fn chainstate(&self) -> &ChainView {
+        &self.view
     }
 
     /// Total blocks known (key + micro, excluding orphans).
@@ -347,6 +368,11 @@ impl Engine {
     /// Pending transactions in the mempool.
     pub fn mempool_len(&self) -> usize {
         self.mempool.len()
+    }
+
+    /// True if the transaction id is pending in the mempool.
+    pub fn mempool_contains(&self, txid: &Hash256) -> bool {
+        self.mempool.contains(txid)
     }
 
     /// True if this node is the current leader.
@@ -511,7 +537,7 @@ impl Engine {
         // Gossip is multi-hop: a transaction can arrive after the microblock that
         // serialized it. Anything already on the main chain has no business in the
         // mempool.
-        if self.confirmed_txids.contains(&txid) {
+        if self.view.is_confirmed(&txid) {
             return false;
         }
         // A transaction that cannot fit an empty microblock can never be serialized
@@ -520,13 +546,49 @@ impl Engine {
         if tx.serialized_size() as u64 > self.config.params.max_microblock_payload_bytes() {
             return false;
         }
-        let fee = self.utxo.fee_unchecked(&tx).unwrap_or(Amount::ZERO);
+        // Admission runs the view's validation policy: with full validation on, a
+        // transaction spending nonexistent outputs or inflating value never enters
+        // the pool, and its signature verification is cached for connect time. A
+        // transaction chained on a still-pending mempool parent is validated with
+        // its inputs resolved against the pool (signatures, vouts and value
+        // conservation included); `filter_valid` re-validates the chain as a
+        // sequence at production time.
+        let fee = match self.view.admission_fee(&tx, self.height() + 1) {
+            Ok(fee) => fee,
+            Err(ng_chain::error::TxError::MissingInput(outpoint))
+                if self.mempool.contains(&outpoint.txid) =>
+            {
+                match self.pool_chained_fee(&tx) {
+                    Some(fee) => fee,
+                    None => return false,
+                }
+            }
+            Err(_) => return false,
+        };
         if !self.mempool.insert_with_fee(tx.clone(), fee) {
             return false;
         }
         effects.push(Effect::Report(ReportEvent::TxAccepted { txid }));
         self.announce(Message::Tx(Box::new(tx)), from, effects);
         true
+    }
+
+    /// Validates a transaction whose inputs may spend outputs of still-pending
+    /// mempool parents, resolving them against the pool (full validation — the
+    /// shared [`ng_chain::utxo`] rules — with the verdict landing in the signature
+    /// cache). In-pool double spends are rejected separately by the mempool's
+    /// spent-outpoint index at insert time.
+    fn pool_chained_fee(&mut self, tx: &Transaction) -> Option<ng_chain::amount::Amount> {
+        let height = self.height() + 1;
+        let mempool = &self.mempool;
+        self.view
+            .chained_admission_fee(tx, height, &|outpoint| {
+                mempool
+                    .get(&outpoint.txid)
+                    .and_then(|parent| parent.tx.outputs.get(outpoint.vout as usize))
+                    .copied()
+            })
+            .ok()
     }
 
     fn accept_block(
@@ -544,15 +606,29 @@ impl Engine {
             }) => {
                 let reorged = reorg.is_some();
                 if tip_changed {
-                    self.roll_mempool(reorg.map(|r| r.disconnected));
+                    self.roll_ledger(from.map(|peer| (peer, id)), effects);
                 }
-                effects.push(Effect::Report(ReportEvent::BlockAccepted {
-                    id,
-                    tip_changed,
-                    reorg: reorged,
-                }));
-                self.announce(carrier, from, effects);
-                self.flush_adopted_orphans(effects);
+                // The roll may have invalidated the block (its transactions failed
+                // validate-on-connect): only a surviving block is announced. Under
+                // full validation a microblock is relayed only once this node's own
+                // ledger validated it (it connected to the main chain) — relaying a
+                // never-validated side-branch block would hand peers a carrier this
+                // node cannot vouch for, and an honest relay must never take the
+                // punishment for a Byzantine block it merely forwarded. Side-branch
+                // carriers are stashed and announced if their branch later wins.
+                if self.node.chain().store().contains(&id) {
+                    effects.push(Effect::Report(ReportEvent::BlockAccepted {
+                        id,
+                        tip_changed,
+                        reorg: reorged,
+                    }));
+                    if self.announceable(&id, &carrier) {
+                        self.announce(carrier, from, effects);
+                    } else {
+                        self.stash_carrier(id, carrier);
+                    }
+                    self.flush_adopted_orphans(effects);
+                }
             }
             Ok(InsertOutcome::Duplicate) => {
                 effects.push(Effect::Report(ReportEvent::BlockDuplicate { id }));
@@ -561,9 +637,7 @@ impl Engine {
                 effects.push(Effect::Report(ReportEvent::BlockOrphaned { id }));
                 // Keep the carrier so the block can be announced and served once its
                 // ancestors arrive (the chain layer adopts it without telling us).
-                if self.orphan_carriers.len() < MAX_ORPHAN_CARRIERS {
-                    self.orphan_carriers.insert(id, carrier);
-                }
+                self.stash_carrier(id, carrier);
                 // We are missing history; a header sync with the sender fills the gap.
                 if let Some(from) = from {
                     self.start_sync(from, effects);
@@ -597,17 +671,57 @@ impl Engine {
         }
     }
 
-    /// Announces stashed orphans that the chain has meanwhile adopted, so they enter
-    /// the relay's object store (peers `getdata` them during sync) and propagate.
+    /// Stashes a not-yet-relayable carrier, evicting the oldest stashed carrier at
+    /// capacity (an evicted block can still be fetched from the nodes that validated
+    /// it, through header sync).
+    fn stash_carrier(&mut self, id: Hash256, carrier: Message) {
+        if self.orphan_carriers.contains_key(&id) {
+            return;
+        }
+        while self.orphan_carriers.len() >= MAX_ORPHAN_CARRIERS {
+            let Some(oldest) = self.orphan_order.pop_front() else {
+                break;
+            };
+            // Skip ids already flushed or invalidated out of the stash.
+            self.orphan_carriers.remove(&oldest);
+        }
+        self.orphan_carriers.insert(id, carrier);
+        self.orphan_order.push_back(id);
+        // The order queue only shrinks under eviction pressure; compact it before
+        // stale (already-removed) ids can dominate.
+        if self.orphan_order.len() > 2 * MAX_ORPHAN_CARRIERS {
+            let live = &self.orphan_carriers;
+            self.orphan_order.retain(|id| live.contains_key(id));
+        }
+    }
+
+    /// True if this node may relay the carrier: the block is in the tree and — under
+    /// full validation — either carries its own proof of work (a key block) or was
+    /// validated by this node's ledger (it sits on the main chain). A node never
+    /// vouches for a microblock it has not validated.
+    fn announceable(&self, id: &Hash256, carrier: &Message) -> bool {
+        if !self.node.chain().store().contains(id) {
+            return false;
+        }
+        if !self.view.validating() || matches!(carrier, Message::KeyBlock(_)) {
+            return true;
+        }
+        self.node.chain().store().is_in_main_chain(id)
+    }
+
+    /// Announces stashed carriers that became relayable — adopted orphans, and
+    /// (under full validation) side-branch microblocks whose branch has since won
+    /// and been validated — so they enter the relay's object store (peers `getdata`
+    /// them during sync) and propagate.
     fn flush_adopted_orphans(&mut self, effects: &mut Vec<Effect>) {
         if self.orphan_carriers.is_empty() {
             return;
         }
         let mut adopted: Vec<Hash256> = self
             .orphan_carriers
-            .keys()
-            .filter(|id| self.node.chain().store().contains(id))
-            .copied()
+            .iter()
+            .filter(|(id, carrier)| self.announceable(id, carrier))
+            .map(|(id, _)| *id)
             .collect();
         // Sorted so the emitted announcements are independent of hash-map order.
         adopted.sort_unstable();
@@ -619,45 +733,98 @@ impl Engine {
         }
     }
 
-    /// Re-derives everything that is a function of the current main chain: the UTXO
-    /// set and the set of serialized transaction ids.
-    fn rebuild_ledger_view(&mut self) {
-        self.utxo = rebuild_utxo(self.node.chain());
-        self.confirmed_txids.clear();
-        let chain = self.node.chain();
-        for id in chain.store().main_chain() {
-            let Some(txs) = chain
-                .get(&id)
-                .and_then(|b| b.as_micro())
-                .and_then(|m| m.payload.transactions())
-            else {
-                continue;
-            };
-            self.confirmed_txids.extend(txs.iter().map(|t| t.txid()));
-        }
-    }
-
-    /// Rolls the ledger view and mempool across a tip change: the UTXO set and the
-    /// confirmed-transaction set are re-derived from the new main chain, reorg-
-    /// disconnected transactions return to the pool, and everything now serialized on
-    /// the main chain (including orphan-adopted descendants) leaves it.
-    fn roll_mempool(&mut self, disconnected: Option<Vec<Hash256>>) {
-        // Rebuild first, so reinserted transactions get their fees computed against
-        // the post-reorg UTXO set (their inputs are unspent again on the new branch).
-        self.rebuild_ledger_view();
-        for id in disconnected.unwrap_or_default() {
-            if let Some(txs) = self.microblock_transactions(&id) {
-                self.mempool.reinsert(txs, &self.utxo);
+    /// Rolls the incremental ledger view to the current tip and the mempool with it:
+    /// reorg-disconnected transactions return to the pool (unless reconfirmed on the
+    /// new branch), newly serialized transactions leave it. Per-block cost is
+    /// O(transactions in the rolled blocks) — never O(chain length).
+    ///
+    /// If a connecting microblock's transactions fail full validation, the block
+    /// (and any descendants) is invalidated out of the block tree, the chain
+    /// re-selects its best remaining tip, and the roll retries — so the view always
+    /// lands on a fully valid main chain. When the invalid block is the very
+    /// carrier the peer just delivered, that peer is disconnected: it either forged
+    /// the microblock (it is the Byzantine leader) or relayed one it failed to
+    /// validate. Rejections of *other* blocks (e.g. a pending descendant adopted in
+    /// the same insert) never punish the deliverer — an honest relay of a valid
+    /// parent must not take the blame for the Byzantine child that rode behind it.
+    ///
+    /// The delta accumulates across retries, so the transactions of blocks
+    /// disconnected before a failed connect are still re-admitted to the mempool.
+    fn roll_ledger(&mut self, from: Option<(u64, Hash256)>, effects: &mut Vec<Effect>) {
+        let mut delta = crate::chainstate::SyncDelta::default();
+        let mut sender_misbehaved = false;
+        loop {
+            let target = self.node.tip();
+            match self.view.sync_into(self.node.chain_mut(), target, &mut delta) {
+                Ok(()) => break,
+                Err(error) => {
+                    if let Some((_, delivered)) = from {
+                        sender_misbehaved |= error.block == delivered;
+                    }
+                    effects.push(Effect::Report(ReportEvent::BlockRejected {
+                        id: error.block,
+                    }));
+                    for gone in self.node.chain_mut().invalidate(&error.block) {
+                        self.orphan_carriers.remove(&gone);
+                    }
+                }
             }
         }
-        let confirmed: Vec<Hash256> = self.confirmed_txids.iter().copied().collect();
-        self.mempool.remove_all(confirmed.iter());
-    }
-
-    fn microblock_transactions(&self, id: &Hash256) -> Option<Vec<Transaction>> {
-        let block = self.node.chain().get(id)?;
-        let txs = block.as_micro()?.payload.transactions()?;
-        Some(txs.to_vec())
+        if !delta.is_empty() {
+            effects.push(Effect::Report(ReportEvent::LedgerRolled {
+                connected: delta.connected_blocks,
+                disconnected: delta.disconnected_blocks,
+            }));
+            // Re-admit disconnected transactions against the post-roll view (their
+            // inputs are unspent again on the new branch), skipping anything the
+            // new branch already serialized. The delta lists them in chain order —
+            // parents before the children that spend them — so a chained child
+            // whose parent was just re-admitted resolves through the pool.
+            for tx in delta.disconnected_txs {
+                let txid = tx.txid();
+                if self.view.is_confirmed(&txid) || self.mempool.contains(&txid) {
+                    continue;
+                }
+                let fee = match self.view.admission_fee(&tx, self.height() + 1) {
+                    Ok(fee) => Some(fee),
+                    Err(ng_chain::error::TxError::MissingInput(outpoint))
+                        if self.mempool.contains(&outpoint.txid) =>
+                    {
+                        self.pool_chained_fee(&tx)
+                    }
+                    // A coinbase spend the reorg pushed back below maturity is only
+                    // temporarily invalid — kept (unpriced) until it re-matures,
+                    // mirroring the production-time stale filter's policy.
+                    Err(ng_chain::error::TxError::ImmatureCoinbase { .. }) => {
+                        Some(ng_chain::amount::Amount::ZERO)
+                    }
+                    Err(_) => None,
+                };
+                if let Some(fee) = fee {
+                    self.mempool.insert_with_fee(tx, fee);
+                }
+            }
+            // A retried roll can have connected a block and then disconnected it
+            // again (the branch lost after an invalidation): only ids that are
+            // *still* confirmed leave the mempool.
+            let confirmed_now: Vec<Hash256> = delta
+                .connected_txids
+                .iter()
+                .filter(|txid| self.view.is_confirmed(txid))
+                .copied()
+                .collect();
+            self.mempool.remove_all(confirmed_now.iter());
+        }
+        if sender_misbehaved {
+            if let Some((peer, _)) = from {
+                effects.push(Effect::Report(ReportEvent::PeerMisbehaved {
+                    peer,
+                    reason: "sent a microblock with invalid transactions".to_string(),
+                }));
+                effects.push(Effect::Disconnect { peer });
+                self.forget_peer(peer);
+            }
+        }
     }
 
     // ---- header sync ----------------------------------------------------------
@@ -778,7 +945,7 @@ impl Engine {
 
     fn mine_key_block(&mut self, now_ms: u64, effects: &mut Vec<Effect>) {
         let kb = self.node.mine_and_adopt_key_block(now_ms);
-        self.rebuild_ledger_view();
+        self.roll_ledger(None, effects);
         let id = kb.id();
         effects.push(Effect::Report(ReportEvent::KeyBlockMined { id }));
         self.announce(Message::KeyBlock(Box::new(kb)), None, effects);
@@ -794,7 +961,30 @@ impl Engine {
             return None;
         }
         let budget = self.config.params.max_microblock_payload_bytes() as usize;
-        let txs = self.mempool.select_fifo(budget);
+        let selected = self.mempool.select_fifo(budget);
+        // Under full validation the payload must validate as a sequence against the
+        // live view — a pooled transaction can have gone stale (its input spent on
+        // a reorged-in branch). Hopelessly stale ones are dropped from the pool
+        // entirely (they can never be serialized and would otherwise clog FIFO
+        // selection forever) — EXCEPT transactions that are only *temporarily*
+        // invalid: a child whose missing input another pooled transaction still
+        // provides (merely ordered ahead of its parent this round), and a coinbase
+        // spend a reorg pushed back below maturity (valid again in a few blocks).
+        let (txs, rejected) = self.view.filter_valid(selected, self.height() + 1);
+        let stale: Vec<Hash256> = rejected
+            .into_iter()
+            .filter(|(_, error)| match error {
+                ng_chain::error::TxError::MissingInput(outpoint) => {
+                    !self.mempool.contains(&outpoint.txid)
+                }
+                ng_chain::error::TxError::ImmatureCoinbase { .. } => false,
+                _ => true,
+            })
+            .map(|(txid, _)| txid)
+            .collect();
+        if !stale.is_empty() {
+            self.mempool.remove_all(stale.iter());
+        }
         if require_transactions && txs.is_empty() {
             return None;
         }
@@ -803,7 +993,7 @@ impl Engine {
             .node
             .produce_microblock(now_ms, Payload::Transactions(txs))?;
         self.mempool.remove_all(txids.iter());
-        self.rebuild_ledger_view();
+        self.roll_ledger(None, effects);
         let id = micro.id();
         effects.push(Effect::Report(ReportEvent::MicroblockProduced { id }));
         self.announce(Message::MicroBlock(Box::new(micro)), None, effects);
@@ -843,6 +1033,7 @@ impl Engine {
 mod tests {
     use super::*;
     use crate::testnet::test_tx;
+    use ng_chain::amount::Amount;
     use ng_chain::transaction::{OutPoint, TransactionBuilder};
     use ng_crypto::keys::KeyPair;
     use ng_crypto::sha256::sha256;
@@ -851,6 +1042,9 @@ mod tests {
         NgParams {
             min_microblock_interval_ms: 1,
             microblock_interval_ms: 2,
+            // The synthetic `test_tx` workload spends outpoints that do not exist;
+            // these suites exercise the protocol, not the ledger rules (§7).
+            validate_transactions: false,
             ..NgParams::default()
         }
     }
@@ -1108,6 +1302,297 @@ mod tests {
         // which backfilled the missing epoch and adopted the stashed orphan.
         assert_eq!(a.tip(), b.tip(), "orphan-triggered sync converged the chains");
         assert_eq!(a.height(), 2);
+    }
+
+    /// Validating parameters with immediately spendable coinbases.
+    fn validated_params() -> NgParams {
+        NgParams {
+            min_microblock_interval_ms: 1,
+            microblock_interval_ms: 2,
+            coinbase_maturity: 0,
+            ..NgParams::default()
+        }
+    }
+
+    /// Registers a handshaken peer on `engine` under connection key `peer`.
+    fn register_peer(engine: &mut Engine, peer: u64) {
+        engine.handle(0, Input::PeerConnected { peer, inbound: true });
+        engine.handle(
+            0,
+            Input::Message {
+                peer,
+                message: Message::Version {
+                    node_id: 10_000 + peer,
+                    protocol: ProtocolKind::BitcoinNg,
+                    best_height: 0,
+                    time_ms: 0,
+                },
+            },
+        );
+        engine.handle(0, Input::Message { peer, message: Message::Verack });
+        engine.handle(0, Input::Message { peer, message: Message::Headers(vec![]) });
+    }
+
+    #[test]
+    fn chained_unconfirmed_transactions_are_admitted_and_serialized() {
+        use ng_crypto::signer::SchnorrSigner;
+        let mut a = Engine::new(EngineConfig::new(1, validated_params()));
+        a.handle(1_000, Input::MineKeyBlock);
+        let kb_id = a.tip();
+        let signer = SchnorrSigner::new(*a.node().keys());
+        let mut parent = TransactionBuilder::new()
+            .input(OutPoint::new(kb_id, 0))
+            .output(Amount::from_coins(25), a.node().keys().address())
+            .build();
+        parent.sign_all_inputs(&signer);
+        // The child spends the parent's output while the parent is still pending in
+        // the mempool: admission cannot price it against the UTXO view yet, but it
+        // must be pooled (not dropped) and serialize right behind its parent.
+        let mut child = TransactionBuilder::new()
+            .input(OutPoint::new(parent.txid(), 0))
+            .output(Amount::from_coins(24), KeyPair::from_id(3).address())
+            .build();
+        child.sign_all_inputs(&signer);
+
+        assert!(!a
+            .handle(1_100, Input::SubmitTx(Box::new(parent.clone())))
+            .is_empty());
+        let effects = a.handle(1_101, Input::SubmitTx(Box::new(child.clone())));
+        assert!(
+            effects
+                .iter()
+                .any(|e| matches!(e, Effect::Report(ReportEvent::TxAccepted { .. }))),
+            "chained child must be admitted while its parent is unconfirmed"
+        );
+        assert_eq!(a.mempool_len(), 2);
+
+        a.handle(
+            1_200,
+            Input::ProduceMicroblock {
+                require_transactions: true,
+            },
+        );
+        assert_eq!(a.mempool_len(), 0, "parent and child both serialized");
+        assert!(a.chainstate().is_confirmed(&parent.txid()));
+        assert!(a.chainstate().is_confirmed(&child.txid()));
+        assert_eq!(
+            a.utxo().balance_of(&KeyPair::from_id(3).address()),
+            Amount::from_coins(24)
+        );
+    }
+
+    #[test]
+    fn honest_relay_is_not_punished_for_a_byzantine_descendant() {
+        use ng_core::block::{MicroBlock, MicroHeader};
+        use ng_crypto::signer::{SchnorrSigner, Signer as _};
+
+        // Engine `a` is leader with one valid tx-bearing microblock on its branch.
+        let mut a = Engine::new(EngineConfig::new(1, validated_params()));
+        a.handle(1_000, Input::MineKeyBlock);
+        let kb1_id = a.tip();
+        let signer_a = SchnorrSigner::new(*a.node().keys());
+        let mut spend = TransactionBuilder::new()
+            .input(OutPoint::new(kb1_id, 0))
+            .output(Amount::from_coins(24), KeyPair::from_id(5).address())
+            .build();
+        spend.sign_all_inputs(&signer_a);
+        a.handle(1_100, Input::SubmitTx(Box::new(spend.clone())));
+        a.handle(
+            1_200,
+            Input::ProduceMicroblock {
+                require_transactions: true,
+            },
+        );
+        assert!(a.chainstate().is_confirmed(&spend.txid()));
+
+        // A rival miner on the same epoch mines a heavier key block, and — being
+        // Byzantine — signs a microblock on it spending a nonexistent output.
+        let kb1 = a.node().chain().get(&kb1_id).expect("key block").clone();
+        let mut rival = ng_core::node::NgNode::new(2, validated_params(), 0);
+        rival.on_block(kb1, 1_001).unwrap();
+        let rival_kb = rival.mine_and_adopt_key_block(2_000);
+        let bad_payload = Payload::Transactions(vec![TransactionBuilder::new()
+            .input(OutPoint::new(sha256(b"phantom"), 0))
+            .output(Amount::from_sats(1), KeyPair::from_id(9).address())
+            .build()]);
+        let bad_header = MicroHeader {
+            prev: rival_kb.id(),
+            time_ms: 2_010,
+            payload_digest: bad_payload.digest(),
+            leader: 2,
+        };
+        let bad = MicroBlock {
+            signature: SchnorrSigner::new(*rival.keys()).sign(&bad_header.signing_hash()),
+            header: bad_header,
+            payload: bad_payload,
+        };
+        let bad_id = bad.id();
+
+        // An honest peer relays the Byzantine microblock FIRST (it becomes a
+        // pending child), then the valid rival key block. Adopting the key block
+        // drags the pending child in: the reorg disconnects a's microblock,
+        // connects the rival key block, and fails on the Byzantine child.
+        register_peer(&mut a, 7);
+        a.handle(
+            3_000,
+            Input::Message {
+                peer: 7,
+                message: Message::MicroBlock(Box::new(bad)),
+            },
+        );
+        let effects = a.handle(
+            3_001,
+            Input::Message {
+                peer: 7,
+                message: Message::KeyBlock(Box::new(rival_kb.clone())),
+            },
+        );
+
+        assert_eq!(a.tip(), rival_kb.id(), "heavier valid branch adopted");
+        assert!(a.node().chain().is_invalid(&bad_id));
+        assert!(
+            effects
+                .iter()
+                .any(|e| matches!(e, Effect::Report(ReportEvent::BlockRejected { id }) if *id == bad_id)),
+            "Byzantine child rejected"
+        );
+        // The peer delivered a *valid* carrier (the key block); it must not be
+        // disconnected for the Byzantine child that rode behind it.
+        assert!(
+            !effects.iter().any(|e| matches!(e, Effect::Disconnect { .. })),
+            "honest relay must not be punished"
+        );
+        assert!(a.connected_peers().contains(&7));
+        // The transaction disconnected before the failed connect was not lost: the
+        // accumulated delta re-admitted it to the mempool.
+        assert!(
+            a.mempool_contains(&spend.txid()),
+            "disconnected tx re-admitted despite the mid-roll rejection"
+        );
+        assert!(!a.chainstate().is_confirmed(&spend.txid()));
+    }
+
+    #[test]
+    fn reorg_readmits_chained_transactions_across_blocks() {
+        use ng_crypto::signer::SchnorrSigner;
+        // Parent and child serialized in two separate microblocks; a heavier rival
+        // branch reorgs both out. The child's input only resolves through the
+        // re-admitted parent, so re-admission must process chain order and fall
+        // back to pool-resolved validation.
+        let mut a = Engine::new(EngineConfig::new(1, validated_params()));
+        a.handle(1_000, Input::MineKeyBlock);
+        let kb1_id = a.tip();
+        let signer = SchnorrSigner::new(*a.node().keys());
+        let mut parent = TransactionBuilder::new()
+            .input(OutPoint::new(kb1_id, 0))
+            .output(Amount::from_coins(25), a.node().keys().address())
+            .build();
+        parent.sign_all_inputs(&signer);
+        let mut child = TransactionBuilder::new()
+            .input(OutPoint::new(parent.txid(), 0))
+            .output(Amount::from_coins(24), KeyPair::from_id(4).address())
+            .build();
+        child.sign_all_inputs(&signer);
+        a.handle(1_100, Input::SubmitTx(Box::new(parent.clone())));
+        a.handle(
+            1_200,
+            Input::ProduceMicroblock {
+                require_transactions: true,
+            },
+        );
+        a.handle(1_300, Input::SubmitTx(Box::new(child.clone())));
+        a.handle(
+            1_400,
+            Input::ProduceMicroblock {
+                require_transactions: true,
+            },
+        );
+        assert!(a.chainstate().is_confirmed(&parent.txid()));
+        assert!(a.chainstate().is_confirmed(&child.txid()));
+
+        // Rival branch: two key blocks on the shared epoch outweigh the microblocks.
+        let kb1 = a.node().chain().get(&kb1_id).expect("key block").clone();
+        let mut rival = ng_core::node::NgNode::new(2, validated_params(), 0);
+        rival.on_block(kb1, 1_001).unwrap();
+        let rival_kb1 = rival.mine_and_adopt_key_block(2_000);
+        let rival_kb2 = rival.mine_and_adopt_key_block(2_100);
+        register_peer(&mut a, 5);
+        a.handle(
+            3_000,
+            Input::Message {
+                peer: 5,
+                message: Message::KeyBlock(Box::new(rival_kb1)),
+            },
+        );
+        a.handle(
+            3_001,
+            Input::Message {
+                peer: 5,
+                message: Message::KeyBlock(Box::new(rival_kb2.clone())),
+            },
+        );
+        assert_eq!(a.tip(), rival_kb2.id(), "reorg applied");
+        assert!(
+            a.mempool_contains(&parent.txid()),
+            "disconnected parent re-admitted"
+        );
+        assert!(
+            a.mempool_contains(&child.txid()),
+            "disconnected child re-admitted through its pooled parent"
+        );
+        // The chain serializes again in order on the new branch.
+        a.handle(
+            4_000,
+            Input::ProduceMicroblock {
+                require_transactions: true,
+            },
+        );
+        assert!(!a.is_leader() || a.mempool_len() == 0);
+    }
+
+    #[test]
+    fn direct_sender_of_invalid_microblock_is_disconnected() {
+        use ng_core::block::{MicroBlock, MicroHeader};
+        use ng_crypto::signer::{SchnorrSigner, Signer as _};
+
+        let mut a = Engine::new(EngineConfig::new(1, validated_params()));
+        register_peer(&mut a, 3);
+        a.handle(1_000, Input::MineKeyBlock);
+        let tip = a.tip();
+        // The Byzantine leader (this engine's own id/keys, so the signature is
+        // valid) sends a phantom-spend microblock directly.
+        let payload = Payload::Transactions(vec![TransactionBuilder::new()
+            .input(OutPoint::new(sha256(b"phantom"), 0))
+            .output(Amount::from_sats(1), KeyPair::from_id(9).address())
+            .build()]);
+        let header = MicroHeader {
+            prev: tip,
+            time_ms: 1_500,
+            payload_digest: payload.digest(),
+            leader: 1,
+        };
+        let bad = MicroBlock {
+            signature: SchnorrSigner::new(KeyPair::from_id(1)).sign(&header.signing_hash()),
+            header,
+            payload,
+        };
+        let bad_id = bad.id();
+        let effects = a.handle(
+            2_000,
+            Input::Message {
+                peer: 3,
+                message: Message::MicroBlock(Box::new(bad)),
+            },
+        );
+        assert_eq!(a.tip(), tip, "ledger unchanged");
+        assert!(a.node().chain().is_invalid(&bad_id));
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::Report(ReportEvent::PeerMisbehaved { peer: 3, .. }))));
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::Disconnect { peer: 3 })));
+        assert!(!a.connected_peers().contains(&3));
     }
 
     #[test]

@@ -1,13 +1,14 @@
-//! The daemon's ledger view: a UTXO set derived from the current main chain.
+//! The from-genesis ledger replay — the differential-testing **oracle** for the
+//! incremental chainstate.
 //!
-//! The chain layer validates block structure and leader signatures but does not keep a
-//! UTXO set (the simulator's synthetic payloads have none to keep). A live node wants
-//! one — to compute fees for mempool admission and, crucially, to prove convergence:
-//! two nodes agree iff their main chains produce the same [`UtxoSet::commitment`].
-//!
-//! The view is rebuilt from scratch on every tip change. That is O(chain length), which
-//! is fine at testnet scale and makes reorg handling trivially correct: whatever the
-//! fork choice picked, the view equals a clean replay of that branch.
+//! The live node no longer replays the chain on tip changes: it maintains its ledger
+//! incrementally via [`crate::chainstate::ChainView`], whose per-block cost is
+//! independent of chain length. [`rebuild_utxo`] stays because a clean O(chain)
+//! replay is trivially correct — whatever the fork choice picked, the result equals
+//! the branch's effects from genesis — which makes it the perfect oracle: the
+//! equivalence suite drives arbitrary fork/extend/reorg schedules and asserts the
+//! incremental view matches a fresh replay (both the sorted-hash
+//! [`UtxoSet::commitment`] and the rolling commitment) at every step.
 
 use ng_chain::transaction::OutPoint;
 use ng_chain::utxo::{UtxoEntry, UtxoSet};

@@ -16,10 +16,15 @@
 //! Supporting modules:
 //!
 //! * [`engine`] — the pure protocol engine (`Input` → `Vec<Effect>`).
+//! * [`chainstate`] — the incremental ledger view ([`chainstate::ChainView`]):
+//!   UTXO set, confirmed-transaction set and rolling commitment maintained by
+//!   connecting/disconnecting blocks with per-block undo records, validating every
+//!   microblock transaction on connect (per-block cost is O(transactions), never
+//!   O(chain length)).
 //! * [`report`] — the `ReportEvent` → [`ng_metrics::counters::NodeCounters`] bridge
 //!   and the [`report::NodeSnapshot`] convergence view.
-//! * [`ledger`] — the UTXO view replayed from the main chain, whose commitment is
-//!   the convergence criterion between nodes.
+//! * [`ledger`] — the from-genesis UTXO replay, kept as the differential-testing
+//!   oracle the incremental chainstate is pinned against.
 //! * [`testnet`] — an in-process loopback network harness over real daemons (N
 //!   sockets on ephemeral ports), also available as the `ng-testnet` binary —
 //!   which can drive either the TCP or the SimNet backend.
@@ -27,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chainstate;
 pub mod daemon;
 pub mod engine;
 pub mod ledger;
@@ -34,6 +40,7 @@ pub mod report;
 pub mod simnet;
 pub mod testnet;
 
+pub use chainstate::{ChainView, ConnectError, SyncDelta};
 pub use daemon::{now_ms, spawn, NodeConfig, NodeHandle};
 pub use engine::{Effect, Engine, EngineConfig, Input, ReportEvent};
 pub use ledger::rebuild_utxo;

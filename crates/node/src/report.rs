@@ -15,7 +15,15 @@ use ng_metrics::counters::{CounterSnapshot, NodeCounters};
 /// Applies one reported protocol event to a node's counters.
 pub fn record(counters: &NodeCounters, event: &ReportEvent) {
     match event {
-        ReportEvent::PeerReady { .. } | ReportEvent::PeerMisbehaved { .. } => {}
+        ReportEvent::PeerReady { .. } => {}
+        ReportEvent::PeerMisbehaved { .. } => counters.peers_misbehaved.incr(),
+        ReportEvent::LedgerRolled {
+            connected,
+            disconnected,
+        } => {
+            counters.ledger_blocks_connected.add(*connected);
+            counters.ledger_blocks_disconnected.add(*disconnected);
+        }
         ReportEvent::BlockAccepted { reorg, .. } => {
             counters.blocks_accepted.incr();
             if *reorg {

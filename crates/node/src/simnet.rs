@@ -324,6 +324,16 @@ impl SimNet {
             .any(|event| matches!(event, ReportEvent::TxAccepted { .. }))
     }
 
+    /// Byzantine injection: puts an arbitrary crafted message on the wire from
+    /// `from` to `to`, exactly as if `from`'s engine had emitted it — same link,
+    /// FIFO ordering, latency and loss rules. Attack scenarios use this to make a
+    /// leader send protocol-valid-looking but semantically malicious carriers
+    /// (e.g. a correctly signed microblock spending nonexistent outputs) without
+    /// teaching the honest engine how to misbehave.
+    pub fn inject_message(&mut self, from: usize, to: usize, message: Message) {
+        self.transmit(from, to, message);
+    }
+
     // ---- the scheduler --------------------------------------------------------
 
     /// Runs the network for `budget_ms` of virtual time, processing every queued

@@ -18,11 +18,15 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Protocol parameters tuned for loopback latencies: microblocks may follow their
-/// parent after 1 ms, and production is allowed every 2 ms.
+/// parent after 1 ms, and production is allowed every 2 ms. Full transaction
+/// validation is off — the harness workload is [`test_tx`], whose inputs are
+/// synthetic — mirroring the paper's testbed methodology of topping up mempools
+/// with independent synthetic transactions and skipping per-transaction checks (§7).
 pub fn testnet_params() -> NgParams {
     NgParams {
         min_microblock_interval_ms: 1,
         microblock_interval_ms: 2,
+        validate_transactions: false,
         ..NgParams::default()
     }
 }

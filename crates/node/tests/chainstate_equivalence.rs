@@ -1,0 +1,196 @@
+//! Differential tests for the incremental chainstate: across arbitrary
+//! fork/extend/reorg schedules, every engine's incrementally maintained ledger view
+//! must equal a fresh from-genesis replay of its main chain.
+//!
+//! [`ng_node::ledger::rebuild_utxo`] is the oracle — a clean O(chain) replay is
+//! trivially correct, so agreement at every checkpoint (on both the rolling XOR
+//! commitment and the strong sorted-hash commitment, plus the confirmed-txid set)
+//! pins the undo-based connect/disconnect machinery exactly.
+
+use ng_chain::payload::Payload;
+use ng_node::ledger::rebuild_utxo;
+use ng_node::simnet::{SimConfig, SimNet};
+use ng_node::testnet::test_tx;
+use proptest::prelude::*;
+
+/// Asserts every engine's incremental view equals a fresh replay of its own main
+/// chain: rolling commitment, strong commitment, and the confirmed-transaction set.
+fn assert_all_views_match_oracle(net: &SimNet) {
+    for node in 0..net.len() {
+        let engine = net.engine(node);
+        let oracle = rebuild_utxo(engine.node().chain());
+        assert_eq!(
+            engine.chainstate().commitment(),
+            oracle.rolling_commitment(),
+            "node {node}: incremental rolling commitment diverged from replay"
+        );
+        assert_eq!(
+            engine.utxo_commitment(),
+            oracle.commitment(),
+            "node {node}: incremental strong commitment diverged from replay"
+        );
+        // The confirmed set must be exactly the main chain's serialized txids.
+        let chain = engine.node().chain();
+        let mut confirmed_on_chain = std::collections::HashSet::new();
+        for id in chain.store().main_chain() {
+            if let Some(txs) = chain
+                .get(&id)
+                .and_then(|b| b.as_micro())
+                .and_then(|m| m.payload.transactions())
+            {
+                confirmed_on_chain.extend(txs.iter().map(|t| t.txid()));
+            }
+        }
+        assert_eq!(
+            engine.chainstate().confirmed_len(),
+            confirmed_on_chain.len(),
+            "node {node}: confirmed-txid set diverged from the main chain"
+        );
+        for txid in &confirmed_on_chain {
+            assert!(engine.chainstate().is_confirmed(txid));
+        }
+    }
+}
+
+/// Runs a randomized fork/extend/reorg schedule, checking the oracle equivalence at
+/// every quiescent point (after each epoch, after divergence, after heal).
+fn run_equivalence_scenario(seed: u64, nodes: usize, txs_per_epoch: u64, rounds: usize) {
+    let mut net = SimNet::new(SimConfig::new(nodes, seed));
+    let all: Vec<usize> = (0..nodes).collect();
+    net.connect_mesh(&all);
+    net.run(2_000);
+
+    let mut tx_seq = seed.wrapping_mul(6_271);
+    for round in 0..rounds {
+        let leader = round % nodes;
+        net.mine_key_block(leader);
+        for _ in 0..txs_per_epoch {
+            tx_seq += 1;
+            net.submit_tx(leader, test_tx(tx_seq));
+        }
+        net.run(500);
+        net.produce_microblock(leader);
+        net.run(1_000);
+        assert_all_views_match_oracle(&net);
+    }
+
+    if nodes >= 2 {
+        // Partition; both sides extend with competing epochs *and* microblocks, so
+        // the heal forces reorgs that disconnect transaction-bearing blocks.
+        let mid = nodes.div_ceil(2);
+        let (left, right) = all.split_at(mid);
+        net.partition(&[left, right]);
+        net.mine_key_block(right[0]);
+        tx_seq += 1;
+        net.submit_tx(right[0], test_tx(tx_seq));
+        net.run(500);
+        net.produce_microblock(right[0]);
+        net.mine_key_block(left[0]);
+        tx_seq += 1;
+        net.submit_tx(left[0], test_tx(tx_seq));
+        net.run(500);
+        net.produce_microblock(left[0]);
+        net.mine_key_block(left[left.len() - 1]);
+        net.run(1_000);
+        assert_all_views_match_oracle(&net);
+
+        net.heal();
+        net.run(60_000);
+        assert_all_views_match_oracle(&net);
+        assert!(net.converged(), "healed scenario must converge");
+    }
+}
+
+proptest! {
+    // Each case checks every node against the replay oracle at every quiescent
+    // point of a multi-epoch partition/heal scenario.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole property: incremental view ≡ rebuild-from-genesis, at every
+    /// step of arbitrary reorg schedules.
+    #[test]
+    fn incremental_view_equals_replay_oracle(
+        seed in any::<u64>(),
+        nodes in 2usize..6,
+        txs in 1u64..5,
+        rounds in 1usize..4,
+    ) {
+        run_equivalence_scenario(seed, nodes, txs, rounds);
+    }
+}
+
+/// A deep deterministic reorg on a single engine pair: one side builds a long
+/// microblock run, the other a heavier key-block branch; adoption must rewind
+/// through every undo record and land exactly on the replay oracle.
+#[test]
+fn deep_reorg_rewinds_through_undo_records_exactly() {
+    let mut net = SimNet::new(SimConfig::new(2, 1_234));
+    net.connect_mesh(&[0, 1]);
+    net.run(1_000);
+    net.mine_key_block(0);
+    net.run(1_000);
+
+    // Partition; node 0 streams 8 transaction-bearing microblocks on its side.
+    net.partition(&[&[0], &[1]]);
+    for seq in 100..108u64 {
+        net.submit_tx(0, test_tx(seq));
+        net.run(100);
+        net.produce_microblock(0);
+        net.run(100);
+    }
+    // Node 1 mines two key blocks: strictly more work than node 0's microblocks.
+    net.mine_key_block(1);
+    net.run(100);
+    net.mine_key_block(1);
+    net.run(1_000);
+    assert_all_views_match_oracle(&net);
+    let height_before = net.engine(0).height();
+    assert!(height_before >= 9, "microblock run built up");
+
+    net.heal();
+    net.run(30_000);
+    assert!(net.converged(), "heal must converge on the heavier branch");
+    assert_all_views_match_oracle(&net);
+    let snaps = net.snapshots();
+    assert!(
+        snaps[0].counters.ledger_blocks_disconnected >= 8,
+        "node 0 rewound its microblock run through undo records, got {}",
+        snaps[0].counters.ledger_blocks_disconnected
+    );
+    // The disconnected transactions returned to node 0's pool (none were
+    // serialized on the winning branch).
+    assert_eq!(snaps[0].mempool_len, 8, "disconnected txs re-admitted");
+}
+
+/// Regression guard for the replay oracle itself: synthetic payloads (simulation
+/// workloads) carry no transactions and must leave both views untouched.
+#[test]
+fn synthetic_payloads_do_not_move_the_ledger() {
+    use ng_core::node::NgNode;
+    use ng_node::chainstate::ChainView;
+
+    let params = ng_node::testnet::testnet_params();
+    let mut node = NgNode::new(1, params, 7);
+    let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+    node.mine_and_adopt_key_block(1_000);
+    view.sync(node.chain_mut()).unwrap();
+    let after_key = view.commitment();
+    node.produce_microblock(
+        2_000,
+        Payload::Synthetic {
+            bytes: 1_000,
+            tx_count: 5,
+            total_fees: ng_chain::amount::Amount::from_sats(50),
+            tag: 1,
+        },
+    )
+    .expect("leader produces");
+    let delta = view.sync(node.chain_mut()).unwrap();
+    assert_eq!(delta.connected_blocks, 1);
+    assert!(delta.connected_txids.is_empty());
+    assert_eq!(view.commitment(), after_key);
+    assert_eq!(
+        view.utxo().commitment(),
+        rebuild_utxo(node.chain()).commitment()
+    );
+}

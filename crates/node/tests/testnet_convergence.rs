@@ -167,6 +167,8 @@ fn auto_streaming_over_tcp_is_timer_driven() {
     let params = NgParams {
         min_microblock_interval_ms: 300,
         microblock_interval_ms: 300,
+        // The synthetic test_tx workload spends nonexistent outpoints.
+        validate_transactions: false,
         ..NgParams::default()
     };
     let net = Testnet::launch_with(3, params, true).expect("bind loopback sockets");

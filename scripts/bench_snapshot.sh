@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Snapshot the incremental chainstate's hot-path latencies into BENCH_ledger.json
+# so the perf trajectory is tracked in-repo from PR 4 on.
+#
+#   scripts/bench_snapshot.sh              # full run (200 iterations) → BENCH_ledger.json
+#   scripts/bench_snapshot.sh --smoke      # tiny run for CI: verifies the tool works,
+#                                          # writes to a temp file, never touches the
+#                                          # committed snapshot
+#
+# The emitted JSON (schema bench_ledger/v1) holds medians of:
+#   * microblock_cycle_4tx_us.chain_16 / .chain_1024 — one full leader cycle
+#     (4 tx submits + signed microblock + ledger roll) at two chain depths; their
+#     ratio (depth_ratio ≈ 1.0) is the flatness claim of the incremental chainstate
+#   * reorg_depth8_us — an 8-block undo-record rewind + rival-epoch connect
+#   * rebuild_from_genesis_1024_us — the old per-tip-change replay cost, for contrast
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_ledger.json"
+ITERS=200
+if [[ "${1:-}" == "--smoke" ]]; then
+    OUT="$(mktemp /tmp/bench_ledger.XXXXXX.json)"
+    ITERS=5
+fi
+
+echo "==> cargo run --release -p ng_bench --bin ledger_snapshot -- --iters ${ITERS}"
+cargo run --release -q -p ng_bench --bin ledger_snapshot -- --iters "${ITERS}" > "${OUT}"
+
+echo "==> wrote ${OUT}:"
+cat "${OUT}"

@@ -38,6 +38,9 @@ echo "==> SimNet determinism + seed-sweep suites (socket-free and deterministic:
 cargo test -q -p ng_node --test simnet_determinism
 cargo test -q -p ng_node --test simnet_scenarios
 
+echo "==> chainstate differential suite (incremental view ≡ rebuild-from-genesis oracle)"
+cargo test -q -p ng_node --test chainstate_equivalence
+
 echo "==> cargo test -p ng_node -q --test testnet_convergence (loopback sockets, 300s budget)"
 timeout 300 cargo test -q -p ng_node --test testnet_convergence
 
@@ -46,6 +49,9 @@ timeout 300 cargo test -q -p ng_attacks
 
 echo "==> cargo build --workspace --all-targets (benches, bins, examples)"
 cargo build --workspace --all-targets
+
+echo "==> bench snapshot smoke (ledger_snapshot emits valid JSON; committed BENCH_ledger.json untouched)"
+timeout 300 ./scripts/bench_snapshot.sh --smoke
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
