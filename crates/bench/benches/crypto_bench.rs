@@ -44,9 +44,20 @@ fn bench_curve_and_schnorr(c: &mut Criterion) {
     let msg = sha256(b"a microblock header");
     let sig = schnorr::sign(&kp.secret, &msg);
     let k = Scalar::from_u64(0xdead_beef_cafe);
+    let p = Point::generator().mul(&Scalar::from_u64(0x1234_5678));
 
-    c.bench_function("secp256k1_scalar_mul_generator", |b| {
+    c.bench_function("secp256k1_mul_generator_comb", |b| {
         b.iter(|| Point::mul_generator(black_box(&k)))
+    });
+    c.bench_function("secp256k1_mul_wnaf_variable_base", |b| {
+        b.iter(|| p.mul(black_box(&k)))
+    });
+    c.bench_function("secp256k1_mul_double_and_add_oracle", |b| {
+        b.iter(|| p.mul_double_and_add(black_box(&k)))
+    });
+    c.bench_function("secp256k1_strauss_shamir_double_mul", |b| {
+        let a = Scalar::from_u64(0xfeed_f00d);
+        b.iter(|| Point::mul_double_generator(black_box(&a), black_box(&k), black_box(&p)))
     });
     c.bench_function("schnorr_sign", |b| {
         b.iter(|| schnorr::sign(black_box(&kp.secret), black_box(&msg)))
@@ -56,5 +67,37 @@ fn bench_curve_and_schnorr(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sha256, bench_merkle, bench_curve_and_schnorr);
+fn bench_batch_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schnorr_verify_batch");
+    group.sample_size(10);
+    for n in [16usize, 64, 256] {
+        let batch: Vec<_> = (0..n as u64)
+            .map(|i| {
+                let kp = KeyPair::from_id(100 + i);
+                let msg = sha256(&i.to_le_bytes());
+                (kp.public, msg, schnorr::sign(&kp.secret, &msg))
+            })
+            .collect();
+        group.bench_function(format!("batch_{n}"), |b| {
+            b.iter(|| schnorr::verify_batch(black_box(&batch)).expect("valid"))
+        });
+        group.bench_function(format!("sequential_{n}"), |b| {
+            b.iter(|| {
+                for (pk, msg, sig) in &batch {
+                    schnorr::verify(black_box(pk), black_box(msg), black_box(sig))
+                        .expect("valid");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_merkle,
+    bench_curve_and_schnorr,
+    bench_batch_verify
+);
 criterion_main!(benches);

@@ -189,12 +189,55 @@ fn bench_validate_cached(c: &mut Criterion) {
     });
 }
 
+/// The headline batch-vs-sequential comparison: fully validating a 256-signature
+/// microblock through the batched (worker-pool) connect vs one Schnorr
+/// verification per signature. On a multi-core runner the batched figure divides
+/// by the worker count on top of the algebraic batching gain.
+fn bench_connect_256tx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ledger_connect_256tx");
+    group.sample_size(10);
+    group.bench_function("sequential_per_sig", |b| {
+        let (_, view, txs) = ng_bench::workload::block_256tx();
+        b.iter_with_setup(
+            || view.utxo().clone(),
+            |mut scratch| {
+                for tx in &txs {
+                    scratch.validate(tx, 3).expect("valid spend");
+                    scratch.apply(tx, 3);
+                }
+                black_box(scratch.rolling_commitment())
+            },
+        )
+    });
+    group.bench_function("batched_parallel", |b| {
+        let pool = std::sync::Arc::new(ng_node::parallel::WorkerPool::with_default_size());
+        b.iter_with_setup(
+            || {
+                let (mut node, mut view, txs) = ng_bench::workload::block_256tx();
+                view.set_batch_executor(pool.clone());
+                node.produce_microblock(
+                    3_000,
+                    ng_chain::payload::Payload::Transactions(txs),
+                )
+                .expect("256-tx microblock");
+                (node, view)
+            },
+            |(mut node, mut view)| {
+                view.sync(node.chain_mut()).expect("batched connect");
+                black_box(view.commitment())
+            },
+        )
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_connect_short_chain,
     bench_connect_long_chain,
     bench_rebuild_long_chain,
     bench_reorg_depth_8,
-    bench_validate_cached
+    bench_validate_cached,
+    bench_connect_256tx
 );
 criterion_main!(benches);

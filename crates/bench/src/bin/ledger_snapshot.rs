@@ -1,21 +1,27 @@
-//! Emits a machine-readable snapshot of the incremental chainstate's hot-path
-//! latencies (microblock-cycle cost at two chain depths, a depth-8 reorg, and the
-//! old rebuild-from-genesis cost for contrast) as JSON on stdout.
+//! Emits a machine-readable snapshot of the hot-path latencies as JSON on stdout:
+//! the incremental chainstate's microblock-cycle cost, the crypto backend's
+//! sign/verify/batch-verify latencies, and the 256-transaction connect comparison
+//! (batched + worker-pool verification vs sequential per-signature verification).
 //!
-//! `scripts/bench_snapshot.sh` redirects this into `BENCH_ledger.json` so the
-//! repository tracks the perf trajectory from PR 4 on; CI runs a small-iteration
-//! smoke invocation to keep the tool from rotting.
+//! `scripts/bench_snapshot.sh` redirects this into `BENCH_ledger.json` (schema
+//! `bench_ledger/v2`) so the repository tracks the perf trajectory; CI runs a
+//! small-iteration smoke invocation with `--assert-fast`, which fails loudly if the
+//! crypto path regresses towards the pre-comb double-and-add costs.
 //!
-//! Usage: `ledger_snapshot [--iters N]` (default 200).
+//! Usage: `ledger_snapshot [--iters N] [--assert-fast]` (default 200 iterations).
 
 use ng_chain::amount::Amount;
 use ng_chain::transaction::{OutPoint, Transaction, TransactionBuilder};
 use ng_core::params::NgParams;
 use ng_crypto::keys::KeyPair;
+use ng_crypto::schnorr::{self, BatchEntry};
 use ng_crypto::sha256::sha256;
+use ng_node::chainstate::ChainView;
 use ng_node::engine::{Engine, EngineConfig, Input};
 use ng_node::ledger::rebuild_utxo;
+use ng_node::parallel::WorkerPool;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn unchecked_params() -> NgParams {
@@ -88,7 +94,6 @@ fn cycle_us(depth: u64, iters: usize) -> f64 {
 /// epoch — chain insertion, fork choice and the incremental view roll included.
 fn reorg_us(depth: u64, iters: usize) -> f64 {
     use ng_core::node::NgNode;
-    use ng_node::chainstate::ChainView;
 
     let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
@@ -139,6 +144,112 @@ fn rebuild_us(depth: u64, iters: usize) -> f64 {
     median(samples)
 }
 
+/// Median microseconds per Schnorr signing (fixed-base comb path).
+fn sign_us(iters: usize) -> f64 {
+    let kp = KeyPair::from_id(1);
+    // Warm the generator tables so the one-time precompute is not billed to a sample.
+    black_box(schnorr::sign(&kp.secret, &sha256(b"warmup")));
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let msg = sha256(&(i as u64).to_le_bytes());
+        let t = Instant::now();
+        black_box(schnorr::sign(&kp.secret, &msg));
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    median(samples)
+}
+
+/// Median microseconds per single Schnorr verification (Strauss–Shamir path).
+fn verify_us(iters: usize) -> f64 {
+    let kp = KeyPair::from_id(1);
+    let msg = sha256(b"verify me");
+    let sig = schnorr::sign(&kp.secret, &msg);
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(schnorr::verify(&kp.public, &msg, &sig)).expect("valid");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    median(samples)
+}
+
+fn batch_256() -> Vec<BatchEntry> {
+    (0..256u64)
+        .map(|i| {
+            let kp = KeyPair::from_id(1000 + i);
+            let msg = sha256(&i.to_le_bytes());
+            (kp.public, msg, schnorr::sign(&kp.secret, &msg))
+        })
+        .collect()
+}
+
+/// Median microseconds for one 256-signature batch verification (one Pippenger
+/// multi-scalar pass over 512 points).
+fn verify_batch_256_us(iters: usize) -> f64 {
+    let batch = batch_256();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        schnorr::verify_batch(black_box(&batch)).expect("valid batch");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    median(samples)
+}
+
+/// The 256-tx connect comparison: median microseconds to fully validate and apply
+/// the block's transactions (a) sequentially, one Schnorr verification per
+/// signature, exactly what connect did before the batch verifier, and (b) through
+/// the batched chainstate connect with a worker-pool executor. Also returns the
+/// batched full-cycle cost (leader signing included) and the worker count.
+fn connect_256tx(iters: usize) -> (f64, f64, f64, usize) {
+    let pool = Arc::new(WorkerPool::with_default_size());
+    let workers = pool.workers();
+    let mut seq_samples = Vec::with_capacity(iters);
+    let mut batch_samples = Vec::with_capacity(iters);
+    let mut cycle_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let (mut node, view, txs) = ng_bench::workload::block_256tx();
+
+        // (a) sequential per-signature verification + application on a scratch set.
+        let mut scratch = view.utxo().clone();
+        let height = 3;
+        let t = Instant::now();
+        for tx in &txs {
+            scratch.validate(tx, height).expect("valid spend");
+            scratch.apply(tx, height);
+        }
+        black_box(scratch.rolling_commitment());
+        seq_samples.push(t.elapsed().as_secs_f64() * 1e6);
+
+        // (b) batched + parallel connect through the chainstate (fresh view and
+        // empty signature cache: every signature is really verified).
+        let mut batched_view = view.clone();
+        batched_view.set_batch_executor(pool.clone());
+        let t = Instant::now();
+        let micro = node
+            .produce_microblock(
+                3_000,
+                ng_chain::payload::Payload::Transactions(txs.clone()),
+            )
+            .expect("256-tx microblock");
+        let produced_at = t.elapsed().as_secs_f64() * 1e6;
+        let t = Instant::now();
+        batched_view
+            .sync(node.chain_mut())
+            .expect("batched connect succeeds");
+        let connect = t.elapsed().as_secs_f64() * 1e6;
+        black_box(micro.id());
+        batch_samples.push(connect);
+        cycle_samples.push(produced_at + connect);
+    }
+    (
+        median(seq_samples),
+        median(batch_samples),
+        median(cycle_samples),
+        workers,
+    )
+}
+
 fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     samples[samples.len() / 2]
@@ -146,6 +257,7 @@ fn median(mut samples: Vec<f64>) -> f64 {
 
 fn main() {
     let mut iters = 200usize;
+    let mut assert_fast = false;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -155,6 +267,9 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .expect("--iters takes a positive integer");
             i += 2;
+        } else if args[i] == "--assert-fast" {
+            assert_fast = true;
+            i += 1;
         } else {
             eprintln!("unknown argument {}", args[i]);
             std::process::exit(2);
@@ -162,14 +277,22 @@ fn main() {
     }
     let iters = iters.max(3);
 
+    let sign = sign_us(iters.max(20));
+    let verify = verify_us(iters.max(20));
+    let batch_256 = verify_batch_256_us((iters / 20).clamp(3, 20));
     let cycle_16 = cycle_us(16, iters);
     let cycle_1024 = cycle_us(1024, iters);
     let reorg_8 = reorg_us(8, (iters / 10).max(3));
     let rebuild_1024 = rebuild_us(1024, (iters / 10).max(3));
+    let (seq_256, batched_256, cycle_256, workers) = connect_256tx((iters / 20).clamp(3, 10));
+    let speedup = seq_256 / batched_256.max(f64::EPSILON);
 
     println!("{{");
-    println!("  \"schema\": \"bench_ledger/v1\",");
+    println!("  \"schema\": \"bench_ledger/v2\",");
     println!("  \"iters\": {iters},");
+    println!("  \"schnorr_sign_us\": {sign:.1},");
+    println!("  \"schnorr_verify_us\": {verify:.1},");
+    println!("  \"verify_batch_256_us\": {batch_256:.1},");
     println!("  \"microblock_cycle_4tx_us\": {{");
     println!("    \"chain_16\": {cycle_16:.1},");
     println!("    \"chain_1024\": {cycle_1024:.1},");
@@ -178,7 +301,42 @@ fn main() {
         cycle_1024 / cycle_16.max(f64::EPSILON)
     );
     println!("  }},");
+    println!("  \"microblock_cycle_256tx_us\": {cycle_256:.1},");
+    println!("  \"connect_256tx\": {{");
+    println!("    \"sequential_us\": {seq_256:.1},");
+    println!("    \"batched_parallel_us\": {batched_256:.1},");
+    println!("    \"speedup\": {speedup:.2},");
+    println!("    \"workers\": {workers}");
+    println!("  }},");
     println!("  \"reorg_depth8_us\": {reorg_8:.1},");
     println!("  \"rebuild_from_genesis_1024_us\": {rebuild_1024:.1}");
     println!("}}");
+
+    if assert_fast {
+        // Loose sanity bounds (~10× above the measured numbers, far below the old
+        // double-and-add costs of 2.5 ms sign / 5 ms verify): a return to the slow
+        // path fails CI loudly, machine jitter does not.
+        let mut failures = Vec::new();
+        if sign > 500.0 {
+            failures.push(format!("schnorr_sign_us {sign:.1} > 500"));
+        }
+        if verify > 1000.0 {
+            failures.push(format!("schnorr_verify_us {verify:.1} > 1000"));
+        }
+        if batch_256 > 256.0 * verify.max(50.0) {
+            failures.push(format!(
+                "verify_batch_256_us {batch_256:.1} is no better than sequential"
+            ));
+        }
+        if speedup < 1.5 {
+            failures.push(format!("connect_256tx speedup {speedup:.2} < 1.5"));
+        }
+        if !failures.is_empty() {
+            eprintln!("--assert-fast violations:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -7,9 +7,12 @@
 //!   incentive tables.
 //! * [`cli`] — minimal argument parsing (`--nodes`, `--blocks`, `--seed`, `--full`,
 //!   `--json PATH`) shared by the `src/bin/*` binaries.
+//! * [`workload`] — shared workload builders (the 256-signature microblock) used by
+//!   both the criterion benches and `ledger_snapshot`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod experiments;
+pub mod workload;

@@ -1,0 +1,62 @@
+//! Shared benchmark workload builders used by both the criterion benches and the
+//! `ledger_snapshot` snapshot binary, so the two measurement surfaces can never
+//! drift apart.
+
+use ng_chain::amount::Amount;
+use ng_chain::payload::Payload;
+use ng_chain::transaction::{OutPoint, Transaction, TransactionBuilder};
+use ng_core::node::NgNode;
+use ng_core::params::NgParams;
+use ng_crypto::keys::KeyPair;
+use ng_crypto::signer::SchnorrSigner;
+use ng_node::chainstate::ChainView;
+
+/// Validation-on, zero-maturity parameters for signature-heavy ledger workloads.
+pub fn validated_params() -> NgParams {
+    NgParams {
+        min_microblock_interval_ms: 1,
+        microblock_interval_ms: 1,
+        coinbase_maturity: 0,
+        ..NgParams::default()
+    }
+}
+
+/// The §7-style line-rate microblock workload: a validating leader splits its
+/// 25-coin coinbase into 256 outputs, then prepares 256 independently signed
+/// spends of them (256 distinct Schnorr signatures). Returns the node with the
+/// fanout already serialized, a ledger view synced to it, and the spends —
+/// ready for a 256-transaction microblock.
+pub fn block_256tx() -> (NgNode, ChainView, Vec<Transaction>) {
+    let mut node = NgNode::new(1, validated_params(), 7);
+    let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+    let kb = node.mine_and_adopt_key_block(1_000);
+    view.sync(node.chain_mut()).expect("key block connects");
+    let signer = SchnorrSigner::new(*node.keys());
+
+    let share = Amount::from_coins(25).sats() / 256;
+    let mut fanout = TransactionBuilder::new().input(OutPoint::new(kb.id(), 0));
+    for _ in 0..256 {
+        fanout = fanout.output(Amount::from_sats(share), node.keys().address());
+    }
+    let mut fanout = fanout.build();
+    fanout.sign_all_inputs(&signer);
+    let fanout_id = fanout.txid();
+    node.produce_microblock(2_000, Payload::Transactions(vec![fanout]))
+        .expect("fanout microblock");
+    view.sync(node.chain_mut()).expect("fanout connects");
+
+    let txs = (0..256u32)
+        .map(|vout| {
+            let mut tx = TransactionBuilder::new()
+                .input(OutPoint::new(fanout_id, vout))
+                .output(
+                    Amount::from_sats(share - 100),
+                    KeyPair::from_id(2000 + vout as u64).address(),
+                )
+                .build();
+            tx.sign_all_inputs(&signer);
+            tx
+        })
+        .collect();
+    (node, view, txs)
+}

@@ -664,16 +664,21 @@ impl<B: BlockLike> ChainStore<B> {
         let fork_point = self
             .find_fork_point(old_tip, new_tip)
             .expect("both tips exist in the tree");
-        let disconnected: Vec<Hash256> = self
-            .path_to_genesis(old_tip)
-            .into_iter()
-            .take_while(|id| *id != fork_point)
-            .collect();
-        let mut connected: Vec<Hash256> = self
-            .path_to_genesis(new_tip)
-            .into_iter()
-            .take_while(|id| *id != fork_point)
-            .collect();
+        // Walk tip → fork point only: a plain chain extension costs O(1), a reorg
+        // O(fork depth) — never O(chain length). The old full path-to-genesis walk
+        // here was the last O(depth) term in the microblock hot path.
+        let mut disconnected = Vec::new();
+        let mut cursor = *old_tip;
+        while cursor != fork_point {
+            disconnected.push(cursor);
+            cursor = self.blocks[&cursor].block.parent();
+        }
+        let mut connected = Vec::new();
+        let mut cursor = *new_tip;
+        while cursor != fork_point {
+            connected.push(cursor);
+            cursor = self.blocks[&cursor].block.parent();
+        }
         connected.reverse();
         Reorg {
             fork_point,

@@ -7,7 +7,7 @@
 
 use crate::amount::Amount;
 use crate::error::TxError;
-use crate::sigcache::SigCache;
+use crate::sigcache::{BatchVerifier, SigCache, SigJob};
 use crate::transaction::{OutPoint, Transaction, TxOutput};
 use ng_crypto::keys::Address;
 use ng_crypto::sha256::Hash256;
@@ -164,7 +164,7 @@ impl UtxoSet {
     ///
     /// Returns the transaction fee on success.
     pub fn validate(&self, tx: &Transaction, height: u64) -> Result<Amount, TxError> {
-        self.validate_impl(tx, height, None, None)
+        self.validate_impl(tx, height, None, None, None)
     }
 
     /// Like [`Self::validate`], but skips the per-input Schnorr verification when the
@@ -178,7 +178,7 @@ impl UtxoSet {
         height: u64,
         cache: &mut SigCache,
     ) -> Result<Amount, TxError> {
-        self.validate_impl(tx, height, Some(cache), None)
+        self.validate_impl(tx, height, Some(cache), None, None)
     }
 
     /// Like [`Self::validate_cached`], but inputs missing from the set may resolve
@@ -193,7 +193,37 @@ impl UtxoSet {
         cache: &mut SigCache,
         resolve: InputResolver<'_>,
     ) -> Result<Amount, TxError> {
-        self.validate_impl(tx, height, Some(cache), Some(resolve))
+        self.validate_impl(tx, height, Some(cache), Some(resolve), None)
+    }
+
+    /// Like [`Self::validate_cached`], but *defers* the uncached signature checks
+    /// into `batch` instead of verifying them inline: the structural part of each
+    /// input (key present, address matches the spent output) still runs here, while
+    /// the Schnorr equation lands in the batch as a [`SigJob`]. Connect-time
+    /// validation collects a whole block this way and verifies it as one batch;
+    /// until [`BatchVerifier::flush`] succeeds the transaction's signatures are
+    /// **unproven** and nothing enters the cache.
+    pub fn validate_deferred(
+        &self,
+        tx: &Transaction,
+        height: u64,
+        cache: &mut SigCache,
+        batch: &mut BatchVerifier,
+    ) -> Result<Amount, TxError> {
+        self.validate_impl(tx, height, Some(cache), None, Some(batch))
+    }
+
+    /// Like [`Self::validate_deferred`] with mempool-resolved inputs — the
+    /// admission path uses this to batch a multi-input transaction's signatures.
+    pub fn validate_deferred_chained(
+        &self,
+        tx: &Transaction,
+        height: u64,
+        cache: &mut SigCache,
+        resolve: InputResolver<'_>,
+        batch: &mut BatchVerifier,
+    ) -> Result<Amount, TxError> {
+        self.validate_impl(tx, height, Some(cache), Some(resolve), Some(batch))
     }
 
     fn validate_impl(
@@ -202,6 +232,7 @@ impl UtxoSet {
         height: u64,
         mut cache: Option<&mut SigCache>,
         resolve: Option<InputResolver<'_>>,
+        mut defer: Option<&mut BatchVerifier>,
     ) -> Result<Amount, TxError> {
         if tx.is_coinbase() {
             return Err(TxError::UnexpectedCoinbase);
@@ -209,10 +240,14 @@ impl UtxoSet {
         if tx.outputs.is_empty() {
             return Err(TxError::NoOutputs);
         }
+        let txid = tx.txid();
         let sigs_known_good = match cache.as_deref_mut() {
-            Some(cache) => cache.lookup(&tx.txid()),
+            Some(cache) => cache.lookup(&txid),
             None => false,
         };
+        // The signing hash covers the whole transaction; computed once per
+        // transaction, not once per input.
+        let mut sighash = None;
         let mut seen = std::collections::HashSet::new();
         let mut total_in = Amount::ZERO;
         for (i, input) in tx.inputs.iter().enumerate() {
@@ -234,16 +269,43 @@ impl UtxoSet {
                     .and_then(|resolve| resolve(&input.outpoint))
                     .ok_or(TxError::MissingInput(input.outpoint))?,
             };
-            if !sigs_known_good && !tx.verify_input(i, &output) {
-                return Err(TxError::BadSignature(input.outpoint));
+            if !sigs_known_good {
+                match defer.as_deref_mut() {
+                    Some(batch) => {
+                        // Structural checks run inline; only the signature equation
+                        // is deferred.
+                        let (Some(pubkey), Some(signature)) = (&input.pubkey, &input.signature)
+                        else {
+                            return Err(TxError::BadSignature(input.outpoint));
+                        };
+                        if pubkey.address() != output.address {
+                            return Err(TxError::BadSignature(input.outpoint));
+                        }
+                        let sighash = *sighash.get_or_insert_with(|| tx.sighash());
+                        batch.push(SigJob {
+                            txid,
+                            outpoint: input.outpoint,
+                            pubkey: *pubkey,
+                            sighash,
+                            signature: signature.clone(),
+                        });
+                    }
+                    None => {
+                        if !tx.verify_input(i, &output) {
+                            return Err(TxError::BadSignature(input.outpoint));
+                        }
+                    }
+                }
             }
             total_in = total_in
                 .checked_add(output.amount)
                 .ok_or(TxError::ValueOverflow)?;
         }
         if let Some(cache) = cache {
-            if !sigs_known_good {
-                cache.insert(tx.txid());
+            // Deferred signatures are unproven until the batch flushes; the flush
+            // inserts the verdicts itself.
+            if !sigs_known_good && defer.is_none() {
+                cache.insert(txid);
             }
         }
         let total_out = tx

@@ -42,7 +42,7 @@ pub use keys::{KeyPair, PublicKey, SecretKey};
 pub use merkle::{merkle_root, MerkleProof, MerkleTree};
 pub use pow::{CompactTarget, Target, Work};
 pub use rng::SimRng;
-pub use schnorr::{SchnorrError, Signature};
+pub use schnorr::{BatchEntry, SchnorrError, Signature};
 pub use sha256::{double_sha256, sha256, tagged_hash, Hash256, Sha256};
 pub use signer::{FastSigner, SchnorrSigner, Signer, Verifier};
 pub use u256::U256;

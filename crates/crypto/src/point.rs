@@ -2,15 +2,43 @@
 //!
 //! The curve is `y² = x³ + 7` over the field defined in [`crate::field`]. Points are
 //! held in Jacobian projective coordinates `(X, Y, Z)` with affine
-//! `x = X/Z², y = Y/Z³`; the point at infinity is represented by `Z = 0`. Scalar
-//! multiplication is a simple (non-constant-time) double-and-add — adequate for a
-//! research reproduction where side-channel resistance is out of scope.
+//! `x = X/Z², y = Y/Z³`; the point at infinity is represented by `Z = 0`.
+//!
+//! # Scalar multiplication backends
+//!
+//! * [`Point::mul_generator`] — fixed-base comb: a one-time precomputed table of
+//!   `d·2^{8w}·G` for every window `w` and byte digit `d` turns `k·G` into 32 mixed
+//!   additions with **no doublings at all**. This is the signing hot path.
+//! * [`Point::mul`] — width-5 wNAF double-and-add for arbitrary bases (~256 doublings
+//!   plus ~43 additions against an 8-entry odd-multiple table).
+//! * [`Point::mul_double_generator`] — Strauss–Shamir interleaving of `a·G + b·P`:
+//!   one shared doubling pass serves both scalars, which is what Schnorr
+//!   verification wants.
+//! * [`Point::multi_mul`] — Pippenger bucket multi-scalar multiplication for batch
+//!   verification: the per-point cost falls logarithmically with batch size.
+//! * [`Point::mul_double_and_add`] — the original MSB-first double-and-add, retained
+//!   as the differential-testing oracle every optimized path is pinned against.
+//!
+//! # Side-channel stance (read this honestly)
+//!
+//! The signing-side path ([`Point::mul_generator`]) executes a **fixed sequence of
+//! point operations**: exactly 32 mixed additions, one per comb window, with a dummy
+//! accumulator absorbing the addition when a window digit is zero. The *operation
+//! trace* therefore does not depend on the secret scalar. This is deliberately the
+//! strongest claim made: the implementation is **not constant-time** at finer
+//! granularity — table indexing is by secret digit (cache-timing observable),
+//! [`crate::u256::U256`] comparisons and conditional subtractions branch on data, and
+//! the first non-dummy addition leaves infinity early. The threat model of this
+//! research reproduction is a remote network attacker observing message timing, not a
+//! co-resident cache-probing adversary; do not reuse this code where the latter
+//! matters.
 
 use crate::field::FieldElement;
 use crate::scalar::Scalar;
 use crate::u256::U256;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A point on secp256k1 in Jacobian coordinates.
 #[derive(Clone, Copy, Serialize, Deserialize)]
@@ -20,13 +48,122 @@ pub struct Point {
     z: FieldElement,
 }
 
-/// An affine point, used for encoding and equality-friendly storage.
+/// An affine point, used for encoding, table storage and equality-friendly storage.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct AffinePoint {
     /// Affine x coordinate.
     pub x: FieldElement,
     /// Affine y coordinate.
     pub y: FieldElement,
+}
+
+impl AffinePoint {
+    /// Lifts the affine point back to Jacobian coordinates (`Z = 1`).
+    pub fn to_point(&self) -> Point {
+        Point::from_affine_unchecked(self.x, self.y)
+    }
+
+    /// The affine negation `(x, −y)`.
+    pub fn neg(&self) -> AffinePoint {
+        AffinePoint {
+            x: self.x,
+            y: self.y.neg(),
+        }
+    }
+}
+
+/// Comb window width in bits: one table row per scalar byte.
+const COMB_WINDOW: usize = 8;
+/// Number of comb windows covering a 256-bit scalar.
+const COMB_WINDOWS: usize = 256 / COMB_WINDOW;
+/// Non-zero digits per comb window (1..=255).
+const COMB_DIGITS: usize = (1 << COMB_WINDOW) - 1;
+/// wNAF window width for variable-base multiplication.
+const WNAF_WIDTH: u32 = 5;
+/// Odd multiples stored per wNAF table: 1P, 3P, …, 15P.
+const WNAF_TABLE: usize = 1 << (WNAF_WIDTH - 2);
+
+/// One-time precomputed generator tables: the fixed-base comb and the odd multiples
+/// used by the Strauss–Shamir verify path.
+struct GenPrecomp {
+    /// `comb[w * COMB_DIGITS + (d-1)] = d · 2^{8w} · G` for `w ∈ 0..32`, `d ∈ 1..=255`.
+    comb: Vec<AffinePoint>,
+    /// `odd[i] = (2i+1) · G` for `i ∈ 0..8`.
+    odd: [AffinePoint; WNAF_TABLE],
+}
+
+static GEN_PRECOMP: OnceLock<GenPrecomp> = OnceLock::new();
+
+fn gen_precomp() -> &'static GenPrecomp {
+    GEN_PRECOMP.get_or_init(|| {
+        let g = Point::generator();
+        let mut jacobian: Vec<Point> = Vec::with_capacity(COMB_WINDOWS * COMB_DIGITS + WNAF_TABLE);
+        let mut base = g;
+        for _ in 0..COMB_WINDOWS {
+            let mut cur = base;
+            jacobian.push(cur);
+            for _ in 2..=COMB_DIGITS {
+                cur = cur.add(&base);
+                jacobian.push(cur);
+            }
+            // cur = 255·base here; one more addition advances to the next window's
+            // base 256·base = 2^8·base.
+            base = cur.add(&base);
+        }
+        let two_g = g.double();
+        let mut odd_cur = g;
+        jacobian.push(odd_cur);
+        for _ in 1..WNAF_TABLE {
+            odd_cur = odd_cur.add(&two_g);
+            jacobian.push(odd_cur);
+        }
+        // One shared inversion converts the whole table to affine form.
+        let affine = Point::batch_to_affine(&jacobian);
+        let mut iter = affine.into_iter().map(|p| p.expect("table entries are finite"));
+        let comb: Vec<AffinePoint> = iter.by_ref().take(COMB_WINDOWS * COMB_DIGITS).collect();
+        let odd_vec: Vec<AffinePoint> = iter.collect();
+        GenPrecomp {
+            comb,
+            odd: odd_vec.try_into().expect("exactly WNAF_TABLE odd multiples"),
+        }
+    })
+}
+
+/// Extracts the `width`-bit digit of `limbs` starting at bit `pos` (crossing limb
+/// boundaries as needed).
+fn window_digit(limbs: &[u64; 4], pos: usize, width: usize) -> usize {
+    let limb = pos / 64;
+    let shift = pos % 64;
+    let mut v = limbs[limb] >> shift;
+    if shift + width > 64 && limb + 1 < 4 {
+        v |= limbs[limb + 1] << (64 - shift);
+    }
+    (v & ((1u64 << width) - 1)) as usize
+}
+
+/// Width-`w` non-adjacent form: digits LSB-first, each odd with `|d| < 2^{w-1}`, with
+/// at least `w−1` zeros between non-zero digits.
+fn wnaf(k: &U256, w: u32) -> Vec<i32> {
+    let mut k = *k;
+    let mut digits = Vec::with_capacity(k.bits() + 1);
+    let window = 1i64 << w;
+    let half = 1i64 << (w - 1);
+    while !k.is_zero() {
+        if k.bit(0) {
+            let low = (k.low_u64() & (window as u64 - 1)) as i64;
+            let d = if low >= half { low - window } else { low };
+            if d >= 0 {
+                k = k.wrapping_sub(&U256::from_u64(d as u64));
+            } else {
+                k = k.wrapping_add(&U256::from_u64((-d) as u64));
+            }
+            digits.push(d as i32);
+        } else {
+            digits.push(0);
+        }
+        k = k.shr_by(1);
+    }
+    digits
 }
 
 impl Point {
@@ -95,6 +232,29 @@ impl Point {
         })
     }
 
+    /// Converts a slice of points to affine form with **one** shared field inversion
+    /// (Montgomery's trick on the Z coordinates). Infinity maps to `None`.
+    pub fn batch_to_affine(points: &[Point]) -> Vec<Option<AffinePoint>> {
+        let mut zs: Vec<FieldElement> = points.iter().map(|p| p.z).collect();
+        FieldElement::batch_invert(&mut zs);
+        points
+            .iter()
+            .zip(zs.iter())
+            .map(|(p, z_inv)| {
+                if p.is_infinity() {
+                    None
+                } else {
+                    let z_inv2 = z_inv.square();
+                    let z_inv3 = z_inv2.mul(z_inv);
+                    Some(AffinePoint {
+                        x: p.x.mul(&z_inv2),
+                        y: p.y.mul(&z_inv3),
+                    })
+                }
+            })
+            .collect()
+    }
+
     /// Point doubling (a = 0 short Weierstrass formulas).
     pub fn double(&self) -> Point {
         if self.is_infinity() || self.y.is_zero() {
@@ -160,6 +320,38 @@ impl Point {
         }
     }
 
+    /// Mixed addition of an affine point (`Z2 = 1`): 7 multiplications + 4 squarings
+    /// against the 11M + 5S of the general formula — the workhorse of every
+    /// table-driven multiplication path.
+    pub fn add_affine(&self, other: &AffinePoint) -> Point {
+        if self.is_infinity() {
+            return other.to_point();
+        }
+        let z1z1 = self.z.square();
+        let u2 = other.x.mul(&z1z1);
+        let s2 = other.y.mul(&z1z1).mul(&self.z);
+        if self.x == u2 {
+            if self.y == s2 {
+                return self.double();
+            }
+            return Point::infinity();
+        }
+        let h = u2.sub(&self.x);
+        let hh = h.square();
+        let i = hh.double().double();
+        let j = h.mul(&i);
+        let r = s2.sub(&self.y).double();
+        let v = self.x.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v.double());
+        let y3 = r.mul(&v.sub(&x3)).sub(&self.y.mul(&j).double());
+        let z3 = self.z.add(&h).square().sub(&z1z1).sub(&hh);
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
     /// Point negation.
     pub fn neg(&self) -> Point {
         Point {
@@ -174,8 +366,14 @@ impl Point {
         self.add(&other.neg())
     }
 
-    /// Scalar multiplication by double-and-add (most significant bit first).
-    pub fn mul(&self, k: &Scalar) -> Point {
+    /// Scalar multiplication by plain double-and-add (most significant bit first).
+    ///
+    /// This is the original, obviously-correct algorithm, **retained as the
+    /// differential-testing oracle**: the proptest suites pin [`Self::mul`],
+    /// [`Self::mul_generator`], [`Self::mul_double_generator`] and
+    /// [`Self::multi_mul`] against it for random and adversarial scalars. Do not use
+    /// it on hot paths.
+    pub fn mul_double_and_add(&self, k: &Scalar) -> Point {
         let mut result = Point::infinity();
         let bits = k.bits();
         for i in (0..bits).rev() {
@@ -187,9 +385,154 @@ impl Point {
         result
     }
 
-    /// `k·G` for the standard generator.
+    /// Builds the odd-multiple table `[P, 3P, 5P, …, 15P]` for width-5 wNAF.
+    fn odd_multiples(&self) -> [Point; WNAF_TABLE] {
+        let two_p = self.double();
+        let mut table = [*self; WNAF_TABLE];
+        for i in 1..WNAF_TABLE {
+            table[i] = table[i - 1].add(&two_p);
+        }
+        table
+    }
+
+    /// Variable-base scalar multiplication via width-5 wNAF: ~k.bits() doublings and
+    /// ~bits/6 additions against the 8-entry odd-multiple table.
+    pub fn mul(&self, k: &Scalar) -> Point {
+        if self.is_infinity() || k.is_zero() {
+            return Point::infinity();
+        }
+        let table = self.odd_multiples();
+        let digits = wnaf(&k.as_u256(), WNAF_WIDTH);
+        let mut result = Point::infinity();
+        for &d in digits.iter().rev() {
+            result = result.double();
+            if d > 0 {
+                result = result.add(&table[(d as usize - 1) / 2]);
+            } else if d < 0 {
+                result = result.add(&table[((-d) as usize - 1) / 2].neg());
+            }
+        }
+        result
+    }
+
+    /// `k·G` for the standard generator via the fixed-base comb table: exactly 32
+    /// mixed additions (one per byte window), no doublings. Zero digits perform the
+    /// same addition into a dummy accumulator so the signing-side operation sequence
+    /// does not depend on the scalar (see the module docs for the honest limits of
+    /// that claim).
     pub fn mul_generator(k: &Scalar) -> Point {
-        Point::generator().mul(k)
+        let pre = gen_precomp();
+        let limbs = k.as_u256().limbs;
+        let mut acc = Point::infinity();
+        let mut dummy = Point::infinity();
+        for w in 0..COMB_WINDOWS {
+            let digit = window_digit(&limbs, w * COMB_WINDOW, COMB_WINDOW);
+            let row = w * COMB_DIGITS;
+            if digit == 0 {
+                dummy = dummy.add_affine(&pre.comb[row]);
+            } else {
+                acc = acc.add_affine(&pre.comb[row + digit - 1]);
+            }
+        }
+        std::hint::black_box(&dummy);
+        acc
+    }
+
+    /// `a·G + b·self` by Strauss–Shamir interleaving: both scalars are recoded to
+    /// width-5 wNAF and share a **single** doubling pass, so a Schnorr verification
+    /// costs one scalar-mul's worth of doublings instead of two.
+    pub fn mul_double_generator(a: &Scalar, b: &Scalar, p: &Point) -> Point {
+        if p.is_infinity() || b.is_zero() {
+            return Self::mul_generator(a);
+        }
+        if a.is_zero() {
+            return p.mul(b);
+        }
+        let g_odd = &gen_precomp().odd;
+        let p_table = p.odd_multiples();
+        let a_digits = wnaf(&a.as_u256(), WNAF_WIDTH);
+        let b_digits = wnaf(&b.as_u256(), WNAF_WIDTH);
+        let len = a_digits.len().max(b_digits.len());
+        let mut result = Point::infinity();
+        for i in (0..len).rev() {
+            result = result.double();
+            if let Some(&d) = a_digits.get(i) {
+                if d > 0 {
+                    result = result.add_affine(&g_odd[(d as usize - 1) / 2]);
+                } else if d < 0 {
+                    result = result.add_affine(&g_odd[((-d) as usize - 1) / 2].neg());
+                }
+            }
+            if let Some(&d) = b_digits.get(i) {
+                if d > 0 {
+                    result = result.add(&p_table[(d as usize - 1) / 2]);
+                } else if d < 0 {
+                    result = result.add(&p_table[((-d) as usize - 1) / 2].neg());
+                }
+            }
+        }
+        result
+    }
+
+    /// Multi-scalar multiplication `Σ kᵢ·Pᵢ` by the Pippenger bucket method: the
+    /// window width grows with the batch so the amortized per-point cost *falls* as
+    /// batches grow — the engine behind batch signature verification.
+    pub fn multi_mul(pairs: &[(Scalar, Point)]) -> Point {
+        match pairs.len() {
+            0 => return Point::infinity(),
+            1 => return pairs[0].1.mul(&pairs[0].0),
+            _ => {}
+        }
+        // Window width c minimizes (256/c)·(n + 2^{c+1}): each of the 256/c windows
+        // pays n bucket insertions plus two suffix-sum additions per bucket.
+        let c = match pairs.len() {
+            0..=15 => 3,
+            16..=63 => 4,
+            64..=255 => 5,
+            256..=1023 => 6,
+            1024..=4095 => 8,
+            _ => 9,
+        };
+        let points: Vec<Point> = pairs.iter().map(|(_, p)| *p).collect();
+        let affine = Point::batch_to_affine(&points);
+        let windows = 256usize.div_ceil(c);
+        let mut result = Point::infinity();
+        let mut buckets: Vec<Point> = vec![Point::infinity(); (1 << c) - 1];
+        for wi in (0..windows).rev() {
+            if !result.is_infinity() {
+                for _ in 0..c {
+                    result = result.double();
+                }
+            }
+            for b in buckets.iter_mut() {
+                *b = Point::infinity();
+            }
+            let mut any = false;
+            for ((k, _), aff) in pairs.iter().zip(affine.iter()) {
+                let Some(aff) = aff else { continue };
+                // wi < ceil(256/c), so pos <= 255; the top window may be narrower.
+                let pos = wi * c;
+                let width = c.min(256 - pos);
+                let digit = window_digit(&k.as_u256().limbs, pos, width);
+                if digit != 0 {
+                    buckets[digit - 1] = buckets[digit - 1].add_affine(aff);
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            // Suffix sums turn bucket contents into Σ d·bucket[d] with 2·(2^c − 1)
+            // additions: running = Σ_{j≥d} bucket[j], acc accumulates the runnings.
+            let mut running = Point::infinity();
+            let mut acc = Point::infinity();
+            for b in buckets.iter().rev() {
+                running = running.add(b);
+                acc = acc.add(&running);
+            }
+            result = result.add(&acc);
+        }
+        result
     }
 
     /// SEC1 compressed encoding (33 bytes: `02/03 || x`); `None` for infinity.
@@ -315,12 +658,114 @@ mod tests {
     }
 
     #[test]
+    fn add_affine_matches_general_addition() {
+        let g = Point::generator();
+        let p = g.mul_double_and_add(&Scalar::from_u64(0xdead_beef));
+        let q = g.mul_double_and_add(&Scalar::from_u64(0xcafe));
+        let q_aff = q.to_affine().unwrap();
+        assert_eq!(p.add_affine(&q_aff), p.add(&q));
+        // Degenerate cases: infinity + affine, P + P (doubling), P + (−P).
+        assert_eq!(Point::infinity().add_affine(&q_aff), q);
+        assert_eq!(q.add_affine(&q_aff), q.double());
+        assert_eq!(q.neg().add_affine(&q_aff), Point::infinity());
+    }
+
+    #[test]
+    fn batch_to_affine_matches_individual_conversion() {
+        let g = Point::generator();
+        let points = vec![
+            g,
+            g.double(),
+            Point::infinity(),
+            g.mul_double_and_add(&Scalar::from_u64(12345)),
+        ];
+        let batch = Point::batch_to_affine(&points);
+        for (p, batch_affine) in points.iter().zip(batch.iter()) {
+            assert_eq!(*batch_affine, p.to_affine());
+        }
+        assert!(Point::batch_to_affine(&[]).is_empty());
+    }
+
+    #[test]
     fn scalar_mul_matches_repeated_addition() {
         let g = Point::generator();
         let mut acc = Point::infinity();
         for k in 1u64..=8 {
             acc = acc.add(&g);
             assert_eq!(g.mul(&Scalar::from_u64(k)), acc, "k={k}");
+            assert_eq!(Point::mul_generator(&Scalar::from_u64(k)), acc, "k={k}");
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_sample_scalars() {
+        let g = Point::generator();
+        let p = g.mul_double_and_add(&Scalar::from_u64(0x1234_5678));
+        let samples = [
+            Scalar::zero(),
+            Scalar::one(),
+            Scalar::from_u64(2),
+            Scalar::from_u64(0xffff_ffff_ffff_ffff),
+            Scalar::from_u256(crate::scalar::order().wrapping_sub(&U256::ONE)),
+            Scalar::from_u256(U256::MAX),
+        ];
+        for k in samples {
+            let oracle_g = g.mul_double_and_add(&k);
+            assert_eq!(Point::mul_generator(&k), oracle_g, "comb k={k:?}");
+            assert_eq!(g.mul(&k), oracle_g, "wnaf k={k:?}");
+            let oracle_p = p.mul_double_and_add(&k);
+            assert_eq!(p.mul(&k), oracle_p, "wnaf var-base k={k:?}");
+            for a in samples {
+                let expected = g.mul_double_and_add(&a).add(&oracle_p);
+                assert_eq!(
+                    Point::mul_double_generator(&a, &k, &p),
+                    expected,
+                    "strauss a={a:?} b={k:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_mul_matches_sum_of_oracle_muls() {
+        let g = Point::generator();
+        let pairs: Vec<(Scalar, Point)> = (1u64..18)
+            .map(|i| {
+                (
+                    Scalar::from_u64(i * 0x0123_4567_89ab + 3),
+                    g.mul_double_and_add(&Scalar::from_u64(i)),
+                )
+            })
+            .collect();
+        let mut expected = Point::infinity();
+        for (k, p) in &pairs {
+            expected = expected.add(&p.mul_double_and_add(k));
+        }
+        assert_eq!(Point::multi_mul(&pairs), expected);
+        assert_eq!(Point::multi_mul(&[]), Point::infinity());
+        assert_eq!(
+            Point::multi_mul(&pairs[..1]),
+            pairs[0].1.mul_double_and_add(&pairs[0].0)
+        );
+        // Infinity entries contribute nothing.
+        let mut with_inf = pairs.clone();
+        with_inf.push((Scalar::from_u64(99), Point::infinity()));
+        assert_eq!(Point::multi_mul(&with_inf), expected);
+    }
+
+    #[test]
+    fn wnaf_recoding_reconstructs_the_scalar() {
+        for k in [1u64, 2, 3, 0xdead_beef, u64::MAX] {
+            let digits = wnaf(&U256::from_u64(k), WNAF_WIDTH);
+            let mut acc = 0i128;
+            for &d in digits.iter().rev() {
+                acc = acc * 2 + d as i128;
+            }
+            assert_eq!(acc, k as i128, "k={k}");
+            for &d in &digits {
+                assert!(d == 0 || d % 2 != 0, "non-zero wNAF digits are odd");
+                assert!(d.abs() < (1 << (WNAF_WIDTH - 1)));
+            }
         }
     }
 

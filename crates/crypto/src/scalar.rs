@@ -1,14 +1,31 @@
 //! Arithmetic modulo the secp256k1 group order `n`, used for secret keys, nonces and
 //! signature scalars.
+//!
+//! Like the base field, the order is a compile-time constant and multiplication
+//! reduces the 512-bit product with the order's special form: `n = 2^256 − c` with
+//! `c ≈ 2^129`, so `2^256 ≡ c (mod n)` and a handful of fold rounds replace the old
+//! bit-by-bit long division.
 
-use crate::u256::U256;
+use crate::u256::{U256, U512};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The secp256k1 group order
 /// `n = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE BAAEDCE6 AF48A03B BFD25E8C D0364141`.
+const ORDER: U256 = U256::from_limbs([
+    0xBFD2_5E8C_D036_4141,
+    0xBAAE_DCE6_AF48_A03B,
+    0xFFFF_FFFF_FFFF_FFFE,
+    0xFFFF_FFFF_FFFF_FFFF,
+]);
+
+/// `2^256 mod n = 2^256 − n = 0x14551231950B75FC4402DA1732FC9BEBF` (a 129-bit value).
+const NEG_ORDER: U256 = U256::from_limbs([0x402D_A173_2FC9_BEBF, 0x4551_2319_50B7_5FC4, 1, 0]);
+
+/// The secp256k1 group order
+/// `n = FFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE BAAEDCE6 AF48A03B BFD25E8C D0364141`.
 pub fn order() -> U256 {
-    U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141").unwrap()
+    ORDER
 }
 
 /// An integer modulo the secp256k1 group order, kept in canonical reduced form.
@@ -28,9 +45,9 @@ impl Scalar {
 
     /// Constructs a scalar from an integer, reducing modulo `n`.
     pub fn from_u256(v: U256) -> Self {
-        let n = order();
-        if v >= n {
-            Scalar(v.rem(&n))
+        if v >= ORDER {
+            // v < 2^256 < 2n, so a single subtraction reduces fully.
+            Scalar(v.wrapping_sub(&ORDER))
         } else {
             Scalar(v)
         }
@@ -39,6 +56,12 @@ impl Scalar {
     /// Constructs a scalar from a small integer.
     pub fn from_u64(v: u64) -> Self {
         Scalar(U256::from_u64(v))
+    }
+
+    /// Constructs a scalar from a 128-bit integer (always below `n`, no reduction) —
+    /// batch-verification coefficients are sampled at this width.
+    pub fn from_u128(v: u128) -> Self {
+        Scalar(U256::from_u128(v))
     }
 
     /// Constructs a scalar from big-endian bytes, reducing modulo `n`.
@@ -80,21 +103,53 @@ impl Scalar {
         }
     }
 
-    /// Scalar multiplication mod `n` (full 512-bit product reduced by long division;
-    /// the order has no exploitable special form so the generic path is used).
-    pub fn mul(&self, other: &Scalar) -> Scalar {
-        Scalar(self.0.mul_mod(&other.0, &order()))
+    /// Reduces a 512-bit product modulo `n` by folding the high half with
+    /// `2^256 ≡ c (mod n)`: each round replaces `hi·2^256 + lo` with `lo + hi·c`.
+    /// Because `c < 2^130`, the high half collapses below 2^3 after two rounds and
+    /// vanishes on the third — constant work instead of 512-step long division.
+    fn reduce_wide(product: U512) -> Scalar {
+        let mut hi = product.high_u256();
+        let mut lo = product.low_u256();
+        while !hi.is_zero() {
+            let folded = hi.full_mul(&NEG_ORDER);
+            let (new_lo, carry) = lo.overflowing_add(&folded.low_u256());
+            lo = new_lo;
+            hi = folded
+                .high_u256()
+                .wrapping_add(&U256::from_u64(carry as u64));
+        }
+        while lo >= ORDER {
+            lo = lo.wrapping_sub(&ORDER);
+        }
+        Scalar(lo)
     }
 
-    /// Modular exponentiation.
+    /// Scalar multiplication mod `n` via the full 512-bit product and the order's
+    /// special-form fold.
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        Self::reduce_wide(self.0.full_mul(&other.0))
+    }
+
+    /// Scalar squaring (dedicated squaring product, same fold).
+    pub fn square(&self) -> Scalar {
+        Self::reduce_wide(self.0.full_square())
+    }
+
+    /// Modular exponentiation (the running square stops at the exponent's top bit).
     pub fn pow(&self, exp: &U256) -> Scalar {
+        let nbits = exp.bits();
+        if nbits == 0 {
+            return Scalar::one();
+        }
         let mut result = Scalar::one();
         let mut acc = *self;
-        for i in 0..exp.bits() {
+        for i in 0..nbits {
             if exp.bit(i) {
                 result = result.mul(&acc);
             }
-            acc = acc.mul(&acc);
+            if i + 1 < nbits {
+                acc = acc.square();
+            }
         }
         result
     }
@@ -160,6 +215,42 @@ mod tests {
         let inv = a.invert().unwrap();
         assert_eq!(a.mul(&inv), Scalar::one());
         assert!(Scalar::zero().invert().is_none());
+    }
+
+    #[test]
+    fn fast_reduction_matches_generic_long_division() {
+        let samples = [
+            U256::ZERO,
+            U256::ONE,
+            U256::MAX,
+            order().wrapping_sub(&U256::ONE),
+            order().wrapping_add(&U256::ONE),
+            U256::from_hex("deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef")
+                .unwrap(),
+        ];
+        for a in samples {
+            for b in samples {
+                let fast = Scalar::from_u256(a).mul(&Scalar::from_u256(b));
+                let generic = a.rem(&order()).mul_mod(&b.rem(&order()), &order());
+                assert_eq!(fast.as_u256(), generic, "a={a:?} b={b:?}");
+            }
+            let s = Scalar::from_u256(a);
+            assert_eq!(s.square(), s.mul(&s), "a={a:?}");
+        }
+    }
+
+    #[test]
+    fn neg_order_constant_is_two_pow_256_minus_n() {
+        // NEG_ORDER == 2^256 - n  ⇔  n + NEG_ORDER wraps to exactly zero.
+        let (sum, carry) = order().overflowing_add(&NEG_ORDER);
+        assert!(carry);
+        assert_eq!(sum, U256::ZERO);
+    }
+
+    #[test]
+    fn from_u128_is_exact() {
+        let v = 0xdead_beef_cafe_f00d_0123_4567_89ab_cdefu128;
+        assert_eq!(Scalar::from_u128(v).as_u256(), U256::from_u128(v));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub trait Verifier {
 
 /// A serialised signature: either a real 65-byte Schnorr signature or a 32-byte keyed
 /// hash produced by the fast simulation signer.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum SignatureBytes {
     /// Real Schnorr signature.
     Schnorr(#[serde(with = "crate::serde_arrays")] [u8; 65]),

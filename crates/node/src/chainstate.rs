@@ -29,7 +29,7 @@
 
 use ng_chain::amount::Amount;
 use ng_chain::error::TxError;
-use ng_chain::sigcache::SigCache;
+use ng_chain::sigcache::{BatchExecutor, BatchVerifier, SigCache};
 use ng_chain::transaction::{OutPoint, Transaction};
 use ng_chain::undo::BlockUndo;
 use ng_chain::utxo::{TxUndo, UtxoEntry, UtxoSet};
@@ -38,6 +38,7 @@ use ng_core::chain::NgChainState;
 use ng_core::params::NgParams;
 use ng_crypto::sha256::Hash256;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Why a block could not join the ledger view.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -84,7 +85,7 @@ impl SyncDelta {
 }
 
 /// The incremental ledger view. See the module docs.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ChainView {
     /// The block the view currently reflects (always in the chain store).
     anchor: Hash256,
@@ -95,6 +96,23 @@ pub struct ChainView {
     sig_cache: SigCache,
     /// Whether connects fully validate transactions (`NgParams::validate_transactions`).
     validate: bool,
+    /// Optional worker-pool executor for signature batches. Installed by the
+    /// *drivers* (TCP daemon, testnet harness); the engine itself never spawns
+    /// threads, and without an executor every batch verifies inline with identical
+    /// results — SimNet scenarios stay deterministic and single-threaded.
+    executor: Option<Arc<dyn BatchExecutor>>,
+}
+
+impl std::fmt::Debug for ChainView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainView")
+            .field("anchor", &self.anchor)
+            .field("utxo", &self.utxo.len())
+            .field("confirmed", &self.confirmed.len())
+            .field("validate", &self.validate)
+            .field("parallel", &self.executor.is_some())
+            .finish()
+    }
 }
 
 impl ChainView {
@@ -107,6 +125,23 @@ impl ChainView {
             confirmed: HashMap::new(),
             sig_cache: SigCache::default(),
             validate: params.validate_transactions,
+            executor: None,
+        }
+    }
+
+    /// Installs a worker-pool executor: connect-time signature batches split into
+    /// one chunk per worker and verify concurrently. Verification results are
+    /// identical with or without an executor — this is purely a throughput knob,
+    /// which is why it may be installed by drivers without consensus implications.
+    pub fn set_batch_executor(&mut self, executor: Arc<dyn BatchExecutor>) {
+        self.executor = Some(executor);
+    }
+
+    /// A batch verifier wired to this view's executor (inline when none).
+    fn new_batch(&self) -> BatchVerifier {
+        match &self.executor {
+            Some(executor) => BatchVerifier::with_executor(executor.clone()),
+            None => BatchVerifier::new(),
         }
     }
 
@@ -150,7 +185,14 @@ impl ChainView {
     /// otherwise the unchecked fee with zero as the unknown-input fallback.
     pub fn admission_fee(&mut self, tx: &Transaction, height: u64) -> Result<Amount, TxError> {
         if self.validate {
-            self.utxo.validate_cached(tx, height, &mut self.sig_cache)
+            let mut batch = self.new_batch();
+            let fee = self
+                .utxo
+                .validate_deferred(tx, height, &mut self.sig_cache, &mut batch)?;
+            batch
+                .flush(&mut self.sig_cache)
+                .map_err(|failure| TxError::BadSignature(failure.outpoint))?;
+            Ok(fee)
         } else {
             Ok(self.utxo.fee_unchecked(tx).unwrap_or(Amount::ZERO))
         }
@@ -168,8 +210,18 @@ impl ChainView {
         resolve: ng_chain::utxo::InputResolver<'_>,
     ) -> Result<Amount, TxError> {
         debug_assert!(self.validate, "chained admission only runs under validation");
-        self.utxo
-            .validate_chained(tx, height, &mut self.sig_cache, resolve)
+        let mut batch = self.new_batch();
+        let fee = self.utxo.validate_deferred_chained(
+            tx,
+            height,
+            &mut self.sig_cache,
+            resolve,
+            &mut batch,
+        )?;
+        batch
+            .flush(&mut self.sig_cache)
+            .map_err(|failure| TxError::BadSignature(failure.outpoint))?;
+        Ok(fee)
     }
 
     /// Splits candidate transactions into the prefix-valid set (each validated
@@ -299,8 +351,12 @@ impl ChainView {
             }
             NgBlock::Micro(mb) => {
                 if let Some(txs) = mb.payload.transactions() {
+                    // State checks and application run per transaction (so in-block
+                    // chained spends see their parents), while every uncached
+                    // signature is deferred into one block-wide batch.
+                    let mut batch = self.new_batch();
                     for (index, tx) in txs.iter().enumerate() {
-                        if let Err(error) = self.apply_tx(tx, height, &mut undo) {
+                        if let Err(error) = self.apply_tx(tx, height, &mut undo, &mut batch) {
                             self.rollback_partial(&undo);
                             return Err(ConnectError {
                                 block: id,
@@ -308,6 +364,18 @@ impl ChainView {
                                 error,
                             });
                         }
+                    }
+                    if let Err(failure) = batch.flush(&mut self.sig_cache) {
+                        self.rollback_partial(&undo);
+                        let tx_index = txs
+                            .iter()
+                            .position(|tx| tx.txid() == failure.txid)
+                            .expect("failing job came from this block");
+                        return Err(ConnectError {
+                            block: id,
+                            tx_index,
+                            error: TxError::BadSignature(failure.outpoint),
+                        });
                     }
                 }
             }
@@ -323,15 +391,18 @@ impl ChainView {
     }
 
     /// Applies one transaction under the view's validation policy, appending to the
-    /// block undo.
+    /// block undo. Under validation the state-dependent checks run inline and the
+    /// uncached signature checks land in `batch` (flushed once per block).
     fn apply_tx(
         &mut self,
         tx: &Transaction,
         height: u64,
         undo: &mut BlockUndo,
+        batch: &mut BatchVerifier,
     ) -> Result<(), TxError> {
         if self.validate {
-            self.utxo.validate_cached(tx, height, &mut self.sig_cache)?;
+            self.utxo
+                .validate_deferred(tx, height, &mut self.sig_cache, batch)?;
             undo.txs.push(self.utxo.apply(tx, height));
             return Ok(());
         }
@@ -600,6 +671,75 @@ mod tests {
         let delta = view.sync(node.chain_mut()).unwrap();
         assert!(delta.is_empty());
         assert_matches_oracle(&view, &node);
+    }
+
+    #[test]
+    fn batched_connect_rejects_forged_signature_and_rolls_back_exactly() {
+        let mut node = NgNode::new(1, validated_params(), 7);
+        let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+        let kb = node.mine_and_adopt_key_block(1_000);
+        view.sync(node.chain_mut()).unwrap();
+        let clean = view.commitment();
+
+        // A spend signed by the wrong key: every state check passes except the
+        // signature equation, so only the batch flush can catch it.
+        let mut forged = TransactionBuilder::new()
+            .input(OutPoint::new(kb.id(), 0))
+            .output(Amount::from_coins(25), KeyPair::from_id(2).address())
+            .build();
+        forged.sign_all_inputs(&SchnorrSigner::new(*node.keys()));
+        if let Some(ng_crypto::signer::SignatureBytes::Schnorr(bytes)) =
+            &mut forged.inputs[0].signature
+        {
+            bytes[64] ^= 1;
+        }
+        node.produce_microblock(2_000, Payload::Transactions(vec![forged.clone()]))
+            .expect("the producing node does not self-validate payloads");
+        let err = view.sync(node.chain_mut()).unwrap_err();
+        assert_eq!(err.tx_index, 0);
+        assert!(matches!(err.error, TxError::BadSignature(_)));
+        assert_eq!(view.anchor(), kb.id(), "view stays at the last good block");
+        assert_eq!(view.commitment(), clean, "failed batch fully rolled back");
+        let (_, misses) = view.sig_cache_stats();
+        assert!(misses >= 1);
+        assert!(
+            !view.is_confirmed(&forged.txid()),
+            "rejected transaction never confirms"
+        );
+    }
+
+    #[test]
+    fn parallel_executor_matches_inline_verification() {
+        // The same block connects identically with and without a worker pool; the
+        // pool is a throughput knob, never a semantics knob.
+        let run = |executor: Option<std::sync::Arc<dyn BatchExecutor>>| {
+            let mut node = NgNode::new(1, validated_params(), 7);
+            let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+            if let Some(executor) = executor {
+                view.set_batch_executor(executor);
+            }
+            let kb = node.mine_and_adopt_key_block(1_000);
+            view.sync(node.chain_mut()).unwrap();
+            let signer = SchnorrSigner::new(*node.keys());
+            // A chain of spends so the batch holds several distinct signatures.
+            let mut txs = Vec::new();
+            let mut prev = OutPoint::new(kb.id(), 0);
+            for coins in [24u64, 23, 22, 21] {
+                let mut tx = TransactionBuilder::new()
+                    .input(prev)
+                    .output(Amount::from_coins(coins), node.keys().address())
+                    .build();
+                tx.sign_all_inputs(&signer);
+                prev = OutPoint::new(tx.txid(), 0);
+                txs.push(tx);
+            }
+            node.produce_microblock(2_000, Payload::Transactions(txs)).unwrap();
+            view.sync(node.chain_mut()).unwrap();
+            view.commitment()
+        };
+        let inline = run(None);
+        let pooled = run(Some(std::sync::Arc::new(crate::parallel::WorkerPool::new(3))));
+        assert_eq!(inline, pooled);
     }
 
     #[test]

@@ -213,8 +213,12 @@ pub fn spawn(config: NodeConfig) -> std::io::Result<NodeHandle> {
     });
 
     let id = config.id;
+    // Real-thread driver: fan connect-time signature batches across the shared
+    // worker pool. The engine stays pure — the pool only changes wall-clock time.
+    let mut engine = Engine::new(config.engine());
+    engine.set_batch_executor(crate::parallel::shared_pool());
     let daemon = Daemon {
-        engine: Engine::new(config.engine()),
+        engine,
         endpoint,
         counters: Arc::clone(&counters),
         deadline_ms: None,

@@ -281,6 +281,18 @@ impl Engine {
         }
     }
 
+    /// Installs a signature [`ng_chain::sigcache::BatchExecutor`] on the ledger
+    /// view. Drivers with real threads (the TCP daemon, the testnet harness) call
+    /// this with a worker pool; verification *results* are identical either way, so
+    /// the engine's pure input→effect contract is unaffected — only wall-clock
+    /// changes. SimNet leaves it unset to stay single-threaded.
+    pub fn set_batch_executor(
+        &mut self,
+        executor: std::sync::Arc<dyn ng_chain::sigcache::BatchExecutor>,
+    ) {
+        self.view.set_batch_executor(executor);
+    }
+
     /// Feeds one input to the engine and returns the effects to execute, in order.
     pub fn handle(&mut self, now_ms: u64, input: Input) -> Vec<Effect> {
         let mut effects = Vec::new();

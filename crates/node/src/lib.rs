@@ -25,6 +25,10 @@
 //!   and the [`report::NodeSnapshot`] convergence view.
 //! * [`ledger`] — the from-genesis UTXO replay, kept as the differential-testing
 //!   oracle the incremental chainstate is pinned against.
+//! * [`parallel`] — a crossbeam-channel worker pool; the TCP drivers install it as
+//!   the chainstate's signature [`ng_chain::sigcache::BatchExecutor`], fanning a
+//!   connecting block's signature batch across cores (SimNet stays inline and
+//!   deterministic).
 //! * [`testnet`] — an in-process loopback network harness over real daemons (N
 //!   sockets on ephemeral ports), also available as the `ng-testnet` binary —
 //!   which can drive either the TCP or the SimNet backend.
@@ -36,6 +40,7 @@ pub mod chainstate;
 pub mod daemon;
 pub mod engine;
 pub mod ledger;
+pub mod parallel;
 pub mod report;
 pub mod simnet;
 pub mod testnet;
@@ -44,6 +49,7 @@ pub use chainstate::{ChainView, ConnectError, SyncDelta};
 pub use daemon::{now_ms, spawn, NodeConfig, NodeHandle};
 pub use engine::{Effect, Engine, EngineConfig, Input, ReportEvent};
 pub use ledger::rebuild_utxo;
+pub use parallel::WorkerPool;
 pub use report::NodeSnapshot;
 pub use simnet::{SimConfig, SimNet};
 pub use testnet::{testnet_params, ConvergenceReport, Testnet};

@@ -1,0 +1,192 @@
+//! A small fixed-size worker pool fanning independent CPU-bound jobs across cores.
+//!
+//! Built only on the vendored `crossbeam` channels and `std::thread`. The pool's one
+//! protocol-visible role is signature verification: it implements
+//! [`ng_chain::sigcache::BatchExecutor`], so a [`ng_chain::sigcache::BatchVerifier`]
+//! installed with it splits a connecting block's signature batch into one chunk per
+//! worker and verifies the chunks concurrently.
+//!
+//! The pool lives in the **drivers** (the TCP daemon and the in-process testnet
+//! harness construct one and hand it to the engine's chainstate); the engine itself
+//! stays pure — it never spawns threads, and with no pool installed every batch
+//! verifies inline on the calling thread with identical results. SimNet runs keep
+//! the inline path so deterministic scenarios stay single-threaded.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ng_chain::sigcache::BatchExecutor;
+use ng_crypto::schnorr::{self, BatchEntry};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A boxed job executed by one worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size worker pool over a shared MPMC job queue.
+pub struct WorkerPool {
+    sender: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with one worker per available core (at least one).
+    pub fn with_default_size() -> Self {
+        Self::new(available_workers())
+    }
+
+    /// Spawns a pool with exactly `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("ng-worker-{i}"))
+                    .spawn(move || {
+                        // The queue closing (all senders dropped) is the shutdown
+                        // signal.
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawning a worker thread succeeds")
+            })
+            .collect();
+        WorkerPool {
+            sender,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every task on the pool and returns their results in input order,
+    /// blocking until all complete. Tasks must be independent; they execute in
+    /// arbitrary order across workers.
+    pub fn run_all<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        let (result_tx, result_rx) = unbounded::<(usize, T)>();
+        for (index, task) in tasks.into_iter().enumerate() {
+            let tx = result_tx.clone();
+            let job: Job = Box::new(move || {
+                let _ = tx.send((index, task()));
+            });
+            assert!(
+                self.sender.send(job).is_ok(),
+                "worker queue is open while the pool lives"
+            );
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (index, value) = result_rx.recv().expect("every task reports a result");
+            slots[index] = Some(value);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Replace the sender with a dead channel so workers see a closed queue.
+        let (dead, _) = unbounded();
+        self.sender = dead;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl BatchExecutor for WorkerPool {
+    fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn verify_chunks(&self, chunks: Vec<Vec<BatchEntry>>) -> Vec<bool> {
+        self.run_all(
+            chunks
+                .into_iter()
+                .map(|chunk| move || schnorr::verify_batch(&chunk).is_ok())
+                .collect(),
+        )
+    }
+}
+
+/// One worker per available core; falls back to 1 when parallelism is unknown.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A process-wide shared pool for drivers that want one without owning its
+/// lifecycle (the TCP daemon and testnet harness). Built lazily on first use.
+pub fn shared_pool() -> Arc<WorkerPool> {
+    static POOL: std::sync::OnceLock<Arc<WorkerPool>> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| Arc::new(WorkerPool::with_default_size()))
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ng_crypto::keys::KeyPair;
+    use ng_crypto::sha256::sha256;
+
+    #[test]
+    fn run_all_preserves_input_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..64u64).map(|i| move || i * i).collect();
+        let results = pool.run_all(tasks);
+        assert_eq!(results, (0..64u64).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(pool.workers(), 4);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let pool = WorkerPool::new(2);
+        let results: Vec<u32> = pool.run_all(Vec::<fn() -> u32>::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn verify_chunks_verdicts_match_chunk_validity() {
+        let pool = WorkerPool::new(3);
+        let entry = |id: u64| {
+            let kp = KeyPair::from_id(id);
+            let msg = sha256(&id.to_le_bytes());
+            (kp.public, msg, schnorr::sign(&kp.secret, &msg))
+        };
+        let good: Vec<BatchEntry> = (0..4).map(entry).collect();
+        let mut bad = good.clone();
+        bad[2].1 = sha256(b"tampered");
+        let verdicts = pool.verify_chunks(vec![good.clone(), bad, good]);
+        assert_eq!(verdicts, vec![true, false, true]);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(2);
+        let results = pool.run_all((0..8u64).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(results.len(), 8);
+        drop(pool); // must not hang
+    }
+}

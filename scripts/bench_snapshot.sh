@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
-# Snapshot the incremental chainstate's hot-path latencies into BENCH_ledger.json
-# so the perf trajectory is tracked in-repo from PR 4 on.
+# Snapshot the hot-path latencies (crypto backend + incremental chainstate) into
+# BENCH_ledger.json so the perf trajectory is tracked in-repo from PR 4 on.
 #
 #   scripts/bench_snapshot.sh              # full run (200 iterations) → BENCH_ledger.json
-#   scripts/bench_snapshot.sh --smoke      # tiny run for CI: verifies the tool works,
-#                                          # writes to a temp file, never touches the
-#                                          # committed snapshot
+#   scripts/bench_snapshot.sh --smoke      # tiny run for CI: verifies the tool works
+#                                          # AND asserts the crypto fast paths have not
+#                                          # regressed (--assert-fast); writes to a temp
+#                                          # file, never touches the committed snapshot
 #
-# The emitted JSON (schema bench_ledger/v1) holds medians of:
+# The emitted JSON (schema bench_ledger/v2) holds medians of:
+#   * schnorr_sign_us / schnorr_verify_us — one Schnorr signing (fixed-base comb) and
+#     one verification (Strauss–Shamir double-scalar multiplication)
+#   * verify_batch_256_us — 256 signatures checked as one random-linear-combination
+#     batch (a single Pippenger multi-scalar pass)
 #   * microblock_cycle_4tx_us.chain_16 / .chain_1024 — one full leader cycle
 #     (4 tx submits + signed microblock + ledger roll) at two chain depths; their
 #     ratio (depth_ratio ≈ 1.0) is the flatness claim of the incremental chainstate
+#   * microblock_cycle_256tx_us — producing and fully validating a 256-signature
+#     microblock through the batched + worker-pool connect
+#   * connect_256tx — the batched+parallel connect vs sequential per-signature
+#     verification, with the measured speedup and the worker count it used
 #   * reorg_depth8_us — an 8-block undo-record rewind + rival-epoch connect
 #   * rebuild_from_genesis_1024_us — the old per-tip-change replay cost, for contrast
 
@@ -19,13 +28,15 @@ cd "$(dirname "$0")/.."
 
 OUT="BENCH_ledger.json"
 ITERS=200
+EXTRA=()
 if [[ "${1:-}" == "--smoke" ]]; then
     OUT="$(mktemp /tmp/bench_ledger.XXXXXX.json)"
     ITERS=5
+    EXTRA+=("--assert-fast")
 fi
 
-echo "==> cargo run --release -p ng_bench --bin ledger_snapshot -- --iters ${ITERS}"
-cargo run --release -q -p ng_bench --bin ledger_snapshot -- --iters "${ITERS}" > "${OUT}"
+echo "==> cargo run --release -p ng_bench --bin ledger_snapshot -- --iters ${ITERS} ${EXTRA[*]:-}"
+cargo run --release -q -p ng_bench --bin ledger_snapshot -- --iters "${ITERS}" ${EXTRA[@]:+"${EXTRA[@]}"} > "${OUT}"
 
 echo "==> wrote ${OUT}:"
 cat "${OUT}"

@@ -41,6 +41,9 @@ cargo test -q -p ng_node --test simnet_scenarios
 echo "==> chainstate differential suite (incremental view ≡ rebuild-from-genesis oracle)"
 cargo test -q -p ng_node --test chainstate_equivalence
 
+echo "==> crypto differential suite (comb/wNAF/Strauss/Pippenger/batch ≡ double-and-add oracle)"
+cargo test -q -p ng_crypto --release --test scalar_mul_oracle
+
 echo "==> cargo test -p ng_node -q --test testnet_convergence (loopback sockets, 300s budget)"
 timeout 300 cargo test -q -p ng_node --test testnet_convergence
 
@@ -50,7 +53,7 @@ timeout 300 cargo test -q -p ng_attacks
 echo "==> cargo build --workspace --all-targets (benches, bins, examples)"
 cargo build --workspace --all-targets
 
-echo "==> bench snapshot smoke (ledger_snapshot emits valid JSON; committed BENCH_ledger.json untouched)"
+echo "==> bench snapshot smoke (ledger_snapshot emits valid JSON and --assert-fast pins the crypto fast paths; committed BENCH_ledger.json untouched)"
 timeout 300 ./scripts/bench_snapshot.sh --smoke
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
