@@ -1,12 +1,16 @@
 //! Emits a machine-readable snapshot of the hot-path latencies as JSON on stdout:
 //! the incremental chainstate's microblock-cycle cost, the crypto backend's
-//! sign/verify/batch-verify latencies, and the 256-transaction connect comparison
-//! (batched + worker-pool verification vs sequential per-signature verification).
+//! sign/verify/batch-verify latencies, the 256-transaction connect comparison
+//! (batched + worker-pool verification vs sequential per-signature verification),
+//! and the durable-store restart comparison (`restart_to_tip_us` — reopen a
+//! datadir from its newest UTXO snapshot — against `rebuild_from_genesis_1024_us`,
+//! the same reopen with checkpoints disabled so recovery replays every block).
 //!
 //! `scripts/bench_snapshot.sh` redirects this into `BENCH_ledger.json` (schema
-//! `bench_ledger/v2`) so the repository tracks the perf trajectory; CI runs a
+//! `bench_ledger/v3`) so the repository tracks the perf trajectory; CI runs a
 //! small-iteration smoke invocation with `--assert-fast`, which fails loudly if the
-//! crypto path regresses towards the pre-comb double-and-add costs.
+//! crypto path regresses towards the pre-comb double-and-add costs or the restart
+//! path degrades towards a full replay.
 //!
 //! Usage: `ledger_snapshot [--iters N] [--assert-fast]` (default 200 iterations).
 
@@ -132,8 +136,11 @@ fn reorg_us(depth: u64, iters: usize) -> f64 {
     median(samples)
 }
 
-/// Median microseconds for one from-genesis replay (the old per-tip-change cost).
-fn rebuild_us(depth: u64, iters: usize) -> f64 {
+/// Median microseconds for one in-memory from-genesis ledger replay over an
+/// already-indexed chain (the old per-tip-change cost that the incremental
+/// chainstate removed). This is *not* a cold restart — the blocks are already
+/// decoded and connected in memory; only the UTXO application is replayed.
+fn ledger_replay_us(depth: u64, iters: usize) -> f64 {
     let (engine, _) = engine_with_chain(depth);
     let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
@@ -198,13 +205,17 @@ fn verify_batch_256_us(iters: usize) -> f64 {
 
 /// The 256-tx connect comparison: median microseconds to fully validate and apply
 /// the block's transactions (a) sequentially, one Schnorr verification per
-/// signature, exactly what connect did before the batch verifier, and (b) through
-/// the batched chainstate connect with a worker-pool executor. Also returns the
-/// batched full-cycle cost (leader signing included) and the worker count.
-fn connect_256tx(iters: usize) -> (f64, f64, f64, usize) {
+/// signature, exactly what connect did before the batch verifier, (b) through the
+/// batched chainstate connect with inline (single-core) batch verification, and
+/// (c) the same batched connect with a worker-pool executor. Also returns the
+/// batched full-cycle cost (leader signing included) and the worker count — on a
+/// single-core machine (c) degenerates to (b) and `workers` records 1, which is
+/// why the `--assert-fast` parallel checks are conditional on `workers > 1`.
+fn connect_256tx(iters: usize) -> (f64, f64, f64, f64, usize) {
     let pool = Arc::new(WorkerPool::with_default_size());
     let workers = pool.workers();
     let mut seq_samples = Vec::with_capacity(iters);
+    let mut inline_samples = Vec::with_capacity(iters);
     let mut batch_samples = Vec::with_capacity(iters);
     let mut cycle_samples = Vec::with_capacity(iters);
     for _ in 0..iters {
@@ -221,10 +232,11 @@ fn connect_256tx(iters: usize) -> (f64, f64, f64, usize) {
         black_box(scratch.rolling_commitment());
         seq_samples.push(t.elapsed().as_secs_f64() * 1e6);
 
-        // (b) batched + parallel connect through the chainstate (fresh view and
-        // empty signature cache: every signature is really verified).
-        let mut batched_view = view.clone();
-        batched_view.set_batch_executor(pool.clone());
+        // One 256-tx microblock, connected by two fresh views (empty signature
+        // caches: every signature is really verified each time).
+        let mut inline_view = view.clone();
+        let mut pooled_view = view.clone();
+        pooled_view.set_batch_executor(pool.clone());
         let t = Instant::now();
         let micro = node
             .produce_microblock(
@@ -233,8 +245,17 @@ fn connect_256tx(iters: usize) -> (f64, f64, f64, usize) {
             )
             .expect("256-tx microblock");
         let produced_at = t.elapsed().as_secs_f64() * 1e6;
+
+        // (b) batched connect, single-core inline verification.
         let t = Instant::now();
-        batched_view
+        inline_view
+            .sync(node.chain_mut())
+            .expect("inline batched connect succeeds");
+        inline_samples.push(t.elapsed().as_secs_f64() * 1e6);
+
+        // (c) batched connect fanned across the worker pool.
+        let t = Instant::now();
+        pooled_view
             .sync(node.chain_mut())
             .expect("batched connect succeeds");
         let connect = t.elapsed().as_secs_f64() * 1e6;
@@ -244,10 +265,94 @@ fn connect_256tx(iters: usize) -> (f64, f64, f64, usize) {
     }
     (
         median(seq_samples),
+        median(inline_samples),
         median(batch_samples),
         median(cycle_samples),
         workers,
     )
+}
+
+/// Median microseconds to reopen a durable datadir and restore a node to its
+/// pre-shutdown tip at the given chain length — the restart path the snapshot
+/// checkpoints exist for: recovery scans the block index, loads the newest
+/// usable UTXO snapshot, and replays only the O(finality depth) blocks above it.
+fn restart_to_tip_us(depth: u64, iters: usize) -> f64 {
+    durable_reopen_us(depth, iters, 8)
+}
+
+/// Median microseconds for a cold from-genesis rebuild: the same durable datadir
+/// and the same reopen path, but with the checkpoint cadence pushed past the
+/// chain length so no snapshot is ever written. Recovery finds no root, decodes
+/// every block frame, and replays the whole chain through the ledger — what
+/// every restart cost before snapshots existed, and the baseline
+/// `restart_to_tip_us` is measured against.
+fn rebuild_from_genesis_us(depth: u64, iters: usize) -> f64 {
+    durable_reopen_us(depth, iters, depth * 4)
+}
+
+fn durable_reopen_us(depth: u64, iters: usize, checkpoint_interval: u64) -> f64 {
+    use ng_storage::{FileStorage, StorageConfig};
+
+    let params = NgParams {
+        finality_depth: 16,
+        checkpoint_interval,
+        ..unchecked_params()
+    };
+    let storage_config = StorageConfig {
+        finality_depth: params.finality_depth,
+        fsync: false,
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "ng-bench-restart-{}-ci{}",
+        std::process::id(),
+        checkpoint_interval
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch datadir");
+
+    // Build the durable chain once: a key block every 8 heights (snapshots
+    // anchor at key blocks, so the checkpoint cadence can be no finer than the
+    // epoch length), single-tx microblocks in between.
+    {
+        let (storage, recovery) =
+            FileStorage::open(&dir, storage_config).expect("open scratch datadir");
+        let mut engine = Engine::restore(EngineConfig::new(1, params), recovery);
+        engine.set_storage(Box::new(storage));
+        let pool = tx_pool(depth);
+        let mut now = 1_000u64;
+        for height in 0..depth {
+            now += 10;
+            if height % 8 == 0 {
+                engine.handle(now, Input::MineKeyBlock);
+            } else {
+                engine.handle(
+                    now,
+                    Input::SubmitTx(Box::new(pool[height as usize].clone())),
+                );
+                engine.handle(
+                    now,
+                    Input::ProduceMicroblock {
+                        require_transactions: true,
+                    },
+                );
+            }
+        }
+        assert_eq!(engine.height(), depth, "durable chain built to depth");
+    }
+
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        let (storage, recovery) =
+            FileStorage::open(&dir, storage_config).expect("reopen scratch datadir");
+        let mut engine = Engine::restore(EngineConfig::new(1, params), recovery);
+        engine.set_storage(Box::new(storage));
+        black_box((engine.tip(), engine.utxo().len()));
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(engine.height(), depth, "recovered to the pre-shutdown tip");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    median(samples)
 }
 
 fn median(mut samples: Vec<f64>) -> f64 {
@@ -283,12 +388,16 @@ fn main() {
     let cycle_16 = cycle_us(16, iters);
     let cycle_1024 = cycle_us(1024, iters);
     let reorg_8 = reorg_us(8, (iters / 10).max(3));
-    let rebuild_1024 = rebuild_us(1024, (iters / 10).max(3));
-    let (seq_256, batched_256, cycle_256, workers) = connect_256tx((iters / 20).clamp(3, 10));
+    let replay_1024 = ledger_replay_us(1024, (iters / 10).max(3));
+    let rebuild_1024 = rebuild_from_genesis_us(1024, (iters / 10).clamp(3, 20));
+    let restart_1024 = restart_to_tip_us(1024, (iters / 10).clamp(3, 20));
+    let restart_speedup = rebuild_1024 / restart_1024.max(f64::EPSILON);
+    let (seq_256, inline_256, batched_256, cycle_256, workers) =
+        connect_256tx((iters / 20).clamp(3, 10));
     let speedup = seq_256 / batched_256.max(f64::EPSILON);
 
     println!("{{");
-    println!("  \"schema\": \"bench_ledger/v2\",");
+    println!("  \"schema\": \"bench_ledger/v3\",");
     println!("  \"iters\": {iters},");
     println!("  \"schnorr_sign_us\": {sign:.1},");
     println!("  \"schnorr_verify_us\": {verify:.1},");
@@ -304,12 +413,16 @@ fn main() {
     println!("  \"microblock_cycle_256tx_us\": {cycle_256:.1},");
     println!("  \"connect_256tx\": {{");
     println!("    \"sequential_us\": {seq_256:.1},");
+    println!("    \"batched_inline_us\": {inline_256:.1},");
     println!("    \"batched_parallel_us\": {batched_256:.1},");
     println!("    \"speedup\": {speedup:.2},");
     println!("    \"workers\": {workers}");
     println!("  }},");
     println!("  \"reorg_depth8_us\": {reorg_8:.1},");
-    println!("  \"rebuild_from_genesis_1024_us\": {rebuild_1024:.1}");
+    println!("  \"ledger_replay_from_genesis_1024_us\": {replay_1024:.1},");
+    println!("  \"rebuild_from_genesis_1024_us\": {rebuild_1024:.1},");
+    println!("  \"restart_to_tip_us\": {restart_1024:.1},");
+    println!("  \"restart_speedup_vs_rebuild\": {restart_speedup:.1}");
     println!("}}");
 
     if assert_fast {
@@ -328,8 +441,36 @@ fn main() {
                 "verify_batch_256_us {batch_256:.1} is no better than sequential"
             ));
         }
-        if speedup < 1.5 {
-            failures.push(format!("connect_256tx speedup {speedup:.2} < 1.5"));
+        if speedup < 1.0 {
+            failures.push(format!(
+                "connect_256tx speedup {speedup:.2} < 1.0: batched connect lost to sequential"
+            ));
+        }
+        // The parallel-path expectations only hold when a pool actually has more
+        // than one worker — on a single-core machine `workers` records 1 and the
+        // pooled connect legitimately equals the inline one.
+        if workers > 1 {
+            if speedup < 1.5 {
+                failures.push(format!(
+                    "connect_256tx speedup {speedup:.2} < 1.5 with {workers} workers"
+                ));
+            }
+            if batched_256 > inline_256 {
+                failures.push(format!(
+                    "batched_parallel_us {batched_256:.1} > batched_inline_us {inline_256:.1} \
+                     with {workers} workers: the pool must not lose to single-core batching"
+                ));
+            }
+        }
+        // The recorded BENCH_ledger.json numbers show >=10x; CI asserts at 5x so
+        // a cold cache or a loaded machine does not flake the build while a real
+        // regression (losing the snapshot root, decoding the full chain) still
+        // fails loudly.
+        if restart_1024 > rebuild_1024 / 5.0 {
+            failures.push(format!(
+                "restart_to_tip_us {restart_1024:.1} is not at least 5x faster than \
+                 rebuild_from_genesis_1024_us {rebuild_1024:.1}"
+            ));
         }
         if !failures.is_empty() {
             eprintln!("--assert-fast violations:");

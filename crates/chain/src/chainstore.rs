@@ -246,6 +246,39 @@ impl<B: BlockLike> ChainStore<B> {
         }
     }
 
+    /// Creates a store rooted at an arbitrary block with pre-seeded height and total
+    /// work — the restart path: a durable backend restores the tree from its newest
+    /// finality checkpoint instead of genesis, so reopening a deep chain costs
+    /// O(finality depth), not O(chain length). The root plays the structural role of
+    /// genesis (it cannot be invalidated and every path query stops there).
+    pub fn with_root(root_block: B, height: u64, total_work: Work, rule: ForkRule, tie: TieBreak) -> Self {
+        let id = root_block.id();
+        let mut blocks = HashMap::new();
+        blocks.insert(
+            id,
+            StoredBlock {
+                block: root_block,
+                height,
+                total_work,
+                arrival: 0,
+            },
+        );
+        let mut subtree_work = HashMap::new();
+        subtree_work.insert(id, total_work);
+        ChainStore {
+            blocks,
+            children: HashMap::new(),
+            orphans: BoundedParentBuffer::new(DEFAULT_ORPHAN_CAP),
+            undo: HashMap::new(),
+            subtree_work,
+            genesis: id,
+            tip: id,
+            rule,
+            tie,
+            arrival_counter: 1,
+        }
+    }
+
     /// Overrides the orphan-buffer bound (tests use tiny caps).
     pub fn set_orphan_cap(&mut self, cap: usize) {
         self.orphans.set_cap(cap);
@@ -315,6 +348,14 @@ impl<B: BlockLike> ChainStore<B> {
     /// it, and re-evaluates the main chain.
     pub fn insert(&mut self, block: B) -> InsertOutcome {
         let id = block.id();
+        self.insert_with_id(block, id)
+    }
+
+    /// [`Self::insert`] with the block id already computed. Ids are a double
+    /// SHA-256 of the serialized header, so callers that already hold the id (the
+    /// validation pipeline, restart replay) shave a hash per insert by passing it
+    /// down instead of letting the store recompute it.
+    pub fn insert_with_id(&mut self, block: B, id: Hash256) -> InsertOutcome {
         if self.blocks.contains_key(&id) {
             return InsertOutcome::Duplicate;
         }
@@ -328,7 +369,7 @@ impl<B: BlockLike> ChainStore<B> {
 
         let old_tip = self.tip;
         let mut connected_ids = Vec::new();
-        self.connect(block, &mut connected_ids);
+        self.connect(block, id, &mut connected_ids);
         // Connect any orphans now unblocked (repeatedly, since orphans may chain).
         let mut progress = true;
         while progress {
@@ -344,8 +385,9 @@ impl<B: BlockLike> ChainStore<B> {
             ready.sort_unstable();
             for parent in ready {
                 for child in self.orphans.take(&parent) {
-                    if !self.blocks.contains_key(&child.id()) {
-                        self.connect(child, &mut connected_ids);
+                    let child_id = child.id();
+                    if !self.blocks.contains_key(&child_id) {
+                        self.connect(child, child_id, &mut connected_ids);
                         progress = true;
                     }
                 }
@@ -374,8 +416,7 @@ impl<B: BlockLike> ChainStore<B> {
         }
     }
 
-    fn connect(&mut self, block: B, connected: &mut Vec<Hash256>) {
-        let id = block.id();
+    fn connect(&mut self, block: B, id: Hash256, connected: &mut Vec<Hash256>) {
         let parent = block.parent();
         let parent_meta = &self.blocks[&parent];
         let height = parent_meta.height + 1;
@@ -424,9 +465,31 @@ impl<B: BlockLike> ChainStore<B> {
         self.undo.get(id)
     }
 
-    /// Removes and returns a block's undo record (consumed on disconnect).
+    /// Removes and returns a block's undo record. Callers rewinding the ledger must
+    /// only consume the record **after** the disconnect has fully succeeded — peek
+    /// with [`Self::undo_of`] first, roll back, then take (an aborted rollback that
+    /// already consumed its undo would leave the block unrewindable).
     pub fn take_undo(&mut self, id: &Hash256) -> Option<BlockUndo> {
         self.undo.remove(id)
+    }
+
+    /// Number of retained undo records (bounded by [`Self::prune_undo`]).
+    pub fn undo_count(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Drops undo records of blocks below `keep_from_height`. Once a block is
+    /// final it can never be disconnected, so its undo record is dead weight; the
+    /// node calls this as finality advances, keeping the map at O(finality depth)
+    /// instead of O(chain length). Returns how many records were pruned. Each call
+    /// scans the (already bounded) map, so the steady-state cost per block is
+    /// O(finality depth) hash lookups, never O(chain length).
+    pub fn prune_undo(&mut self, keep_from_height: u64) -> usize {
+        let before = self.undo.len();
+        let blocks = &self.blocks;
+        self.undo
+            .retain(|id, _| blocks.get(id).is_none_or(|b| b.height >= keep_from_height));
+        before - self.undo.len()
     }
 
     /// Removes a block and its entire descendant subtree from the tree — the
@@ -1035,6 +1098,55 @@ mod tests {
         cs.set_undo(a.id(), crate::undo::BlockUndo::default());
         cs.invalidate(&a.id());
         assert!(cs.undo_of(&a.id()).is_none(), "invalidate drops undo records");
+    }
+
+    #[test]
+    fn undo_pruning_keeps_only_records_above_the_floor() {
+        let (mut cs, gid) = store(ForkRule::HeaviestChain);
+        let mut parent = gid;
+        let mut ids = Vec::new();
+        for i in 0..100 {
+            let blk = TestBlock::new(&format!("b{i}"), parent, 1);
+            parent = blk.id();
+            ids.push(blk.id());
+            cs.insert(blk);
+            cs.set_undo(parent, crate::undo::BlockUndo::default());
+        }
+        assert_eq!(cs.undo_count(), 100);
+        // Keep only records at height ≥ 91 (the last 10 blocks; heights are 1-based).
+        let pruned = cs.prune_undo(91);
+        assert_eq!(pruned, 90);
+        assert_eq!(cs.undo_count(), 10);
+        assert!(cs.undo_of(&ids[89]).is_none(), "height 90 pruned");
+        assert!(cs.undo_of(&ids[90]).is_some(), "height 91 kept");
+        assert_eq!(cs.prune_undo(91), 0, "idempotent");
+    }
+
+    #[test]
+    fn rooted_store_anchors_height_work_and_path_queries() {
+        let root = TestBlock::new("root", sha256(b"pruned-away-parent"), 7);
+        let rid = root.id();
+        let mut cs = ChainStore::with_root(
+            root,
+            500,
+            Work(ng_crypto::u256::U256::from_u64(900)),
+            ForkRule::HeaviestChain,
+            TieBreak::FirstSeen,
+        );
+        assert_eq!(cs.genesis(), rid);
+        assert_eq!(cs.tip_height(), 500);
+        let a = TestBlock::new("a", rid, 1);
+        cs.insert(a.clone());
+        assert_eq!(cs.tip(), a.id());
+        assert_eq!(cs.tip_height(), 501);
+        assert_eq!(
+            cs.tip_work(),
+            Work(ng_crypto::u256::U256::from_u64(901)),
+            "total work continues from the seeded root"
+        );
+        assert_eq!(cs.path_to_genesis(&a.id()), vec![a.id(), rid]);
+        assert_eq!(cs.ancestor_at(&a.id(), 500), Some(rid));
+        assert!(cs.invalidate(&rid).is_empty(), "the root is the new genesis");
     }
 
     #[test]

@@ -110,6 +110,15 @@ pub enum BlockError {
     /// failed full validation when it connected to the ledger — and is refused
     /// without revalidation.
     KnownInvalid(Hash256),
+    /// The block forks the chain below the newest finality checkpoint. Finalized
+    /// history can never be rewound, so a branch rooted there is refused no matter
+    /// how much work it carries (the long-range-rewrite defence).
+    FinalityViolation {
+        /// Height at which the offending branch attaches.
+        fork_height: u64,
+        /// Height of the newest finalized block.
+        finalized_height: u64,
+    },
     /// Generic structural problem.
     Malformed(&'static str),
 }
@@ -135,6 +144,13 @@ impl fmt::Display for BlockError {
             BlockError::BadLeaderSignature => write!(f, "bad leader signature"),
             BlockError::MicroblockRateExceeded => write!(f, "microblock rate exceeded"),
             BlockError::KnownInvalid(h) => write!(f, "block {h} is known invalid"),
+            BlockError::FinalityViolation {
+                fork_height,
+                finalized_height,
+            } => write!(
+                f,
+                "block forks at height {fork_height}, below the finality checkpoint at {finalized_height}"
+            ),
             BlockError::Malformed(reason) => write!(f, "malformed block: {reason}"),
         }
     }

@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// overwrite an existing outpoint; a validated connect never does). Key-block
 /// coinbase outputs, which have no carrying transaction, are listed in `coinbase`
 /// and removed last.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlockUndo {
     /// Per-transaction undo records, in application order.
     pub txs: Vec<TxUndo>,

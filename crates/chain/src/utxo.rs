@@ -45,7 +45,7 @@ pub struct UtxoSet {
 pub type InputResolver<'a> = &'a dyn Fn(&OutPoint) -> Option<TxOutput>;
 
 /// Undo information for one applied transaction, sufficient to rewind it.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TxUndo {
     /// The transaction id (whose created outputs must be removed on rewind).
     pub txid: ng_crypto::sha256::Hash256,
@@ -67,6 +67,23 @@ impl UtxoSet {
             entries: HashMap::new(),
             coinbase_maturity: maturity,
             rolling: Hash256::ZERO,
+        }
+    }
+
+    /// Reassembles a set from snapshot parts, trusting the recorded rolling
+    /// commitment instead of re-deriving one entry digest per output — the restart
+    /// path, where O(set size) hashing would defeat the point of snapshotting.
+    /// Callers that need the integrity check compare [`Self::commitment`] (or a
+    /// recomputed rolling commitment) against an external record.
+    pub fn from_parts(
+        maturity: u64,
+        entries: HashMap<OutPoint, UtxoEntry>,
+        rolling: Hash256,
+    ) -> Self {
+        UtxoSet {
+            entries,
+            coinbase_maturity: maturity,
+            rolling,
         }
     }
 
@@ -151,6 +168,13 @@ impl UtxoSet {
             .collect();
         found.sort_by_key(|(op, _)| *op);
         found
+    }
+
+    /// Iterates over every unspent output in arbitrary (hash-map) order. Durable
+    /// backends serialise snapshots from this; consumers needing a canonical order
+    /// must sort by outpoint themselves, as [`Self::commitment`] does.
+    pub fn iter(&self) -> impl Iterator<Item = (&OutPoint, &UtxoEntry)> {
+        self.entries.iter()
     }
 
     /// Total value of every unspent output (supply conservation checks).

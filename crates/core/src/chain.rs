@@ -63,6 +63,15 @@ pub struct NgChainState {
     /// Leaders already hit by an accepted poison transaction, per epoch key block
     /// ("Only one poison transaction can be placed per cheater", §4.5).
     poisoned: HashSet<(u64, Hash256)>,
+    /// Newest finality checkpoint (height, block id): blocks forking the chain at or
+    /// below this height are refused outright, and undo records below it can be
+    /// pruned.
+    finalized: Option<(u64, Hash256)>,
+    /// Ids of blocks accepted into the store since the last drain, in connection
+    /// order — the durable backend's feed. Only populated when tracking is enabled
+    /// (a node without persistence must not accumulate an unbounded list).
+    newly_stored: Vec<Hash256>,
+    track_stored: bool,
 }
 
 /// Digest binding everything a cached microblock-signature verdict depends on: the
@@ -124,7 +133,153 @@ impl NgChainState {
             microblock_sigs: SigCache::new(4096),
             epoch_key,
             poisoned: HashSet::new(),
+            finalized: None,
+            newly_stored: Vec::new(),
+            track_stored: false,
         }
+    }
+
+    /// Recreates a chain state rooted at a restored finality checkpoint instead of
+    /// genesis — the restart path. The root must be a **key block** so epoch context
+    /// (the leader entitled to sign microblocks above it, and fee attribution for
+    /// the epoch it opens) is self-contained; restoring mid-epoch would leave
+    /// microblock validation without a resolvable leader. `height` and `total_work`
+    /// are the root's stored chain position. Restored descendants are then replayed
+    /// through [`Self::restore_insert`] in their original connection order.
+    pub fn from_root(
+        params: NgParams,
+        tie_break_seed: u64,
+        root: KeyBlock,
+        height: u64,
+        total_work: ng_crypto::pow::Work,
+    ) -> Self {
+        let root_block = NgBlock::Key(root);
+        let root_id = root_block.id();
+        let mut epoch_key = HashMap::new();
+        epoch_key.insert(root_id, root_id);
+        NgChainState {
+            params,
+            store: ChainStore::with_root(
+                root_block,
+                height,
+                total_work,
+                ForkRule::HeaviestChain,
+                TieBreak::Random {
+                    seed: tie_break_seed,
+                },
+            ),
+            pending: BoundedParentBuffer::new(MAX_PENDING_BLOCKS),
+            invalid: BoundedIdSet::new(1 << 16),
+            microblock_sigs: SigCache::new(4096),
+            epoch_key,
+            poisoned: HashSet::new(),
+            finalized: Some((height, root_id)),
+            newly_stored: Vec::new(),
+            track_stored: false,
+        }
+    }
+
+    /// Inserts a block that was already fully validated before it was made durable,
+    /// skipping signature and proof-of-work re-verification — the restart replay
+    /// path, where re-checking a long chain's Schnorr signatures would turn an
+    /// O(µs) reopen into an O(minutes) one. The parent must already be present
+    /// (restore feeds blocks in their original connection order); duplicates are
+    /// no-ops. Never used for blocks from the network.
+    pub fn restore_insert(&mut self, block: NgBlock) -> Result<InsertOutcome, BlockError> {
+        let id = block.id();
+        self.restore_insert_with_id(block, id)
+    }
+
+    /// [`Self::restore_insert`] with the id already known (restart replay reads it
+    /// from the block file's index header, so recomputing the double SHA-256 per
+    /// block would be the replay loop's single largest cost).
+    pub fn restore_insert_with_id(
+        &mut self,
+        block: NgBlock,
+        id: Hash256,
+    ) -> Result<InsertOutcome, BlockError> {
+        if self.store.contains(&id) {
+            return Ok(InsertOutcome::Duplicate);
+        }
+        let parent = block.prev();
+        if !self.store.contains(&parent) {
+            return Err(BlockError::UnknownParent(parent));
+        }
+        let is_key = block.is_key();
+        let outcome = self.store.insert_with_id(block, id);
+        self.note_epoch(id, parent, is_key);
+        Ok(outcome)
+    }
+
+
+    /// Enables (or disables) recording of newly stored block ids for
+    /// [`Self::drain_newly_stored`]. Off by default: only a node with a durable
+    /// backend drains the feed, and without a consumer it would grow forever.
+    pub fn track_newly_stored(&mut self, enable: bool) {
+        self.track_stored = enable;
+        if !enable {
+            self.newly_stored.clear();
+        }
+    }
+
+    /// Returns (and clears) the ids of blocks accepted into the store since the
+    /// last drain, in connection order — including pending descendants adopted as
+    /// a side effect of their parent's arrival, which the [`InsertOutcome`] alone
+    /// does not always surface.
+    pub fn drain_newly_stored(&mut self) -> Vec<Hash256> {
+        std::mem::take(&mut self.newly_stored)
+    }
+
+    /// Marks `id` as the newest finality checkpoint. From here on, any block that
+    /// would fork the chain at or below this height is refused on insert, closing
+    /// the long-range-rewrite hole: no amount of withheld work can rewind finalized
+    /// history. Finality only advances (a lower or unknown block is a no-op);
+    /// returns the active checkpoint after the call.
+    pub fn set_finalized(&mut self, id: &Hash256) -> Option<(u64, Hash256)> {
+        if let Some(height) = self.store.height_of(id) {
+            if self.finalized.is_none_or(|(h, _)| height > h) {
+                self.finalized = Some((height, *id));
+            }
+        }
+        self.finalized
+    }
+
+    /// The newest finality checkpoint, if any.
+    pub fn finalized(&self) -> Option<(u64, Hash256)> {
+        self.finalized
+    }
+
+    /// Drops undo records of blocks below `keep_from_height` (see
+    /// [`ChainStore::prune_undo`]); returns how many were pruned.
+    pub fn prune_undo(&mut self, keep_from_height: u64) -> usize {
+        self.store.prune_undo(keep_from_height)
+    }
+
+    /// Number of retained undo records.
+    pub fn undo_count(&self) -> usize {
+        self.store.undo_count()
+    }
+
+    /// Checks that a block attaching to `parent` does not fork the chain below the
+    /// newest finality checkpoint: the parent must sit at or above the finalized
+    /// height **and** descend from the finalized block.
+    fn check_finality(&self, parent: &Hash256) -> Result<(), BlockError> {
+        let Some((fin_height, fin_id)) = self.finalized else {
+            return Ok(());
+        };
+        let parent_height = self
+            .store
+            .height_of(parent)
+            .ok_or(BlockError::UnknownParent(*parent))?;
+        if parent_height < fin_height
+            || self.store.ancestor_at(parent, fin_height) != Some(fin_id)
+        {
+            return Err(BlockError::FinalityViolation {
+                fork_height: parent_height.min(fin_height),
+                finalized_height: fin_height,
+            });
+        }
+        Ok(())
     }
 
     /// Records that a microblock's leader signature is known good — called by the
@@ -351,10 +506,14 @@ impl NgChainState {
                 missing_parent: parent,
             });
         }
+        self.check_finality(&parent)?;
         self.validate(&block, now_ms)?;
         let is_key = block.is_key();
-        let mut outcome = self.store.insert(block);
+        let mut outcome = self.store.insert_with_id(block, id);
         self.note_epoch(id, parent, is_key);
+        if self.track_stored {
+            self.newly_stored.push(id);
+        }
         // Connect any pending descendants that are now valid.
         let mut newly_connected = vec![id];
         while let Some(ready_parent) = newly_connected.pop() {
@@ -365,8 +524,11 @@ impl NgChainState {
                 }
                 if self.validate(&child, now_ms).is_ok() {
                     let child_is_key = child.is_key();
-                    let child_outcome = self.store.insert(child);
+                    let child_outcome = self.store.insert_with_id(child, child_id);
                     self.note_epoch(child_id, ready_parent, child_is_key);
+                    if self.track_stored {
+                        self.newly_stored.push(child_id);
+                    }
                     // Keep the most informative outcome: a later reorg supersedes.
                     if let InsertOutcome::Accepted {
                         tip_changed: true, ..
@@ -772,6 +934,121 @@ mod tests {
         assert!(chain.undo_of(&kb.id()).is_some());
         assert!(chain.take_undo(&kb.id()).is_some());
         assert!(chain.undo_of(&kb.id()).is_none());
+    }
+
+    #[test]
+    fn finality_checkpoint_rejects_deep_forks_but_not_extensions() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb1 = make_key_block(&chain, 1, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb1.clone()), 1_000).unwrap();
+        let kb2 = make_key_block(&chain, 2, kb1.id(), 2_000);
+        chain.insert(NgBlock::Key(kb2.clone()), 2_000).unwrap();
+        assert_eq!(chain.set_finalized(&kb1.id()), Some((1, kb1.id())));
+
+        // Extending the finalized chain is unaffected.
+        let kb3 = make_key_block(&chain, 3, kb2.id(), 3_000);
+        chain.insert(NgBlock::Key(kb3.clone()), 3_000).unwrap();
+        assert_eq!(chain.tip(), kb3.id());
+
+        // A rival branch forking at genesis — below finality — is refused outright,
+        // no matter that its proof of work is valid.
+        let rewrite = make_key_block(&chain, 9, chain.genesis_id(), 3_500);
+        assert!(matches!(
+            chain.insert(NgBlock::Key(rewrite), 3_500),
+            Err(BlockError::FinalityViolation { finalized_height: 1, .. })
+        ));
+
+        // Finality never regresses.
+        chain.set_finalized(&kb2.id());
+        assert_eq!(chain.finalized(), Some((2, kb2.id())));
+        chain.set_finalized(&kb1.id());
+        assert_eq!(chain.finalized(), Some((2, kb2.id())), "lower checkpoint ignored");
+    }
+
+    #[test]
+    fn finality_rejects_branches_that_forked_before_the_checkpoint() {
+        let mut chain = NgChainState::new(params(), 1);
+        let kb1 = make_key_block(&chain, 1, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb1.clone()), 1_000).unwrap();
+        // A rival branch already exists when finality lands on the main chain.
+        let rival = make_key_block(&chain, 2, chain.genesis_id(), 1_100);
+        chain.insert(NgBlock::Key(rival.clone()), 1_100).unwrap();
+        let main2 = make_key_block(&chain, 3, kb1.id(), 2_000);
+        chain.insert(NgBlock::Key(main2.clone()), 2_000).unwrap();
+        chain.set_finalized(&kb1.id());
+        // Extending the pre-existing rival branch is refused: its height matches the
+        // checkpoint but it does not descend from the finalized block.
+        let extend_rival = make_key_block(&chain, 4, rival.id(), 3_000);
+        assert!(matches!(
+            chain.insert(NgBlock::Key(extend_rival), 3_000),
+            Err(BlockError::FinalityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_from_root_replays_without_revalidation() {
+        // Build a reference chain: genesis → kb1 → m1 → kb2.
+        let mut chain = NgChainState::new(params(), 7);
+        let kb1 = make_key_block(&chain, 1, chain.genesis_id(), 1_000);
+        chain.insert(NgBlock::Key(kb1.clone()), 1_000).unwrap();
+        let m1 = make_microblock(1, kb1.id(), 2_000, 50);
+        chain.insert(NgBlock::Micro(m1.clone()), 2_000).unwrap();
+        let kb2 = make_key_block(&chain, 2, m1.id(), 3_000);
+        chain.insert(NgBlock::Key(kb2.clone()), 3_000).unwrap();
+
+        // Restore rooted at kb1 (as if it were the newest durable checkpoint).
+        let stored = chain.store().get(&kb1.id()).unwrap();
+        let mut restored = NgChainState::from_root(
+            params(),
+            7,
+            kb1.clone(),
+            stored.height,
+            stored.total_work,
+        );
+        // Corrupt the microblock signature: restore_insert must accept it anyway
+        // (durable blocks were validated before they were written).
+        let mut tampered = m1.clone();
+        tampered.signature = SchnorrSigner::new(KeyPair::from_id(99))
+            .sign(&tampered.header.signing_hash());
+        // Tampering changes nothing the id commits to for a Synthetic payload check,
+        // but the signature no longer verifies — exactly what restore skips.
+        restored.restore_insert(NgBlock::Micro(m1.clone())).unwrap();
+        restored.restore_insert(NgBlock::Key(kb2.clone())).unwrap();
+        assert_eq!(restored.tip(), chain.tip());
+        assert_eq!(restored.store().tip_height(), chain.store().tip_height());
+        assert_eq!(restored.store().tip_work(), chain.store().tip_work());
+        assert_eq!(restored.finalized(), Some((stored.height, kb1.id())));
+        // Epoch context survived the rooted restore: the restored node knows the
+        // current leader and can validate fresh microblocks above the old tip.
+        assert_eq!(restored.current_leader().map(|(id, _)| id), Some(2));
+        let m2 = make_microblock(2, kb2.id(), 4_000, 0);
+        restored.insert(NgBlock::Micro(m2.clone()), 4_000).unwrap();
+        assert_eq!(restored.tip(), m2.id());
+        // Out-of-order restore is an error, duplicates are no-ops.
+        assert!(matches!(
+            restored.restore_insert(NgBlock::Micro(tampered)),
+            Ok(InsertOutcome::Duplicate) | Err(BlockError::UnknownParent(_))
+        ));
+    }
+
+    #[test]
+    fn newly_stored_drain_surfaces_adopted_descendants() {
+        let mut chain = NgChainState::new(params(), 1);
+        chain.track_newly_stored(true);
+        let kb = make_key_block(&chain, 5, chain.genesis_id(), 1_000);
+        let m1 = make_microblock(5, kb.id(), 2_000, 0);
+        // The microblock arrives first and parks in the pending buffer.
+        chain.insert(NgBlock::Micro(m1.clone()), 2_000).unwrap();
+        assert!(chain.drain_newly_stored().is_empty(), "orphans are not stored");
+        // Its parent's arrival stores both; the drain reports them in order.
+        chain.insert(NgBlock::Key(kb.clone()), 2_100).unwrap();
+        assert_eq!(chain.drain_newly_stored(), vec![kb.id(), m1.id()]);
+        assert!(chain.drain_newly_stored().is_empty(), "drain clears the feed");
+        // Disabled tracking records nothing.
+        chain.track_newly_stored(false);
+        let m2 = make_microblock(5, m1.id(), 3_000, 0);
+        chain.insert(NgBlock::Micro(m2), 3_000).unwrap();
+        assert!(chain.drain_newly_stored().is_empty());
     }
 
     #[test]

@@ -63,6 +63,24 @@ impl NgNode {
         self
     }
 
+    /// Wraps a restored chain state (see [`NgChainState::from_root`]) in a node —
+    /// the restart path. Keys and signature mode are re-derived exactly as
+    /// [`Self::new`] does, so a restored node signs identically to its previous
+    /// incarnation.
+    pub fn from_chain(id: u64, chain: NgChainState) -> Self {
+        NgNode {
+            id,
+            keys: KeyPair::from_id(id),
+            signature_mode: if chain.params().verify_microblock_signatures {
+                SignatureMode::Schnorr
+            } else {
+                SignatureMode::Simulated
+            },
+            chain,
+            last_microblock_ms: 0,
+        }
+    }
+
     /// The node's key pair.
     pub fn keys(&self) -> &KeyPair {
         &self.keys

@@ -49,6 +49,15 @@ pub struct NgParams {
     /// How far in the future a block timestamp may lie (milliseconds) before the block
     /// is rejected.
     pub max_future_drift_ms: u64,
+    /// Blocks below `tip_height − finality_depth` are final: a reorg that would
+    /// disconnect one is rejected outright, and its undo record can be pruned. The
+    /// default matches the two-week difficulty window used as `FINALITY_DEPTH` by
+    /// deployed NG-style chains, which is deeper than any honest reorg.
+    pub finality_depth: u64,
+    /// How often (in key-block/microblock heights) the durable backend writes a full
+    /// UTXO snapshot and finality checkpoint. Restart cost is bounded by replaying at
+    /// most this many blocks past the newest snapshot.
+    pub checkpoint_interval: u64,
 }
 
 impl Default for NgParams {
@@ -66,6 +75,8 @@ impl Default for NgParams {
             verify_microblock_signatures: true,
             validate_transactions: true,
             max_future_drift_ms: 2 * 60 * 60 * 1000,
+            finality_depth: 2016,
+            checkpoint_interval: 256,
         }
     }
 }
@@ -127,6 +138,12 @@ impl NgParams {
         if self.key_block_interval_ms == 0 {
             return Err("key block interval must be positive".into());
         }
+        if self.finality_depth == 0 {
+            return Err("finality depth must be positive".into());
+        }
+        if self.checkpoint_interval == 0 {
+            return Err("checkpoint interval must be positive".into());
+        }
         Ok(())
     }
 }
@@ -144,6 +161,8 @@ mod tests {
         assert_eq!(p.poison_reward_percent, 5);
         assert!(p.verify_microblock_signatures);
         assert!(p.validate_transactions, "full tx validation is the default");
+        assert_eq!(p.finality_depth, 2016, "one difficulty window deep");
+        assert_eq!(p.checkpoint_interval, 256);
         assert!(p.validate().is_ok());
     }
 
@@ -193,6 +212,18 @@ mod tests {
 
         let p = NgParams {
             key_block_interval_ms: 0,
+            ..NgParams::default()
+        };
+        assert!(p.validate().is_err());
+
+        let p = NgParams {
+            finality_depth: 0,
+            ..NgParams::default()
+        };
+        assert!(p.validate().is_err());
+
+        let p = NgParams {
+            checkpoint_interval: 0,
             ..NgParams::default()
         };
         assert!(p.validate().is_err());

@@ -1,11 +1,12 @@
 //! SHA-256 (FIPS 180-4) implemented from scratch, plus Bitcoin's double-SHA-256 and
 //! BIP340-style tagged hashing.
 //!
-//! The implementation is a straightforward, well-tested translation of the standard:
-//! message schedule expansion, 64 compression rounds, Merkle–Damgård padding. It favours
-//! clarity over micro-optimisation; the Criterion benches in `ng-bench` measure its
-//! throughput, which is more than sufficient for the protocol simulations in this
-//! repository.
+//! The portable implementation is a straightforward, well-tested translation of the
+//! standard: message schedule expansion, 64 compression rounds, Merkle–Damgård
+//! padding. On x86-64 machines with the SHA extensions the compression function
+//! dispatches at runtime to a hardware path (Intel's canonical SHA-NI round
+//! sequence) — block ids, frame checksums, PoW and commitments are all double
+//! SHA-256, so the compression function sits on every hot path in the workspace.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -202,6 +203,17 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        #[allow(unsafe_code)]
+        if shani::available() {
+            // SAFETY: `available` confirmed the sha/ssse3/sse4.1 target features.
+            unsafe { shani::compress(&mut self.state, block) };
+            return;
+        }
+        self.compress_soft(block);
+    }
+
+    fn compress_soft(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -252,6 +264,212 @@ impl Sha256 {
         self.state[5] = self.state[5].wrapping_add(f);
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// The x86-64 SHA-extensions compression path: Intel's canonical round sequence
+/// (two rounds per `sha256rnds2`, message schedule kept in four XMM registers and
+/// advanced with `sha256msg1`/`sha256msg2`). Selected at runtime; the detection
+/// macro caches its answer, so the per-block dispatch cost is one relaxed load.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // CPU intrinsics; every call is guarded by `available`.
+mod shani {
+    use core::arch::x86_64::*;
+
+    /// True when the CPU supports the instructions [`compress`] uses.
+    #[inline]
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("ssse3")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+    }
+
+    /// Pairs of round constants, packed for `_mm_add_epi32` (K[2i+1] ‖ K[2i]).
+    #[inline]
+    unsafe fn k(hi: u64, lo: u64) -> __m128i {
+        _mm_set_epi64x(hi as i64, lo as i64)
+    }
+
+    /// One SHA-256 compression over `block`, updating `state` (a…h word order).
+    ///
+    /// # Safety
+    /// Requires the sha, ssse3 and sse4.1 target features ([`available`]).
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub unsafe fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Big-endian word loads via a byte shuffle.
+        let mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);
+
+        // Repack a…h into the ABEF / CDGH register layout the instructions use.
+        let mut tmp = _mm_loadu_si128(state.as_ptr() as *const __m128i);
+        let mut state1 = _mm_loadu_si128(state.as_ptr().add(4) as *const __m128i);
+        tmp = _mm_shuffle_epi32(tmp, 0xB1);
+        state1 = _mm_shuffle_epi32(state1, 0x1B);
+        let mut state0 = _mm_alignr_epi8(tmp, state1, 8);
+        state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+        let abef_save = state0;
+        let cdgh_save = state1;
+
+        // Rounds 0–3.
+        let mut msg = _mm_loadu_si128(block.as_ptr() as *const __m128i);
+        let mut msg0 = _mm_shuffle_epi8(msg, mask);
+        msg = _mm_add_epi32(msg0, k(0xE9B5DBA5_B5C0FBCF, 0x71374491_428A2F98));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+        // Rounds 4–7.
+        let mut msg1 = _mm_loadu_si128(block.as_ptr().add(16) as *const __m128i);
+        msg1 = _mm_shuffle_epi8(msg1, mask);
+        msg = _mm_add_epi32(msg1, k(0xAB1C5ED5_923F82A4, 0x59F111F1_3956C25B));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+        // Rounds 8–11.
+        let mut msg2 = _mm_loadu_si128(block.as_ptr().add(32) as *const __m128i);
+        msg2 = _mm_shuffle_epi8(msg2, mask);
+        msg = _mm_add_epi32(msg2, k(0x550C7DC3_243185BE, 0x12835B01_D807AA98));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+        // Rounds 12–15.
+        let mut msg3 = _mm_loadu_si128(block.as_ptr().add(48) as *const __m128i);
+        msg3 = _mm_shuffle_epi8(msg3, mask);
+        msg = _mm_add_epi32(msg3, k(0xC19BF174_9BDC06A7, 0x80DEB1FE_72BE5D74));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg3, msg2, 4);
+        msg0 = _mm_add_epi32(msg0, tmp);
+        msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+        // Rounds 16–19.
+        msg = _mm_add_epi32(msg0, k(0x240CA1CC_0FC19DC6, 0xEFBE4786_E49B69C1));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg0, msg3, 4);
+        msg1 = _mm_add_epi32(msg1, tmp);
+        msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+        // Rounds 20–23.
+        msg = _mm_add_epi32(msg1, k(0x76F988DA_5CB0A9DC, 0x4A7484AA_2DE92C6F));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg1, msg0, 4);
+        msg2 = _mm_add_epi32(msg2, tmp);
+        msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+        // Rounds 24–27.
+        msg = _mm_add_epi32(msg2, k(0xBF597FC7_B00327C8, 0xA831C66D_983E5152));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg2, msg1, 4);
+        msg3 = _mm_add_epi32(msg3, tmp);
+        msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+        // Rounds 28–31.
+        msg = _mm_add_epi32(msg3, k(0x14292967_06CA6351, 0xD5A79147_C6E00BF3));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg3, msg2, 4);
+        msg0 = _mm_add_epi32(msg0, tmp);
+        msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+        // Rounds 32–35.
+        msg = _mm_add_epi32(msg0, k(0x53380D13_4D2C6DFC, 0x2E1B2138_27B70A85));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg0, msg3, 4);
+        msg1 = _mm_add_epi32(msg1, tmp);
+        msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+        // Rounds 36–39.
+        msg = _mm_add_epi32(msg1, k(0x92722C85_81C2C92E, 0x766A0ABB_650A7354));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg1, msg0, 4);
+        msg2 = _mm_add_epi32(msg2, tmp);
+        msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+        // Rounds 40–43.
+        msg = _mm_add_epi32(msg2, k(0xC76C51A3_C24B8B70, 0xA81A664B_A2BFE8A1));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg2, msg1, 4);
+        msg3 = _mm_add_epi32(msg3, tmp);
+        msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+        // Rounds 44–47.
+        msg = _mm_add_epi32(msg3, k(0x106AA070_F40E3585, 0xD6990624_D192E819));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg3, msg2, 4);
+        msg0 = _mm_add_epi32(msg0, tmp);
+        msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+        // Rounds 48–51.
+        msg = _mm_add_epi32(msg0, k(0x34B0BCB5_2748774C, 0x1E376C08_19A4C116));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg0, msg3, 4);
+        msg1 = _mm_add_epi32(msg1, tmp);
+        msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+        msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+        // Rounds 52–55.
+        msg = _mm_add_epi32(msg1, k(0x682E6FF3_5B9CCA4F, 0x4ED8AA4A_391C0CB3));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg1, msg0, 4);
+        msg2 = _mm_add_epi32(msg2, tmp);
+        msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+        // Rounds 56–59.
+        msg = _mm_add_epi32(msg2, k(0x8CC70208_84C87814, 0x78A5636F_748F82EE));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        tmp = _mm_alignr_epi8(msg2, msg1, 4);
+        msg3 = _mm_add_epi32(msg3, tmp);
+        msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+        // Rounds 60–63.
+        msg = _mm_add_epi32(msg3, k(0xC67178F2_BEF9A3F7, 0xA4506CEB_90BEFFFA));
+        state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+        msg = _mm_shuffle_epi32(msg, 0x0E);
+        state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+        // Feed-forward and unpack back to a…h order.
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+        tmp = _mm_shuffle_epi32(state0, 0x1B);
+        state1 = _mm_shuffle_epi32(state1, 0xB1);
+        state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+        state1 = _mm_alignr_epi8(state1, tmp, 8);
+        _mm_storeu_si128(state.as_mut_ptr() as *mut __m128i, state0);
+        _mm_storeu_si128(state.as_mut_ptr().add(4) as *mut __m128i, state1);
     }
 }
 
@@ -348,6 +566,26 @@ mod tests {
             step = (step * 7 + 3) % 97 + 1;
         }
         assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn hardware_and_portable_compression_agree() {
+        // The FIPS vectors above already pin whichever path dispatch selects;
+        // this pins the two paths to each other across many block contents, so a
+        // hardware-path bug cannot hide on machines where tests run portable.
+        let mut byte = 7u8;
+        for round in 0..64 {
+            let mut block = [0u8; 64];
+            for b in block.iter_mut() {
+                *b = byte;
+                byte = byte.wrapping_mul(31).wrapping_add(round);
+            }
+            let mut hw = Sha256::new();
+            let mut soft = hw.clone();
+            hw.compress(&block);
+            soft.compress_soft(&block);
+            assert_eq!(hw.state, soft.state, "round {round}");
+        }
     }
 
     #[test]

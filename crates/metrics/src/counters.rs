@@ -77,6 +77,10 @@ pub struct NodeCounters {
     /// Peers disconnected for protocol violations (bad handshakes, microblocks
     /// with invalid transactions).
     pub peers_misbehaved: Counter,
+    /// Durable-storage writes that failed (the node keeps running in memory).
+    pub storage_failures: Counter,
+    /// UTXO snapshots / finality checkpoints written to durable storage.
+    pub checkpoints_written: Counter,
 }
 
 impl NodeCounters {
@@ -107,6 +111,8 @@ impl NodeCounters {
             ledger_blocks_connected: self.ledger_blocks_connected.get(),
             ledger_blocks_disconnected: self.ledger_blocks_disconnected.get(),
             peers_misbehaved: self.peers_misbehaved.get(),
+            storage_failures: self.storage_failures.get(),
+            checkpoints_written: self.checkpoints_written.get(),
         }
     }
 }
@@ -152,6 +158,10 @@ pub struct CounterSnapshot {
     pub ledger_blocks_disconnected: u64,
     /// Peers disconnected for protocol violations.
     pub peers_misbehaved: u64,
+    /// Durable-storage writes that failed.
+    pub storage_failures: u64,
+    /// UTXO snapshots / finality checkpoints written.
+    pub checkpoints_written: u64,
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! ```text
 //! ng-testnet [--driver sim|tcp] [--nodes N] [--seed S] [--duration-ms D]
 //!            [--partition] [--epochs E] [--txs T] [--timeout-secs S]
+//!            [--datadir DIR]
 //! ```
 //!
 //! Two drivers execute the same protocol engine:
@@ -38,6 +39,9 @@ struct Options {
     txs_per_epoch: usize,
     /// Wall-clock convergence budget (tcp driver).
     timeout: Duration,
+    /// Durable chain-state directory (tcp driver); node `i` persists under
+    /// `<datadir>/node-<i>` and recovers from it on relaunch.
+    datadir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -50,6 +54,7 @@ fn parse_args() -> Options {
         epochs: 0, // 0 = one round of leadership per node
         txs_per_epoch: 5,
         timeout: Duration::from_secs(30),
+        datadir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -76,17 +81,28 @@ fn parse_args() -> Options {
             "--epochs" => options.epochs = take("--epochs") as usize,
             "--txs" => options.txs_per_epoch = take("--txs") as usize,
             "--timeout-secs" => options.timeout = Duration::from_secs(take("--timeout-secs")),
+            "--datadir" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--datadir expects a directory path");
+                    std::process::exit(2);
+                });
+                options.datadir = Some(std::path::PathBuf::from(dir));
+            }
             "--help" | "-h" => {
                 println!(
                     "ng-testnet [--driver sim|tcp] [--nodes N] [--seed S] [--duration-ms D]\n\
                      \x20          [--partition] [--epochs E] [--txs T] [--timeout-secs S]\n\
+                     \x20          [--datadir DIR]\n\
                      Runs N nodes, rotates leadership for E epochs (default: one per\n\
                      node) with T transactions each, optionally forces a partition/heal\n\
                      reorg, and prints a convergence report.\n\
                      \n\
                      Drivers (same protocol engine behind both):\n\
                      \x20 sim  deterministic in-process scheduler, virtual time (default)\n\
-                     \x20 tcp  real daemons on loopback sockets, wall-clock time"
+                     \x20 tcp  real daemons on loopback sockets, wall-clock time\n\
+                     \n\
+                     With --datadir (tcp only) node i persists its chain under\n\
+                     DIR/node-i and recovers from it on the next run."
                 );
                 std::process::exit(0);
             }
@@ -104,6 +120,9 @@ fn parse_args() -> Options {
 
 /// The scripted scenario over the deterministic in-process driver.
 fn run_sim(options: &Options) -> bool {
+    if options.datadir.is_some() {
+        eprintln!("note: --datadir only applies to the tcp driver; the sim stays in-memory");
+    }
     let mut net = SimNet::new(SimConfig::new(options.nodes, options.seed));
     let all: Vec<usize> = (0..options.nodes).collect();
     net.connect_mesh(&all);
@@ -164,7 +183,13 @@ fn run_sim(options: &Options) -> bool {
 
 /// The original loopback-socket scenario over real daemons.
 fn run_tcp(options: &Options) -> bool {
-    let net = Testnet::launch(options.nodes, testnet_params()).expect("bind loopback sockets");
+    let net = Testnet::launch_durable(
+        options.nodes,
+        testnet_params(),
+        false,
+        options.datadir.as_deref(),
+    )
+    .expect("bind loopback sockets");
     let mut tx_seq = options.seed.wrapping_mul(1_000_003);
     for epoch in 0..options.epochs {
         let leader = epoch % options.nodes;

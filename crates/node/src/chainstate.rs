@@ -61,6 +61,42 @@ impl std::fmt::Display for ConnectError {
     }
 }
 
+/// Why a [`ChainView::sync`] could not complete. The roll is transactional: on any
+/// error the view rests at a consistent block (never mid-block, never mid-reorg
+/// with a consumed undo record).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncError {
+    /// A connecting block failed transaction validation; the view stopped at its
+    /// parent. Invalidate the offender and sync again.
+    Connect(ConnectError),
+    /// A block on the disconnect path has no undo record, so the reorg can never
+    /// be executed. Detected *before* the first block is touched — the view is
+    /// unchanged. Unreachable under the finality discipline (undo records are only
+    /// pruned below finality, and forks below finality are refused on insert), but
+    /// a corrupted store must surface as an error, not a panic mid-rewind.
+    UnwindableBlock {
+        /// The connected block that cannot be rewound.
+        block: Hash256,
+    },
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::Connect(err) => err.fmt(f),
+            SyncError::UnwindableBlock { block } => {
+                write!(f, "block {block} has no undo record and cannot be rewound")
+            }
+        }
+    }
+}
+
+impl From<ConnectError> for SyncError {
+    fn from(err: ConnectError) -> Self {
+        SyncError::Connect(err)
+    }
+}
+
 /// What changed across one [`ChainView::sync`]: the engine rolls its mempool from
 /// this instead of re-deriving the whole confirmed set.
 #[derive(Clone, Debug, Default)]
@@ -75,6 +111,11 @@ pub struct SyncDelta {
     pub connected_blocks: u64,
     /// Blocks disconnected from the view.
     pub disconnected_blocks: u64,
+    /// Ids of the connected blocks, in connect order — the durable backend logs a
+    /// roll commit from these.
+    pub connected_block_ids: Vec<Hash256>,
+    /// Ids of the disconnected blocks, in disconnect order (tip first).
+    pub disconnected_block_ids: Vec<Hash256>,
 }
 
 impl SyncDelta {
@@ -127,6 +168,32 @@ impl ChainView {
             validate: params.validate_transactions,
             executor: None,
         }
+    }
+
+    /// Reconstructs a view from durable snapshot state: the anchor block it
+    /// reflected, its full UTXO set and its confirmed-transaction refcounts. The
+    /// restart path — the node then [`Self::sync`]s forward from the anchor to the
+    /// recovered tip instead of replaying from genesis.
+    pub fn restore(
+        params: &NgParams,
+        anchor: Hash256,
+        utxo: UtxoSet,
+        confirmed: HashMap<Hash256, u32>,
+    ) -> Self {
+        ChainView {
+            anchor,
+            utxo,
+            confirmed,
+            sig_cache: SigCache::default(),
+            validate: params.validate_transactions,
+            executor: None,
+        }
+    }
+
+    /// The confirmed-transaction refcounts (serialized into durable snapshots,
+    /// restored through [`Self::restore`]).
+    pub fn confirmed_counts(&self) -> &HashMap<Hash256, u32> {
+        &self.confirmed
     }
 
     /// Installs a worker-pool executor: connect-time signature batches split into
@@ -256,10 +323,10 @@ impl ChainView {
     }
 
     /// Rolls the view to the chain's current tip, disconnecting and connecting along
-    /// the fork path. On a [`ConnectError`] the view stops at the last good block
-    /// (the failing block's parent); the caller is expected to invalidate the
+    /// the fork path. On a [`SyncError::Connect`] the view stops at the last good
+    /// block (the failing block's parent); the caller is expected to invalidate the
     /// offender and call `sync` again.
-    pub fn sync(&mut self, chain: &mut NgChainState) -> Result<SyncDelta, ConnectError> {
+    pub fn sync(&mut self, chain: &mut NgChainState) -> Result<SyncDelta, SyncError> {
         let target = chain.tip();
         self.sync_to(chain, target)
     }
@@ -271,7 +338,7 @@ impl ChainView {
         &mut self,
         chain: &mut NgChainState,
         target: Hash256,
-    ) -> Result<SyncDelta, ConnectError> {
+    ) -> Result<SyncDelta, SyncError> {
         let mut delta = SyncDelta::default();
         self.sync_into(chain, target, &mut delta)?;
         Ok(delta)
@@ -286,7 +353,7 @@ impl ChainView {
         chain: &mut NgChainState,
         target: Hash256,
         delta: &mut SyncDelta,
-    ) -> Result<(), ConnectError> {
+    ) -> Result<(), SyncError> {
         if target == self.anchor {
             return Ok(());
         }
@@ -294,6 +361,22 @@ impl ChainView {
             .store()
             .find_fork_point(&self.anchor, &target)
             .expect("anchor and target share at least the genesis block");
+        // Transactional precheck: every block on the disconnect path must be
+        // rewindable *before* the first one is touched. A missing undo record
+        // surfaces as an error with the view untouched — never a panic halfway
+        // through a reorg.
+        let mut cursor = self.anchor;
+        while cursor != fork {
+            if chain.undo_of(&cursor).is_none() {
+                return Err(SyncError::UnwindableBlock { block: cursor });
+            }
+            cursor = chain
+                .store()
+                .get(&cursor)
+                .expect("disconnect path blocks exist")
+                .block
+                .prev();
+        }
         while self.anchor != fork {
             self.disconnect_block(chain, delta);
         }
@@ -387,6 +470,7 @@ impl ChainView {
         chain.set_undo(id, undo);
         self.anchor = id;
         delta.connected_blocks += 1;
+        delta.connected_block_ids.push(id);
         Ok(())
     }
 
@@ -457,6 +541,10 @@ impl ChainView {
 
     /// Disconnects the anchor block from the view using its stored undo record,
     /// moving the anchor to its parent.
+    ///
+    /// The undo record is *peeked* first and only consumed once the rewind has
+    /// fully applied — a disconnect that panics partway (allocator failure, bug in
+    /// an unapply) must not have already destroyed the record it was built from.
     fn disconnect_block(&mut self, chain: &mut NgChainState, delta: &mut SyncDelta) {
         let id = self.anchor;
         let parent = chain
@@ -466,8 +554,9 @@ impl ChainView {
             .block
             .prev();
         let undo = chain
-            .take_undo(&id)
-            .expect("every connected block stored an undo record");
+            .undo_of(&id)
+            .expect("sync_into prechecked the disconnect path")
+            .clone();
         for tx_undo in &undo.txs {
             if let Some(count) = self.confirmed.get_mut(&tx_undo.txid) {
                 *count -= 1;
@@ -477,6 +566,7 @@ impl ChainView {
             }
         }
         self.rollback_partial(&undo);
+        chain.take_undo(&id);
         if let Some(txs) = chain
             .get(&id)
             .and_then(|b| b.as_micro())
@@ -490,6 +580,7 @@ impl ChainView {
         }
         self.anchor = parent;
         delta.disconnected_blocks += 1;
+        delta.disconnected_block_ids.push(id);
     }
 }
 
@@ -608,6 +699,66 @@ mod tests {
         assert_matches_oracle(&view, &node);
     }
 
+    /// Regression (transactional disconnect): a missing undo record anywhere on
+    /// the disconnect path must abort the walk *before* any mutation — the old
+    /// code consumed undos one block at a time and left the view half-rewound.
+    #[test]
+    fn unwindable_disconnect_path_aborts_before_touching_the_view() {
+        let mut node = NgNode::new(1, unchecked_params(), 7);
+        let kb = node.mine_and_adopt_key_block(1_000);
+        let main1 = node
+            .produce_microblock(2_000, Payload::Transactions(vec![fake_tx(1), fake_tx(2)]))
+            .unwrap();
+        let main2 = node
+            .produce_microblock(3_000, Payload::Transactions(vec![fake_tx(3)]))
+            .unwrap();
+        let alt_payload = Payload::Transactions(vec![fake_tx(4)]);
+        let alt_header = ng_core::block::MicroHeader {
+            prev: kb.id(),
+            time_ms: 2_500,
+            payload_digest: alt_payload.digest(),
+            leader: 1,
+        };
+        let alt = ng_core::block::MicroBlock {
+            signature: SchnorrSigner::new(*node.keys()).sign(&alt_header.signing_hash()),
+            header: alt_header,
+            payload: alt_payload,
+        };
+        node.on_block(NgBlock::Micro(alt.clone()), 2_501).unwrap();
+
+        let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+        view.sync_to(node.chain_mut(), main2.id()).unwrap();
+
+        // Lose the *deeper* undo: the walk to `alt` disconnects main2 first, so
+        // a non-transactional disconnect would consume main2's undo and mutate
+        // the view before discovering main1 cannot be rewound.
+        let stolen = node.chain_mut().take_undo(&main1.id()).expect("undo exists");
+        let before_rolling = view.commitment();
+        let before_sorted = view.utxo().commitment();
+        let before_confirmed = view.confirmed_len();
+
+        let err = view.sync_to(node.chain_mut(), alt.id()).unwrap_err();
+        let SyncError::UnwindableBlock { block } = err else {
+            panic!("expected an unwindable-block error");
+        };
+        assert_eq!(block, main1.id());
+        assert_eq!(view.anchor(), main2.id(), "anchor untouched");
+        assert_eq!(view.commitment(), before_rolling, "ledger untouched");
+        assert_eq!(view.utxo().commitment(), before_sorted);
+        assert_eq!(view.confirmed_len(), before_confirmed);
+        assert!(
+            node.chain().undo_of(&main2.id()).is_some(),
+            "no undo on the aborted path was consumed"
+        );
+
+        // Restoring the undo record lets the identical walk succeed.
+        node.chain_mut().set_undo(main1.id(), stolen);
+        view.sync_to(node.chain_mut(), alt.id()).unwrap();
+        assert_eq!(view.anchor(), alt.id());
+        assert!(view.is_confirmed(&fake_tx(4).txid()));
+        assert!(!view.is_confirmed(&fake_tx(1).txid()));
+    }
+
     #[test]
     fn validated_connect_accepts_real_spends_and_reports_fees() {
         let mut node = NgNode::new(1, validated_params(), 7);
@@ -660,7 +811,9 @@ mod tests {
             Payload::Transactions(vec![good, phantom.clone()]),
         )
         .expect("the producing node does not self-validate payloads");
-        let err = view.sync(node.chain_mut()).unwrap_err();
+        let SyncError::Connect(err) = view.sync(node.chain_mut()).unwrap_err() else {
+            panic!("expected a connect error");
+        };
         assert_eq!(err.tx_index, 1);
         assert!(matches!(err.error, TxError::MissingInput(_)));
         assert_eq!(view.anchor(), kb.id(), "view stays at the last good block");
@@ -695,7 +848,9 @@ mod tests {
         }
         node.produce_microblock(2_000, Payload::Transactions(vec![forged.clone()]))
             .expect("the producing node does not self-validate payloads");
-        let err = view.sync(node.chain_mut()).unwrap_err();
+        let SyncError::Connect(err) = view.sync(node.chain_mut()).unwrap_err() else {
+            panic!("expected a connect error");
+        };
         assert_eq!(err.tx_index, 0);
         assert!(matches!(err.error, TxError::BadSignature(_)));
         assert_eq!(view.anchor(), kb.id(), "view stays at the last good block");

@@ -20,7 +20,9 @@ use ng_crypto::sha256::Hash256;
 use ng_metrics::counters::NodeCounters;
 use ng_net::sync::DEFAULT_HEADER_BATCH;
 use ng_net::tcp::{TcpEndpoint, TcpEvent};
+use ng_storage::{FileStorage, StorageConfig};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -61,6 +63,13 @@ pub struct NodeConfig {
     pub auto_microblocks: bool,
     /// Maximum header records requested/served per sync batch.
     pub header_batch: u32,
+    /// Directory for durable chain state (blocks, undo data, WAL, snapshots). When
+    /// set, the daemon recovers its chain from the directory on startup and
+    /// persists every roll; when `None` the node is purely in-memory.
+    pub datadir: Option<PathBuf>,
+    /// Issue `fsync` after every durable commit (survives power loss, not just
+    /// process death). Only meaningful with `datadir`.
+    pub fsync: bool,
 }
 
 impl NodeConfig {
@@ -73,6 +82,8 @@ impl NodeConfig {
             listen_addr: "127.0.0.1:0".to_string(),
             auto_microblocks: false,
             header_batch: DEFAULT_HEADER_BATCH,
+            datadir: None,
+            fsync: false,
         }
     }
 
@@ -215,7 +226,20 @@ pub fn spawn(config: NodeConfig) -> std::io::Result<NodeHandle> {
     let id = config.id;
     // Real-thread driver: fan connect-time signature batches across the shared
     // worker pool. The engine stays pure — the pool only changes wall-clock time.
-    let mut engine = Engine::new(config.engine());
+    let mut engine = match &config.datadir {
+        Some(dir) => {
+            let storage_config = StorageConfig {
+                finality_depth: config.params.finality_depth,
+                fsync: config.fsync,
+            };
+            let (storage, recovery) = FileStorage::open(dir, storage_config)
+                .map_err(|e| std::io::Error::other(format!("open datadir {dir:?}: {e}")))?;
+            let mut engine = Engine::restore(config.engine(), recovery);
+            engine.set_storage(Box::new(storage));
+            engine
+        }
+        None => Engine::new(config.engine()),
+    };
     engine.set_batch_executor(crate::parallel::shared_pool());
     let daemon = Daemon {
         engine,

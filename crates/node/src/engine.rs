@@ -225,6 +225,17 @@ pub enum ReportEvent {
         /// Blocks disconnected from the ledger view (non-zero on reorgs).
         disconnected: u64,
     },
+    /// A durable-storage write failed. The engine keeps running in memory; the
+    /// driver decides whether to alert or shut down.
+    StorageFailed {
+        /// Human-readable failure.
+        reason: String,
+    },
+    /// A snapshot / finality checkpoint was written.
+    CheckpointWritten {
+        /// Anchor height of the snapshot.
+        height: u64,
+    },
 }
 
 /// Cap on stashed orphan carriers (a misbehaving peer could otherwise grow the
@@ -257,6 +268,14 @@ pub struct Engine {
     /// The deadline of the last `SetTimer` effect emitted, to avoid re-arming the
     /// driver with a deadline it already holds. Cleared when a `Tick` consumes it.
     last_timer: Option<u64>,
+    /// The durable backend, when this engine persists ([`Engine::set_storage`]).
+    /// `None` keeps the engine pure (SimNet, unit tests): no file system, no
+    /// non-determinism. Storage failures are surfaced as
+    /// [`ReportEvent::StorageFailed`] effects, never panics — a full disk degrades
+    /// the node to in-memory operation instead of killing consensus.
+    storage: Option<Box<dyn ng_storage::ChainStorage>>,
+    /// Height of the last snapshot written, gating the checkpoint cadence.
+    last_snapshot_height: u64,
 }
 
 impl Engine {
@@ -278,7 +297,127 @@ impl Engine {
             sync: HashMap::new(),
             peers: HashSet::new(),
             last_timer: None,
+            storage: None,
+            last_snapshot_height: 0,
         }
+    }
+
+    /// Rebuilds an engine from what a [`ng_storage::FileStorage::open`] recovery
+    /// scan found on disk — the restart path. Cost is O(finality depth), not
+    /// O(chain length):
+    ///
+    /// 1. The block tree is rooted at the recovered finality checkpoint (or
+    ///    genesis on a young chain) and the stored blocks above it are replayed
+    ///    through [`NgChainState::restore_insert`] — no signature or
+    ///    proof-of-work re-verification, they were validated before being made
+    ///    durable. WAL-invalidated blocks are skipped. The fork-choice rule is
+    ///    deterministic, so the replay re-derives exactly the pre-crash tip.
+    /// 2. Undo records are restored so post-restart reorgs (legal down to
+    ///    finality) can still rewind pre-crash blocks.
+    /// 3. The ledger view restores from the newest usable snapshot and syncs
+    ///    forward to the re-derived tip, validating only the blocks above the
+    ///    snapshot.
+    ///
+    /// The returned engine does **not** yet persist; pass the recovered backend to
+    /// [`Self::set_storage`] after construction.
+    ///
+    /// [`NgChainState::restore_insert`]: ng_core::chain::NgChainState::restore_insert
+    pub fn restore(mut config: EngineConfig, recovery: ng_storage::Recovery) -> Self {
+        config.header_batch = config.header_batch.clamp(1, 4096);
+        let ng_storage::Recovery {
+            root,
+            snapshots,
+            blocks,
+            undos,
+            invalidated,
+            last_roll: _,
+        } = recovery;
+        let node = match root {
+            Some(snap) => {
+                let chain = ng_core::chain::NgChainState::from_root(
+                    config.params,
+                    config.tie_break_seed,
+                    snap.root,
+                    snap.height,
+                    snap.total_work,
+                );
+                NgNode::from_chain(config.id, chain)
+            }
+            None => NgNode::new(config.id, config.params, config.tie_break_seed),
+        };
+        // Placeholder view; replaced below once the replayed store exists.
+        let placeholder = ChainView::new(&config.params, Hash256::ZERO);
+        let mut engine = Engine {
+            config,
+            node,
+            mempool: Mempool::new(),
+            view: placeholder,
+            orphan_carriers: HashMap::new(),
+            orphan_order: std::collections::VecDeque::new(),
+            relay: GossipRelay::new(),
+            sync: HashMap::new(),
+            peers: HashSet::new(),
+            last_timer: None,
+            storage: None,
+            last_snapshot_height: 0,
+        };
+        // 1: replay stored blocks in their original acceptance order. A parent
+        // missing because its branch was rooted away (or WAL-invalidated) just
+        // drops its descendants — they were not on the finalized path.
+        for (_height, id, block) in blocks {
+            if invalidated.contains(&id) {
+                continue;
+            }
+            let _ = engine.node.chain_mut().restore_insert_with_id(block, id);
+        }
+        // 2: restore undo records for every block that survived the replay.
+        for (id, undo) in undos {
+            if engine.node.chain().store().contains(&id) {
+                engine.node.chain_mut().set_undo(id, undo);
+            }
+        }
+        // 3: restore the view from the newest snapshot whose anchor survived, and
+        // sync forward to the re-derived tip.
+        let newest_height = snapshots.first().map(|s| s.height);
+        let usable = snapshots
+            .into_iter()
+            .find(|snap| engine.node.chain().store().contains(&snap.root.id()));
+        match usable {
+            Some(snap) => {
+                let anchor = snap.root.id();
+                let utxo = ng_chain::utxo::UtxoSet::from_parts(
+                    engine.config.params.coinbase_maturity,
+                    snap.entries.into_iter().collect(),
+                    snap.rolling,
+                );
+                let confirmed = snap.confirmed.into_iter().collect();
+                engine.view = ChainView::restore(&engine.config.params, anchor, utxo, confirmed);
+                engine.last_snapshot_height = newest_height.unwrap_or(snap.height);
+            }
+            None => {
+                engine.view =
+                    ChainView::new(&engine.config.params, engine.node.chain().genesis_id());
+            }
+        }
+        engine.roll_ledger(None, &mut Vec::new());
+        engine
+    }
+
+    /// Installs a durable backend: from here on every accepted block, undo record
+    /// and completed roll is persisted, snapshots are written on the
+    /// [`NgParams::checkpoint_interval`] cadence, and finality advances with the
+    /// tip. Drivers with a datadir (the TCP daemon) call this; SimNet never does.
+    ///
+    /// [`NgParams::checkpoint_interval`]: ng_core::params::NgParams
+    pub fn set_storage(&mut self, storage: Box<dyn ng_storage::ChainStorage>) {
+        self.node.chain_mut().track_newly_stored(true);
+        self.storage = Some(storage);
+    }
+
+    /// The durable backend, for driver-side inspection (crash tests read file
+    /// positions through this).
+    pub fn storage_mut(&mut self) -> Option<&mut Box<dyn ng_storage::ChainStorage>> {
+        self.storage.as_mut()
     }
 
     /// Installs a signature [`ng_chain::sigcache::BatchExecutor`] on the ledger
@@ -769,19 +908,38 @@ impl Engine {
             let target = self.node.tip();
             match self.view.sync_into(self.node.chain_mut(), target, &mut delta) {
                 Ok(()) => break,
-                Err(error) => {
+                Err(crate::chainstate::SyncError::Connect(error)) => {
                     if let Some((_, delivered)) = from {
                         sender_misbehaved |= error.block == delivered;
                     }
                     effects.push(Effect::Report(ReportEvent::BlockRejected {
                         id: error.block,
                     }));
+                    self.persist_invalidated(&error.block, effects);
                     for gone in self.node.chain_mut().invalidate(&error.block) {
+                        self.orphan_carriers.remove(&gone);
+                    }
+                }
+                Err(crate::chainstate::SyncError::UnwindableBlock { .. }) => {
+                    // A connected block on the reorg path lost its undo record — a
+                    // store corruption, never reachable under the finality/pruning
+                    // discipline. Abandon the branch that requires the impossible
+                    // rewind: invalidating the candidate tip re-selects the best
+                    // tip elsewhere, and the loop converges because each pass
+                    // removes at least one block from the tree.
+                    let gone_tip = self.node.tip();
+                    effects.push(Effect::Report(ReportEvent::BlockRejected {
+                        id: gone_tip,
+                    }));
+                    self.persist_invalidated(&gone_tip, effects);
+                    for gone in self.node.chain_mut().invalidate(&gone_tip) {
                         self.orphan_carriers.remove(&gone);
                     }
                 }
             }
         }
+        self.persist_roll(&delta, effects);
+        self.advance_finality();
         if !delta.is_empty() {
             effects.push(Effect::Report(ReportEvent::LedgerRolled {
                 connected: delta.connected_blocks,
@@ -837,6 +995,171 @@ impl Engine {
                 self.forget_peer(peer);
             }
         }
+    }
+
+    // ---- durable storage ------------------------------------------------------
+
+    fn report_storage_failure(err: ng_storage::StoreError, effects: &mut Vec<Effect>) {
+        effects.push(Effect::Report(ReportEvent::StorageFailed {
+            reason: err.to_string(),
+        }));
+    }
+
+    /// Logs an invalidation to the WAL so recovery never re-adopts the block.
+    fn persist_invalidated(&mut self, id: &Hash256, effects: &mut Vec<Effect>) {
+        let Some(storage) = self.storage.as_mut() else {
+            return;
+        };
+        if let Err(err) = storage.note_invalidated(id) {
+            Self::report_storage_failure(err, effects);
+        }
+    }
+
+    /// Persists everything one completed roll produced, in dependency order:
+    /// newly stored blocks, then the undo records of the connected blocks, then
+    /// the roll commit that references them (the backend flushes data files before
+    /// the commit record — see [`ng_storage::ChainStorage::commit_roll`]). Finally
+    /// writes a snapshot if the checkpoint cadence came due at a key block.
+    fn persist_roll(&mut self, delta: &crate::chainstate::SyncDelta, effects: &mut Vec<Effect>) {
+        if self.storage.is_none() {
+            return;
+        }
+        for id in self.node.chain_mut().drain_newly_stored() {
+            let Some(stored) = self.node.chain().store().get(&id) else {
+                // Inserted, then invalidated before this roll completed: the
+                // WAL's invalidation record (already written) covers it.
+                continue;
+            };
+            let (block, height) = (stored.block.clone(), stored.height);
+            if let Err(err) = self
+                .storage
+                .as_mut()
+                .expect("checked above")
+                .store_block(&block, height)
+            {
+                Self::report_storage_failure(err, effects);
+            }
+        }
+        if delta.is_empty() {
+            return;
+        }
+        for id in &delta.connected_block_ids {
+            // A retried roll can have disconnected (or invalidated) a block it
+            // connected earlier; only blocks with a live undo are re-persisted.
+            let Some(undo) = self.node.chain().undo_of(id) else {
+                continue;
+            };
+            let undo = undo.clone();
+            let height = self.node.chain().store().height_of(id).unwrap_or(0);
+            if let Err(err) = self
+                .storage
+                .as_mut()
+                .expect("checked above")
+                .store_undo(id, height, &undo)
+            {
+                Self::report_storage_failure(err, effects);
+            }
+        }
+        let anchor = self.view.anchor();
+        let anchor_height = self
+            .node
+            .chain()
+            .store()
+            .get(&anchor)
+            .map(|s| s.height)
+            .unwrap_or(0);
+        let roll = ng_storage::RollCommit {
+            anchor,
+            anchor_height,
+            rolling: self.view.commitment(),
+            disconnected: delta.disconnected_block_ids.clone(),
+            connected: delta.connected_block_ids.clone(),
+        };
+        if let Err(err) = self.storage.as_mut().expect("checked above").commit_roll(&roll) {
+            Self::report_storage_failure(err, effects);
+        }
+        self.maybe_checkpoint(anchor, anchor_height, effects);
+    }
+
+    /// Writes a full snapshot / finality checkpoint when the view rests at a key
+    /// block and at least [`NgParams::checkpoint_interval`] heights passed since
+    /// the last one. Anchoring only at key blocks keeps a restored chain's epoch
+    /// context self-contained (the leader entitled to sign above the root is the
+    /// root itself).
+    ///
+    /// [`NgParams::checkpoint_interval`]: ng_core::params::NgParams
+    fn maybe_checkpoint(&mut self, anchor: Hash256, height: u64, effects: &mut Vec<Effect>) {
+        if height < self.last_snapshot_height + self.config.params.checkpoint_interval {
+            return;
+        }
+        let Some(stored) = self.node.chain().store().get(&anchor) else {
+            return;
+        };
+        let Some(root) = stored.block.as_key().cloned() else {
+            return; // mid-epoch; the next key block will carry the checkpoint
+        };
+        let total_work = stored.total_work;
+        let mut entries: Vec<_> = self
+            .view
+            .utxo()
+            .iter()
+            .map(|(outpoint, entry)| (*outpoint, *entry))
+            .collect();
+        entries.sort_unstable_by_key(|(outpoint, _)| *outpoint);
+        let mut confirmed: Vec<_> = self
+            .view
+            .confirmed_counts()
+            .iter()
+            .map(|(txid, count)| (*txid, *count))
+            .collect();
+        confirmed.sort_unstable();
+        let snapshot = ng_storage::Snapshot {
+            root,
+            height,
+            total_work,
+            rolling: self.view.commitment(),
+            sorted: self.view.utxo().commitment(),
+            entries,
+            confirmed,
+        };
+        match self
+            .storage
+            .as_mut()
+            .expect("only called from persist_roll")
+            .store_snapshot(&snapshot)
+        {
+            Ok(()) => {
+                self.last_snapshot_height = height;
+                effects.push(Effect::Report(ReportEvent::CheckpointWritten { height }));
+            }
+            Err(err) => Self::report_storage_failure(err, effects),
+        }
+    }
+
+    /// Advances the finality checkpoint to `tip_height − finality_depth` and
+    /// prunes undo records below it — reorgs that deep are refused at insert time
+    /// ([`ng_chain::error::BlockError::FinalityViolation`]), so their undos can
+    /// never be consumed. Runs for every engine, durable or not: it is what keeps
+    /// a long-lived node's undo map O(finality depth) instead of O(chain length).
+    fn advance_finality(&mut self) {
+        let depth = self.config.params.finality_depth;
+        let tip_height = self.node.chain().store().tip_height();
+        let fin_height = tip_height.saturating_sub(depth);
+        let current = self
+            .node
+            .chain()
+            .finalized()
+            .map(|(height, _)| height)
+            .unwrap_or(0);
+        if fin_height <= current {
+            return;
+        }
+        let tip = self.node.tip();
+        let Some(fin_id) = self.node.chain().store().ancestor_at(&tip, fin_height) else {
+            return;
+        };
+        self.node.chain_mut().set_finalized(&fin_id);
+        self.node.chain_mut().prune_undo(fin_height);
     }
 
     // ---- header sync ----------------------------------------------------------
@@ -1182,6 +1505,68 @@ mod tests {
         assert_eq!(a.utxo_commitment(), b.utxo_commitment());
         assert_eq!(a.mempool_len(), 0, "serialized tx left the mempool");
         assert_eq!(b.mempool_len(), 0, "confirmed tx rolled out of b's pool too");
+    }
+
+    /// A counting [`ng_storage::MemoryStorage`] shared with the test so hook
+    /// invocations stay observable after the engine takes ownership of the box.
+    #[derive(Clone, Debug, Default)]
+    struct SharedMem(std::sync::Arc<std::sync::Mutex<ng_storage::MemoryStorage>>);
+
+    impl ng_storage::ChainStorage for SharedMem {
+        fn store_block(
+            &mut self,
+            block: &ng_core::block::NgBlock,
+            height: u64,
+        ) -> Result<(), ng_storage::StoreError> {
+            self.0.lock().unwrap().store_block(block, height)
+        }
+        fn store_undo(
+            &mut self,
+            id: &Hash256,
+            height: u64,
+            undo: &ng_chain::undo::BlockUndo,
+        ) -> Result<(), ng_storage::StoreError> {
+            self.0.lock().unwrap().store_undo(id, height, undo)
+        }
+        fn commit_roll(&mut self, roll: &ng_storage::RollCommit) -> Result<(), ng_storage::StoreError> {
+            self.0.lock().unwrap().commit_roll(roll)
+        }
+        fn note_invalidated(&mut self, id: &Hash256) -> Result<(), ng_storage::StoreError> {
+            self.0.lock().unwrap().note_invalidated(id)
+        }
+        fn store_snapshot(
+            &mut self,
+            snapshot: &ng_storage::Snapshot,
+        ) -> Result<(), ng_storage::StoreError> {
+            self.0.lock().unwrap().store_snapshot(snapshot)
+        }
+    }
+
+    #[test]
+    fn persistence_hooks_fire_through_the_storage_trait() {
+        let mut a = engine(1);
+        let mem = SharedMem::default();
+        a.set_storage(Box::new(mem.clone()));
+        a.handle(1_000, Input::MineKeyBlock);
+        a.handle(1_100, Input::SubmitTx(Box::new(test_tx(1))));
+        a.handle(
+            1_200,
+            Input::ProduceMicroblock {
+                require_transactions: true,
+            },
+        );
+        let m = mem.0.lock().unwrap();
+        assert_eq!(m.blocks, 2, "key block + microblock persisted");
+        assert_eq!(m.undos, 2, "one undo per connected block");
+        assert_eq!(m.rolls, 2, "one durable commit per completed roll");
+        assert_eq!(m.invalidated, 0);
+        assert_eq!(m.snapshots, 0, "checkpoint cadence (256) not reached at height 2");
+        let roll = m.last_roll.as_ref().expect("microblock roll recorded");
+        assert_eq!(roll.anchor, a.tip());
+        assert_eq!(roll.anchor_height, 2);
+        assert_eq!(roll.connected.len(), 1);
+        assert!(roll.disconnected.is_empty());
+        assert_eq!(roll.rolling, a.chainstate().commitment());
     }
 
     #[test]

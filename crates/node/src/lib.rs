@@ -45,7 +45,7 @@ pub mod report;
 pub mod simnet;
 pub mod testnet;
 
-pub use chainstate::{ChainView, ConnectError, SyncDelta};
+pub use chainstate::{ChainView, ConnectError, SyncDelta, SyncError};
 pub use daemon::{now_ms, spawn, NodeConfig, NodeHandle};
 pub use engine::{Effect, Engine, EngineConfig, Input, ReportEvent};
 pub use ledger::rebuild_utxo;

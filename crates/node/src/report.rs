@@ -44,6 +44,8 @@ pub fn record(counters: &NodeCounters, event: &ReportEvent) {
         ReportEvent::TxAccepted { .. } => counters.txs_accepted.incr(),
         ReportEvent::SyncRequestServed { .. } => counters.sync_requests_served.incr(),
         ReportEvent::SyncBatchReceived { .. } => counters.sync_batches_received.incr(),
+        ReportEvent::StorageFailed { .. } => counters.storage_failures.incr(),
+        ReportEvent::CheckpointWritten { .. } => counters.checkpoints_written.incr(),
     }
 }
 

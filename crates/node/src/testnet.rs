@@ -107,11 +107,23 @@ impl Testnet {
         params: NgParams,
         auto_microblocks: bool,
     ) -> std::io::Result<Testnet> {
+        Self::launch_durable(n, params, auto_microblocks, None)
+    }
+
+    /// Launches `n` nodes; with a datadir, node `i` persists its chain under
+    /// `<datadir>/node-<i>` and recovers from it on relaunch.
+    pub fn launch_durable(
+        n: usize,
+        params: NgParams,
+        auto_microblocks: bool,
+        datadir: Option<&std::path::Path>,
+    ) -> std::io::Result<Testnet> {
         assert!(n >= 1, "a testnet needs at least one node");
         let mut nodes = Vec::with_capacity(n);
         for id in 0..n as u64 {
             let mut config = NodeConfig::loopback(id, params);
             config.auto_microblocks = auto_microblocks;
+            config.datadir = datadir.map(|dir| dir.join(format!("node-{id}")));
             nodes.push(spawn(config)?);
         }
         let net = Testnet { nodes };

@@ -8,7 +8,7 @@
 #                                          # regressed (--assert-fast); writes to a temp
 #                                          # file, never touches the committed snapshot
 #
-# The emitted JSON (schema bench_ledger/v2) holds medians of:
+# The emitted JSON (schema bench_ledger/v3) holds medians of:
 #   * schnorr_sign_us / schnorr_verify_us — one Schnorr signing (fixed-base comb) and
 #     one verification (Strauss–Shamir double-scalar multiplication)
 #   * verify_batch_256_us — 256 signatures checked as one random-linear-combination
@@ -21,7 +21,11 @@
 #   * connect_256tx — the batched+parallel connect vs sequential per-signature
 #     verification, with the measured speedup and the worker count it used
 #   * reorg_depth8_us — an 8-block undo-record rewind + rival-epoch connect
-#   * rebuild_from_genesis_1024_us — the old per-tip-change replay cost, for contrast
+#   * ledger_replay_from_genesis_1024_us — the old per-tip-change in-memory replay
+#     cost, for contrast with the incremental view
+#   * rebuild_from_genesis_1024_us / restart_to_tip_us — cold reopen of a durable
+#     1024-block datadir without vs with UTXO snapshot checkpoints, plus their
+#     ratio (restart_speedup_vs_rebuild); --assert-fast pins the ratio ≥ 5x
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -41,6 +41,9 @@ cargo test -q -p ng_node --test simnet_scenarios
 echo "==> chainstate differential suite (incremental view ≡ rebuild-from-genesis oracle)"
 cargo test -q -p ng_node --test chainstate_equivalence
 
+echo "==> crash-recovery suite (proptest-driven kill/truncate/reopen vs in-memory oracle; scratch datadirs under \$TMPDIR, removed on drop)"
+timeout 300 cargo test -q -p ng_node --test crash_recovery
+
 echo "==> crypto differential suite (comb/wNAF/Strauss/Pippenger/batch ≡ double-and-add oracle)"
 cargo test -q -p ng_crypto --release --test scalar_mul_oracle
 
