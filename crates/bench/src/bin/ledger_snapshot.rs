@@ -2,15 +2,19 @@
 //! the incremental chainstate's microblock-cycle cost, the crypto backend's
 //! sign/verify/batch-verify latencies, the 256-transaction connect comparison
 //! (batched + worker-pool verification vs sequential per-signature verification),
-//! and the durable-store restart comparison (`restart_to_tip_us` — reopen a
+//! the durable-store restart comparison (`restart_to_tip_us` — reopen a
 //! datadir from its newest UTXO snapshot — against `rebuild_from_genesis_1024_us`,
-//! the same reopen with checkpoints disabled so recovery replays every block).
+//! the same reopen with checkpoints disabled so recovery replays every block),
+//! and the cold-sync onboarding comparison (`cold_sync_to_tip_1024_us` — a fresh
+//! node joining an established SimNet via serial download, parallel headers-first
+//! download, or snapshot bootstrap, measured in deterministic simulated time).
 //!
 //! `scripts/bench_snapshot.sh` redirects this into `BENCH_ledger.json` (schema
-//! `bench_ledger/v3`) so the repository tracks the perf trajectory; CI runs a
+//! `bench_ledger/v4`) so the repository tracks the perf trajectory; CI runs a
 //! small-iteration smoke invocation with `--assert-fast`, which fails loudly if the
-//! crypto path regresses towards the pre-comb double-and-add costs or the restart
-//! path degrades towards a full replay.
+//! crypto path regresses towards the pre-comb double-and-add costs, the restart
+//! path degrades towards a full replay, or the fast-sync pipeline loses its
+//! parallel-download and near-flat snapshot-onboarding properties.
 //!
 //! Usage: `ledger_snapshot [--iters N] [--assert-fast]` (default 200 iterations).
 
@@ -355,6 +359,89 @@ fn durable_reopen_us(depth: u64, iters: usize, checkpoint_interval: u64) -> f64 
     median(samples)
 }
 
+/// How the fresh node in [`cold_sync_us`] is allowed to catch up.
+#[derive(Clone, Copy, PartialEq)]
+enum ColdSyncMode {
+    /// One peer, one request in flight — the pre-scheduler sync behaviour.
+    Serial,
+    /// Headers-first download striped across every connected peer.
+    Parallel,
+    /// Assumeutxo-style bootstrap from a pinned checkpoint, then forward sync.
+    Snapshot,
+}
+
+/// Simulated-clock microseconds for a fresh node to cold-sync to the tip of an
+/// established SimNet — the onboarding-latency comparison behind the fast-sync
+/// pipeline. The established chain extends 64 blocks past `depth` and the
+/// snapshot pin anchors exactly at `depth`, so the bootstrap path still
+/// exercises a real forward sync instead of rooting at the tip. Virtual time
+/// (not wall clock) is what onboarding latency means here: it counts link
+/// round-trips and request pipelining, is identical across machines, and is
+/// deterministic per seed — samples vary only across the seeds iterated.
+fn cold_sync_us(depth: u64, mode: ColdSyncMode, iters: usize) -> f64 {
+    use ng_node::engine::SnapshotPin;
+    use ng_node::simnet::{SimConfig, SimNet};
+
+    let tip = depth + 64;
+    let mut samples = Vec::with_capacity(iters);
+    for iter in 0..iters {
+        let mut config = SimConfig::new(3, 40 + iter as u64);
+        config.serve_snapshots = mode == ColdSyncMode::Snapshot;
+        // One checkpoint, exactly at `depth` (the chain then grows past it).
+        config.params.checkpoint_interval = depth;
+        if mode == ColdSyncMode::Serial {
+            config.sync.window = 1;
+        }
+        let mut net = SimNet::new(config);
+        net.connect_mesh(&[0, 1, 2]);
+        net.run(2_000);
+        for h in 0..tip {
+            net.mine_key_block(0);
+            if h % 64 == 63 {
+                net.run(2_000);
+            }
+        }
+        net.run(30_000);
+
+        let pin = (mode == ColdSyncMode::Snapshot).then(|| {
+            let snapshot = net
+                .engine(0)
+                .latest_snapshot()
+                .expect("checkpoint cadence produced a snapshot")
+                .clone();
+            assert_eq!(snapshot.height, depth, "pin anchors at the requested depth");
+            SnapshotPin {
+                height: snapshot.height,
+                root: snapshot.root.id(),
+                sorted: snapshot.sorted,
+            }
+        });
+        let fresh = net.add_node_with(|engine_config| engine_config.snapshot_pin = pin);
+        match mode {
+            ColdSyncMode::Serial => {
+                net.connect(fresh, 0);
+            }
+            _ => {
+                for peer in 0..3 {
+                    net.connect(fresh, peer);
+                }
+            }
+        }
+        let mut virtual_ms = 0u64;
+        while net.engine(fresh).height() < tip {
+            assert!(
+                virtual_ms < 3_600_000,
+                "cold sync exceeded its virtual budget at height {}",
+                net.engine(fresh).height()
+            );
+            net.run(10);
+            virtual_ms += 10;
+        }
+        samples.push(virtual_ms as f64 * 1_000.0);
+    }
+    median(samples)
+}
+
 fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     samples[samples.len() / 2]
@@ -395,9 +482,18 @@ fn main() {
     let (seq_256, inline_256, batched_256, cycle_256, workers) =
         connect_256tx((iters / 20).clamp(3, 10));
     let speedup = seq_256 / batched_256.max(f64::EPSILON);
+    // Virtual time is deterministic per seed, so a couple of seeds suffice.
+    let cold_iters = (iters / 100).clamp(1, 3);
+    let cold_serial = cold_sync_us(1024, ColdSyncMode::Serial, cold_iters);
+    let cold_parallel = cold_sync_us(1024, ColdSyncMode::Parallel, cold_iters);
+    let cold_snapshot = cold_sync_us(1024, ColdSyncMode::Snapshot, cold_iters);
+    let cold_snapshot_128 = cold_sync_us(128, ColdSyncMode::Snapshot, cold_iters);
+    let cold_parallel_speedup = cold_serial / cold_parallel.max(f64::EPSILON);
+    let cold_snapshot_speedup = cold_serial / cold_snapshot.max(f64::EPSILON);
+    let cold_depth_ratio = cold_snapshot / cold_snapshot_128.max(f64::EPSILON);
 
     println!("{{");
-    println!("  \"schema\": \"bench_ledger/v3\",");
+    println!("  \"schema\": \"bench_ledger/v4\",");
     println!("  \"iters\": {iters},");
     println!("  \"schnorr_sign_us\": {sign:.1},");
     println!("  \"schnorr_verify_us\": {verify:.1},");
@@ -422,7 +518,16 @@ fn main() {
     println!("  \"ledger_replay_from_genesis_1024_us\": {replay_1024:.1},");
     println!("  \"rebuild_from_genesis_1024_us\": {rebuild_1024:.1},");
     println!("  \"restart_to_tip_us\": {restart_1024:.1},");
-    println!("  \"restart_speedup_vs_rebuild\": {restart_speedup:.1}");
+    println!("  \"restart_speedup_vs_rebuild\": {restart_speedup:.1},");
+    println!("  \"cold_sync_to_tip_1024_us\": {{");
+    println!("    \"serial_us\": {cold_serial:.1},");
+    println!("    \"parallel_us\": {cold_parallel:.1},");
+    println!("    \"snapshot_us\": {cold_snapshot:.1},");
+    println!("    \"parallel_speedup_vs_serial\": {cold_parallel_speedup:.2},");
+    println!("    \"snapshot_speedup_vs_serial\": {cold_snapshot_speedup:.2},");
+    println!("    \"snapshot_128_us\": {cold_snapshot_128:.1},");
+    println!("    \"snapshot_depth_ratio\": {cold_depth_ratio:.3}");
+    println!("  }}");
     println!("}}");
 
     if assert_fast {
@@ -470,6 +575,28 @@ fn main() {
             failures.push(format!(
                 "restart_to_tip_us {restart_1024:.1} is not at least 5x faster than \
                  rebuild_from_genesis_1024_us {rebuild_1024:.1}"
+            ));
+        }
+        // Cold-sync times are simulated-clock and therefore machine-independent:
+        // a violation is a real pipeline regression, never jitter. The parallel
+        // download must beat the one-request-at-a-time walk by a wide margin,
+        // the snapshot bootstrap must beat the full download, and snapshot cold
+        // start must stay near-flat in chain length (the ~2x acceptance bound).
+        if cold_parallel_speedup < 4.0 {
+            failures.push(format!(
+                "cold_sync parallel_speedup_vs_serial {cold_parallel_speedup:.2} < 4.0"
+            ));
+        }
+        if cold_snapshot > cold_parallel {
+            failures.push(format!(
+                "cold_sync snapshot_us {cold_snapshot:.1} is slower than the full \
+                 parallel download {cold_parallel:.1}"
+            ));
+        }
+        if cold_depth_ratio > 2.0 {
+            failures.push(format!(
+                "cold_sync snapshot_depth_ratio {cold_depth_ratio:.3} > 2.0: \
+                 snapshot cold start is no longer near-flat in chain length"
             ));
         }
         if !failures.is_empty() {

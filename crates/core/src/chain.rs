@@ -529,12 +529,27 @@ impl NgChainState {
                     if self.track_stored {
                         self.newly_stored.push(child_id);
                     }
-                    // Keep the most informative outcome: a later reorg supersedes.
+                    // Keep the most informative outcome: a later tip move
+                    // supersedes — but an adopted child that merely *extends* a
+                    // tip the parent's insert already moved reports no reorg of
+                    // its own, and must not erase the one recorded when the tip
+                    // left the old branch (observers key "did blocks leave the
+                    // main chain" off this field).
                     if let InsertOutcome::Accepted {
-                        tip_changed: true, ..
-                    } = &child_outcome
+                        tip_changed: true,
+                        reorg: child_reorg,
+                        also_connected,
+                    } = child_outcome
                     {
-                        outcome = child_outcome;
+                        let prior_reorg = match outcome {
+                            InsertOutcome::Accepted { reorg, .. } => reorg,
+                            _ => None,
+                        };
+                        outcome = InsertOutcome::Accepted {
+                            tip_changed: true,
+                            reorg: child_reorg.or(prior_reorg),
+                            also_connected,
+                        };
                     }
                     newly_connected.push(child_id);
                 }
@@ -923,6 +938,64 @@ mod tests {
             chain.insert(NgBlock::Micro(m3), 5_000),
             Err(BlockError::KnownInvalid(m1.id()))
         );
+    }
+
+    #[test]
+    fn adopted_child_extension_does_not_erase_the_parents_reorg() {
+        // Regression: a rival key block ties with the local branch's tip and wins
+        // the random tie-break, moving the tip (a reorg). Its child, waiting in
+        // the pending buffer, is then adopted and merely *extends* the new tip —
+        // reporting no reorg of its own. The adoption merge must not let that
+        // later outcome erase the reorg recorded when the tip left the local
+        // branch: over a real network the child routinely arrives first, and
+        // observers key "did blocks leave the main chain" off the merged flag.
+        //
+        // First find a tie-break seed where the rival wins the tie (both outcomes
+        // are legal; the bug only fired on this one).
+        let mut chosen = None;
+        for seed in 0..64 {
+            let mut chain = NgChainState::new(params(), seed);
+            let kb1 = make_key_block(&chain, 1, chain.genesis_id(), 1_000);
+            chain.insert(NgBlock::Key(kb1.clone()), 1_000).unwrap();
+            let m1 = make_microblock(1, kb1.id(), 2_000, 0);
+            chain.insert(NgBlock::Micro(m1.clone()), 2_000).unwrap();
+            let kb2 = make_key_block(&chain, 2, m1.id(), 3_000);
+            chain.insert(NgBlock::Key(kb2.clone()), 3_000).unwrap();
+            let m2 = make_microblock(2, kb2.id(), 4_000, 0);
+            chain.insert(NgBlock::Micro(m2.clone()), 4_000).unwrap();
+            assert_eq!(chain.tip(), m2.id());
+            let rival_a = make_key_block(&chain, 3, m1.id(), 3_500);
+            chain.insert(NgBlock::Key(rival_a.clone()), 3_500).unwrap();
+            if chain.tip() == rival_a.id() {
+                let rival_b = make_key_block(&chain, 4, rival_a.id(), 4_500);
+                chosen = Some((seed, kb1, m1, kb2, m2, rival_a, rival_b));
+                break;
+            }
+        }
+        let (seed, kb1, m1, kb2, m2, rival_a, rival_b) =
+            chosen.expect("some seed lets the rival win the tie");
+
+        // Replay with the rival's child arriving before its parent.
+        let mut chain = NgChainState::new(params(), seed);
+        chain.insert(NgBlock::Key(kb1), 1_000).unwrap();
+        chain.insert(NgBlock::Micro(m1), 2_000).unwrap();
+        chain.insert(NgBlock::Key(kb2.clone()), 3_000).unwrap();
+        chain.insert(NgBlock::Micro(m2.clone()), 4_000).unwrap();
+        assert!(matches!(
+            chain.insert(NgBlock::Key(rival_b.clone()), 4_500),
+            Ok(InsertOutcome::Orphaned { .. })
+        ));
+        match chain.insert(NgBlock::Key(rival_a), 4_600).unwrap() {
+            InsertOutcome::Accepted {
+                tip_changed, reorg, ..
+            } => {
+                assert!(tip_changed);
+                let reorg = reorg.expect("blocks left the main chain");
+                assert_eq!(reorg.disconnected, vec![m2.id(), kb2.id()]);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert_eq!(chain.tip(), rival_b.id(), "the adopted child is the new tip");
     }
 
     #[test]

@@ -81,6 +81,16 @@ pub struct NodeCounters {
     pub storage_failures: Counter,
     /// UTXO snapshots / finality checkpoints written to durable storage.
     pub checkpoints_written: Counter,
+    /// Checkpoint snapshots served to bootstrapping peers.
+    pub snapshots_served: Counter,
+    /// Checkpoint snapshots verified against the pin and applied (bootstrap).
+    pub snapshots_applied: Counter,
+    /// Served snapshots that failed the pinned-commitment check and were refused.
+    pub snapshots_rejected: Counter,
+    /// Peers evicted from download duty for stalling (timeouts over the cap).
+    pub sync_peers_evicted: Counter,
+    /// Historical blocks fetched by background backfill below a snapshot root.
+    pub backfill_blocks: Counter,
 }
 
 impl NodeCounters {
@@ -113,6 +123,11 @@ impl NodeCounters {
             peers_misbehaved: self.peers_misbehaved.get(),
             storage_failures: self.storage_failures.get(),
             checkpoints_written: self.checkpoints_written.get(),
+            snapshots_served: self.snapshots_served.get(),
+            snapshots_applied: self.snapshots_applied.get(),
+            snapshots_rejected: self.snapshots_rejected.get(),
+            sync_peers_evicted: self.sync_peers_evicted.get(),
+            backfill_blocks: self.backfill_blocks.get(),
         }
     }
 }
@@ -162,6 +177,16 @@ pub struct CounterSnapshot {
     pub storage_failures: u64,
     /// UTXO snapshots / finality checkpoints written.
     pub checkpoints_written: u64,
+    /// Checkpoint snapshots served to bootstrapping peers.
+    pub snapshots_served: u64,
+    /// Checkpoint snapshots verified and applied (bootstrap).
+    pub snapshots_applied: u64,
+    /// Served snapshots refused by the pinned-commitment check.
+    pub snapshots_rejected: u64,
+    /// Peers evicted from download duty for stalling.
+    pub sync_peers_evicted: u64,
+    /// Historical blocks fetched by background backfill.
+    pub backfill_blocks: u64,
 }
 
 #[cfg(test)]

@@ -77,6 +77,16 @@ impl GossipRelay {
         self.objects.get(id)
     }
 
+    /// Stores an object **without** announcing it. Background backfill uses this:
+    /// historical blocks fetched below a snapshot root must become servable (peers
+    /// `getdata` them during their own sync) but are old news to the network — an
+    /// `inv` storm for thousand-block history would be pure noise.
+    pub fn store_object(&mut self, carrier: Message) {
+        if let Some(inv) = carrier.carried_inventory() {
+            self.objects.insert(inv.id, carrier);
+        }
+    }
+
     /// Called when the local node learns a new object (it mined/produced it, or a peer
     /// delivered it and validation succeeded). Stores the object and returns the `inv`
     /// announcements to send to every other ready peer that does not know it yet.

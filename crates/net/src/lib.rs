@@ -15,8 +15,10 @@
 //! * [`peer`] — the per-connection state machine (handshake, inventory bookkeeping).
 //! * [`gossip`] — the node-level relay: what to send to whom when a block or
 //!   transaction first becomes known.
-//! * [`sync`] — block locators and batched header serving for catching up with peers
-//!   that are ahead (fresh nodes, partition healing).
+//! * [`sync`] — block locators, batched header serving, and the multi-peer download
+//!   scheduler (headers-first walks, windowed parallel block download with request
+//!   timeouts and stalling-peer eviction) for catching up with peers that are ahead
+//!   (fresh nodes, partition healing).
 //! * [`tcp`] — a small blocking TCP transport (std::net + threads) used by the
 //!   examples and the `ng_node` daemon; the discrete-event simulator in `ng-sim` is
 //!   used for large-scale runs.
@@ -35,7 +37,9 @@ pub use codec::{CodecError, FrameCodec};
 pub use gossip::{GossipAction, GossipRelay};
 pub use message::{InvItem, InvKind, Message, ProtocolKind};
 pub use peer::{Peer, PeerAction, PeerError, PeerState};
+pub use message::WireSnapshot;
 pub use sync::{
-    build_locator, ids_after_locator, locate_fork_index, HeaderRecord, PeerSyncState, SyncStep,
+    build_locator, ids_after_locator, locate_fork_index, HeaderRecord, SyncCommand, SyncConfig,
+    SyncScheduler,
 };
 pub use tcp::{TcpEndpoint, TcpEvent};

@@ -7,8 +7,10 @@
 
 use crate::sync::HeaderRecord;
 use ng_baseline::btc_block::BtcBlock;
-use ng_chain::transaction::Transaction;
+use ng_chain::transaction::{OutPoint, Transaction};
+use ng_chain::utxo::UtxoEntry;
 use ng_core::block::{KeyBlock, MicroBlock};
+use ng_crypto::pow::Work;
 use ng_crypto::sha256::Hash256;
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +52,26 @@ impl InvItem {
     }
 }
 
+/// A full UTXO checkpoint snapshot on the wire — the unit of assumeutxo-style
+/// bootstrap. Mirrors `ng_storage::Snapshot` (the two crates do not depend on each
+/// other; the engine converts). The receiver trusts **nothing** in it beyond what
+/// its pinned checkpoint commits to: it recomputes both UTXO commitments from
+/// `entries` and verifies them (and the root block id) against the pin before
+/// rooting a chain here.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireSnapshot {
+    /// The key block the snapshot is anchored at.
+    pub root: KeyBlock,
+    /// The anchor's height on the server's main chain.
+    pub height: u64,
+    /// Total chain work from genesis to the anchor inclusive.
+    pub total_work: Work,
+    /// Every live UTXO entry at the anchor.
+    pub entries: Vec<(OutPoint, UtxoEntry)>,
+    /// Confirmed-transaction refcounts at the anchor.
+    pub confirmed: Vec<(Hash256, u32)>,
+}
+
 /// A message exchanged between two peers.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Message {
@@ -89,6 +111,15 @@ pub enum Message {
     /// Header-sync response: main-chain blocks after the locator's fork point, oldest
     /// first. A batch shorter than the requested limit means the tip was reached.
     Headers(Vec<HeaderRecord>),
+    /// Bootstrap request: serve the checkpoint snapshot anchored at exactly this
+    /// height (the requester's pinned checkpoint).
+    GetSnapshot {
+        /// Anchor height of the wanted snapshot.
+        height: u64,
+    },
+    /// Bootstrap response: the requested snapshot, or `None` if the server holds no
+    /// snapshot at that height.
+    Snapshot(Option<Box<WireSnapshot>>),
     /// Keepalive probe.
     Ping(u64),
     /// Keepalive response (echoes the probe nonce).
@@ -109,6 +140,8 @@ impl Message {
             Message::Tx(_) => "tx",
             Message::GetHeaders { .. } => "getheaders",
             Message::Headers(_) => "headers",
+            Message::GetSnapshot { .. } => "getsnapshot",
+            Message::Snapshot(_) => "snapshot",
             Message::Ping(_) => "ping",
             Message::Pong(_) => "pong",
         }
@@ -195,6 +228,19 @@ mod tests {
                 kind: InvKind::KeyBlock,
                 height: 7,
             }]),
+            Message::GetSnapshot { height: 256 },
+            Message::Snapshot(None),
+            {
+                let mut node = NgNode::new(3, NgParams::default(), 3);
+                let root = node.mine_and_adopt_key_block(500);
+                Message::Snapshot(Some(Box::new(WireSnapshot {
+                    root,
+                    height: 256,
+                    total_work: ng_crypto::pow::Work::ZERO,
+                    entries: vec![],
+                    confirmed: vec![(sha256(b"tx"), 1)],
+                })))
+            },
             Message::Ping(99),
             Message::Pong(99),
         ];

@@ -176,6 +176,14 @@ impl Peer {
         }
     }
 
+    /// Drops an outstanding request so it can be re-issued. The download scheduler
+    /// calls this when a request passes its deadline: the original `getdata` (or its
+    /// reply) may have been lost on the wire, and without clearing the in-flight
+    /// entry the dedup in [`Self::request`] would suppress every retry forever.
+    pub fn forget_request(&mut self, id: &Hash256) {
+        self.in_flight.remove(id);
+    }
+
     /// Feeds one incoming message to the state machine.
     pub fn on_message(&mut self, message: Message, best_height: u64, now_ms: u64) -> Vec<PeerAction> {
         match self.state {
@@ -271,8 +279,9 @@ impl Peer {
                     .map(PeerAction::Announced)
                     .collect()
             }
-            sync @ Message::GetHeaders { .. } => {
-                // The caller owns the chain; surface the request for it to serve.
+            sync @ (Message::GetHeaders { .. } | Message::GetSnapshot { .. } | Message::Snapshot(_)) => {
+                // The caller owns the chain and the snapshot store; surface the
+                // request (or the served snapshot) for it to handle.
                 vec![PeerAction::Deliver(sync)]
             }
             Message::Headers(records) => {

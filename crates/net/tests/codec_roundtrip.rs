@@ -15,8 +15,11 @@ use ng_crypto::keys::KeyPair;
 use ng_crypto::pow::Target;
 use ng_crypto::sha256::sha256;
 use ng_crypto::signer::{SchnorrSigner, Signer};
+use ng_chain::transaction::TxOutput;
+use ng_chain::utxo::UtxoEntry;
+use ng_crypto::pow::Work;
 use ng_net::codec::{CodecError, FrameCodec, HEADER_LEN};
-use ng_net::message::{InvItem, InvKind, Message, ProtocolKind};
+use ng_net::message::{InvItem, InvKind, Message, ProtocolKind, WireSnapshot};
 use ng_net::sync::HeaderRecord;
 use proptest::prelude::*;
 
@@ -75,7 +78,7 @@ fn every_variant(seed: u64) -> Vec<Message> {
         ]),
         Message::GetData(vec![InvItem::new(InvKind::KeyBlock, sha256(&seed.to_le_bytes()))]),
         Message::Block(Box::new(btc)),
-        Message::KeyBlock(Box::new(key_block)),
+        Message::KeyBlock(Box::new(key_block.clone())),
         Message::MicroBlock(Box::new(micro)),
         Message::Tx(Box::new(tx)),
         Message::GetHeaders {
@@ -98,6 +101,36 @@ fn every_variant(seed: u64) -> Vec<Message> {
                 })
                 .collect(),
         ),
+        Message::GetSnapshot {
+            height: seed % 2_048,
+        },
+        Message::Snapshot(if seed.is_multiple_of(3) {
+            None
+        } else {
+            Some(Box::new(WireSnapshot {
+                root: key_block,
+                height: seed % 2_048,
+                total_work: Work::ZERO,
+                entries: (0..seed % 5)
+                    .map(|i| {
+                        (
+                            OutPoint::new(sha256(&(seed + i).to_le_bytes()), i as u32),
+                            UtxoEntry {
+                                output: TxOutput {
+                                    amount: Amount::from_sats(1 + seed + i),
+                                    address: KeyPair::from_id(seed + i).address(),
+                                },
+                                height: i,
+                                coinbase: i.is_multiple_of(2),
+                            },
+                        )
+                    })
+                    .collect(),
+                confirmed: (0..seed % 4)
+                    .map(|i| (sha256(&(seed ^ i).to_le_bytes()), 1 + i as u32))
+                    .collect(),
+            }))
+        }),
         Message::Ping(seed),
         Message::Pong(seed.wrapping_mul(31)),
     ]
@@ -111,7 +144,7 @@ fn every_message_variant_is_covered() {
         commands,
         vec![
             "version", "verack", "inv", "getdata", "block", "keyblock", "microblock",
-            "tx", "getheaders", "headers", "ping", "pong"
+            "tx", "getheaders", "headers", "getsnapshot", "snapshot", "ping", "pong"
         ]
     );
 }

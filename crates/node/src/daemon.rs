@@ -70,6 +70,15 @@ pub struct NodeConfig {
     /// Issue `fsync` after every durable commit (survives power loss, not just
     /// process death). Only meaningful with `datadir`.
     pub fsync: bool,
+    /// Download-scheduler knobs: per-peer in-flight window, request timeout,
+    /// strikes before a stalling peer is evicted from download duty.
+    pub sync: ng_net::sync::SyncConfig,
+    /// Trusted snapshot pin. When set on a fresh node, bootstrap by fetching the
+    /// pinned checkpoint from a peer instead of replaying the whole chain.
+    pub snapshot_pin: Option<crate::engine::SnapshotPin>,
+    /// Keep the latest checkpoint in memory and answer `getsnapshot` even without
+    /// a datadir (nodes with a datadir always serve from storage).
+    pub serve_snapshots: bool,
 }
 
 impl NodeConfig {
@@ -84,6 +93,9 @@ impl NodeConfig {
             header_batch: DEFAULT_HEADER_BATCH,
             datadir: None,
             fsync: false,
+            sync: ng_net::sync::SyncConfig::default(),
+            snapshot_pin: None,
+            serve_snapshots: false,
         }
     }
 
@@ -95,6 +107,9 @@ impl NodeConfig {
             tie_break_seed: self.tie_break_seed,
             auto_microblocks: self.auto_microblocks,
             header_batch: self.header_batch,
+            sync: self.sync,
+            snapshot_pin: self.snapshot_pin,
+            serve_snapshots: self.serve_snapshots,
         }
     }
 }
@@ -301,6 +316,7 @@ impl Daemon {
                     }
                 }
                 Effect::SetTimer { deadline_ms } => self.deadline_ms = Some(deadline_ms),
+                Effect::ClearTimer => self.deadline_ms = None,
                 Effect::Disconnect { peer } => {
                     // No disconnect counter bump here: closing the socket makes the
                     // reader thread emit `TcpEvent::Disconnected`, which counts it.

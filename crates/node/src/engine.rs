@@ -12,11 +12,13 @@
 //!   configurable latency, loss, and partitions (deterministic scenario testing).
 //!
 //! Everything the daemon used to interleave with its event loop lives here: the
-//! version handshake (via [`ng_net::peer::Peer`]), locator-based header/block sync
-//! (via [`ng_net::sync::PeerSyncState`]), `inv`/`getdata` gossip (via
-//! [`ng_net::GossipRelay`]), leader microblock streaming from the mempool, fork-choice
-//! reorg handling over the replayed UTXO ledger view, and poison-evidence
-//! construction hooks exposed by the underlying [`NgNode`].
+//! version handshake (via [`ng_net::peer::Peer`]), headers-first multi-peer sync
+//! with windowed parallel block download (via [`ng_net::sync::SyncScheduler`]),
+//! assumeutxo-style snapshot bootstrap against a pinned checkpoint
+//! ([`SnapshotPin`]) with background history backfill, `inv`/`getdata` gossip (via
+//! [`ng_net::GossipRelay`]), leader microblock streaming from the mempool,
+//! fork-choice reorg handling over the replayed UTXO ledger view, and
+//! poison-evidence construction hooks exposed by the underlying [`NgNode`].
 //!
 //! Determinism contract: for a fixed [`EngineConfig`], an identical sequence of
 //! `(now_ms, Input)` pairs produces an identical sequence of effects, byte for byte.
@@ -34,12 +36,15 @@ use ng_core::block::NgBlock;
 use ng_core::node::NgNode;
 use ng_core::params::NgParams;
 use ng_crypto::sha256::Hash256;
-use ng_net::message::{InvItem, InvKind, Message, ProtocolKind};
+use ng_net::message::{InvItem, InvKind, Message, ProtocolKind, WireSnapshot};
 use ng_net::peer::{Peer, PeerAction};
-use ng_net::sync::{ids_after_locator, HeaderRecord, PeerSyncState, SyncStep, DEFAULT_HEADER_BATCH};
+use ng_net::sync::{
+    build_locator, ids_after_locator, HeaderRecord, SyncCommand, SyncConfig, SyncScheduler,
+    DEFAULT_HEADER_BATCH,
+};
 use ng_net::GossipRelay;
 use serde::Serialize;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Static configuration of one engine (the protocol-relevant subset of the old
 /// daemon config — no addresses, no tick rates).
@@ -60,6 +65,17 @@ pub struct EngineConfig {
     pub auto_microblocks: bool,
     /// Maximum header records requested/served per sync batch.
     pub header_batch: u32,
+    /// Download-scheduler knobs: per-peer in-flight windows, request timeouts,
+    /// stalling-peer eviction.
+    pub sync: SyncConfig,
+    /// When set, a fresh engine bootstraps by fetching the checkpoint snapshot the
+    /// pin commits to (instead of downloading the whole chain), roots its chain at
+    /// the pinned anchor, and backfills the history below it in the background.
+    pub snapshot_pin: Option<SnapshotPin>,
+    /// Serve checkpoint snapshots to bootstrapping peers even without durable
+    /// storage: the checkpoint cadence keeps the newest snapshot in memory. Nodes
+    /// with a durable backend serve from disk regardless of this flag.
+    pub serve_snapshots: bool,
 }
 
 impl EngineConfig {
@@ -71,8 +87,27 @@ impl EngineConfig {
             tie_break_seed: 0,
             auto_microblocks: false,
             header_batch: DEFAULT_HEADER_BATCH,
+            sync: SyncConfig::default(),
+            snapshot_pin: None,
+            serve_snapshots: false,
         }
     }
+}
+
+/// A trusted checkpoint pin for snapshot bootstrap (assumeutxo-style). Obtained
+/// out of band — shipped with the binary, operator-configured — exactly like
+/// Bitcoin Core's `assumeutxo` hashes. The engine refuses any served snapshot
+/// whose anchor height, anchor block id, or **recomputed** sorted UTXO commitment
+/// disagrees with the pin, so a Byzantine server can withhold a snapshot but never
+/// substitute a forged ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotPin {
+    /// Anchor height of the pinned checkpoint.
+    pub height: u64,
+    /// Block id of the anchor key block.
+    pub root: Hash256,
+    /// Sorted (collision-resistant) UTXO commitment at the anchor.
+    pub sorted: Hash256,
 }
 
 /// Everything that can happen to an engine. Connection events and decoded wire
@@ -137,6 +172,11 @@ pub enum Effect {
         /// Absolute deadline in the driver's `now_ms` timebase.
         deadline_ms: u64,
     },
+    /// Disarm the wakeup timer: every deadline the engine was waiting on has been
+    /// satisfied. Without this, a sync request's timeout would fire a pointless
+    /// `Tick` long after the reply arrived (and keep SimNet scenarios from going
+    /// quiescent inside their virtual-time budgets).
+    ClearTimer,
     /// Close the connection (the engine has already forgotten the peer).
     Disconnect {
         /// Connection key to close.
@@ -236,6 +276,32 @@ pub enum ReportEvent {
         /// Anchor height of the snapshot.
         height: u64,
     },
+    /// A checkpoint snapshot was served to a bootstrapping peer.
+    SnapshotServed {
+        /// Requesting connection key.
+        peer: u64,
+    },
+    /// A served snapshot passed the pinned-commitment checks and rooted the chain.
+    SnapshotApplied {
+        /// Anchor height of the applied snapshot.
+        height: u64,
+    },
+    /// A served snapshot contradicted the pin and was refused.
+    SnapshotRejected {
+        /// The serving connection key (disconnected for it).
+        peer: u64,
+    },
+    /// A peer accumulated too many request timeouts and was evicted from download
+    /// duty (the connection itself stays up — gossip still flows).
+    SyncPeerEvicted {
+        /// The evicted connection key.
+        peer: u64,
+    },
+    /// The background backfill below a snapshot root fetched all of history.
+    BackfillCompleted {
+        /// Blocks fetched by the backfill.
+        blocks: u64,
+    },
 }
 
 /// Cap on stashed orphan carriers (a misbehaving peer could otherwise grow the
@@ -262,7 +328,9 @@ pub struct Engine {
     /// ids are skipped during eviction and compacted periodically).
     orphan_order: std::collections::VecDeque<Hash256>,
     relay: GossipRelay,
-    sync: HashMap<u64, PeerSyncState>,
+    /// Multi-peer sync: concurrent header walks plus the windowed parallel block
+    /// download scheduler (request deadlines, retry-on-another-peer, eviction).
+    sync: SyncScheduler,
     /// Every registered connection key (ready or not).
     peers: HashSet<u64>,
     /// The deadline of the last `SetTimer` effect emitted, to avoid re-arming the
@@ -276,6 +344,56 @@ pub struct Engine {
     storage: Option<Box<dyn ng_storage::ChainStorage>>,
     /// Height of the last snapshot written, gating the checkpoint cadence.
     last_snapshot_height: u64,
+    /// Newest checkpoint snapshot held in memory — what `getsnapshot` requests are
+    /// served from (falling back to `storage.latest_snapshot()`). Filled by the
+    /// checkpoint cadence and by a successfully applied bootstrap snapshot.
+    latest_snapshot: Option<ng_storage::Snapshot>,
+    /// In-progress snapshot bootstrap; `None` once decided (applied, or fallen
+    /// back to a full block download).
+    bootstrap: Option<BootstrapState>,
+    /// In-progress background backfill of the history below a snapshot root.
+    backfill: Option<BackfillState>,
+    /// Height of the chain root: 0 on a genesis-rooted chain, the pin height after
+    /// a snapshot bootstrap. Forward sync ignores header records at or below it —
+    /// they can never connect; the backfill owns that range.
+    root_height: u64,
+}
+
+/// Progress of a snapshot bootstrap: ask one ready peer at a time for the pinned
+/// snapshot; fall back to a full block download once every ready peer was tried.
+#[derive(Debug)]
+struct BootstrapState {
+    /// The trusted checkpoint the served snapshot must match.
+    pin: SnapshotPin,
+    /// Peers already asked (whether they answered or not).
+    tried: BTreeSet<u64>,
+    /// Outstanding request: `(peer, deadline_ms)`.
+    waiting: Option<(u64, u64)>,
+}
+
+/// Progress of the background history backfill below a snapshot root: a
+/// sequential header walk from genesis toward the root against one peer at a
+/// time, bodies fetched batch by batch. Fetched blocks are stored and made
+/// servable, never connected — they sit below the root.
+#[derive(Debug)]
+struct BackfillState {
+    /// The snapshot root height; everything strictly below it is fetched.
+    target: u64,
+    /// The peer currently serving the walk.
+    peer: u64,
+    /// Deadline of the outstanding request (headers or bodies); expiry rotates
+    /// the walk to the next ready peer.
+    deadline: u64,
+    /// A `getheaders` is out and its reply pending.
+    awaiting_headers: bool,
+    /// Requested bodies not yet delivered: id → (height, kind).
+    expected: HashMap<Hash256, (u64, InvKind)>,
+    /// Id of the last header record fetched (leads the next locator).
+    cursor: Option<Hash256>,
+    /// The header walk reached the root; finish once `expected` drains.
+    exhausted: bool,
+    /// Blocks fetched so far.
+    fetched: u64,
 }
 
 impl Engine {
@@ -286,6 +404,12 @@ impl Engine {
         config.header_batch = config.header_batch.clamp(1, 4096);
         let node = NgNode::new(config.id, config.params, config.tie_break_seed);
         let view = ChainView::new(&config.params, node.chain().genesis_id());
+        let bootstrap = config.snapshot_pin.map(|pin| BootstrapState {
+            pin,
+            tried: BTreeSet::new(),
+            waiting: None,
+        });
+        let sync = SyncScheduler::new(config.sync);
         Engine {
             config,
             node,
@@ -294,11 +418,15 @@ impl Engine {
             orphan_carriers: HashMap::new(),
             orphan_order: std::collections::VecDeque::new(),
             relay: GossipRelay::new(),
-            sync: HashMap::new(),
+            sync,
             peers: HashSet::new(),
             last_timer: None,
             storage: None,
             last_snapshot_height: 0,
+            latest_snapshot: None,
+            bootstrap,
+            backfill: None,
+            root_height: 0,
         }
     }
 
@@ -332,6 +460,7 @@ impl Engine {
             invalidated,
             last_roll: _,
         } = recovery;
+        let root_height = root.as_ref().map(|snap| snap.height).unwrap_or(0);
         let node = match root {
             Some(snap) => {
                 let chain = ng_core::chain::NgChainState::from_root(
@@ -347,6 +476,7 @@ impl Engine {
         };
         // Placeholder view; replaced below once the replayed store exists.
         let placeholder = ChainView::new(&config.params, Hash256::ZERO);
+        let sync = SyncScheduler::new(config.sync);
         let mut engine = Engine {
             config,
             node,
@@ -355,11 +485,17 @@ impl Engine {
             orphan_carriers: HashMap::new(),
             orphan_order: std::collections::VecDeque::new(),
             relay: GossipRelay::new(),
-            sync: HashMap::new(),
+            sync,
             peers: HashSet::new(),
             last_timer: None,
             storage: None,
             last_snapshot_height: 0,
+            // A restored node already holds its history — a pin never re-bootstraps
+            // an engine that recovered a chain from disk.
+            latest_snapshot: None,
+            bootstrap: None,
+            backfill: None,
+            root_height,
         };
         // 1: replay stored blocks in their original acceptance order. A parent
         // missing because its branch was rooted away (or WAL-invalidated) just
@@ -459,6 +595,9 @@ impl Engine {
             }
         }
         self.autostream(now_ms, &mut effects);
+        // Any input may have freed download windows, expired deadlines, or changed
+        // the bootstrap/backfill state: run one scheduler pass before re-arming.
+        self.drive_sync(now_ms, &mut effects);
         self.arm_timer(now_ms, &mut effects);
         effects
     }
@@ -555,6 +694,49 @@ impl Engine {
         keys
     }
 
+    /// Completed sync block downloads per peer, sorted by peer key. The parallel
+    /// cold-sync tests assert ≥ 2 peers contributed through this.
+    pub fn sync_downloads_by_peer(&self) -> Vec<(u64, u64)> {
+        self.sync.downloads_by_peer()
+    }
+
+    /// Peers evicted from download duty so far.
+    pub fn sync_evictions(&self) -> u64 {
+        self.sync.evictions()
+    }
+
+    /// True while the download scheduler has outstanding work (walks, queued or
+    /// in-flight blocks).
+    pub fn sync_active(&self) -> bool {
+        self.sync.active()
+    }
+
+    /// Blocks the download scheduler still has queued or in flight.
+    pub fn sync_pending(&self) -> usize {
+        self.sync.pending()
+    }
+
+    /// True while a snapshot bootstrap is undecided.
+    pub fn bootstrapping(&self) -> bool {
+        self.bootstrap.is_some()
+    }
+
+    /// True while the background history backfill still runs.
+    pub fn backfilling(&self) -> bool {
+        self.backfill.is_some()
+    }
+
+    /// Height of the chain root (0 on a genesis-rooted chain; the pin height after
+    /// a snapshot bootstrap).
+    pub fn root_height(&self) -> u64 {
+        self.root_height
+    }
+
+    /// The newest checkpoint snapshot held in memory, if any.
+    pub fn latest_snapshot(&self) -> Option<&ng_storage::Snapshot> {
+        self.latest_snapshot.as_ref()
+    }
+
     // ---- connection lifecycle -------------------------------------------------
 
     fn on_connected(&mut self, peer: u64, inbound: bool, now_ms: u64, effects: &mut Vec<Effect>) {
@@ -583,7 +765,17 @@ impl Engine {
     fn forget_peer(&mut self, peer: u64) {
         self.peers.remove(&peer);
         self.relay.remove_peer(peer);
-        self.sync.remove(&peer);
+        self.sync.peer_gone(peer);
+        if let Some(boot) = self.bootstrap.as_mut() {
+            if boot.waiting.is_some_and(|(waiting_on, _)| waiting_on == peer) {
+                boot.waiting = None; // ask the next candidate on the next drive
+            }
+        }
+        if let Some(backfill) = self.backfill.as_mut() {
+            if backfill.peer == peer {
+                backfill.deadline = 0; // rotate to another peer on the next drive
+            }
+        }
     }
 
     // ---- incoming messages ----------------------------------------------------
@@ -597,16 +789,25 @@ impl Engine {
         let mut routable = Vec::new();
         for action in actions {
             match action {
-                PeerAction::HandshakeComplete { node_id, .. } => {
+                PeerAction::HandshakeComplete {
+                    node_id,
+                    best_height,
+                    ..
+                } => {
                     // Flush the handshake replies queued so far, then sync. The sync
                     // is unconditional: after a partition heals, both sides can sit
                     // at the same *height* on different chains (microblocks add
                     // height without work), so heights cannot tell who needs blocks.
                     // A peer that is already in sync just answers with an empty
-                    // headers batch.
+                    // headers batch. While a snapshot bootstrap is undecided the
+                    // walk stays parked — a successful bootstrap would re-root the
+                    // chain and discard anything fetched against genesis.
                     self.flush_routable(peer, std::mem::take(&mut routable), now_ms, effects);
                     effects.push(Effect::Report(ReportEvent::PeerReady { peer, node_id }));
-                    self.start_sync(peer, effects);
+                    self.sync.peer_ready(peer, best_height);
+                    if self.bootstrap.is_none() {
+                        self.sync.request_sync(peer);
+                    }
                 }
                 PeerAction::Disconnect(error) => {
                     effects.push(Effect::Report(ReportEvent::PeerMisbehaved {
@@ -657,11 +858,15 @@ impl Engine {
         match message {
             Message::KeyBlock(kb) => {
                 let carrier = Message::KeyBlock(kb.clone());
-                self.accept_block(Some(from), NgBlock::Key(*kb), carrier, now_ms, effects);
+                if !self.claim_backfill_block(kb.id(), &carrier, effects) {
+                    self.accept_block(Some(from), NgBlock::Key(*kb), carrier, now_ms, effects);
+                }
             }
             Message::MicroBlock(mb) => {
                 let carrier = Message::MicroBlock(mb.clone());
-                self.accept_block(Some(from), NgBlock::Micro(*mb), carrier, now_ms, effects);
+                if !self.claim_backfill_block(mb.id(), &carrier, effects) {
+                    self.accept_block(Some(from), NgBlock::Micro(*mb), carrier, now_ms, effects);
+                }
             }
             Message::Block(b) => {
                 // A Bitcoin-flavour block has no place on an NG chain.
@@ -674,7 +879,13 @@ impl Engine {
                 self.serve_headers(from, &locator, limit, effects);
             }
             Message::Headers(records) => {
-                self.handle_headers(from, records, effects);
+                self.handle_headers(from, records, now_ms, effects);
+            }
+            Message::GetSnapshot { height } => {
+                self.serve_snapshot(from, height, effects);
+            }
+            Message::Snapshot(snapshot) => {
+                self.handle_snapshot(from, snapshot.map(|boxed| *boxed), now_ms, effects);
             }
             _ => {}
         }
@@ -751,6 +962,12 @@ impl Engine {
         effects: &mut Vec<Effect>,
     ) {
         let id = block.id();
+        // Clear any scheduled download of this block no matter which path delivered
+        // it — the assigned peer's reply, a gossip push from a third peer, a
+        // producer's broadcast. The old per-peer bookkeeping only credited the
+        // syncing peer, leaving the in-flight entry stuck (and the block
+        // re-downloaded) whenever gossip won the race.
+        let expected = self.sync.note_delivery(&id);
         match self.node.on_block(block, now_ms) {
             Ok(InsertOutcome::Accepted {
                 tip_changed, reorg, ..
@@ -789,17 +1006,21 @@ impl Engine {
                 // Keep the carrier so the block can be announced and served once its
                 // ancestors arrive (the chain layer adopts it without telling us).
                 self.stash_carrier(id, carrier);
-                // We are missing history; a header sync with the sender fills the gap.
+                // We are missing history; a header walk fills the gap — unless the
+                // scheduler expected this block, in which case its ancestors are
+                // already queued or in flight. The walk nominally targets the
+                // sender, but the scheduler falls back to the best-header peer once
+                // a round with the sender failed: an orphan's direct sender can be
+                // behind (it relayed before syncing itself) or Byzantine.
                 if let Some(from) = from {
-                    self.start_sync(from, effects);
+                    if !expected {
+                        self.sync.request_sync(from);
+                    }
                 }
             }
             Err(_) => {
                 effects.push(Effect::Report(ReportEvent::BlockRejected { id }));
             }
-        }
-        if let Some(from) = from {
-            self.note_sync_delivery(from, id, effects);
         }
     }
 
@@ -941,6 +1162,9 @@ impl Engine {
         self.persist_roll(&delta, effects);
         self.advance_finality();
         if !delta.is_empty() {
+            // Checkpoint on the cadence even without durable storage when this node
+            // serves snapshots: SimNet bootstrap providers keep theirs in memory.
+            self.maybe_checkpoint(effects);
             effects.push(Effect::Report(ReportEvent::LedgerRolled {
                 connected: delta.connected_blocks,
                 disconnected: delta.disconnected_blocks,
@@ -1078,23 +1302,29 @@ impl Engine {
         if let Err(err) = self.storage.as_mut().expect("checked above").commit_roll(&roll) {
             Self::report_storage_failure(err, effects);
         }
-        self.maybe_checkpoint(anchor, anchor_height, effects);
     }
 
     /// Writes a full snapshot / finality checkpoint when the view rests at a key
     /// block and at least [`NgParams::checkpoint_interval`] heights passed since
     /// the last one. Anchoring only at key blocks keeps a restored chain's epoch
     /// context self-contained (the leader entitled to sign above the root is the
-    /// root itself).
+    /// root itself). Runs for durable nodes (the checkpoint is the fast-restart
+    /// root) and for snapshot servers (the checkpoint is what `getsnapshot`
+    /// answers with); a node that is neither skips the O(set size) copy.
     ///
     /// [`NgParams::checkpoint_interval`]: ng_core::params::NgParams
-    fn maybe_checkpoint(&mut self, anchor: Hash256, height: u64, effects: &mut Vec<Effect>) {
-        if height < self.last_snapshot_height + self.config.params.checkpoint_interval {
+    fn maybe_checkpoint(&mut self, effects: &mut Vec<Effect>) {
+        if self.storage.is_none() && !self.config.serve_snapshots {
             return;
         }
+        let anchor = self.view.anchor();
         let Some(stored) = self.node.chain().store().get(&anchor) else {
             return;
         };
+        let height = stored.height;
+        if height < self.last_snapshot_height + self.config.params.checkpoint_interval {
+            return;
+        }
         let Some(root) = stored.block.as_key().cloned() else {
             return; // mid-epoch; the next key block will carry the checkpoint
         };
@@ -1122,18 +1352,16 @@ impl Engine {
             entries,
             confirmed,
         };
-        match self
-            .storage
-            .as_mut()
-            .expect("only called from persist_roll")
-            .store_snapshot(&snapshot)
-        {
-            Ok(()) => {
-                self.last_snapshot_height = height;
-                effects.push(Effect::Report(ReportEvent::CheckpointWritten { height }));
+        if let Some(storage) = self.storage.as_mut() {
+            if let Err(err) = storage.store_snapshot(&snapshot) {
+                // Do not advance the cadence: the next roll retries the write.
+                Self::report_storage_failure(err, effects);
+                return;
             }
-            Err(err) => Self::report_storage_failure(err, effects),
         }
+        self.last_snapshot_height = height;
+        self.latest_snapshot = Some(snapshot);
+        effects.push(Effect::Report(ReportEvent::CheckpointWritten { height }));
     }
 
     /// Advances the finality checkpoint to `tip_height − finality_depth` and
@@ -1162,28 +1390,445 @@ impl Engine {
         self.node.chain_mut().prune_undo(fin_height);
     }
 
-    // ---- header sync ----------------------------------------------------------
+    // ---- sync: headers-first download, snapshot bootstrap, backfill -----------
 
-    fn start_sync(&mut self, peer: u64, effects: &mut Vec<Effect>) {
-        if self.sync.entry(peer).or_default().in_progress() {
-            return; // a sync with this peer is already running
+    /// One scheduler pass, run after every input: drive the snapshot bootstrap
+    /// while it is undecided (header walks stay parked — a successful bootstrap
+    /// re-roots the chain and would discard anything fetched against genesis),
+    /// then execute the download scheduler's commands, then advance the
+    /// background backfill.
+    fn drive_sync(&mut self, now_ms: u64, effects: &mut Vec<Effect>) {
+        self.drive_bootstrap(now_ms, effects);
+        if self.bootstrap.is_some() {
+            return;
         }
-        self.request_headers(peer, effects);
+        // The connect frontier caps how far ahead assignments may run: arrivals
+        // beyond it sit in the bounded orphan buffer until the gap closes.
+        let frontier = self.node.chain().store().tip_height();
+        for command in self.sync.plan(now_ms, frontier) {
+            match command {
+                SyncCommand::RequestHeaders { peer, lead } => {
+                    let mut locator = build_locator(&self.node.chain().store().main_chain());
+                    if let Some(lead) = lead {
+                        locator.insert(0, lead);
+                    }
+                    effects.push(Effect::Send {
+                        peer,
+                        message: Message::GetHeaders {
+                            locator,
+                            limit: self.config.header_batch,
+                        },
+                    });
+                }
+                SyncCommand::RequestBlocks { peer, items } => {
+                    let request = self.relay.peer_mut(peer).and_then(|state| {
+                        // A timed-out request can be re-assigned to the same peer
+                        // (single-peer networks, post-unjam retries); clear the
+                        // connection's in-flight dedup so the getdata re-sends.
+                        for item in &items {
+                            state.forget_request(&item.id);
+                        }
+                        state.request(&items)
+                    });
+                    if let Some(request) = request {
+                        effects.push(Effect::Send {
+                            peer,
+                            message: request,
+                        });
+                    }
+                }
+                SyncCommand::Evicted { peer } => {
+                    effects.push(Effect::Report(ReportEvent::SyncPeerEvicted { peer }));
+                }
+            }
+        }
+        self.drive_backfill(now_ms, effects);
     }
 
-    /// Sends the next `getheaders` for this connection's sync.
-    fn request_headers(&mut self, peer: u64, effects: &mut Vec<Effect>) {
-        let main_chain = self.node.chain().store().main_chain();
-        let state = self.sync.entry(peer).or_default();
-        let locator = state.next_locator(&main_chain);
-        state.request_sent();
+    /// Advances the snapshot bootstrap: ask one ready peer at a time for the
+    /// pinned snapshot, rotate on timeout or an honest miss, and fall back to a
+    /// full parallel block download once every connected peer has been tried.
+    fn drive_bootstrap(&mut self, now_ms: u64, effects: &mut Vec<Effect>) {
+        let Some(boot) = self.bootstrap.as_mut() else {
+            return;
+        };
+        if let Some((_, deadline)) = boot.waiting {
+            if now_ms < deadline {
+                return;
+            }
+            boot.waiting = None; // expired: the candidate never answered
+        }
+        let ready = self.relay.ready_peers();
+        if let Some(candidate) = ready.iter().copied().find(|p| !boot.tried.contains(p)) {
+            boot.tried.insert(candidate);
+            boot.waiting = Some((candidate, now_ms + self.config.sync.request_timeout_ms));
+            let height = boot.pin.height;
+            effects.push(Effect::Send {
+                peer: candidate,
+                message: Message::GetSnapshot { height },
+            });
+            return;
+        }
+        if ready.is_empty() {
+            return; // nobody to ask yet; retried when a handshake completes
+        }
+        // Every connected peer was tried and none served the pin: give up on the
+        // shortcut and sync the whole chain the normal way.
+        self.bootstrap = None;
+        for peer in ready {
+            self.sync.request_sync(peer);
+        }
+    }
+
+    /// Answers a `getsnapshot`. Serves the in-memory checkpoint when it matches
+    /// the requested height, falling back to durable storage; a miss is an honest
+    /// `Snapshot(None)` so the requester moves to its next candidate without
+    /// waiting out a timeout.
+    fn serve_snapshot(&mut self, peer: u64, height: u64, effects: &mut Vec<Effect>) {
+        let snapshot = self
+            .latest_snapshot
+            .as_ref()
+            .filter(|snap| snap.height == height)
+            .cloned()
+            .or_else(|| {
+                self.storage
+                    .as_mut()
+                    .and_then(|storage| storage.latest_snapshot().ok().flatten())
+                    .filter(|snap| snap.height == height)
+            });
+        let reply = snapshot.map(|snap| {
+            Box::new(WireSnapshot {
+                root: snap.root,
+                height: snap.height,
+                total_work: snap.total_work,
+                entries: snap.entries,
+                confirmed: snap.confirmed,
+            })
+        });
+        if reply.is_some() {
+            effects.push(Effect::Report(ReportEvent::SnapshotServed { peer }));
+        }
         effects.push(Effect::Send {
             peer,
-            message: Message::GetHeaders {
-                locator,
-                limit: self.config.header_batch,
-            },
+            message: Message::Snapshot(reply),
         });
+    }
+
+    /// Handles a `snapshot` reply while bootstrapping. Only the candidate the
+    /// bootstrap is currently waiting on is listened to — stray or late replies
+    /// are dropped. A verified snapshot re-roots the chain; a tampered one costs
+    /// the server its connection.
+    fn handle_snapshot(
+        &mut self,
+        from: u64,
+        snapshot: Option<WireSnapshot>,
+        now_ms: u64,
+        effects: &mut Vec<Effect>,
+    ) {
+        let Some(boot) = self.bootstrap.as_mut() else {
+            return;
+        };
+        if boot.waiting.is_none_or(|(peer, _)| peer != from) {
+            return;
+        }
+        boot.waiting = None;
+        let pin = boot.pin;
+        let Some(snapshot) = snapshot else {
+            return; // honest miss; `drive_sync` asks the next candidate
+        };
+        match self.verify_pinned_snapshot(pin, snapshot) {
+            Ok((snapshot, utxo)) => self.apply_snapshot(pin, snapshot, utxo, now_ms, effects),
+            Err(reason) => {
+                // Served bytes that fail the pinned commitment are not a cache
+                // miss but an attempted feed of a forged ledger: cut the cord.
+                effects.push(Effect::Report(ReportEvent::SnapshotRejected { peer: from }));
+                effects.push(Effect::Report(ReportEvent::PeerMisbehaved {
+                    peer: from,
+                    reason,
+                }));
+                effects.push(Effect::Disconnect { peer: from });
+                self.forget_peer(from);
+            }
+        }
+    }
+
+    /// Checks a served snapshot against the configured pin. The commitment is
+    /// recomputed locally from the served entries — nothing the server claims
+    /// about its own UTXO set is trusted, only bytes that hash to the pin.
+    fn verify_pinned_snapshot(
+        &self,
+        pin: SnapshotPin,
+        snapshot: WireSnapshot,
+    ) -> Result<(WireSnapshot, ng_chain::utxo::UtxoSet), String> {
+        if snapshot.height != pin.height {
+            return Err(format!(
+                "snapshot height {} does not match pinned height {}",
+                snapshot.height, pin.height
+            ));
+        }
+        if snapshot.root.id() != pin.root {
+            return Err("snapshot root does not match pinned key block".into());
+        }
+        let mut utxo = ng_chain::utxo::UtxoSet::with_maturity(self.config.params.coinbase_maturity);
+        for (outpoint, entry) in &snapshot.entries {
+            if utxo.insert_unchecked(*outpoint, *entry).is_some() {
+                return Err("snapshot lists a UTXO twice".into());
+            }
+        }
+        if utxo.commitment() != pin.sorted {
+            return Err("snapshot UTXO set does not hash to the pinned commitment".into());
+        }
+        Ok((snapshot, utxo))
+    }
+
+    /// Re-roots the engine at a verified snapshot: the chain restarts from the
+    /// pinned key block as if it were genesis, the ledger view adopts the served
+    /// UTXO set, and the download scheduler starts fresh against the new root.
+    /// History below the root is handed to the background backfill.
+    fn apply_snapshot(
+        &mut self,
+        pin: SnapshotPin,
+        snapshot: WireSnapshot,
+        utxo: ng_chain::utxo::UtxoSet,
+        now_ms: u64,
+        effects: &mut Vec<Effect>,
+    ) {
+        let root = snapshot.root.clone();
+        let chain = ng_core::chain::NgChainState::from_root(
+            self.config.params,
+            self.config.tie_break_seed,
+            root.clone(),
+            snapshot.height,
+            snapshot.total_work,
+        );
+        self.node = NgNode::from_chain(self.config.id, chain);
+        if self.storage.is_some() {
+            self.node.chain_mut().track_newly_stored(true);
+        }
+        let confirmed: HashMap<Hash256, u32> = snapshot.confirmed.iter().copied().collect();
+        self.view = ChainView::restore(&self.config.params, pin.root, utxo, confirmed);
+        self.orphan_carriers.clear();
+        self.orphan_order.clear();
+        self.mempool = Mempool::new();
+        // Keep the applied snapshot in durable-snapshot form: this node can now
+        // serve the same bootstrap to the next fresh joiner.
+        let mut entries = snapshot.entries.clone();
+        entries.sort_unstable_by_key(|(outpoint, _)| *outpoint);
+        let mut confirmed_sorted = snapshot.confirmed.clone();
+        confirmed_sorted.sort_unstable();
+        let stored = ng_storage::Snapshot {
+            root: root.clone(),
+            height: snapshot.height,
+            total_work: snapshot.total_work,
+            rolling: self.view.commitment(),
+            sorted: pin.sorted,
+            entries,
+            confirmed: confirmed_sorted,
+        };
+        if let Some(storage) = self.storage.as_mut() {
+            if let Err(err) = storage.store_block(&NgBlock::Key(root.clone()), snapshot.height) {
+                Self::report_storage_failure(err, effects);
+            }
+            if let Err(err) = storage.store_snapshot(&stored) {
+                Self::report_storage_failure(err, effects);
+            }
+        }
+        self.latest_snapshot = Some(stored);
+        self.last_snapshot_height = snapshot.height;
+        self.root_height = snapshot.height;
+        self.bootstrap = None;
+        // The root block itself must be servable to peers that sync from us.
+        self.relay.store_object(Message::KeyBlock(Box::new(root)));
+        effects.push(Effect::Report(ReportEvent::SnapshotApplied {
+            height: snapshot.height,
+        }));
+        // Everything scheduled so far targeted the genesis root and can never
+        // connect; start clean walks from the snapshot root instead.
+        self.sync.reset_downloads();
+        let ready = self.relay.ready_peers();
+        for peer in &ready {
+            self.sync.request_sync(*peer);
+        }
+        // Background backfill of pre-root history, so this node can serve full
+        // syncs too. Deadline `now` makes the next drive issue the first request.
+        if let Some(first) = ready.first() {
+            self.backfill = Some(BackfillState {
+                target: snapshot.height,
+                peer: *first,
+                deadline: now_ms,
+                awaiting_headers: false,
+                expected: HashMap::new(),
+                cursor: None,
+                exhausted: false,
+                fetched: 0,
+            });
+        }
+    }
+
+    /// Advances the background backfill of pre-root history. The backfill is a
+    /// plain sequential walk — one `getheaders` below the root, then the bodies —
+    /// because it is off the critical path: the node is already at the tip.
+    fn drive_backfill(&mut self, now_ms: u64, effects: &mut Vec<Effect>) {
+        let Some(bf) = self.backfill.as_mut() else {
+            return;
+        };
+        if bf.exhausted && bf.expected.is_empty() && !bf.awaiting_headers {
+            let blocks = bf.fetched;
+            self.backfill = None;
+            effects.push(Effect::Report(ReportEvent::BackfillCompleted { blocks }));
+            return;
+        }
+        let outstanding = bf.awaiting_headers || !bf.expected.is_empty();
+        if outstanding && now_ms < bf.deadline {
+            return;
+        }
+        let ready = self.relay.ready_peers();
+        let Some(first) = ready.first().copied() else {
+            return;
+        };
+        if outstanding {
+            // The current peer missed its deadline: rotate to the next one and
+            // re-issue (the sequential walk tolerates duplicate replies).
+            bf.awaiting_headers = false;
+            bf.peer = ready.iter().copied().find(|p| *p > bf.peer).unwrap_or(first);
+        } else if !ready.contains(&bf.peer) {
+            bf.peer = first;
+        }
+        bf.deadline = now_ms + self.config.sync.request_timeout_ms;
+        let peer = bf.peer;
+        if bf.expected.is_empty() {
+            bf.awaiting_headers = true;
+            let locator = bf.cursor.map(|id| vec![id]).unwrap_or_default();
+            effects.push(Effect::Send {
+                peer,
+                message: Message::GetHeaders {
+                    locator,
+                    limit: self.config.header_batch,
+                },
+            });
+        } else {
+            let mut pending: Vec<(u64, InvItem)> = bf
+                .expected
+                .iter()
+                .map(|(id, (height, kind))| (*height, InvItem::new(*kind, *id)))
+                .collect();
+            pending.sort_unstable_by_key(|(height, item)| (*height, item.id));
+            let items: Vec<InvItem> = pending.into_iter().map(|(_, item)| item).collect();
+            let request = self.relay.peer_mut(peer).and_then(|state| {
+                for item in &items {
+                    state.forget_request(&item.id);
+                }
+                state.request(&items)
+            });
+            if let Some(request) = request {
+                effects.push(Effect::Send {
+                    peer,
+                    message: request,
+                });
+            }
+        }
+    }
+
+    /// Intercepts a `headers` reply that belongs to the backfill walk rather than
+    /// the forward sync. Attribution: a backfill reply starts at or below the
+    /// root height, while forward-sync replies always start above it (honest
+    /// servers fork forward from our rooted locator). Returns true if claimed.
+    fn claim_backfill_headers(
+        &mut self,
+        peer: u64,
+        records: &[HeaderRecord],
+        now_ms: u64,
+        effects: &mut Vec<Effect>,
+    ) -> bool {
+        let Some(bf) = self.backfill.as_mut() else {
+            return false;
+        };
+        if bf.peer != peer || !bf.awaiting_headers {
+            return false;
+        }
+        if records.first().is_some_and(|first| first.height > bf.target) {
+            return false; // starts above the root: that is the forward sync's reply
+        }
+        bf.awaiting_headers = false;
+        let wanted: Vec<&HeaderRecord> =
+            records.iter().filter(|r| r.height < bf.target).collect();
+        if let Some(last) = wanted.last() {
+            bf.cursor = Some(last.id);
+        }
+        // The walk ends when the batch reaches the root (records at or above the
+        // target were filtered out), runs dry, or hits the server's tip early.
+        bf.exhausted |= records.is_empty()
+            || wanted.len() < records.len()
+            || (records.len() as u32) < self.config.header_batch;
+        let mut fresh: Vec<(u64, InvItem)> = Vec::new();
+        for record in wanted {
+            if self.relay.has_object(&record.id) || bf.expected.contains_key(&record.id) {
+                continue;
+            }
+            bf.expected.insert(record.id, (record.height, record.kind));
+            fresh.push((record.height, InvItem::new(record.kind, record.id)));
+        }
+        if fresh.is_empty() {
+            // Everything in this batch is already held: step again immediately
+            // (the next drive sends the next getheaders, or finishes).
+            bf.deadline = now_ms;
+            return true;
+        }
+        bf.deadline = now_ms + self.config.sync.request_timeout_ms;
+        fresh.sort_unstable_by_key(|(height, item)| (*height, item.id));
+        let items: Vec<InvItem> = fresh.into_iter().map(|(_, item)| item).collect();
+        let request = self.relay.peer_mut(peer).and_then(|state| {
+            for item in &items {
+                state.forget_request(&item.id);
+            }
+            state.request(&items)
+        });
+        if let Some(request) = request {
+            effects.push(Effect::Send {
+                peer,
+                message: request,
+            });
+        }
+        true
+    }
+
+    /// Intercepts a delivered block body the backfill requested. Backfilled
+    /// blocks live below the chain root: they go to durable storage and the
+    /// relay's object store (servable to syncing peers) but never through
+    /// `accept_block`, which could only orphan them. Returns true if consumed.
+    fn claim_backfill_block(
+        &mut self,
+        id: Hash256,
+        carrier: &Message,
+        effects: &mut Vec<Effect>,
+    ) -> bool {
+        if let Some(bf) = self.backfill.as_mut() {
+            if let Some((height, _)) = bf.expected.remove(&id) {
+                bf.fetched += 1;
+                let block = match carrier {
+                    Message::KeyBlock(kb) => Some(NgBlock::Key((**kb).clone())),
+                    Message::MicroBlock(mb) => Some(NgBlock::Micro((**mb).clone())),
+                    _ => None,
+                };
+                if let (Some(block), Some(storage)) = (block, self.storage.as_mut()) {
+                    if let Err(err) = storage.store_block(&block, height) {
+                        Self::report_storage_failure(err, effects);
+                    }
+                }
+                self.relay.store_object(carrier.clone());
+                return true;
+            }
+        }
+        // A re-delivered copy of an already-backfilled block: it sits below the
+        // root (in the relay's object store but not the block tree), so
+        // `accept_block` could only ever orphan it.
+        if self.root_height > 0
+            && self.relay.has_object(&id)
+            && !self.node.chain().store().contains(&id)
+        {
+            return true;
+        }
+        false
     }
 
     fn serve_headers(
@@ -1218,62 +1863,42 @@ impl Engine {
         });
     }
 
-    fn handle_headers(&mut self, peer: u64, records: Vec<HeaderRecord>, effects: &mut Vec<Effect>) {
+    fn handle_headers(
+        &mut self,
+        peer: u64,
+        records: Vec<HeaderRecord>,
+        now_ms: u64,
+        effects: &mut Vec<Effect>,
+    ) {
         effects.push(Effect::Report(ReportEvent::SyncBatchReceived {
             peer,
             count: records.len(),
         }));
-        let missing: Vec<InvItem> = records
+        if self.claim_backfill_headers(peer, &records, now_ms, effects) {
+            return;
+        }
+        // Records at or below the chain root can never connect (a snapshot-rooted
+        // store holds no history there); they are the backfill's business, not the
+        // forward sync's. Feeding the remainder with a correspondingly reduced
+        // limit preserves the "partial batch means tip reached" signal.
+        let root_height = self.root_height;
+        let forward: Vec<HeaderRecord> = records
             .iter()
-            .filter(|r| !self.node.chain().store().contains(&r.id))
-            .map(|r| InvItem::new(r.kind, r.id))
+            .filter(|r| r.height > root_height)
+            .copied()
             .collect();
-        let step = {
-            let state = self.sync.entry(peer).or_default();
-            state.batch_received(&records, self.config.header_batch);
-            if !missing.is_empty() {
-                state.mark_requested(missing.iter().map(|i| i.id));
-            }
-            state.advance()
+        let dropped = (records.len() - forward.len()) as u32;
+        let limit = if forward.is_empty() && !records.is_empty() {
+            // Every record fell at or below the root: this peer has nothing for
+            // the forward sync (it may be stuck on a pre-root branch). An
+            // unreachable limit makes the batch read as partial, ending the walk
+            // instead of re-requesting the same useless range forever.
+            u32::MAX
+        } else {
+            self.config.header_batch.saturating_sub(dropped)
         };
-        if missing.is_empty() {
-            match step {
-                // A full batch of blocks we already had: walk further along the
-                // peer's chain (the locator now leads with this batch's tail).
-                SyncStep::RequestNext => self.request_headers(peer, effects),
-                SyncStep::Done => {
-                    self.sync.remove(&peer);
-                }
-                SyncStep::Wait => {}
-            }
-            return;
-        }
-        let request = self
-            .relay
-            .peer_mut(peer)
-            .and_then(|state| state.request(&missing));
-        if let Some(request) = request {
-            effects.push(Effect::Send {
-                peer,
-                message: request,
-            });
-        }
-    }
-
-    /// Records a block arrival against the connection's sync state and requests the
-    /// next batch when the current one has fully arrived.
-    fn note_sync_delivery(&mut self, peer: u64, id: Hash256, effects: &mut Vec<Effect>) {
-        let Some(state) = self.sync.get_mut(&peer) else {
-            return;
-        };
-        state.block_delivered(&id);
-        match state.advance() {
-            SyncStep::Wait => {}
-            SyncStep::RequestNext => self.request_headers(peer, effects),
-            SyncStep::Done => {
-                self.sync.remove(&peer);
-            }
-        }
+        let store = self.node.chain().store();
+        self.sync.on_headers(peer, &forward, limit, |id| store.contains(id));
     }
 
     // ---- block production -----------------------------------------------------
@@ -1343,17 +1968,40 @@ impl Engine {
         while !self.mempool.is_empty() && self.produce_microblock(now_ms, true, effects).is_some() {}
     }
 
-    /// Arms the driver's wakeup timer for the next production deadline, if there is
-    /// one and the driver does not hold it already.
+    /// Arms the driver's wakeup timer with the earliest pending deadline across
+    /// block production, the download scheduler, the snapshot bootstrap, and the
+    /// backfill — if there is one and the driver does not hold it already.
     fn arm_timer(&mut self, now_ms: u64, effects: &mut Vec<Effect>) {
-        if !self.config.auto_microblocks || self.mempool.is_empty() {
-            return;
+        let mut candidates: Vec<u64> = Vec::new();
+        if self.config.auto_microblocks && !self.mempool.is_empty() {
+            // `None` while not leader: only a new key block unblocks production.
+            if let Some(deadline) = self.node.next_microblock_ms() {
+                candidates.push(deadline);
+            }
         }
-        let Some(deadline) = self.node.next_microblock_ms() else {
-            return; // not leader: only a new key block unblocks production
+        if let Some(deadline) = self.sync.next_deadline() {
+            candidates.push(deadline);
+        }
+        if let Some((_, deadline)) = self.bootstrap.as_ref().and_then(|boot| boot.waiting) {
+            candidates.push(deadline);
+        }
+        if let Some(bf) = self.backfill.as_ref() {
+            // Without a ready peer the deadline cannot be acted on; the next
+            // handshake re-drives the backfill anyway (don't spin the timer).
+            if (bf.awaiting_headers || !bf.expected.is_empty())
+                && self.relay.ready_peer_count() > 0
+            {
+                candidates.push(bf.deadline);
+            }
+        }
+        let Some(deadline) = candidates.into_iter().min() else {
+            if self.last_timer.take().is_some() {
+                effects.push(Effect::ClearTimer);
+            }
+            return;
         };
-        // Never arm a deadline in the past: if production were possible now,
-        // `autostream` above would already have run it.
+        // Never arm a deadline in the past: anything already actionable ran in
+        // this same `handle` pass (`autostream`, `drive_sync`).
         let deadline = deadline.max(now_ms + 1);
         if self.last_timer != Some(deadline) {
             self.last_timer = Some(deadline);

@@ -46,6 +46,11 @@ pub fn record(counters: &NodeCounters, event: &ReportEvent) {
         ReportEvent::SyncBatchReceived { .. } => counters.sync_batches_received.incr(),
         ReportEvent::StorageFailed { .. } => counters.storage_failures.incr(),
         ReportEvent::CheckpointWritten { .. } => counters.checkpoints_written.incr(),
+        ReportEvent::SnapshotServed { .. } => counters.snapshots_served.incr(),
+        ReportEvent::SnapshotApplied { .. } => counters.snapshots_applied.incr(),
+        ReportEvent::SnapshotRejected { .. } => counters.snapshots_rejected.incr(),
+        ReportEvent::SyncPeerEvicted { .. } => counters.sync_peers_evicted.incr(),
+        ReportEvent::BackfillCompleted { blocks } => counters.backfill_blocks.add(*blocks),
     }
 }
 

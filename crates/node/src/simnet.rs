@@ -54,6 +54,14 @@ pub struct SimConfig {
     /// [`SimNet::trace_bytes`] serializes. Off by default: long scenarios would
     /// otherwise retain every block and transaction carrier for the run's lifetime.
     pub record_trace: bool,
+    /// Download-scheduler knobs shared by every node (window, request timeout,
+    /// eviction strikes). Fast-sync scenarios shrink the timeout so stalls expire
+    /// within the simulated budget.
+    pub sync: ng_net::sync::SyncConfig,
+    /// When true every node keeps its latest checkpoint in memory and answers
+    /// `getsnapshot` — SimNet nodes have no durable storage, so this is the only
+    /// way a simulated network can serve snapshot bootstraps.
+    pub serve_snapshots: bool,
 }
 
 impl SimConfig {
@@ -70,6 +78,8 @@ impl SimConfig {
             header_batch: DEFAULT_HEADER_BATCH,
             tie_break_seed: 0,
             record_trace: false,
+            sync: ng_net::sync::SyncConfig::default(),
+            serve_snapshots: false,
         }
     }
 }
@@ -146,6 +156,10 @@ pub struct SimNet {
     /// replaces any earlier one (the effect's contract), so a popped timer event
     /// whose time no longer matches is stale and must not fire a `Tick`.
     timers: Vec<Option<u64>>,
+    /// Nodes whose outgoing non-handshake traffic is silently dropped — the
+    /// deterministic model of a stalling peer: it completes handshakes and hears
+    /// every request, but its replies never make it onto the wire.
+    muted: HashSet<usize>,
     trace: Vec<TraceEntry>,
 }
 
@@ -169,6 +183,9 @@ impl SimNet {
                     tie_break_seed: config.tie_break_seed,
                     auto_microblocks: config.auto_microblocks,
                     header_batch: config.header_batch,
+                    sync: config.sync,
+                    snapshot_pin: None,
+                    serve_snapshots: config.serve_snapshots,
                 })
             })
             .collect();
@@ -187,8 +204,45 @@ impl SimNet {
             epochs: HashMap::new(),
             link_clock: HashMap::new(),
             timers,
+            muted: HashSet::new(),
             trace: Vec::new(),
         }
+    }
+
+    /// Adds one node to a running network — a late joiner — and returns its index.
+    /// `configure` can override the fresh node's engine config before it boots,
+    /// e.g. pin a snapshot for fast bootstrap. No links are created; follow up
+    /// with [`Self::connect`].
+    pub fn add_node_with(&mut self, configure: impl FnOnce(&mut EngineConfig)) -> usize {
+        let id = self.engines.len();
+        let mut engine_config = EngineConfig {
+            id: id as u64,
+            params: self.config.params,
+            tie_break_seed: self.config.tie_break_seed,
+            auto_microblocks: self.config.auto_microblocks,
+            header_batch: self.config.header_batch,
+            sync: self.config.sync,
+            snapshot_pin: None,
+            serve_snapshots: self.config.serve_snapshots,
+        };
+        configure(&mut engine_config);
+        self.engines.push(Engine::new(engine_config));
+        self.counters.push(NodeCounters::new());
+        self.timers.push(None);
+        self.config.nodes += 1;
+        id
+    }
+
+    /// Silences a node: from now on its outgoing non-handshake messages are
+    /// dropped on the wire. The deterministic stalling peer — it still answers
+    /// handshakes (the connection looks healthy) but never serves a request.
+    pub fn mute(&mut self, node: usize) {
+        self.muted.insert(node);
+    }
+
+    /// Lifts a [`Self::mute`].
+    pub fn unmute(&mut self, node: usize) {
+        self.muted.remove(&node);
     }
 
     /// Number of nodes.
@@ -342,6 +396,14 @@ impl SimNet {
     pub fn run(&mut self, budget_ms: u64) -> bool {
         let deadline = self.now.saturating_add(budget_ms);
         while let Some(Reverse(head)) = self.queue.peek() {
+            // A timer the engine superseded or cleared is dead weight: drop it
+            // instead of letting it count against quiescence.
+            if let SimEvent::Timer { node } = head.event {
+                if self.timers[node] != Some(head.at) {
+                    self.queue.pop();
+                    continue;
+                }
+            }
             if head.at > deadline {
                 self.now = deadline;
                 return false;
@@ -417,6 +479,11 @@ impl SimNet {
                     self.timers[node] = Some(at);
                     self.push(at, SimEvent::Timer { node });
                 }
+                Effect::ClearTimer => {
+                    // The queued timer event (if any) goes stale: `run` discards
+                    // it instead of letting it hold the queue open.
+                    self.timers[node] = None;
+                }
                 Effect::Disconnect { peer } => {
                     // The engine already forgot the peer; sever the link so the
                     // remote side sees the connection die too.
@@ -435,6 +502,9 @@ impl SimNet {
     fn transmit(&mut self, from: usize, to: usize, message: Message) {
         if !self.links.contains(&canon(from, to)) {
             return; // link died in the same effect batch
+        }
+        if self.muted.contains(&from) && !message.is_handshake() {
+            return; // a stalling peer: the reply never leaves the node
         }
         self.counters[from].messages_out.incr();
         if self.config.loss > 0.0 && !message.is_handshake() && self.rng.chance(self.config.loss) {

@@ -1,0 +1,304 @@
+//! Fast-sync scenarios over the deterministic SimNet: headers-first parallel
+//! block download, stalling-peer eviction, and assumeutxo-style snapshot
+//! bootstrap with its pinned-commitment trust model.
+//!
+//! These are the regression tests for the stalled-sync bugs (a peer that stops
+//! replying used to wedge sync forever) and the acceptance tests for the fast
+//! path: a fresh node must pull block ranges from several peers concurrently,
+//! survive a peer that goes silent mid-download, and — when given a trusted
+//! checkpoint pin — root its chain at a served snapshot while refusing any
+//! snapshot whose recomputed commitment disagrees with the pin.
+
+use ng_node::engine::SnapshotPin;
+use ng_node::simnet::{SimConfig, SimNet};
+use ng_net::message::{Message, WireSnapshot};
+
+/// Mines `depth` key blocks on node 0, draining the queue periodically so the
+/// rest of the network follows along instead of buffering everything.
+fn grow_chain(net: &mut SimNet, depth: u64) {
+    for h in 0..depth {
+        net.mine_key_block(0);
+        if h % 64 == 63 {
+            net.run(2_000);
+        }
+    }
+    assert!(net.run(30_000), "established network settles");
+    assert!(net.converged(), "established network converged");
+}
+
+/// Runs the network in slices until every node agrees on tip and UTXO
+/// commitment, or the virtual-time budget runs out.
+fn run_until_converged(net: &mut SimNet, budget_ms: u64) -> bool {
+    let mut spent = 0;
+    while !net.converged() && spent < budget_ms {
+        net.run(5_000);
+        spent += 5_000;
+        if std::env::var("FAST_SYNC_DEBUG").is_ok() {
+            let last = net.len() - 1;
+            let s = &net.snapshots()[last];
+            eprintln!(
+                "t={spent} h={} in={} out={} dl={:?} ev={} active={} pending={} wakeups={}",
+                s.height,
+                s.counters.messages_in,
+                s.counters.messages_out,
+                net.engine(last).sync_downloads_by_peer(),
+                net.engine(last).sync_evictions(),
+                net.engine(last).sync_active(),
+                net.engine(last).sync_pending(),
+                s.counters.timer_wakeups,
+            );
+            eprintln!(
+                "  accepted={} orphaned={} duplicate={} rejected={} chain_len={}",
+                s.counters.blocks_accepted,
+                s.counters.blocks_orphaned,
+                s.counters.blocks_duplicate,
+                s.counters.blocks_rejected,
+                s.chain_len,
+            );
+        }
+    }
+    net.converged()
+}
+
+/// The cold-sync sweep of the acceptance criteria: an established 4-node network
+/// at depth 1024, then a fresh node joins over lossy, variable-latency links and
+/// must converge via the headers-first parallel download — with block ranges
+/// delivered by at least two distinct peers. Three seeds vary latency and loss.
+#[test]
+fn lossy_cold_sync_at_depth_1024_downloads_from_multiple_peers() {
+    for seed in 1..=3u64 {
+        let mut config = SimConfig::new(4, seed);
+        config.min_latency_ms = 1 + seed;
+        config.max_latency_ms = 10 + 5 * seed;
+        // Short request deadlines so lost replies retry inside the budget.
+        config.sync.request_timeout_ms = 400;
+        let mut net = SimNet::new(config);
+        net.connect_mesh(&[0, 1, 2, 3]);
+        net.run(2_000);
+        grow_chain(&mut net, 1024);
+
+        // The join happens under loss: every dropped reply must time out and be
+        // re-assigned, never wedge the download.
+        net.set_loss(0.02 * seed as f64);
+        let fresh = net.add_node_with(|_| {});
+        for peer in 0..4 {
+            net.connect(fresh, peer);
+        }
+        let ok = run_until_converged(&mut net, 600_000);
+        if !ok {
+            let e = net.engine(fresh);
+            panic!(
+                "seed {seed}: fresh node never caught up: height={} evictions={} downloads={:?} bootstrapping={} backfilling={}\n{}",
+                e.height(),
+                e.sync_evictions(),
+                e.sync_downloads_by_peer(),
+                e.bootstrapping(),
+                e.backfilling(),
+                net.report()
+            );
+        }
+        let engine = net.engine(fresh);
+        assert_eq!(engine.height(), 1024, "seed {seed}");
+
+        let downloads = engine.sync_downloads_by_peer();
+        let serving: Vec<_> = downloads.iter().filter(|(_, n)| *n > 0).collect();
+        let total: u64 = downloads.iter().map(|(_, n)| n).sum();
+        assert!(
+            serving.len() >= 2,
+            "seed {seed}: blocks came from {serving:?}, not a parallel download"
+        );
+        // Late arrivals of timed-out requests are credited off the books, so the
+        // per-peer ledger can undercount slightly — but never exceed the chain.
+        assert!(
+            (1000..=1024).contains(&total),
+            "seed {seed}: {total} scheduled downloads for 1024 blocks"
+        );
+    }
+}
+
+/// Regression for the stalled-sync hang: a peer that completes its handshake but
+/// never serves a request used to hold `in_progress()` forever, blocking any new
+/// sync. Now its requests time out, it is evicted from download duty, and the
+/// remaining peers finish the download.
+#[test]
+fn stalling_peer_is_evicted_and_the_download_completes() {
+    let mut config = SimConfig::new(3, 9);
+    config.sync.request_timeout_ms = 300;
+    let mut net = SimNet::new(config);
+    net.connect_mesh(&[0, 1, 2]);
+    net.run(2_000);
+    grow_chain(&mut net, 320);
+
+    // Node 1 stalls: handshakes pass (the connection looks healthy) but every
+    // reply it would send is dropped on the wire.
+    net.mute(1);
+    let fresh = net.add_node_with(|_| {});
+    for peer in 0..3 {
+        net.connect(fresh, peer);
+    }
+    assert!(
+        run_until_converged(&mut net, 300_000),
+        "stalling peer wedged the sync\n{}",
+        net.report()
+    );
+
+    let engine = net.engine(fresh);
+    assert_eq!(engine.height(), 320);
+    assert!(
+        engine.sync_evictions() >= 1,
+        "the stalling peer was never evicted"
+    );
+    let snaps = net.snapshots();
+    assert!(
+        snaps[fresh].counters.sync_peers_evicted >= 1,
+        "eviction not reported\n{}",
+        net.report()
+    );
+    let downloads = engine.sync_downloads_by_peer();
+    let stalled: u64 = downloads
+        .iter()
+        .filter(|(peer, _)| *peer == 1)
+        .map(|(_, n)| *n)
+        .sum();
+    let healthy = downloads.iter().filter(|(p, n)| *p != 1 && *n > 0).count();
+    assert_eq!(stalled, 0, "the muted peer cannot have delivered anything");
+    assert!(healthy >= 2, "the healthy peers carried the download");
+}
+
+/// Snapshot bootstrap happy path: a fresh node with a trusted checkpoint pin
+/// fetches the snapshot, verifies it against the pin, roots its chain there,
+/// syncs forward to the tip, and backfills the history below the root in the
+/// background.
+#[test]
+fn snapshot_bootstrap_roots_at_the_pin_and_backfills_history() {
+    let mut config = SimConfig::new(3, 21);
+    config.serve_snapshots = true;
+    let mut net = SimNet::new(config);
+    net.connect_mesh(&[0, 1, 2]);
+    net.run(2_000);
+    // Past the checkpoint cadence (256) so every node holds a snapshot.
+    grow_chain(&mut net, 320);
+
+    let snapshot = net
+        .engine(0)
+        .latest_snapshot()
+        .expect("checkpoint cadence produced a snapshot")
+        .clone();
+    assert_eq!(snapshot.height, 256, "testnet cadence anchors at 256");
+    let pin = SnapshotPin {
+        height: snapshot.height,
+        root: snapshot.root.id(),
+        sorted: snapshot.sorted,
+    };
+
+    let fresh = net.add_node_with(|engine_config| {
+        engine_config.snapshot_pin = Some(pin);
+    });
+    for peer in 0..3 {
+        net.connect(fresh, peer);
+    }
+    assert!(
+        run_until_converged(&mut net, 300_000),
+        "bootstrapped node never reached the tip\n{}",
+        net.report()
+    );
+
+    let engine = net.engine(fresh);
+    assert_eq!(engine.height(), 320, "forward sync reached the tip");
+    assert_eq!(engine.root_height(), pin.height, "chain rooted at the pin");
+    assert!(!engine.bootstrapping());
+    let snaps = net.snapshots();
+    assert_eq!(snaps[fresh].counters.snapshots_applied, 1);
+    assert_eq!(snaps[fresh].counters.snapshots_rejected, 0);
+    assert!(
+        snaps.iter().take(3).any(|s| s.counters.snapshots_served >= 1),
+        "someone served the snapshot\n{}",
+        net.report()
+    );
+
+    // The background backfill fetched every block strictly below the root
+    // (heights 1..pin.height — genesis is built in).
+    net.run(120_000);
+    assert!(!net.engine(fresh).backfilling(), "backfill never finished");
+    let snaps = net.snapshots();
+    assert_eq!(
+        snaps[fresh].counters.backfill_blocks,
+        pin.height - 1,
+        "backfill fetched the whole pre-root history\n{}",
+        net.report()
+    );
+}
+
+/// The trust model: a served snapshot is only believed if its **recomputed**
+/// commitment matches the pin. A Byzantine server that tampers with a single
+/// ledger entry is caught by the commitment check, reported, and disconnected —
+/// and the tampered ledger is never adopted.
+#[test]
+fn tampered_snapshot_is_rejected_by_the_pinned_commitment() {
+    let mut config = SimConfig::new(2, 33);
+    config.serve_snapshots = true;
+    config.min_latency_ms = 40;
+    config.max_latency_ms = 40;
+    let mut net = SimNet::new(config);
+    net.connect_mesh(&[0, 1]);
+    net.run(2_000);
+    grow_chain(&mut net, 280);
+
+    let snapshot = net
+        .engine(0)
+        .latest_snapshot()
+        .expect("checkpoint cadence produced a snapshot")
+        .clone();
+    let pin = SnapshotPin {
+        height: snapshot.height,
+        root: snapshot.root.id(),
+        sorted: snapshot.sorted,
+    };
+
+    // The honest snapshot, with one UTXO amount inflated: the kind of forgery a
+    // malicious server would profit from.
+    let mut tampered = WireSnapshot {
+        root: snapshot.root.clone(),
+        height: snapshot.height,
+        total_work: snapshot.total_work,
+        entries: snapshot.entries.clone(),
+        confirmed: snapshot.confirmed.clone(),
+    };
+    let (_, entry) = tampered
+        .entries
+        .first_mut()
+        .expect("a mined chain has UTXOs");
+    entry.output.amount = ng_chain::amount::Amount::from_sats(21_000_000_000);
+
+    let fresh = net.add_node_with(|engine_config| {
+        engine_config.snapshot_pin = Some(pin);
+    });
+    net.connect(fresh, 0);
+    // Step in small slices until the handshake completes — the bootstrap request
+    // goes out at that instant. The fixed 40 ms link latency guarantees a
+    // message injected now arrives *before* the server's honest reply (FIFO per
+    // link), so the fresh node's outstanding request is answered by the forgery.
+    let mut waited = 0;
+    while net.engine(fresh).ready_peer_count() == 0 && waited < 5_000 {
+        net.run(10);
+        waited += 10;
+    }
+    assert!(net.engine(fresh).bootstrapping(), "bootstrap request pending");
+    net.inject_message(0, fresh, Message::Snapshot(Some(Box::new(tampered))));
+    net.run(60_000);
+
+    let snaps = net.snapshots();
+    assert_eq!(snaps[fresh].counters.snapshots_rejected, 1, "{}", net.report());
+    assert_eq!(snaps[fresh].counters.snapshots_applied, 0);
+    assert!(snaps[fresh].counters.peers_misbehaved >= 1);
+    assert_eq!(
+        net.engine(fresh).ready_peer_count(),
+        0,
+        "the forging server was disconnected"
+    );
+    assert_eq!(
+        net.engine(fresh).height(),
+        0,
+        "the tampered ledger was never adopted"
+    );
+}

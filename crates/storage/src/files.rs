@@ -409,6 +409,34 @@ impl ChainStorage for FileStorage {
         }
         Ok(())
     }
+
+    /// Reads the highest-height snapshot back off disk — the serving side of
+    /// snapshot bootstrap. Snapshots are only read on a bootstrap request, never
+    /// cached: a long-lived node would otherwise pin an entire UTXO set in memory
+    /// for a request that may never come.
+    fn latest_snapshot(&mut self) -> Result<Option<Snapshot>, StoreError> {
+        let dir = Self::snapshot_dir(&self.dir);
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            return Ok(None);
+        };
+        let newest = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let path = e.path();
+                let height = snapshot_height_from_name(&path)?;
+                Some((height, path))
+            })
+            .max_by_key(|(height, _)| *height);
+        let Some((_, path)) = newest else {
+            return Ok(None);
+        };
+        let bytes = read_all(&path)?;
+        let (frames, _) = codec::scan_frames_structural(&bytes, MAGIC_SNAP);
+        let Some(f) = frames.first() else {
+            return Ok(None);
+        };
+        Ok(read_snapshot(&mut Reader::new(f.body(&bytes))).ok())
+    }
 }
 
 impl FileStorage {

@@ -139,6 +139,13 @@ pub trait ChainStorage: Send + std::fmt::Debug {
     fn note_invalidated(&mut self, id: &Hash256) -> Result<(), StoreError>;
     /// Writes a full snapshot / finality checkpoint.
     fn store_snapshot(&mut self, snapshot: &Snapshot) -> Result<(), StoreError>;
+    /// The newest stored snapshot, if the backend retains one — what the engine
+    /// serves to peers bootstrapping via `getsnapshot`. The default (`None`) keeps
+    /// exotic backends honest: a node that cannot produce snapshots simply answers
+    /// bootstrap requests with "don't have it".
+    fn latest_snapshot(&mut self) -> Result<Option<Snapshot>, StoreError> {
+        Ok(None)
+    }
 }
 
 /// The no-op backend: keeps the engine's persistence hooks exercised (and counted)
@@ -187,5 +194,9 @@ impl ChainStorage for MemoryStorage {
         self.snapshots += 1;
         self.last_snapshot = Some(snapshot.clone());
         Ok(())
+    }
+
+    fn latest_snapshot(&mut self) -> Result<Option<Snapshot>, StoreError> {
+        Ok(self.last_snapshot.clone())
     }
 }

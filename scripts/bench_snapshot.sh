@@ -8,7 +8,7 @@
 #                                          # regressed (--assert-fast); writes to a temp
 #                                          # file, never touches the committed snapshot
 #
-# The emitted JSON (schema bench_ledger/v3) holds medians of:
+# The emitted JSON (schema bench_ledger/v4) holds medians of:
 #   * schnorr_sign_us / schnorr_verify_us — one Schnorr signing (fixed-base comb) and
 #     one verification (Strauss–Shamir double-scalar multiplication)
 #   * verify_batch_256_us — 256 signatures checked as one random-linear-combination
@@ -26,6 +26,12 @@
 #   * rebuild_from_genesis_1024_us / restart_to_tip_us — cold reopen of a durable
 #     1024-block datadir without vs with UTXO snapshot checkpoints, plus their
 #     ratio (restart_speedup_vs_rebuild); --assert-fast pins the ratio ≥ 5x
+#   * cold_sync_to_tip_1024_us — a fresh node joining an established SimNet,
+#     in deterministic simulated time: serial download (one peer, one request
+#     in flight) vs the headers-first parallel download vs snapshot bootstrap,
+#     plus snapshot bootstrap at depth 128 and the 1024/128 ratio
+#     (snapshot_depth_ratio); --assert-fast pins parallel ≥ 4x serial, snapshot
+#     ≤ parallel, and the depth ratio ≤ 2 (near-flat onboarding)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -38,6 +38,9 @@ echo "==> SimNet determinism + seed-sweep suites (socket-free and deterministic:
 cargo test -q -p ng_node --test simnet_determinism
 cargo test -q -p ng_node --test simnet_scenarios
 
+echo "==> fast-sync suite (headers-first parallel download, stalling-peer eviction, snapshot bootstrap; SimNet, socket-free)"
+cargo test -q -p ng_node --test fast_sync
+
 echo "==> chainstate differential suite (incremental view ≡ rebuild-from-genesis oracle)"
 cargo test -q -p ng_node --test chainstate_equivalence
 
