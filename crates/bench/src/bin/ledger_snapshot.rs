@@ -5,16 +5,22 @@
 //! the durable-store restart comparison (`restart_to_tip_us` — reopen a
 //! datadir from its newest UTXO snapshot — against `rebuild_from_genesis_1024_us`,
 //! the same reopen with checkpoints disabled so recovery replays every block),
-//! and the cold-sync onboarding comparison (`cold_sync_to_tip_1024_us` — a fresh
+//! the cold-sync onboarding comparison (`cold_sync_to_tip_1024_us` — a fresh
 //! node joining an established SimNet via serial download, parallel headers-first
-//! download, or snapshot bootstrap, measured in deterministic simulated time).
+//! download, or snapshot bootstrap, measured in deterministic simulated time),
+//! and the gossip propagation comparison (`propagation_100` / `propagation_1000`
+//! — a leader microblock flooding a 100-node degree-8 SimNet with full carriers
+//! vs the compact-relay + eager/lazy overlay stack, reporting coverage,
+//! simulated p50/p99 propagation delay, per-node relay bytes, and the
+//! flood-vs-overlay byte reduction, plus a 1000-node overlay row).
 //!
 //! `scripts/bench_snapshot.sh` redirects this into `BENCH_ledger.json` (schema
-//! `bench_ledger/v4`) so the repository tracks the perf trajectory; CI runs a
+//! `bench_ledger/v5`) so the repository tracks the perf trajectory; CI runs a
 //! small-iteration smoke invocation with `--assert-fast`, which fails loudly if the
 //! crypto path regresses towards the pre-comb double-and-add costs, the restart
-//! path degrades towards a full replay, or the fast-sync pipeline loses its
-//! parallel-download and near-flat snapshot-onboarding properties.
+//! path degrades towards a full replay, the fast-sync pipeline loses its
+//! parallel-download and near-flat snapshot-onboarding properties, or the
+//! scalable-gossip stack loses its ≥5× relay-byte reduction or 99% coverage.
 //!
 //! Usage: `ledger_snapshot [--iters N] [--assert-fast]` (default 200 iterations).
 
@@ -25,7 +31,7 @@ use ng_crypto::keys::KeyPair;
 use ng_crypto::schnorr::{self, BatchEntry};
 use ng_crypto::sha256::sha256;
 use ng_node::chainstate::ChainView;
-use ng_node::engine::{Engine, EngineConfig, Input};
+use ng_node::engine::{Engine, EngineConfig, GossipConfig, Input};
 use ng_node::ledger::rebuild_utxo;
 use ng_node::parallel::WorkerPool;
 use std::hint::black_box;
@@ -442,6 +448,88 @@ fn cold_sync_us(depth: u64, mode: ColdSyncMode, iters: usize) -> f64 {
     median(samples)
 }
 
+/// One propagation measurement: coverage, simulated delay percentiles, and the
+/// block-relay bytes each node paid.
+struct PropagationStats {
+    coverage: f64,
+    p50_us: f64,
+    p99_us: f64,
+    relay_bytes_per_node: f64,
+}
+
+/// Commands that carry block relay traffic, the unit the flood-vs-overlay
+/// comparison is made in (transaction gossip is identical across stacks and the
+/// nodes here share a preloaded pool, so it never appears on the wire).
+const RELAY_COMMANDS: &[&str] = &[
+    "inv",
+    "getdata",
+    "keyblock",
+    "microblock",
+    "cmpct",
+    "getblocktxn",
+    "blocktxn",
+    "ihave",
+    "graft",
+    "prune",
+];
+
+/// Propagates one 32-tx leader microblock through a `nodes`-strong, degree-8
+/// SimNet under the given gossip stack and measures how it spread. Everything is
+/// simulated-clock and seed-deterministic, so one run per topology is a
+/// measurement, not a sample: delays count link hops and pull timeouts, bytes
+/// come from the per-command wire accounting, and none of it varies with the
+/// host machine.
+fn propagation(nodes: usize, seed: u64, gossip: GossipConfig) -> PropagationStats {
+    use ng_node::simnet::{SimConfig, SimNet};
+
+    let mut config = SimConfig::new(nodes, seed);
+    config.gossip = gossip;
+    config.record_arrivals = true;
+    let mut net = SimNet::new(config);
+    net.connect_degree(8);
+    net.run(5_000);
+    net.mine_key_block(0);
+    net.run(2_000);
+
+    let relay_bytes = |net: &SimNet| -> u64 {
+        (0..nodes)
+            .map(|n| {
+                RELAY_COMMANDS
+                    .iter()
+                    .map(|c| net.wire_stats(n).command(c).bytes_out)
+                    .sum::<u64>()
+            })
+            .sum()
+    };
+    let baseline = relay_bytes(&net);
+
+    for node in 0..nodes {
+        for tx in tx_pool(32) {
+            net.engine_mut(node).preload_tx(tx);
+        }
+    }
+    let id = net.produce_microblock(0).expect("leader with a full pool");
+    let produced_at = net.now_ms();
+    net.run(30_000);
+
+    let mut first: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    for &(node, at) in net.arrivals(&id) {
+        let entry = first.entry(node).or_insert(at);
+        *entry = (*entry).min(at);
+    }
+    let mut delays: Vec<u64> = first.values().map(|&at| at - produced_at).collect();
+    delays.sort_unstable();
+    let percentile = |p: usize| -> f64 {
+        delays[(delays.len() * p / 100).min(delays.len() - 1)] as f64 * 1_000.0
+    };
+    PropagationStats {
+        coverage: first.len() as f64 / nodes as f64,
+        p50_us: percentile(50),
+        p99_us: percentile(99),
+        relay_bytes_per_node: (relay_bytes(&net) - baseline) as f64 / nodes as f64,
+    }
+}
+
 fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     samples[samples.len() / 2]
@@ -491,9 +579,15 @@ fn main() {
     let cold_parallel_speedup = cold_serial / cold_parallel.max(f64::EPSILON);
     let cold_snapshot_speedup = cold_serial / cold_snapshot.max(f64::EPSILON);
     let cold_depth_ratio = cold_snapshot / cold_snapshot_128.max(f64::EPSILON);
+    // Propagation is deterministic per seed: one run per topology is the number.
+    let flood_100 = propagation(100, 7, GossipConfig::default());
+    let overlay_100 = propagation(100, 7, GossipConfig::scalable());
+    let overlay_1000 = propagation(1000, 9, GossipConfig::scalable());
+    let relay_reduction =
+        flood_100.relay_bytes_per_node / overlay_100.relay_bytes_per_node.max(f64::EPSILON);
 
     println!("{{");
-    println!("  \"schema\": \"bench_ledger/v4\",");
+    println!("  \"schema\": \"bench_ledger/v5\",");
     println!("  \"iters\": {iters},");
     println!("  \"schnorr_sign_us\": {sign:.1},");
     println!("  \"schnorr_verify_us\": {verify:.1},");
@@ -527,6 +621,21 @@ fn main() {
     println!("    \"snapshot_speedup_vs_serial\": {cold_snapshot_speedup:.2},");
     println!("    \"snapshot_128_us\": {cold_snapshot_128:.1},");
     println!("    \"snapshot_depth_ratio\": {cold_depth_ratio:.3}");
+    println!("  }},");
+    let prop_row = |s: &PropagationStats| {
+        format!(
+            "{{ \"coverage\": {:.3}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"relay_bytes_per_node\": {:.1} }}",
+            s.coverage, s.p50_us, s.p99_us, s.relay_bytes_per_node
+        )
+    };
+    println!("  \"propagation_100\": {{");
+    println!("    \"flood\": {},", prop_row(&flood_100));
+    println!("    \"overlay\": {},", prop_row(&overlay_100));
+    println!("    \"relay_byte_reduction\": {relay_reduction:.2}");
+    println!("  }},");
+    println!("  \"propagation_1000\": {{");
+    println!("    \"overlay\": {}", prop_row(&overlay_1000));
     println!("  }}");
     println!("}}");
 
@@ -597,6 +706,28 @@ fn main() {
             failures.push(format!(
                 "cold_sync snapshot_depth_ratio {cold_depth_ratio:.3} > 2.0: \
                  snapshot cold start is no longer near-flat in chain length"
+            ));
+        }
+        // Propagation numbers are simulated-clock and seed-deterministic, so
+        // these are exact regression gates, not jitter-tolerant bounds: the
+        // compact + overlay stack must keep flood-level coverage at ≥5× fewer
+        // relay bytes per node, and must still cover a 1000-node overlay.
+        if overlay_100.coverage < 0.99 {
+            failures.push(format!(
+                "propagation_100 overlay coverage {:.3} < 0.99",
+                overlay_100.coverage
+            ));
+        }
+        if relay_reduction < 5.0 {
+            failures.push(format!(
+                "propagation_100 relay_byte_reduction {relay_reduction:.2} < 5.0: \
+                 compact+overlay relay lost its byte advantage over the flood"
+            ));
+        }
+        if overlay_1000.coverage < 0.99 {
+            failures.push(format!(
+                "propagation_1000 overlay coverage {:.3} < 0.99",
+                overlay_1000.coverage
             ));
         }
         if !failures.is_empty() {

@@ -6,6 +6,7 @@
 //! node maintains; [`CounterSnapshot`] is the plain-data copy handed to reports.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A single monotonically increasing event counter, safe to bump from any thread.
@@ -91,6 +92,18 @@ pub struct NodeCounters {
     pub sync_peers_evicted: Counter,
     /// Historical blocks fetched by background backfill below a snapshot root.
     pub backfill_blocks: Counter,
+    /// Compact microblock announcements reconstructed into full blocks (from the
+    /// mempool alone or after a `getblocktxn` round trip).
+    pub compact_reconstructed: Counter,
+    /// Transactions fetched via `blocktxn` to complete compact reconstructions.
+    pub compact_txs_fetched: Counter,
+    /// Compact reconstructions that failed and fell back to a full-block fetch.
+    pub compact_fallbacks: Counter,
+    /// Lazy `ihave` pulls that timed out and grafted the advertising link back to
+    /// eager (the overlay's self-healing move).
+    pub overlay_grafts: Counter,
+    /// Eager links demoted to lazy after delivering a duplicate push.
+    pub overlay_prunes: Counter,
 }
 
 impl NodeCounters {
@@ -128,6 +141,11 @@ impl NodeCounters {
             snapshots_rejected: self.snapshots_rejected.get(),
             sync_peers_evicted: self.sync_peers_evicted.get(),
             backfill_blocks: self.backfill_blocks.get(),
+            compact_reconstructed: self.compact_reconstructed.get(),
+            compact_txs_fetched: self.compact_txs_fetched.get(),
+            compact_fallbacks: self.compact_fallbacks.get(),
+            overlay_grafts: self.overlay_grafts.get(),
+            overlay_prunes: self.overlay_prunes.get(),
         }
     }
 }
@@ -187,6 +205,92 @@ pub struct CounterSnapshot {
     pub sync_peers_evicted: u64,
     /// Historical blocks fetched by background backfill.
     pub backfill_blocks: u64,
+    /// Compact microblock announcements reconstructed into full blocks.
+    pub compact_reconstructed: u64,
+    /// Transactions fetched via `blocktxn` to complete reconstructions.
+    pub compact_txs_fetched: u64,
+    /// Compact reconstructions that fell back to a full-block fetch.
+    pub compact_fallbacks: u64,
+    /// Lazy pulls that timed out and grafted their advertiser back to eager.
+    pub overlay_grafts: u64,
+    /// Eager links demoted to lazy after a duplicate push.
+    pub overlay_prunes: u64,
+}
+
+/// Per-command wire-traffic accounting: how many messages and bytes of each
+/// [`Message::command`] flavour a node sent and received. Drivers own the byte
+/// counts — the SimNet charges [`Message::wire_size`] per transmission, the TCP
+/// daemon can charge real frame lengths — because the pure engine never sees
+/// encoded bytes. Single-writer by design (each driver owns its node's stats);
+/// `&mut self` recording keeps it free of atomics.
+///
+/// [`Message::command`]: ../../ng_net/message/enum.Message.html#method.command
+/// [`Message::wire_size`]: ../../ng_net/message/enum.Message.html#method.wire_size
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireStats {
+    by_command: BTreeMap<String, CommandTraffic>,
+}
+
+/// Message and byte totals of one wire command in each direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandTraffic {
+    /// Messages received.
+    pub msgs_in: u64,
+    /// Messages sent.
+    pub msgs_out: u64,
+    /// Bytes received.
+    pub bytes_in: u64,
+    /// Bytes sent.
+    pub bytes_out: u64,
+}
+
+impl WireStats {
+    /// Fresh empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one sent message of `bytes` wire bytes to `command`.
+    pub fn record_out(&mut self, command: &str, bytes: u64) {
+        let entry = self.entry(command);
+        entry.msgs_out += 1;
+        entry.bytes_out += bytes;
+    }
+
+    /// Charges one received message of `bytes` wire bytes to `command`.
+    pub fn record_in(&mut self, command: &str, bytes: u64) {
+        let entry = self.entry(command);
+        entry.msgs_in += 1;
+        entry.bytes_in += bytes;
+    }
+
+    fn entry(&mut self, command: &str) -> &mut CommandTraffic {
+        if !self.by_command.contains_key(command) {
+            self.by_command
+                .insert(command.to_owned(), CommandTraffic::default());
+        }
+        self.by_command.get_mut(command).expect("just inserted")
+    }
+
+    /// The totals of one command (zeros if never seen).
+    pub fn command(&self, command: &str) -> CommandTraffic {
+        self.by_command.get(command).copied().unwrap_or_default()
+    }
+
+    /// Every command with its totals, in command order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CommandTraffic)> {
+        self.by_command.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total bytes sent across all commands.
+    pub fn total_bytes_out(&self) -> u64 {
+        self.by_command.values().map(|t| t.bytes_out).sum()
+    }
+
+    /// Total bytes received across all commands.
+    pub fn total_bytes_in(&self) -> u64 {
+        self.by_command.values().map(|t| t.bytes_in).sum()
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +319,26 @@ mod tests {
         // Snapshots are decoupled from later updates.
         counters.reorgs.incr();
         assert_eq!(snap.reorgs, 1);
+    }
+
+    #[test]
+    fn wire_stats_bucket_by_command_and_direction() {
+        let mut stats = WireStats::new();
+        stats.record_out("cmpct", 120);
+        stats.record_out("cmpct", 80);
+        stats.record_in("microblock", 1_000);
+        stats.record_out("ihave", 49);
+        let cmpct = stats.command("cmpct");
+        assert_eq!(cmpct.msgs_out, 2);
+        assert_eq!(cmpct.bytes_out, 200);
+        assert_eq!(cmpct.bytes_in, 0);
+        assert_eq!(stats.command("microblock").bytes_in, 1_000);
+        assert_eq!(stats.command("never-seen"), CommandTraffic::default());
+        assert_eq!(stats.total_bytes_out(), 249);
+        assert_eq!(stats.total_bytes_in(), 1_000);
+        // Deterministic command order for reports.
+        let commands: Vec<&str> = stats.iter().map(|(c, _)| c).collect();
+        assert_eq!(commands, vec!["cmpct", "ihave", "microblock"]);
     }
 
     #[test]

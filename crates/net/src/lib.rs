@@ -15,6 +15,11 @@
 //! * [`peer`] — the per-connection state machine (handshake, inventory bookkeeping).
 //! * [`gossip`] — the node-level relay: what to send to whom when a block or
 //!   transaction first becomes known.
+//! * [`relay`] — BIP152-style compact microblock relay: salted short tx ids,
+//!   mempool reconstruction, `getblocktxn`/`blocktxn` hole-filling with a
+//!   full-block fallback.
+//! * [`overlay`] — the episub/Plumtree-style broadcast overlay: eager-push tree +
+//!   lazy `ihave` gossip with graft/prune moves and pull-timeout self-healing.
 //! * [`sync`] — block locators, batched header serving, and the multi-peer download
 //!   scheduler (headers-first walks, windowed parallel block download with request
 //!   timeouts and stalling-peer eviction) for catching up with peers that are ahead
@@ -29,13 +34,17 @@
 pub mod codec;
 pub mod gossip;
 pub mod message;
+pub mod overlay;
 pub mod peer;
+pub mod relay;
 pub mod sync;
 pub mod tcp;
 
 pub use codec::{CodecError, FrameCodec};
 pub use gossip::{GossipAction, GossipRelay};
 pub use message::{InvItem, InvKind, Message, ProtocolKind};
+pub use overlay::{Overlay, OverlayConfig};
+pub use relay::{CompactMicroBlock, CompactRelay, ReconstructOutcome};
 pub use peer::{Peer, PeerAction, PeerError, PeerState};
 pub use message::WireSnapshot;
 pub use sync::{

@@ -302,6 +302,30 @@ impl Peer {
                 }
                 vec![PeerAction::Deliver(carried)]
             }
+            Message::CmpctBlock(compact) => {
+                // A compact push proves the sender holds the block; remember that so
+                // a successful reconstruction is never announced straight back.
+                let id = compact.id();
+                self.known.insert(id);
+                self.in_flight.remove(&id);
+                vec![PeerAction::Deliver(Message::CmpctBlock(compact))]
+            }
+            Message::IHave(items) => {
+                // Lazy advertisements: the sender holds these. Unlike `inv`, the
+                // relay must NOT fetch immediately — the overlay decides; surface
+                // the whole message instead of per-item announcements.
+                for item in &items {
+                    self.known.insert(item.id);
+                }
+                vec![PeerAction::Deliver(Message::IHave(items))]
+            }
+            overlay @ (Message::GetBlockTxn { .. }
+            | Message::BlockTxn { .. }
+            | Message::Graft(_)
+            | Message::Prune) => {
+                // The caller owns the object store and the overlay state machine.
+                vec![PeerAction::Deliver(overlay)]
+            }
         }
     }
 }
@@ -425,6 +449,46 @@ mod tests {
         assert!(matches!(
             actions.last(),
             Some(PeerAction::Disconnect(PeerError::MessageBeforeHandshake("headers")))
+        ));
+    }
+
+    #[test]
+    fn overlay_messages_deliver_and_mark_known() {
+        let (mut alice, _) = handshake_pair();
+        let id = sha256(b"mb");
+        let item = InvItem::new(InvKind::MicroBlock, id);
+
+        // ihave marks the advertised ids known but surfaces the whole message
+        // (no immediate per-item fetch like `inv`).
+        let actions = alice.on_message(Message::IHave(vec![item]), 5, 600);
+        assert_eq!(actions, vec![PeerAction::Deliver(Message::IHave(vec![item]))]);
+        assert!(alice.knows(&id));
+
+        // Control messages are plain deliveries.
+        for msg in [
+            Message::GetBlockTxn {
+                block: id,
+                indexes: vec![1],
+            },
+            Message::BlockTxn {
+                block: id,
+                txs: vec![],
+            },
+            Message::Graft(item),
+            Message::Prune,
+        ] {
+            assert_eq!(
+                alice.on_message(msg.clone(), 5, 601),
+                vec![PeerAction::Deliver(msg)]
+            );
+        }
+
+        // Before the handshake they are protocol violations like everything else.
+        let mut fresh = Peer::inbound(9, ProtocolKind::BitcoinNg);
+        let actions = fresh.on_message(Message::Prune, 0, 0);
+        assert!(matches!(
+            actions.last(),
+            Some(PeerAction::Disconnect(PeerError::MessageBeforeHandshake("prune")))
         ));
     }
 

@@ -20,6 +20,7 @@ use ng_chain::utxo::UtxoEntry;
 use ng_crypto::pow::Work;
 use ng_net::codec::{CodecError, FrameCodec, HEADER_LEN};
 use ng_net::message::{InvItem, InvKind, Message, ProtocolKind, WireSnapshot};
+use ng_net::relay::{short_tx_id, CompactMicroBlock};
 use ng_net::sync::HeaderRecord;
 use proptest::prelude::*;
 
@@ -44,6 +45,14 @@ fn every_variant(seed: u64) -> Vec<Message> {
         signature: SchnorrSigner::new(*node.keys()).sign(&micro_header.signing_hash()),
         header: micro_header,
         payload: payload.clone(),
+    };
+    let compact = CompactMicroBlock {
+        header: micro.header.clone(),
+        signature: micro.signature.clone(),
+        salt: seed,
+        short_ids: (0..seed % 10)
+            .map(|i| short_tx_id(seed, &sha256(&i.to_le_bytes())))
+            .collect(),
     };
     let tx = TransactionBuilder::new()
         .input(OutPoint::new(sha256(&seed.to_le_bytes()), (seed % 4) as u32))
@@ -80,7 +89,7 @@ fn every_variant(seed: u64) -> Vec<Message> {
         Message::Block(Box::new(btc)),
         Message::KeyBlock(Box::new(key_block.clone())),
         Message::MicroBlock(Box::new(micro)),
-        Message::Tx(Box::new(tx)),
+        Message::Tx(Box::new(tx.clone())),
         Message::GetHeaders {
             locator: (0..seed % 12)
                 .map(|i| sha256(&(seed + i).to_le_bytes()))
@@ -131,6 +140,18 @@ fn every_variant(seed: u64) -> Vec<Message> {
                     .collect(),
             }))
         }),
+        Message::CmpctBlock(Box::new(compact)),
+        Message::GetBlockTxn {
+            block: sha256(&seed.to_le_bytes()),
+            indexes: (0..seed % 6).map(|i| i as u32).collect(),
+        },
+        Message::BlockTxn {
+            block: sha256(&seed.to_le_bytes()),
+            txs: vec![tx.clone()],
+        },
+        Message::IHave(vec![InvItem::new(InvKind::MicroBlock, sha256(&seed.to_le_bytes()))]),
+        Message::Graft(InvItem::new(InvKind::MicroBlock, sha256(b"graft"))),
+        Message::Prune,
         Message::Ping(seed),
         Message::Pong(seed.wrapping_mul(31)),
     ]
@@ -144,7 +165,8 @@ fn every_message_variant_is_covered() {
         commands,
         vec![
             "version", "verack", "inv", "getdata", "block", "keyblock", "microblock",
-            "tx", "getheaders", "headers", "getsnapshot", "snapshot", "ping", "pong"
+            "tx", "getheaders", "headers", "getsnapshot", "snapshot", "cmpct",
+            "getblocktxn", "blocktxn", "ihave", "graft", "prune", "ping", "pong"
         ]
     );
 }

@@ -79,6 +79,8 @@ pub struct NodeConfig {
     /// Keep the latest checkpoint in memory and answer `getsnapshot` even without
     /// a datadir (nodes with a datadir always serve from storage).
     pub serve_snapshots: bool,
+    /// Block-propagation knobs: compact microblock relay + broadcast overlay.
+    pub gossip: crate::engine::GossipConfig,
 }
 
 impl NodeConfig {
@@ -96,6 +98,7 @@ impl NodeConfig {
             sync: ng_net::sync::SyncConfig::default(),
             snapshot_pin: None,
             serve_snapshots: false,
+            gossip: crate::engine::GossipConfig::default(),
         }
     }
 
@@ -110,6 +113,7 @@ impl NodeConfig {
             sync: self.sync,
             snapshot_pin: self.snapshot_pin,
             serve_snapshots: self.serve_snapshots,
+            gossip: self.gossip,
         }
     }
 }

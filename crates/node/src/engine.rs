@@ -37,7 +37,9 @@ use ng_core::node::NgNode;
 use ng_core::params::NgParams;
 use ng_crypto::sha256::Hash256;
 use ng_net::message::{InvItem, InvKind, Message, ProtocolKind, WireSnapshot};
+use ng_net::overlay::{Overlay, OverlayConfig};
 use ng_net::peer::{Peer, PeerAction};
+use ng_net::relay::{self, CompactMicroBlock, CompactRelay, ReconstructOutcome};
 use ng_net::sync::{
     build_locator, ids_after_locator, HeaderRecord, SyncCommand, SyncConfig, SyncScheduler,
     DEFAULT_HEADER_BATCH,
@@ -76,6 +78,51 @@ pub struct EngineConfig {
     /// storage: the checkpoint cadence keeps the newest snapshot in memory. Nodes
     /// with a durable backend serve from disk regardless of this flag.
     pub serve_snapshots: bool,
+    /// Block-propagation knobs: compact microblock relay and the structured
+    /// broadcast overlay. Both default off, preserving the classic flood.
+    pub gossip: GossipConfig,
+}
+
+/// How this engine relays blocks (§7 propagation). The defaults reproduce the
+/// classic flood: full carriers pushed over every link. Enabling `compact` swaps
+/// microblock pushes for BIP152-style [`CompactMicroBlock`] announcements
+/// reconstructed from the receiver's mempool; enabling `overlay` restricts full
+/// pushes to a small eager set and advertises over the rest with `ihave`,
+/// Plumtree-style (see [`ng_net::overlay`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Announce microblocks as compact blocks (short tx ids + mempool
+    /// reconstruction) instead of full carriers.
+    pub compact: bool,
+    /// Broadcast blocks over the eager/lazy overlay instead of flooding every link.
+    pub overlay: bool,
+    /// Target eager-set size (broadcast-tree fan-out) when `overlay` is on.
+    pub eager_degree: usize,
+    /// Lazy-pull timeout before a missed `ihave` grafts the advertising link.
+    pub pull_timeout_ms: u64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        let overlay = OverlayConfig::default();
+        GossipConfig {
+            compact: false,
+            overlay: false,
+            eager_degree: overlay.eager_degree,
+            pull_timeout_ms: overlay.pull_timeout_ms,
+        }
+    }
+}
+
+impl GossipConfig {
+    /// The compact + overlay stack the scalable-gossip benchmarks run.
+    pub fn scalable() -> Self {
+        GossipConfig {
+            compact: true,
+            overlay: true,
+            ..GossipConfig::default()
+        }
+    }
 }
 
 impl EngineConfig {
@@ -90,6 +137,7 @@ impl EngineConfig {
             sync: SyncConfig::default(),
             snapshot_pin: None,
             serve_snapshots: false,
+            gossip: GossipConfig::default(),
         }
     }
 }
@@ -302,6 +350,31 @@ pub enum ReportEvent {
         /// Blocks fetched by the backfill.
         blocks: u64,
     },
+    /// A compact announcement was reconstructed into a full microblock — entirely
+    /// from the local mempool, or after one `getblocktxn` round trip.
+    CompactReconstructed {
+        /// The microblock id.
+        id: Hash256,
+        /// Transactions fetched via `blocktxn` (0 = pure mempool reconstruction).
+        fetched: usize,
+    },
+    /// A compact reconstruction failed (collision, bad reply, digest mismatch) and
+    /// the node fell back to a full-block fetch.
+    CompactFallback {
+        /// The microblock id.
+        id: Hash256,
+    },
+    /// A lazy `ihave` timed out: the advertising link was grafted back to eager and
+    /// the block pulled over it (the overlay's self-healing move).
+    OverlayGraft {
+        /// The grafted connection key.
+        peer: u64,
+    },
+    /// A duplicate eager push demoted the link it came over to lazy.
+    OverlayPrune {
+        /// The pruned connection key.
+        peer: u64,
+    },
 }
 
 /// Cap on stashed orphan carriers (a misbehaving peer could otherwise grow the
@@ -328,6 +401,10 @@ pub struct Engine {
     /// ids are skipped during eviction and compacted periodically).
     orphan_order: std::collections::VecDeque<Hash256>,
     relay: GossipRelay,
+    /// Eager/lazy broadcast overlay (only driven when `config.gossip.overlay`).
+    overlay: Overlay,
+    /// Partial compact-block reconstructions awaiting `blocktxn` replies.
+    compact: CompactRelay,
     /// Multi-peer sync: concurrent header walks plus the windowed parallel block
     /// download scheduler (request deadlines, retry-on-another-peer, eviction).
     sync: SyncScheduler,
@@ -410,6 +487,11 @@ impl Engine {
             waiting: None,
         });
         let sync = SyncScheduler::new(config.sync);
+        let overlay = Overlay::new(OverlayConfig {
+            eager_degree: config.gossip.eager_degree,
+            pull_timeout_ms: config.gossip.pull_timeout_ms,
+            ..OverlayConfig::default()
+        });
         Engine {
             config,
             node,
@@ -418,6 +500,8 @@ impl Engine {
             orphan_carriers: HashMap::new(),
             orphan_order: std::collections::VecDeque::new(),
             relay: GossipRelay::new(),
+            overlay,
+            compact: CompactRelay::new(),
             sync,
             peers: HashSet::new(),
             last_timer: None,
@@ -477,6 +561,11 @@ impl Engine {
         // Placeholder view; replaced below once the replayed store exists.
         let placeholder = ChainView::new(&config.params, Hash256::ZERO);
         let sync = SyncScheduler::new(config.sync);
+        let overlay = Overlay::new(OverlayConfig {
+            eager_degree: config.gossip.eager_degree,
+            pull_timeout_ms: config.gossip.pull_timeout_ms,
+            ..OverlayConfig::default()
+        });
         let mut engine = Engine {
             config,
             node,
@@ -485,6 +574,8 @@ impl Engine {
             orphan_carriers: HashMap::new(),
             orphan_order: std::collections::VecDeque::new(),
             relay: GossipRelay::new(),
+            overlay,
+            compact: CompactRelay::new(),
             sync,
             peers: HashSet::new(),
             last_timer: None,
@@ -598,6 +689,7 @@ impl Engine {
         // Any input may have freed download windows, expired deadlines, or changed
         // the bootstrap/backfill state: run one scheduler pass before re-arming.
         self.drive_sync(now_ms, &mut effects);
+        self.drive_overlay(now_ms, &mut effects);
         self.arm_timer(now_ms, &mut effects);
         effects
     }
@@ -737,6 +829,35 @@ impl Engine {
         self.latest_snapshot.as_ref()
     }
 
+    /// Current eager-set connections of the broadcast overlay, ascending (empty
+    /// unless `gossip.overlay` is on).
+    pub fn overlay_eager(&self) -> Vec<u64> {
+        self.overlay.eager().collect()
+    }
+
+    /// Current lazy-set connections of the broadcast overlay, ascending.
+    pub fn overlay_lazy(&self) -> Vec<u64> {
+        self.overlay.lazy().collect()
+    }
+
+    /// Inserts a transaction straight into the mempool — no gossip, no effects.
+    /// Bench and test harnesses use this to pre-fill many nodes' pools with the
+    /// same transactions deterministically (the precondition compact relay
+    /// exploits) without paying for a transaction flood first.
+    pub fn preload_tx(&mut self, tx: Transaction) -> bool {
+        let txid = tx.txid();
+        if self.mempool.contains(&txid) || self.view.is_confirmed(&txid) {
+            return false;
+        }
+        if tx.serialized_size() as u64 > self.config.params.max_microblock_payload_bytes() {
+            return false;
+        }
+        match self.view.admission_fee(&tx, self.height() + 1) {
+            Ok(fee) => self.mempool.insert_with_fee(tx, fee),
+            Err(_) => false,
+        }
+    }
+
     // ---- connection lifecycle -------------------------------------------------
 
     fn on_connected(&mut self, peer: u64, inbound: bool, now_ms: u64, effects: &mut Vec<Effect>) {
@@ -765,6 +886,7 @@ impl Engine {
     fn forget_peer(&mut self, peer: u64) {
         self.peers.remove(&peer);
         self.relay.remove_peer(peer);
+        self.overlay.peer_gone(peer);
         self.sync.peer_gone(peer);
         if let Some(boot) = self.bootstrap.as_mut() {
             if boot.waiting.is_some_and(|(waiting_on, _)| waiting_on == peer) {
@@ -804,6 +926,9 @@ impl Engine {
                     // chain and discard anything fetched against genesis.
                     self.flush_routable(peer, std::mem::take(&mut routable), now_ms, effects);
                     effects.push(Effect::Report(ReportEvent::PeerReady { peer, node_id }));
+                    if self.config.gossip.overlay {
+                        self.overlay.peer_ready(peer);
+                    }
                     self.sync.peer_ready(peer, best_height);
                     if self.bootstrap.is_none() {
                         self.sync.request_sync(peer);
@@ -887,7 +1012,185 @@ impl Engine {
             Message::Snapshot(snapshot) => {
                 self.handle_snapshot(from, snapshot.map(|boxed| *boxed), now_ms, effects);
             }
+            Message::CmpctBlock(compact) => {
+                self.handle_compact(from, *compact, now_ms, effects);
+            }
+            Message::GetBlockTxn { block, indexes } => {
+                self.serve_block_txn(from, block, &indexes, effects);
+            }
+            Message::BlockTxn { block, txs } => {
+                self.handle_block_txn(from, block, txs, now_ms, effects);
+            }
+            Message::IHave(items) => {
+                self.handle_ihave(from, items, now_ms);
+            }
+            Message::Graft(item) => {
+                self.overlay.on_graft(from);
+                // Serve the grafted block in full: the graft *is* the pull request.
+                if let Some(carrier) = self.relay.object(&item.id).cloned() {
+                    if let Some(state) = self.relay.peer_mut(from) {
+                        state.mark_known(item.id);
+                    }
+                    effects.push(Effect::Send {
+                        peer: from,
+                        message: carrier,
+                    });
+                }
+            }
+            Message::Prune => {
+                self.overlay.on_prune(from);
+            }
             _ => {}
+        }
+    }
+
+    // ---- compact relay + broadcast overlay -------------------------------------
+
+    /// A compact microblock announcement arrived: reconstruct it from the mempool,
+    /// request the missing slots, or fall back to a full fetch.
+    fn handle_compact(
+        &mut self,
+        from: u64,
+        compact: CompactMicroBlock,
+        now_ms: u64,
+        effects: &mut Vec<Effect>,
+    ) {
+        let id = compact.id();
+        if self.node.chain().store().contains(&id) || self.relay.has_object(&id) {
+            // A second eager path delivered this block: classic Plumtree prune.
+            effects.push(Effect::Report(ReportEvent::BlockDuplicate { id }));
+            self.prune_duplicate_link(from, effects);
+            return;
+        }
+        if self.compact.is_pending(&id) {
+            // Already reconstructing from an earlier announcement; a second
+            // concurrent eager push of the same block is a duplicate path too.
+            self.prune_duplicate_link(from, effects);
+            return;
+        }
+        match self.compact.begin(compact, &self.mempool, from) {
+            ReconstructOutcome::Complete(micro) => {
+                effects.push(Effect::Report(ReportEvent::CompactReconstructed {
+                    id,
+                    fetched: 0,
+                }));
+                let carrier = Message::MicroBlock(micro.clone());
+                self.accept_block(Some(from), NgBlock::Micro(*micro), carrier, now_ms, effects);
+            }
+            ReconstructOutcome::MissingTxs(indexes) => {
+                effects.push(Effect::Send {
+                    peer: from,
+                    message: Message::GetBlockTxn { block: id, indexes },
+                });
+            }
+            ReconstructOutcome::Failed => self.fetch_full(from, id, effects),
+        }
+    }
+
+    /// Serves a `getblocktxn` request from the relay's object store.
+    fn serve_block_txn(
+        &mut self,
+        from: u64,
+        block: Hash256,
+        indexes: &[u32],
+        effects: &mut Vec<Effect>,
+    ) {
+        let Some(Message::MicroBlock(micro)) = self.relay.object(&block) else {
+            return; // evicted or never held: the requester's fallback covers it
+        };
+        if let Some(txs) = relay::transactions_at(micro, indexes) {
+            effects.push(Effect::Send {
+                peer: from,
+                message: Message::BlockTxn { block, txs },
+            });
+        }
+    }
+
+    /// A `blocktxn` reply arrived: complete the stashed reconstruction or fall back.
+    fn handle_block_txn(
+        &mut self,
+        from: u64,
+        block: Hash256,
+        txs: Vec<Transaction>,
+        now_ms: u64,
+        effects: &mut Vec<Effect>,
+    ) {
+        let fetched = txs.len();
+        match self.compact.resolve(&block, txs) {
+            None => {} // unsolicited or evicted: ignore
+            Some(ReconstructOutcome::Complete(micro)) => {
+                effects.push(Effect::Report(ReportEvent::CompactReconstructed {
+                    id: block,
+                    fetched,
+                }));
+                let carrier = Message::MicroBlock(micro.clone());
+                self.accept_block(Some(from), NgBlock::Micro(*micro), carrier, now_ms, effects);
+            }
+            Some(_) => self.fetch_full(from, block, effects),
+        }
+    }
+
+    /// Lazy `ihave` advertisements: remember unseen blocks as pull candidates (the
+    /// timer pass grafts the advertiser if no eager copy lands in time).
+    fn handle_ihave(&mut self, from: u64, items: Vec<InvItem>, now_ms: u64) {
+        if !self.config.gossip.overlay {
+            return;
+        }
+        for item in items {
+            if !matches!(item.kind, InvKind::KeyBlock | InvKind::MicroBlock) {
+                continue;
+            }
+            if self.node.chain().store().contains(&item.id)
+                || self.relay.has_object(&item.id)
+                || self.compact.is_pending(&item.id)
+            {
+                continue;
+            }
+            // arm_timer (end of this handle pass) picks up the new deadline.
+            self.overlay.on_ihave(from, item, now_ms);
+        }
+    }
+
+    /// Compact reconstruction failed: fetch the announced block in full.
+    fn fetch_full(&mut self, from: u64, id: Hash256, effects: &mut Vec<Effect>) {
+        effects.push(Effect::Report(ReportEvent::CompactFallback { id }));
+        let item = InvItem::new(InvKind::MicroBlock, id);
+        let request = self.relay.peer_mut(from).and_then(|state| {
+            state.forget_request(&id);
+            state.request(&[item])
+        });
+        if let Some(request) = request {
+            effects.push(Effect::Send {
+                peer: from,
+                message: request,
+            });
+        }
+    }
+
+    /// A duplicate eager push arrived over `from`: demote the link to lazy and tell
+    /// the other end to stop pushing to us (Plumtree's tree-repair move).
+    fn prune_duplicate_link(&mut self, from: u64, effects: &mut Vec<Effect>) {
+        if self.config.gossip.overlay && self.overlay.on_duplicate(from) {
+            effects.push(Effect::Report(ReportEvent::OverlayPrune { peer: from }));
+            effects.push(Effect::Send {
+                peer: from,
+                message: Message::Prune,
+            });
+        }
+    }
+
+    /// Fires overdue lazy pulls: each grafts its next advertiser back to eager and
+    /// pulls the missed block over that link (the overlay's self-healing path).
+    fn drive_overlay(&mut self, now_ms: u64, effects: &mut Vec<Effect>) {
+        if self.overlay.pending_pulls() == 0 {
+            return;
+        }
+        for (item, peer) in self.overlay.expire(now_ms) {
+            effects.push(Effect::Report(ReportEvent::OverlayGraft { peer }));
+            effects.push(Effect::Send {
+                peer,
+                message: Message::Graft(item),
+            });
         }
     }
 
@@ -968,6 +1271,10 @@ impl Engine {
         // syncing peer, leaving the in-flight entry stuck (and the block
         // re-downloaded) whenever gossip won the race.
         let expected = self.sync.note_delivery(&id);
+        // Likewise the overlay's pending lazy pull and any half-done compact
+        // reconstruction of this block: the full copy is here.
+        self.overlay.block_arrived(&id);
+        self.compact.abandon(&id);
         match self.node.on_block(block, now_ms) {
             Ok(InsertOutcome::Accepted {
                 tip_changed, reorg, ..
@@ -1000,6 +1307,10 @@ impl Engine {
             }
             Ok(InsertOutcome::Duplicate) => {
                 effects.push(Effect::Report(ReportEvent::BlockDuplicate { id }));
+                if let Some(from) = from {
+                    // A second eager path pushed a full copy: demote that link.
+                    self.prune_duplicate_link(from, effects);
+                }
             }
             Ok(InsertOutcome::Orphaned { .. }) => {
                 effects.push(Effect::Report(ReportEvent::BlockOrphaned { id }));
@@ -1026,8 +1337,17 @@ impl Engine {
 
     /// Stores a newly known object in the relay and emits its announcements: a
     /// single [`Effect::Broadcast`] when every ready peer needs it (a freshly
-    /// produced local object), per-peer [`Effect::Send`]s otherwise.
+    /// produced local object), per-peer [`Effect::Send`]s otherwise. With the
+    /// broadcast overlay on, block carriers take the eager/lazy path instead
+    /// (transactions always flood: mempool convergence is what makes compact
+    /// reconstruction work).
     fn announce(&mut self, carrier: Message, from: Option<u64>, effects: &mut Vec<Effect>) {
+        if self.config.gossip.overlay
+            && matches!(carrier, Message::KeyBlock(_) | Message::MicroBlock(_))
+        {
+            self.overlay_announce(carrier, from, effects);
+            return;
+        }
         let actions = self.relay.announce(carrier, from);
         if from.is_none() && !actions.is_empty() && actions.len() == self.relay.ready_peer_count() {
             effects.push(Effect::Broadcast {
@@ -1040,6 +1360,58 @@ impl Engine {
                     message: action.message,
                 });
             }
+        }
+    }
+
+    /// Announces a block over the structured overlay: the full carrier (compacted
+    /// for microblocks when `gossip.compact`) is pushed to the eager set, a
+    /// one-item `ihave` to the lazy set, the source link excluded from both. The
+    /// full carrier enters the relay's object store either way — `getdata`,
+    /// `graft` and `getblocktxn` are all served from it.
+    fn overlay_announce(&mut self, carrier: Message, from: Option<u64>, effects: &mut Vec<Effect>) {
+        let (id, kind) = match &carrier {
+            Message::KeyBlock(kb) => (kb.id(), InvKind::KeyBlock),
+            Message::MicroBlock(mb) => (mb.id(), InvKind::MicroBlock),
+            _ => return,
+        };
+        let push = if self.config.gossip.compact {
+            relay::compact_announcement(self.config.id, &carrier)
+        } else {
+            carrier.clone()
+        };
+        self.relay.store_object(carrier);
+        if let Some(from) = from {
+            if let Some(state) = self.relay.peer_mut(from) {
+                state.mark_known(id);
+            }
+        }
+        for peer in self.overlay.push_targets(from) {
+            let Some(state) = self.relay.peer_mut(peer) else {
+                continue;
+            };
+            if !state.is_ready() || state.knows(&id) {
+                continue;
+            }
+            state.mark_known(id);
+            effects.push(Effect::Send {
+                peer,
+                message: push.clone(),
+            });
+        }
+        let item = InvItem::new(kind, id);
+        for peer in self.overlay.lazy_targets(from) {
+            let Some(state) = self.relay.peer_mut(peer) else {
+                continue;
+            };
+            // An `ihave` does not transfer the block, so the peer is *not* marked
+            // as knowing it — a later graft must still be served.
+            if !state.is_ready() || state.knows(&id) {
+                continue;
+            }
+            effects.push(Effect::Send {
+                peer,
+                message: Message::IHave(vec![item]),
+            });
         }
     }
 
@@ -1982,6 +2354,9 @@ impl Engine {
         if let Some(deadline) = self.sync.next_deadline() {
             candidates.push(deadline);
         }
+        if let Some(deadline) = self.overlay.next_deadline() {
+            candidates.push(deadline);
+        }
         if let Some((_, deadline)) = self.bootstrap.as_ref().and_then(|boot| boot.waiting) {
             candidates.push(deadline);
         }
@@ -2091,6 +2466,103 @@ mod tests {
         pump(now, a, b, hello, true);
         assert_eq!(a.ready_peer_count(), 1);
         assert_eq!(b.ready_peer_count(), 1);
+    }
+
+    fn gossip_engine(id: u64, gossip: GossipConfig) -> Engine {
+        let mut config = EngineConfig::new(id, params());
+        config.gossip = gossip;
+        Engine::new(config)
+    }
+
+    #[test]
+    fn compact_announcement_reconstructs_at_the_receiver() {
+        let mut a = gossip_engine(1, GossipConfig::scalable());
+        let mut b = gossip_engine(2, GossipConfig::scalable());
+        connect(1_000, &mut a, &mut b);
+        let mined = a.handle(1_100, Input::MineKeyBlock);
+        pump(1_100, &mut a, &mut b, mined, true);
+        assert_eq!(b.height(), 1);
+        // Transactions still flood in overlay mode: both pools end up holding it,
+        // which is exactly what compact reconstruction relies on.
+        let submitted = a.handle(1_200, Input::SubmitTx(Box::new(test_tx(1))));
+        pump(1_200, &mut a, &mut b, submitted, true);
+        assert_eq!(b.mempool_len(), 1);
+        let produced = a.handle(
+            1_300,
+            Input::ProduceMicroblock {
+                require_transactions: true,
+            },
+        );
+        let full_micro = |e: &Effect| {
+            matches!(
+                e,
+                Effect::Send {
+                    message: Message::MicroBlock(_),
+                    ..
+                } | Effect::Broadcast {
+                    message: Message::MicroBlock(_)
+                }
+            )
+        };
+        assert!(
+            produced.iter().any(|e| matches!(
+                e,
+                Effect::Send {
+                    message: Message::CmpctBlock(_),
+                    ..
+                }
+            )),
+            "the eager push is compact"
+        );
+        assert!(!produced.iter().any(full_micro), "no full carrier on the wire");
+        pump(1_300, &mut a, &mut b, produced, true);
+        assert_eq!(b.height(), 2, "b reconstructed the microblock from its pool");
+        assert_eq!(b.mempool_len(), 0);
+    }
+
+    #[test]
+    fn lazy_ihave_pull_recovers_a_block_never_pushed() {
+        // A zero eager degree makes every link lazy: blocks are only advertised,
+        // so delivery *must* go through the ihave → timeout → graft pull path.
+        let gossip = GossipConfig {
+            compact: false,
+            overlay: true,
+            eager_degree: 0,
+            pull_timeout_ms: 50,
+        };
+        let mut a = gossip_engine(1, gossip);
+        let mut b = gossip_engine(2, gossip);
+        connect(1_000, &mut a, &mut b);
+        let mined = a.handle(1_100, Input::MineKeyBlock);
+        let ihave = mined
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send {
+                    message: m @ Message::IHave(_),
+                    ..
+                } => Some(m.clone()),
+                _ => None,
+            })
+            .expect("lazy link gets an ihave");
+        b.handle(1_105, Input::Message { peer: 0, message: ihave });
+        assert_eq!(b.height(), 0, "an ihave transfers nothing");
+        // The pull timer expires: b grafts the advertising link and pulls.
+        let expired = b.handle(1_200, Input::Tick);
+        let graft = expired
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send {
+                    message: m @ Message::Graft(_),
+                    ..
+                } => Some(m.clone()),
+                _ => None,
+            })
+            .expect("timeout grafts the advertiser");
+        let served = a.handle(1_205, Input::Message { peer: 0, message: graft });
+        pump(1_205, &mut a, &mut b, served, true);
+        assert_eq!(b.height(), 1, "the graft pulled the block in full");
+        assert!(b.overlay_eager().contains(&0), "grafted link is eager now");
+        assert!(a.overlay_eager().contains(&0), "the graft promoted a's end too");
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub fn record(counters: &NodeCounters, event: &ReportEvent) {
         ReportEvent::SnapshotRejected { .. } => counters.snapshots_rejected.incr(),
         ReportEvent::SyncPeerEvicted { .. } => counters.sync_peers_evicted.incr(),
         ReportEvent::BackfillCompleted { blocks } => counters.backfill_blocks.add(*blocks),
+        ReportEvent::CompactReconstructed { fetched, .. } => {
+            counters.compact_reconstructed.incr();
+            counters.compact_txs_fetched.add(*fetched as u64);
+        }
+        ReportEvent::CompactFallback { .. } => counters.compact_fallbacks.incr(),
+        ReportEvent::OverlayGraft { .. } => counters.overlay_grafts.incr(),
+        ReportEvent::OverlayPrune { .. } => counters.overlay_prunes.incr(),
     }
 }
 

@@ -12,14 +12,14 @@
 //! the [`SimNet::trace_bytes`] of two runs are equal, which the determinism suite
 //! asserts across seeds.
 
-use crate::engine::{Effect, Engine, EngineConfig, Input, ReportEvent};
+use crate::engine::{Effect, Engine, EngineConfig, GossipConfig, Input, ReportEvent};
 use crate::report::{record, NodeSnapshot};
 use crate::testnet::ConvergenceReport;
 use ng_chain::transaction::Transaction;
 use ng_core::params::NgParams;
 use ng_crypto::rng::SimRng;
 use ng_crypto::sha256::Hash256;
-use ng_metrics::counters::NodeCounters;
+use ng_metrics::counters::{NodeCounters, WireStats};
 use ng_net::message::Message;
 use ng_net::sync::DEFAULT_HEADER_BATCH;
 use serde::Serialize;
@@ -62,6 +62,13 @@ pub struct SimConfig {
     /// `getsnapshot` — SimNet nodes have no durable storage, so this is the only
     /// way a simulated network can serve snapshot bootstraps.
     pub serve_snapshots: bool,
+    /// Block-propagation knobs shared by every node (compact relay, broadcast
+    /// overlay). Defaults to the classic flood.
+    pub gossip: GossipConfig,
+    /// When true every block acceptance is recorded as `(node, virtual time)`
+    /// under its block id — the raw material of propagation-delay CDFs. Off by
+    /// default (long scenarios would accumulate entries forever).
+    pub record_arrivals: bool,
 }
 
 impl SimConfig {
@@ -80,6 +87,8 @@ impl SimConfig {
             record_trace: false,
             sync: ng_net::sync::SyncConfig::default(),
             serve_snapshots: false,
+            gossip: GossipConfig::default(),
+            record_arrivals: false,
         }
     }
 }
@@ -161,6 +170,11 @@ pub struct SimNet {
     /// every request, but its replies never make it onto the wire.
     muted: HashSet<usize>,
     trace: Vec<TraceEntry>,
+    /// Per node: per-command wire traffic (messages and modelled bytes both ways).
+    wire: Vec<WireStats>,
+    /// Per block id: every `(node, virtual ms)` acceptance, in arrival order.
+    /// Filled only under [`SimConfig::record_arrivals`].
+    arrivals: HashMap<Hash256, Vec<(usize, u64)>>,
 }
 
 fn canon(a: usize, b: usize) -> (usize, usize) {
@@ -186,10 +200,12 @@ impl SimNet {
                     sync: config.sync,
                     snapshot_pin: None,
                     serve_snapshots: config.serve_snapshots,
+                    gossip: config.gossip,
                 })
             })
             .collect();
         let counters = (0..config.nodes).map(|_| NodeCounters::new()).collect();
+        let wire = (0..config.nodes).map(|_| WireStats::new()).collect();
         let timers = vec![None; config.nodes];
         let rng = SimRng::seed_from_u64(config.seed);
         SimNet {
@@ -206,6 +222,8 @@ impl SimNet {
             timers,
             muted: HashSet::new(),
             trace: Vec::new(),
+            wire,
+            arrivals: HashMap::new(),
         }
     }
 
@@ -224,10 +242,12 @@ impl SimNet {
             sync: self.config.sync,
             snapshot_pin: None,
             serve_snapshots: self.config.serve_snapshots,
+            gossip: self.config.gossip,
         };
         configure(&mut engine_config);
         self.engines.push(Engine::new(engine_config));
         self.counters.push(NodeCounters::new());
+        self.wire.push(WireStats::new());
         self.timers.push(None);
         self.config.nodes += 1;
         id
@@ -263,6 +283,26 @@ impl SimNet {
     /// Read access to one engine (assertions in tests).
     pub fn engine(&self, node: usize) -> &Engine {
         &self.engines[node]
+    }
+
+    /// Mutable access to one engine, for out-of-band setup such as
+    /// [`Engine::preload_tx`] — bench harnesses pre-fill hundreds of mempools
+    /// without paying for a transaction flood. Effects are not captured here; use
+    /// the command wrappers for anything that gossips.
+    pub fn engine_mut(&mut self, node: usize) -> &mut Engine {
+        &mut self.engines[node]
+    }
+
+    /// Per-command wire traffic of one node (messages and modelled bytes, both
+    /// directions).
+    pub fn wire_stats(&self, node: usize) -> &WireStats {
+        &self.wire[node]
+    }
+
+    /// Every `(node, virtual ms)` acceptance of a block, in arrival order. Empty
+    /// unless [`SimConfig::record_arrivals`] was set.
+    pub fn arrivals(&self, id: &Hash256) -> &[(usize, u64)] {
+        self.arrivals.get(id).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Overrides the message-loss probability mid-scenario (e.g. "the healed
@@ -301,6 +341,33 @@ impl SimNet {
     pub fn connect_mesh(&mut self, group: &[usize]) {
         for (pos, &a) in group.iter().enumerate() {
             for &b in &group[pos + 1..] {
+                self.connect(a, b);
+            }
+        }
+    }
+
+    /// Wires a sparse random topology of roughly the given average degree: a ring
+    /// over all nodes (guaranteed connectivity) plus seeded random extra links
+    /// until the link count reaches `nodes × degree / 2`. This is the topology the
+    /// 100–1000-node propagation experiments run — a full mesh at that scale would
+    /// be O(n²) links and nothing like a real overlay.
+    pub fn connect_degree(&mut self, degree: usize) {
+        let n = self.engines.len();
+        assert!(n >= 3, "a ring needs at least three nodes");
+        assert!(degree >= 2, "the ring alone already gives degree 2");
+        for i in 0..n {
+            self.connect(i, (i + 1) % n);
+        }
+        let target_links = (n * degree) / 2;
+        // Seeded rejection sampling; the attempt cap makes degenerate requests
+        // (degree close to n) terminate rather than spin.
+        let mut attempts = 0usize;
+        let cap = target_links.saturating_mul(30).max(1_000);
+        while self.links.len() < target_links && attempts < cap {
+            attempts += 1;
+            let a = self.rng.range_u64(0, n as u64) as usize;
+            let b = self.rng.range_u64(0, n as u64) as usize;
+            if a != b {
                 self.connect(a, b);
             }
         }
@@ -431,6 +498,7 @@ impl SimNet {
                     && self.epochs.get(&(from, to)).copied().unwrap_or(0) == epoch;
                 if live {
                     self.counters[to].messages_in.incr();
+                    self.wire[to].record_in(message.command(), message.wire_size());
                     self.dispatch(
                         to,
                         Input::Message {
@@ -491,6 +559,16 @@ impl SimNet {
                 }
                 Effect::Report(event) => {
                     record(&self.counters[node], &event);
+                    if self.config.record_arrivals {
+                        // A block "arrives" at a node when it joins its chain —
+                        // whether pushed, reconstructed, pulled, or produced.
+                        if let ReportEvent::BlockAccepted { id, .. }
+                        | ReportEvent::KeyBlockMined { id }
+                        | ReportEvent::MicroblockProduced { id } = &event
+                        {
+                            self.arrivals.entry(*id).or_default().push((node, self.now));
+                        }
+                    }
                     reports.push(event);
                 }
             }
@@ -507,6 +585,7 @@ impl SimNet {
             return; // a stalling peer: the reply never leaves the node
         }
         self.counters[from].messages_out.incr();
+        self.wire[from].record_out(message.command(), message.wire_size());
         if self.config.loss > 0.0 && !message.is_handshake() && self.rng.chance(self.config.loss) {
             return; // lost in flight
         }

@@ -8,7 +8,7 @@
 #                                          # regressed (--assert-fast); writes to a temp
 #                                          # file, never touches the committed snapshot
 #
-# The emitted JSON (schema bench_ledger/v4) holds medians of:
+# The emitted JSON (schema bench_ledger/v5) holds medians of:
 #   * schnorr_sign_us / schnorr_verify_us — one Schnorr signing (fixed-base comb) and
 #     one verification (Strauss–Shamir double-scalar multiplication)
 #   * verify_batch_256_us — 256 signatures checked as one random-linear-combination
@@ -32,6 +32,12 @@
 #     plus snapshot bootstrap at depth 128 and the 1024/128 ratio
 #     (snapshot_depth_ratio); --assert-fast pins parallel ≥ 4x serial, snapshot
 #     ≤ parallel, and the depth ratio ≤ 2 (near-flat onboarding)
+#   * propagation_100 / propagation_1000 — one leader microblock propagating
+#     through a degree-8 SimNet in deterministic simulated time: classic full-
+#     carrier flood vs the compact-relay + eager/lazy overlay stack, with
+#     coverage, p50/p99 delay, per-node relay bytes, and the flood-vs-overlay
+#     byte reduction; --assert-fast pins reduction ≥ 5x and coverage ≥ 0.99 at
+#     both 100 and 1000 nodes
 
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -41,6 +41,9 @@ cargo test -q -p ng_node --test simnet_scenarios
 echo "==> fast-sync suite (headers-first parallel download, stalling-peer eviction, snapshot bootstrap; SimNet, socket-free)"
 cargo test -q -p ng_node --test fast_sync
 
+echo "==> gossip-scale suite (100-node compact relay + overlay vs flood, self-heal, loss/churn sweep; SimNet, socket-free)"
+cargo test -q -p ng_node --test gossip_scale
+
 echo "==> chainstate differential suite (incremental view ≡ rebuild-from-genesis oracle)"
 cargo test -q -p ng_node --test chainstate_equivalence
 
