@@ -64,9 +64,12 @@ impl<T> BoundedParentBuffer<T> {
         self.buffered.is_empty()
     }
 
-    /// The parent ids currently waited on.
-    pub fn parents(&self) -> impl Iterator<Item = &Hash256> {
-        self.entries.keys()
+    /// The parent ids currently waited on, in canonical (sorted) order so the
+    /// buffer's hash-map layout never leaks into caller behavior.
+    pub fn parents(&self) -> Vec<Hash256> {
+        let mut parents: Vec<Hash256> = self.entries.keys().copied().collect();
+        parents.sort_unstable();
+        parents
     }
 
     /// Buffers an item (identified by `id`) under its missing parent, evicting the
@@ -376,13 +379,13 @@ impl<B: BlockLike> ChainStore<B> {
             progress = false;
             // Canonical order: orphan-map iteration order must not influence arrival
             // numbering (and thus first-seen tie-breaks) between identical runs.
-            let mut ready: Vec<Hash256> = self
+            // `parents()` already yields sorted ids.
+            let ready: Vec<Hash256> = self
                 .orphans
                 .parents()
-                .filter(|p| self.blocks.contains_key(*p))
-                .copied()
+                .into_iter()
+                .filter(|p| self.blocks.contains_key(p))
                 .collect();
-            ready.sort_unstable();
             for parent in ready {
                 for child in self.orphans.take(&parent) {
                     let child_id = child.id();
@@ -750,18 +753,24 @@ impl<B: BlockLike> ChainStore<B> {
         }
     }
 
-    /// All leaf blocks (blocks without children) — the heads of every branch.
+    /// All leaf blocks (blocks without children) — the heads of every branch,
+    /// in canonical (sorted) order.
     pub fn leaves(&self) -> Vec<Hash256> {
-        self.blocks
+        let mut leaves: Vec<Hash256> = self
+            .blocks
             .keys()
             .filter(|id| self.children_of(id).is_empty())
             .copied()
-            .collect()
+            .collect();
+        leaves.sort_unstable();
+        leaves
     }
 
-    /// Iterates over every stored block id.
-    pub fn all_ids(&self) -> impl Iterator<Item = &Hash256> {
-        self.blocks.keys()
+    /// Every stored block id, in canonical (sorted) order.
+    pub fn all_ids(&self) -> Vec<Hash256> {
+        let mut ids: Vec<Hash256> = self.blocks.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 }
 

@@ -10,7 +10,7 @@ use crate::transaction::{OutPoint, Transaction};
 use crate::utxo::UtxoSet;
 use ng_crypto::sha256::Hash256;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// A pending transaction together with cached fee and size.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -115,7 +115,9 @@ impl Mempool {
 
     /// Removes every transaction that appears in the given list (block connection).
     pub fn remove_all<'a>(&mut self, txids: impl IntoIterator<Item = &'a Hash256>) {
-        let to_remove: HashSet<Hash256> = txids.into_iter().copied().collect();
+        // BTreeSet: removal visits txids in canonical order, so the spent-map's
+        // state never depends on hash-iteration order.
+        let to_remove: BTreeSet<Hash256> = txids.into_iter().copied().collect();
         if to_remove.is_empty() {
             return;
         }
@@ -141,8 +143,8 @@ impl Mempool {
     /// Selection is greedy and does not consider in-mempool dependencies; the paper's
     /// experiment transactions are independent by construction.
     pub fn select_by_fee_rate(&self, max_bytes: usize) -> Vec<Transaction> {
-        let mut entries: Vec<&MempoolEntry> = self.entries.values().collect();
-        entries.sort_by(|a, b| {
+        let mut ranked: Vec<&MempoolEntry> = self.entries.values().collect();
+        ranked.sort_by(|a, b| {
             let cross_a = a.fee.sats() as u128 * b.size.max(1) as u128;
             let cross_b = b.fee.sats() as u128 * a.size.max(1) as u128;
             cross_b
@@ -151,7 +153,7 @@ impl Mempool {
         });
         let mut selected = Vec::new();
         let mut used = 0usize;
-        for entry in entries {
+        for entry in ranked {
             if used + entry.size > max_bytes {
                 continue;
             }

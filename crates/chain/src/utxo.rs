@@ -174,6 +174,10 @@ impl UtxoSet {
     /// backends serialise snapshots from this; consumers needing a canonical order
     /// must sort by outpoint themselves, as [`Self::commitment`] does.
     pub fn iter(&self) -> impl Iterator<Item = (&OutPoint, &UtxoEntry)> {
+        // ng-lint: allow(deterministic-iteration): arbitrary order is this API's
+        // documented contract; every canonical-order consumer sorts by outpoint
+        // (commitment, snapshots), and the set stays a HashMap because lookups
+        // dominate the --assert-fast hot path.
         self.entries.iter()
     }
 

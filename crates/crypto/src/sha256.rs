@@ -501,6 +501,58 @@ pub fn tagged_hash(tag: &str, data: &[u8]) -> Hash256 {
     h.finalize()
 }
 
+/// Self-check hooks: the internal constant tables and both compression paths,
+/// exposed so the `constants_selfcheck` suite can pin them against values
+/// recomputed from first principles (the cube/square roots of the first
+/// primes). PR 6 fixed a pair of swapped round constants in the SHA-NI path
+/// that only wrong-hashed rounds 12–15; this surface exists so that bug class
+/// is caught by construction, on whichever dispatch path the CPU takes.
+#[doc(hidden)]
+pub mod selftest {
+    use super::{shani_probe, Sha256, H0, K};
+
+    /// The round-constant table `K`.
+    pub fn k_table() -> [u32; 64] {
+        K
+    }
+
+    /// The initial hash state `H0`.
+    pub fn h0() -> [u32; 8] {
+        H0
+    }
+
+    /// One portable (software) compression of `block` into `state`.
+    pub fn compress_soft(state: &mut [u32; 8], block: &[u8; 64]) {
+        let mut h = Sha256::new();
+        h.state = *state;
+        h.compress_soft(block);
+        *state = h.state;
+    }
+
+    /// One hardware (SHA-NI) compression of `block` into `state`; `false` when
+    /// the CPU lacks the extensions (state untouched).
+    pub fn compress_hw(state: &mut [u32; 8], block: &[u8; 64]) -> bool {
+        shani_probe(state, block)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // guarded by `shani::available`, same as the hot path.
+fn shani_probe(state: &mut [u32; 8], block: &[u8; 64]) -> bool {
+    if shani::available() {
+        // SAFETY: `available` confirmed the sha/ssse3/sse4.1 target features.
+        unsafe { shani::compress(state, block) };
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn shani_probe(_state: &mut [u32; 8], _block: &[u8; 64]) -> bool {
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

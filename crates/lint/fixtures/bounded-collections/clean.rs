@@ -1,0 +1,6 @@
+//@ path: crates/net/src/relay.rs
+pub struct Counters {
+    sent: u64,
+    received: u64,
+}
+pub struct Wrapper(u32);

@@ -1,0 +1,5 @@
+//@ path: crates/net/src/relay.rs
+pub struct Relay {
+    pending: Vec<u64>,
+    names: std::collections::HashMap<u64, u8>,
+}

@@ -1,0 +1,8 @@
+//@ path: crates/net/src/relay.rs
+const MAX_PENDING: usize = 64;
+pub struct Relay {
+    // ng-lint: bound(MAX_PENDING)
+    pending: Vec<u64>,
+    // ng-lint: allow(bounded-collections): one entry per connected peer; the driver's accept limit is the cap
+    peer_names: Vec<u8>,
+}

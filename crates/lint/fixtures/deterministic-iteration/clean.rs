@@ -1,0 +1,15 @@
+//@ path: crates/net/src/gossip.rs
+use std::collections::HashMap;
+struct Cache {
+    entries: HashMap<u64, u32>,
+}
+impl Cache {
+    fn total(&self) -> u32 {
+        self.entries.values().sum()
+    }
+    fn sorted_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}

@@ -1,0 +1,17 @@
+//@ path: crates/net/src/gossip.rs
+use std::collections::HashMap;
+struct Gossip {
+    peers: HashMap<u64, u32>,
+}
+impl Gossip {
+    fn broadcast(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (&id, _) in &self.peers {
+            out.push(id);
+        }
+        out
+    }
+    fn ids(&self) -> Vec<u64> {
+        self.peers.keys().copied().collect()
+    }
+}

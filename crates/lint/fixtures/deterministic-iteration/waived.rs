@@ -1,0 +1,11 @@
+//@ path: crates/net/src/gossip.rs
+use std::collections::HashMap;
+struct Cache {
+    entries: HashMap<u64, u32>,
+}
+impl Cache {
+    fn snapshot_keys(&self) -> Vec<u64> {
+        // ng-lint: allow(deterministic-iteration): callers treat the result as a set; order never reaches the wire
+        self.entries.keys().copied().collect()
+    }
+}

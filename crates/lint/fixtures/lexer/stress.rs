@@ -1,0 +1,11 @@
+//@ path: crates/net/src/codec.rs
+const BANNER: &str = r#"std::net::TcpStream .unwrap() panic!"#;
+/* nested /* comment with .unwrap() */ still comment */
+fn lifetime_not_char<'a>(x: &'a [u8]) -> u8 {
+    let c = 'a';
+    let b = b'x';
+    let m = 1.max(2);
+    let f = 2.5;
+    let _ = (c, b, m, f);
+    x.first().unwrap()
+}

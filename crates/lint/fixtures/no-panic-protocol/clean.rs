@@ -1,0 +1,4 @@
+//@ path: crates/net/src/codec.rs
+fn decode(buf: &[u8]) -> Result<u8, ()> {
+    buf.first().copied().ok_or(())
+}

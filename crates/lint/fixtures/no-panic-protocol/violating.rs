@@ -1,0 +1,12 @@
+//@ path: crates/net/src/codec.rs
+fn decode(buf: &[u8]) -> u32 {
+    let first = buf.first().unwrap();
+    let second = buf.get(1).expect("length checked");
+    if *first > 10 {
+        panic!("bad tag");
+    }
+    match second {
+        0 => 0,
+        _ => unreachable!(),
+    }
+}

@@ -1,0 +1,5 @@
+//@ path: crates/net/src/codec.rs
+fn tag(buf: &[u8]) -> u8 {
+    // ng-lint: allow(no-panic-protocol): caller guarantees non-empty via framing, checked in decode_frame
+    *buf.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//@ path: crates/node/src/engine.rs
+use std::time::Instant;
+use std::net::TcpStream;
+fn worker() {
+    std::thread::spawn(|| {});
+    let _t = SystemTime::now();
+}

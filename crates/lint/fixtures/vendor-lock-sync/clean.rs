@@ -1,0 +1,8 @@
+//@ path: vendor/demo/Cargo.toml
+[package]
+name = "demo"
+version = "1.2.3"
+//@ path: Cargo.lock
+[[package]]
+name = "demo"
+version = "1.2.3"

@@ -1,0 +1,12 @@
+//@ path: vendor/demo/Cargo.toml
+[package]
+name = "demo"
+version = "1.2.3"
+//@ path: vendor/ghost/Cargo.toml
+[package]
+name = "ghost"
+version = "0.1.0"
+//@ path: Cargo.lock
+[[package]]
+name = "demo"
+version = "1.2.4"

@@ -1,0 +1,9 @@
+//@ path: vendor/patched/Cargo.toml
+# ng-lint: allow(vendor-lock-sync): locally patched fork pending upstream release; the lock intentionally pins the base version
+[package]
+name = "patched"
+version = "1.0.0-fork"
+//@ path: Cargo.lock
+[[package]]
+name = "patched"
+version = "1.0.0"

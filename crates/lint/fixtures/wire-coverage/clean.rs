@@ -1,0 +1,10 @@
+//@ path: crates/net/src/message.rs
+pub enum Message {
+    Ping(u64),
+    Pong(u64),
+}
+//@ path: crates/net/tests/codec_roundtrip.rs
+fn roundtrip_all() {
+    check(Message::Ping(7));
+    check(Message::Pong(8));
+}

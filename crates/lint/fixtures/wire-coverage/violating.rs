@@ -1,0 +1,11 @@
+//@ path: crates/net/src/message.rs
+pub enum Message {
+    Ping(u64),
+    Pong(u64),
+    Headers { ids: Vec<u32> },
+}
+//@ path: crates/net/tests/codec_roundtrip.rs
+fn roundtrip_ping() {
+    let m = Message::Ping(7);
+    check(m);
+}

@@ -1,0 +1,11 @@
+//@ path: crates/net/src/message.rs
+pub enum Message {
+    Ping(u64),
+    // ng-lint: allow(wire-coverage): internal debug variant; the encoder rejects it before it can reach the wire
+    Probe(u64),
+}
+//@ path: crates/net/tests/codec_roundtrip.rs
+fn roundtrip_ping() {
+    let m = Message::Ping(7);
+    check(m);
+}

@@ -1,0 +1,63 @@
+//! CI entry point: run every rule over the workspace in deny-all mode.
+//!
+//! Usage: `ng-lint [--root <dir>]`. Without `--root`, ascends from the current
+//! directory to the first ancestor holding a `Cargo.lock`. Exit status is 1 if
+//! any diagnostic (including waiver-audit diagnostics) survives.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next().as_deref() {
+        Some("--root") => match args.next() {
+            Some(p) => PathBuf::from(p),
+            None => {
+                eprintln!("ng-lint: --root requires a path");
+                return ExitCode::from(2);
+            }
+        },
+        Some(other) => {
+            eprintln!("ng-lint: unknown argument `{other}` (usage: ng-lint [--root <dir>])");
+            return ExitCode::from(2);
+        }
+        None => match find_root() {
+            Some(p) => p,
+            None => {
+                eprintln!("ng-lint: no Cargo.lock in any ancestor directory; pass --root");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let diags = match ng_lint::analyze_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ng-lint: failed to read workspace under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("ng-lint: workspace clean ({} rules)", ng_lint::rules::KNOWN_RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("ng-lint: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

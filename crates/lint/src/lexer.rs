@@ -1,0 +1,366 @@
+//! A hand-rolled Rust lexer, just deep enough for static analysis.
+//!
+//! The environment is vendored-only, so we cannot lean on `syn` or `proc-macro2`;
+//! instead this module tokenizes Rust source by hand. It must get the *skipping*
+//! right — raw strings with arbitrary `#` fences, nested block comments, byte and
+//! char literals, lifetimes — because a lexer that mistakes `r#"..."#` contents
+//! for code would let string payloads trigger (or mask) diagnostics. Token
+//! *classification* beyond that can stay coarse: rules only need identifiers,
+//! punctuation, comments, and line numbers.
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword. Raw identifiers (`r#type`) are unescaped to `type`.
+    Ident(String),
+    /// A lifetime or loop label, e.g. `'a` (quote not included).
+    Lifetime(String),
+    /// String / char / byte / numeric literal. Contents are dropped: no rule
+    /// inspects literal payloads, and dropping them guarantees payloads can
+    /// never be mistaken for code.
+    Literal,
+    /// Single punctuation character. Multi-char operators arrive as a sequence
+    /// (`::` is two `Punct(':')` tokens); rules collapse what they care about.
+    Punct(char),
+    /// `// ...` comment, text after the slashes (directives live here).
+    LineComment(String),
+    /// `/* ... */` comment (nesting handled), fences stripped.
+    BlockComment(String),
+}
+
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    let text = self.line_comment();
+                    out.push(Token { kind: TokenKind::LineComment(text), line });
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    let text = self.block_comment();
+                    out.push(Token { kind: TokenKind::BlockComment(text), line });
+                }
+                '"' => {
+                    self.string_literal();
+                    out.push(Token { kind: TokenKind::Literal, line });
+                }
+                'r' if self.is_raw_string_start(0) => {
+                    self.raw_string_literal();
+                    out.push(Token { kind: TokenKind::Literal, line });
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal();
+                    out.push(Token { kind: TokenKind::Literal, line });
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal();
+                    out.push(Token { kind: TokenKind::Literal, line });
+                }
+                'b' if self.peek(1) == Some('r') && self.is_raw_string_start(1) => {
+                    self.bump();
+                    self.raw_string_literal();
+                    out.push(Token { kind: TokenKind::Literal, line });
+                }
+                'r' if self.peek(1) == Some('#') && ident_start(self.peek(2)) => {
+                    // Raw identifier r#type: skip the fence, lex the ident.
+                    self.bump();
+                    self.bump();
+                    let name = self.ident();
+                    out.push(Token { kind: TokenKind::Ident(name), line });
+                }
+                '\'' => {
+                    if self.is_lifetime() {
+                        self.bump();
+                        let name = self.ident();
+                        out.push(Token { kind: TokenKind::Lifetime(name), line });
+                    } else {
+                        self.char_literal();
+                        out.push(Token { kind: TokenKind::Literal, line });
+                    }
+                }
+                c if ident_start(Some(c)) => {
+                    let name = self.ident();
+                    out.push(Token { kind: TokenKind::Ident(name), line });
+                }
+                c if c.is_ascii_digit() => {
+                    self.number_literal();
+                    out.push(Token { kind: TokenKind::Literal, line });
+                }
+                c => {
+                    self.bump();
+                    out.push(Token { kind: TokenKind::Punct(c), line });
+                }
+            }
+        }
+        out
+    }
+
+    /// After a leading `'`: lifetime/label iff the next char starts an ident and
+    /// the char after that is not a closing quote (so `'a'` is a char literal
+    /// but `'a `, `'a,`, `'static` are lifetimes).
+    fn is_lifetime(&self) -> bool {
+        ident_start(self.peek(1)) && self.peek(2) != Some('\'')
+    }
+
+    /// `r"`, `r#"`, `r##"`, ... starting at offset `at` (which holds the `r`).
+    fn is_raw_string_start(&self, at: usize) -> bool {
+        let mut i = at + 1;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) -> String {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+
+    fn block_comment(&mut self) -> String {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        text
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// `r##"..."##` with any number of `#` fences; no escapes inside.
+    fn raw_string_literal(&mut self) {
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        name
+    }
+
+    /// Numbers only need skipping: consume digits, radix prefixes, `_`
+    /// separators, type suffixes, and a fractional part — but stop at `.`
+    /// followed by a non-digit so `1.max(2)` leaves the `.` for the method call.
+    fn number_literal(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let fraction_dot =
+                c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if c.is_ascii_alphanumeric() || c == '_' || fraction_dot {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn ident_start(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_payload_is_not_code() {
+        let src = r####"let x = r#"use std::net::TcpStream; HashMap"#; after"####;
+        assert_eq!(idents(src), ["let", "x", "after"]);
+    }
+
+    #[test]
+    fn raw_string_multi_hash_fences() {
+        let src = "let s = r##\"inner \"# still inside\"##; tail";
+        assert_eq!(idents(src), ["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still comment */ b";
+        assert_eq!(idents(src), ["a", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Lifetime(_)))
+            .count();
+        let lits = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn raw_identifier_unescapes() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"multi\nline\nstring\"\nb /* c\nd */ e";
+        let toks = lex(src);
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.kind == TokenKind::Ident(name.into()))
+                .map(|t| t.line)
+        };
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(5));
+        assert_eq!(find("e"), Some(6));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_skip() {
+        assert_eq!(idents("let x = b\"bytes HashMap\"; let y = b'q'; z"), ["let", "x", "let", "y", "z"]);
+    }
+
+    #[test]
+    fn float_vs_method_call_on_int() {
+        // `1.max(2)` must leave `.` + `max` as tokens; `1.5` must swallow the dot.
+        let toks = lex("let a = 1.max(2); let b = 1.5;");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Ident("max".into())));
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Punct('.')))
+            .collect();
+        assert_eq!(puncts.len(), 1, "only the method-call dot survives");
+    }
+
+    #[test]
+    fn macro_bodies_still_tokenize() {
+        let src = "macro_rules! m { ($x:expr) => { $x.unwrap() }; }";
+        assert!(idents(src).contains(&"unwrap".to_string()));
+    }
+}

@@ -1,0 +1,144 @@
+//! # ng-lint
+//!
+//! A workspace static-analysis pass that mechanically enforces the invariants
+//! this reproduction's correctness story rests on. Each rule is grounded in a
+//! real past bug class:
+//!
+//! | rule | invariant | precedent |
+//! |------|-----------|-----------|
+//! | `sans-io` | engine-side code never touches I/O, threads, or wall-clock | PR 3's engine extraction |
+//! | `deterministic-iteration` | no observable `HashMap`/`HashSet` iteration order | PR 7's reorg-report flake |
+//! | `bounded-collections` | every protocol-state collection names its eviction cap | PR 4 / PR 8 unbounded buffers |
+//! | `no-panic-protocol` | malformed peer input never panics a node | misbehavior model of PR 4 |
+//! | `wire-coverage` | every `Message` variant reaches the codec round-trip suite | PR 8 added six variants |
+//! | `vendor-lock-sync` | vendored crate versions match `Cargo.lock` | vendored-only build env |
+//!
+//! Violations are waived — never silenced — with
+//! `// ng-lint: allow(<rule>): <reason>`; an empty reason, an unknown rule
+//! name, or a waiver that suppresses nothing is itself a diagnostic. The tool
+//! has no dependencies: the environment is vendored-only, so the Rust lexer in
+//! [`lexer`] is hand-rolled.
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod zones;
+
+use source::{CodeTok, SourceFile};
+use std::collections::HashSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(rule: &str, path: &str, line: u32, message: String) -> Diagnostic {
+        Diagnostic { rule: rule.to_string(), path: path.to_string(), line, message }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Analyze a set of `(path, content)` files. Paths are matched against the
+/// zone map by suffix, so tests can hand in fixture content under virtual
+/// workspace paths. Non-`.rs` entries (`Cargo.toml`, `Cargo.lock`) feed the
+/// `vendor-lock-sync` rule.
+pub fn analyze_files(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let sources: Vec<SourceFile> = files
+        .iter()
+        .filter(|(p, _)| p.ends_with(".rs"))
+        .map(|(p, c)| SourceFile::parse(p, c))
+        .collect();
+
+    // Union of identifiers across the set, for bound(<NAME>) validation.
+    let mut all_idents: HashSet<String> = HashSet::new();
+    for s in &sources {
+        for c in &s.code {
+            if let CodeTok::Ident(id) = &c.tok {
+                if !all_idents.contains(id) {
+                    all_idents.insert(id.clone());
+                }
+            }
+        }
+    }
+
+    // Wire coverage is cross-file but its diagnostics land in the definition
+    // file, so compute it first and feed it through that file's waiver pass.
+    let mut wire_diags = Vec::new();
+    rules::wire_coverage(&sources, &mut wire_diags);
+
+    let mut out = Vec::new();
+    for s in &sources {
+        let mut file_diags = Vec::new();
+        let mut used_bounds = Vec::new();
+        let mut bound_names = Vec::new();
+        rules::sans_io(s, &mut file_diags);
+        rules::deterministic_iteration(s, &mut file_diags);
+        rules::bounded_collections(s, &mut file_diags, &mut used_bounds, &mut bound_names);
+        rules::no_panic_protocol(s, &mut file_diags);
+        file_diags.extend(wire_diags.iter().filter(|d| d.path == s.path).cloned());
+        rules::apply_waivers(s, file_diags, &used_bounds, &mut out);
+        rules::check_bound_names(&s.path, &bound_names, &all_idents, &mut out);
+    }
+
+    let manifests: Vec<(String, String)> = files
+        .iter()
+        .filter(|(p, _)| p.ends_with("Cargo.toml") || p.ends_with("Cargo.lock"))
+        .cloned()
+        .collect();
+    rules::vendor_lock_sync(&manifests, &mut out);
+
+    out.sort();
+    out.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+    out
+}
+
+/// Analyze a real checkout: every `.rs` file under `crates/` (lint fixtures
+/// and build output excluded), the vendored manifests, and `Cargo.lock`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(&root.join("crates"), &mut paths)?;
+    walk(&root.join("vendor"), &mut paths)?;
+    paths.push(root.join("Cargo.lock"));
+
+    let mut files = Vec::new();
+    for p in paths {
+        let content = std::fs::read_to_string(&p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push((rel, content));
+    }
+    Ok(analyze_files(&files))
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for p in entries {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if p.is_dir() {
+            if name == "target" || name == "fixtures" || name == ".git" {
+                continue;
+            }
+            walk(&p, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            out.push(p);
+        }
+    }
+    Ok(())
+}

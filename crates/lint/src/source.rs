@@ -1,0 +1,345 @@
+//! Per-file analysis view: a rule-friendly token stream, `#[cfg(test)]` masking,
+//! and `ng-lint` directive parsing.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A code token as the rules see it: comments and literal payloads dropped,
+/// `::` collapsed into one token, nesting depth precomputed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeTok {
+    Ident(String),
+    /// The `::` path separator.
+    PathSep,
+    Punct(char),
+    /// A literal (payload dropped); kept as a placeholder so sequence matching
+    /// like `. expect (` vs `. expect ( "..." )` stays positional.
+    Lit,
+}
+
+#[derive(Debug, Clone)]
+pub struct Code {
+    pub tok: CodeTok,
+    pub line: u32,
+    /// Combined `(`/`[`/`{` nesting depth *before* this token.
+    pub depth: u32,
+}
+
+/// An `ng-lint` directive found in a comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    pub kind: DirectiveKind,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// First code line at or after `line` — the line the directive governs.
+    /// A trailing comment governs its own line; a standalone comment governs
+    /// the next line that holds code.
+    pub target_line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub enum DirectiveKind {
+    /// `ng-lint: allow(<rule>): <reason>`
+    Allow { rule: String, reason: String },
+    /// `ng-lint: bound(<NAME>)`
+    Bound { name: String },
+    /// An `ng-lint:` comment that parses as neither of the above.
+    Malformed,
+}
+
+/// One source file, fully prepared for the rules.
+pub struct SourceFile {
+    pub path: String,
+    pub code: Vec<Code>,
+    pub directives: Vec<Directive>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, content: &str) -> SourceFile {
+        let raw = lex(content);
+        let code = to_code(&raw);
+        let test_ranges = cfg_test_ranges(&code);
+        let directives = parse_directives(&raw, &code, &test_ranges);
+        SourceFile {
+            path: path.to_string(),
+            code,
+            directives,
+            test_ranges,
+        }
+    }
+
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.code.get(i).map(|c| &c.tok) {
+            Some(CodeTok::Ident(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        matches!(self.code.get(i).map(|t| &t.tok), Some(CodeTok::Punct(p)) if *p == c)
+    }
+
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        matches!(self.code.get(i).map(|t| &t.tok), Some(CodeTok::PathSep))
+    }
+
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.ident(i) == Some(name)
+    }
+}
+
+fn to_code(raw: &[Token]) -> Vec<Code> {
+    let mut out: Vec<Code> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut i = 0;
+    while i < raw.len() {
+        let t = &raw[i];
+        let tok = match &t.kind {
+            TokenKind::LineComment(_) | TokenKind::BlockComment(_) | TokenKind::Lifetime(_) => {
+                i += 1;
+                continue;
+            }
+            TokenKind::Literal => Some(CodeTok::Lit),
+            TokenKind::Ident(s) => Some(CodeTok::Ident(s.clone())),
+            TokenKind::Punct(':')
+                if matches!(raw.get(i + 1), Some(Token { kind: TokenKind::Punct(':'), .. })) =>
+            {
+                i += 1; // consume the second ':'
+                Some(CodeTok::PathSep)
+            }
+            TokenKind::Punct(c) => Some(CodeTok::Punct(*c)),
+        };
+        if let Some(tok) = tok {
+            let this_depth = depth;
+            if let CodeTok::Punct(c) = tok {
+                match c {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            out.push(Code { tok, line: t.line, depth: this_depth });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Find every `#[cfg(test)]` attribute and the item it gates, returning the
+/// covered line ranges. The item scan skips any further attributes, then runs
+/// to the matching `}` of the item's first body brace (or a top-level `;` for
+/// braceless items like `use` declarations).
+fn cfg_test_ranges(code: &[Code]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < code.len() {
+        let is_cfg_test = matches!(&code[i].tok, CodeTok::Punct('#'))
+            && matches!(&code[i + 1].tok, CodeTok::Punct('['))
+            && code_ident(code, i + 2) == Some("cfg")
+            && matches!(&code[i + 3].tok, CodeTok::Punct('('))
+            && code_ident(code, i + 4) == Some("test")
+            && matches!(&code[i + 5].tok, CodeTok::Punct(')'))
+            && matches!(&code[i + 6].tok, CodeTok::Punct(']'));
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = code[i].line;
+        let mut j = i + 7;
+        // Skip any additional attributes between the cfg and the item.
+        while matches!(code.get(j).map(|c| &c.tok), Some(CodeTok::Punct('#')))
+            && matches!(code.get(j + 1).map(|c| &c.tok), Some(CodeTok::Punct('[')))
+        {
+            let open_depth = code[j + 1].depth;
+            j += 2;
+            while j < code.len() {
+                if matches!(&code[j].tok, CodeTok::Punct(']')) && code[j].depth == open_depth + 1 {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+        }
+        // Walk the item header to its body `{` (at header depth) or a `;`.
+        let header_depth = code.get(j).map(|c| c.depth).unwrap_or(0);
+        let mut end_line = start_line;
+        while j < code.len() {
+            match &code[j].tok {
+                CodeTok::Punct(';') if code[j].depth == header_depth => {
+                    end_line = code[j].line;
+                    break;
+                }
+                CodeTok::Punct('{') if code[j].depth == header_depth => {
+                    // Scan to the matching close brace.
+                    j += 1;
+                    while j < code.len() {
+                        if matches!(&code[j].tok, CodeTok::Punct('}'))
+                            && code[j].depth == header_depth + 1
+                        {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    end_line = code.get(j).map(|c| c.line).unwrap_or(u32::MAX);
+                    break;
+                }
+                _ => {
+                    end_line = code[j].line;
+                    j += 1;
+                }
+            }
+        }
+        ranges.push((start_line, end_line));
+        i = j.max(i + 7);
+    }
+    ranges
+}
+
+fn code_ident(code: &[Code], i: usize) -> Option<&str> {
+    match code.get(i).map(|c| &c.tok) {
+        Some(CodeTok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn parse_directives(raw: &[Token], code: &[Code], test_ranges: &[(u32, u32)]) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for t in raw {
+        let text = match &t.kind {
+            TokenKind::LineComment(s) | TokenKind::BlockComment(s) => s,
+            _ => continue,
+        };
+        let Some(rest) = text.trim_start().strip_prefix("ng-lint:") else {
+            continue;
+        };
+        if test_ranges.iter().any(|&(lo, hi)| lo <= t.line && t.line <= hi) {
+            continue; // directives inside #[cfg(test)] items are inert
+        }
+        let kind = parse_directive_text(rest.trim());
+        let target_line = code
+            .iter()
+            .find(|c| c.line >= t.line)
+            .map(|c| c.line)
+            .unwrap_or(t.line);
+        out.push(Directive { kind, line: t.line, target_line });
+    }
+    out
+}
+
+fn parse_directive_text(s: &str) -> DirectiveKind {
+    if let Some(rest) = s.strip_prefix("allow(") {
+        if let Some(close) = rest.find(')') {
+            let rule = rest[..close].trim().to_string();
+            let after = rest[close + 1..].trim_start();
+            let reason = after.strip_prefix(':').map(|r| r.trim()).unwrap_or("");
+            return DirectiveKind::Allow { rule, reason: reason.to_string() };
+        }
+    }
+    if let Some(rest) = s.strip_prefix("bound(") {
+        if let Some(close) = rest.find(')') {
+            let name = rest[..close].trim().to_string();
+            if !name.is_empty() && rest[close + 1..].trim().is_empty() {
+                return DirectiveKind::Bound { name };
+            }
+        }
+    }
+    DirectiveKind::Malformed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_sep_collapses() {
+        let f = SourceFile::parse("x.rs", "use std::net::TcpStream;");
+        assert!(f.is_ident(1, "std"));
+        assert!(f.is_path_sep(2));
+        assert!(f.is_ident(3, "net"));
+    }
+
+    #[test]
+    fn cfg_test_mod_range_covers_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(f.in_test_code(5));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_test_fn_with_extra_attribute() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper(a: u32) { body(); }\nfn live() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test_code(3));
+        assert!(!f.in_test_code(4));
+    }
+
+    #[test]
+    fn cfg_test_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.in_test_code(2));
+        assert!(!f.in_test_code(3));
+    }
+
+    #[test]
+    fn cfg_not_test_is_ignored() {
+        let f = SourceFile::parse("x.rs", "#[cfg(feature = \"x\")]\nfn live() { a(); }");
+        assert!(!f.in_test_code(2));
+    }
+
+    #[test]
+    fn allow_directive_parses_rule_and_reason() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// ng-lint: allow(sans-io): the driver owns the socket\nfn f() {}",
+        );
+        match &f.directives[0].kind {
+            DirectiveKind::Allow { rule, reason } => {
+                assert_eq!(rule, "sans-io");
+                assert_eq!(reason, "the driver owns the socket");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(f.directives[0].line, 1);
+        assert_eq!(f.directives[0].target_line, 2);
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let f = SourceFile::parse("x.rs", "let x = 1; // ng-lint: allow(r): why");
+        assert_eq!(f.directives[0].target_line, 1);
+    }
+
+    #[test]
+    fn empty_reason_is_preserved_as_empty() {
+        let f = SourceFile::parse("x.rs", "// ng-lint: allow(sans-io):\nfn f() {}");
+        match &f.directives[0].kind {
+            DirectiveKind::Allow { reason, .. } => assert!(reason.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bound_directive_parses() {
+        let f = SourceFile::parse("x.rs", "// ng-lint: bound(MAX_PEERS)\npeers: Vec<u64>,");
+        match &f.directives[0].kind {
+            DirectiveKind::Bound { name } => assert_eq!(name, "MAX_PEERS"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_directive_is_malformed() {
+        let f = SourceFile::parse("x.rs", "// ng-lint: alow(typo): x\nfn f() {}");
+        assert!(matches!(f.directives[0].kind, DirectiveKind::Malformed));
+    }
+}

@@ -9,7 +9,7 @@
 use crate::message::{InvItem, Message};
 use crate::peer::{Peer, PeerAction};
 use ng_crypto::sha256::Hash256;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A routing decision of the relay: send `message` to peer `to`.
 #[derive(Clone, Debug, PartialEq)]
@@ -23,7 +23,7 @@ pub struct GossipAction {
 /// The relay state: connections plus the object store of everything seen so far.
 #[derive(Debug, Default)]
 pub struct GossipRelay {
-    peers: HashMap<u64, Peer>,
+    peers: BTreeMap<u64, Peer>,
     /// Objects this node can serve, keyed by id.
     objects: HashMap<Hash256, Message>,
 }
@@ -55,16 +55,14 @@ impl GossipRelay {
     }
 
     /// Keys of every ready connection, sorted (drivers expand `Broadcast` effects
-    /// over this list; sorting keeps effect execution deterministic).
+    /// over this list; the peer map is a `BTreeMap`, so iteration order is the
+    /// key order and effect execution stays deterministic).
     pub fn ready_peers(&self) -> Vec<u64> {
-        let mut keys: Vec<u64> = self
-            .peers
+        self.peers
             .iter()
             .filter(|(_, p)| p.is_ready())
             .map(|(k, _)| *k)
-            .collect();
-        keys.sort_unstable();
-        keys
+            .collect()
     }
 
     /// True if the relay already holds the object.
@@ -102,14 +100,10 @@ impl GossipRelay {
             }
         }
         let mut actions = Vec::new();
-        let mut peer_keys: Vec<u64> = self.peers.keys().copied().collect();
-        peer_keys.sort_unstable();
-        for key in peer_keys {
-            if Some(key) == from_peer {
-                continue;
-            }
-            let peer = self.peers.get_mut(&key).expect("key from map");
-            if !peer.is_ready() || peer.knows(&inv.id) {
+        // BTreeMap iteration: peers are visited in key order, keeping the relay
+        // fan-out deterministic without a collect-and-sort pass.
+        for (&key, peer) in self.peers.iter_mut() {
+            if Some(key) == from_peer || !peer.is_ready() || peer.knows(&inv.id) {
                 continue;
             }
             peer.mark_known(inv.id);

@@ -19,7 +19,7 @@
 
 use crate::message::InvItem;
 use ng_crypto::sha256::Hash256;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Tuning knobs of the overlay.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +52,7 @@ impl Default for OverlayConfig {
 struct PendingPull {
     item: InvItem,
     /// Advertisers not yet grafted, in arrival order.
+    // ng-lint: bound(max_holders)
     holders: VecDeque<u64>,
     deadline_ms: u64,
 }
@@ -62,10 +63,15 @@ struct PendingPull {
 #[derive(Debug, Default)]
 pub struct Overlay {
     cfg: OverlayConfig,
+    // ng-lint: bound(eager_degree)
     eager: BTreeSet<u64>,
+    // ng-lint: allow(bounded-collections): one entry per connected peer not in
+    // the eager set; the driver's connection limit is the cap.
     lazy: BTreeSet<u64>,
-    pulls: HashMap<Hash256, PendingPull>,
+    // ng-lint: bound(max_pending_pulls)
+    pulls: BTreeMap<Hash256, PendingPull>,
     /// Insertion order of `pulls` keys (may hold stale ids; compacted at 2× cap).
+    // ng-lint: bound(max_pending_pulls)
     pull_order: VecDeque<Hash256>,
 }
 
@@ -76,7 +82,7 @@ impl Overlay {
             cfg,
             eager: BTreeSet::new(),
             lazy: BTreeSet::new(),
-            pulls: HashMap::new(),
+            pulls: BTreeMap::new(),
             pull_order: VecDeque::new(),
         }
     }
@@ -229,15 +235,14 @@ impl Overlay {
     /// overdue block (promoting that link to eager) and returns `(item, peer)` pairs
     /// the caller must send `graft` to. Pulls with no advertisers left are dropped —
     /// the block can still arrive via sync. Deterministic: overdue blocks are
-    /// processed in id order.
+    /// processed in id order (the pull map is a `BTreeMap`).
     pub fn expire(&mut self, now_ms: u64) -> Vec<(InvItem, u64)> {
-        let mut overdue: Vec<Hash256> = self
+        let overdue: Vec<Hash256> = self
             .pulls
             .iter()
             .filter(|(_, p)| p.deadline_ms <= now_ms)
             .map(|(id, _)| *id)
             .collect();
-        overdue.sort_unstable();
         let mut grafts = Vec::new();
         for id in overdue {
             let Some(pull) = self.pulls.get_mut(&id) else {

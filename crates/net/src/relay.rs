@@ -54,6 +54,7 @@ pub struct CompactMicroBlock {
     /// Per-announcement salt for the short ids.
     pub salt: u64,
     /// Short id of every payload transaction, in payload order.
+    // ng-lint: bound(DEFAULT_MAX_BODY)
     pub short_ids: Vec<u64>,
 }
 
@@ -115,8 +116,10 @@ pub enum ReconstructOutcome {
 struct PendingReconstruction {
     compact: CompactMicroBlock,
     /// Payload slots; `None` marks the ones requested from the announcer.
+    // ng-lint: bound(DEFAULT_MAX_BODY)
     slots: Vec<Option<Transaction>>,
     /// Indexes of the `None` slots, ascending (the `getblocktxn` request body).
+    // ng-lint: bound(DEFAULT_MAX_BODY)
     missing: Vec<u32>,
     /// The peer the missing transactions were requested from.
     from_peer: u64,
@@ -126,9 +129,11 @@ struct PendingReconstruction {
 /// oldest-first so a spammer announcing unreconstructable blocks cannot grow memory.
 #[derive(Debug, Default)]
 pub struct CompactRelay {
+    // ng-lint: bound(MAX_PENDING_RECONSTRUCTIONS)
     pending: HashMap<Hash256, PendingReconstruction>,
     /// Insertion order of `pending` keys (may hold stale ids of resolved entries;
     /// compacted when it outgrows the live map 2×).
+    // ng-lint: bound(MAX_PENDING_RECONSTRUCTIONS)
     order: VecDeque<Hash256>,
 }
 

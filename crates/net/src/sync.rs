@@ -198,20 +198,34 @@ struct Assignment {
 #[derive(Debug, Default)]
 pub struct SyncScheduler {
     config: SyncConfig,
+    // ng-lint: allow(bounded-collections): one entry per connected peer; the
+    // driver's connection limit is the cap, and `peer_gone` removes entries.
     peers: BTreeMap<u64, PeerSync>,
     /// Blocks to download, oldest (lowest height) first.
+    // ng-lint: allow(bounded-collections): one record per missing main-chain
+    // block discovered by the header walk; drains as downloads complete and is
+    // cleared outright when the scheduler goes idle.
     queue: VecDeque<HeaderRecord>,
     /// Ids currently in `queue` (authoritative — stale queue entries are skipped).
+    // ng-lint: allow(bounded-collections): mirrors `queue` (see its waiver);
+    // pruned on assignment and cleared when the scheduler goes idle.
     queued: HashSet<Hash256>,
     /// In-flight assignments by block id.
+    // ng-lint: bound(window)
     assigned: BTreeMap<Hash256, Assignment>,
     /// On retry after a timeout, avoid handing the block to this peer again.
+    // ng-lint: allow(bounded-collections): at most one entry per outstanding
+    // retry; removed on delivery and cleared when the scheduler goes idle.
     avoid: HashMap<Hash256, u64>,
     /// Blocks delivered during the current sync burst (suppresses re-queueing a
     /// block a second header walk lists again while it sits in the orphan buffer).
     /// Cleared whenever the scheduler goes idle, so it never outgrows one burst.
+    // ng-lint: allow(bounded-collections): bounded by one sync burst — cleared
+    // whenever the scheduler goes idle, per the field docs above.
     done: HashSet<Hash256>,
     /// Completed downloads per peer (the ≥2-peers-concurrently assertions read it).
+    // ng-lint: allow(bounded-collections): one counter per peer ever assigned
+    // work; peers are capped by the driver's connection limit.
     delivered_by: BTreeMap<u64, u64>,
     evictions: u64,
 }

@@ -46,7 +46,7 @@ use ng_net::sync::{
 };
 use ng_net::GossipRelay;
 use serde::Serialize;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// Static configuration of one engine (the protocol-relevant subset of the old
 /// daemon config — no addresses, no tick rates).
@@ -396,9 +396,11 @@ pub struct Engine {
     /// validates). Bounded: `orphan_order` drives oldest-first eviction at
     /// [`MAX_ORPHAN_CARRIERS`] — losing-branch carriers must not accumulate for the
     /// node's lifetime.
+    // ng-lint: bound(MAX_ORPHAN_CARRIERS)
     orphan_carriers: HashMap<Hash256, Message>,
     /// Insertion order of `orphan_carriers` keys (may lag behind removals; stale
     /// ids are skipped during eviction and compacted periodically).
+    // ng-lint: bound(MAX_ORPHAN_CARRIERS)
     orphan_order: std::collections::VecDeque<Hash256>,
     relay: GossipRelay,
     /// Eager/lazy broadcast overlay (only driven when `config.gossip.overlay`).
@@ -409,7 +411,9 @@ pub struct Engine {
     /// download scheduler (request deadlines, retry-on-another-peer, eviction).
     sync: SyncScheduler,
     /// Every registered connection key (ready or not).
-    peers: HashSet<u64>,
+    // ng-lint: allow(bounded-collections): one key per live driver connection;
+    // the driver's accept/connect limit is the cap and Closed removes keys.
+    peers: BTreeSet<u64>,
     /// The deadline of the last `SetTimer` effect emitted, to avoid re-arming the
     /// driver with a deadline it already holds. Cleared when a `Tick` consumes it.
     last_timer: Option<u64>,
@@ -443,6 +447,8 @@ struct BootstrapState {
     /// The trusted checkpoint the served snapshot must match.
     pin: SnapshotPin,
     /// Peers already asked (whether they answered or not).
+    // ng-lint: allow(bounded-collections): subset of the connected peers, which
+    // the driver's connection limit caps; dropped whole when bootstrap decides.
     tried: BTreeSet<u64>,
     /// Outstanding request: `(peer, deadline_ms)`.
     waiting: Option<(u64, u64)>,
@@ -464,6 +470,7 @@ struct BackfillState {
     /// A `getheaders` is out and its reply pending.
     awaiting_headers: bool,
     /// Requested bodies not yet delivered: id → (height, kind).
+    // ng-lint: bound(header_batch)
     expected: HashMap<Hash256, (u64, InvKind)>,
     /// Id of the last header record fetched (leads the next locator).
     cursor: Option<Hash256>,
@@ -503,7 +510,7 @@ impl Engine {
             overlay,
             compact: CompactRelay::new(),
             sync,
-            peers: HashSet::new(),
+            peers: BTreeSet::new(),
             last_timer: None,
             storage: None,
             last_snapshot_height: 0,
@@ -577,7 +584,7 @@ impl Engine {
             overlay,
             compact: CompactRelay::new(),
             sync,
-            peers: HashSet::new(),
+            peers: BTreeSet::new(),
             last_timer: None,
             storage: None,
             last_snapshot_height: 0,
@@ -781,9 +788,7 @@ impl Engine {
     /// Every registered connection key, sorted (drivers tear these down on
     /// disconnect-all commands).
     pub fn connected_peers(&self) -> Vec<u64> {
-        let mut keys: Vec<u64> = self.peers.iter().copied().collect();
-        keys.sort_unstable();
-        keys
+        self.peers.iter().copied().collect()
     }
 
     /// Completed sync block downloads per peer, sorted by peer key. The parallel
@@ -1349,10 +1354,15 @@ impl Engine {
             return;
         }
         let actions = self.relay.announce(carrier, from);
-        if from.is_none() && !actions.is_empty() && actions.len() == self.relay.ready_peer_count() {
-            effects.push(Effect::Broadcast {
-                message: actions.into_iter().next().expect("non-empty").message,
-            });
+        let broadcast_all =
+            from.is_none() && !actions.is_empty() && actions.len() == self.relay.ready_peer_count();
+        let mut actions = actions.into_iter();
+        if broadcast_all {
+            if let Some(first) = actions.next() {
+                effects.push(Effect::Broadcast {
+                    message: first.message,
+                });
+            }
         } else {
             for action in actions {
                 effects.push(Effect::Send {
@@ -1617,9 +1627,12 @@ impl Engine {
     /// the commit record — see [`ng_storage::ChainStorage::commit_roll`]). Finally
     /// writes a snapshot if the checkpoint cadence came due at a key block.
     fn persist_roll(&mut self, delta: &crate::chainstate::SyncDelta, effects: &mut Vec<Effect>) {
-        if self.storage.is_none() {
+        // One binding up front: `storage` borrows only the `storage` field, so
+        // the chain accesses below stay legal and no panicking re-unwrap of the
+        // option is ever needed.
+        let Some(storage) = self.storage.as_mut() else {
             return;
-        }
+        };
         for id in self.node.chain_mut().drain_newly_stored() {
             let Some(stored) = self.node.chain().store().get(&id) else {
                 // Inserted, then invalidated before this roll completed: the
@@ -1627,12 +1640,7 @@ impl Engine {
                 continue;
             };
             let (block, height) = (stored.block.clone(), stored.height);
-            if let Err(err) = self
-                .storage
-                .as_mut()
-                .expect("checked above")
-                .store_block(&block, height)
-            {
+            if let Err(err) = storage.store_block(&block, height) {
                 Self::report_storage_failure(err, effects);
             }
         }
@@ -1647,12 +1655,7 @@ impl Engine {
             };
             let undo = undo.clone();
             let height = self.node.chain().store().height_of(id).unwrap_or(0);
-            if let Err(err) = self
-                .storage
-                .as_mut()
-                .expect("checked above")
-                .store_undo(id, height, &undo)
-            {
+            if let Err(err) = storage.store_undo(id, height, &undo) {
                 Self::report_storage_failure(err, effects);
             }
         }
@@ -1671,7 +1674,7 @@ impl Engine {
             disconnected: delta.disconnected_block_ids.clone(),
             connected: delta.connected_block_ids.clone(),
         };
-        if let Err(err) = self.storage.as_mut().expect("checked above").commit_roll(&roll) {
+        if let Err(err) = storage.commit_roll(&roll) {
             Self::report_storage_failure(err, effects);
         }
     }

@@ -24,7 +24,7 @@ use ng_net::message::Message;
 use ng_net::sync::DEFAULT_HEADER_BATCH;
 use serde::Serialize;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 
 /// Configuration of a simulated network.
 #[derive(Clone, Debug)]
@@ -156,7 +156,7 @@ pub struct SimNet {
     now: u64,
     rng: SimRng,
     /// Live undirected links, keyed `(min, max)`.
-    links: HashSet<(usize, usize)>,
+    links: BTreeSet<(usize, usize)>,
     /// Per directed link: epoch (bumped on sever, stales in-flight messages).
     epochs: HashMap<(usize, usize), u64>,
     /// Per directed link: earliest time the next message may arrive (FIFO).
@@ -216,7 +216,7 @@ impl SimNet {
             seq: 0,
             now: 0,
             rng,
-            links: HashSet::new(),
+            links: BTreeSet::new(),
             epochs: HashMap::new(),
             link_clock: HashMap::new(),
             timers,
@@ -394,8 +394,8 @@ impl SimNet {
     /// Splits the network: every link is severed, then each group is reconnected as
     /// its own full mesh. Indices not listed in any group end up isolated.
     pub fn partition(&mut self, groups: &[&[usize]]) {
-        let mut existing: Vec<(usize, usize)> = self.links.iter().copied().collect();
-        existing.sort_unstable(); // sever in a deterministic order
+        // BTreeSet: links sever in deterministic (sorted) order.
+        let existing: Vec<(usize, usize)> = self.links.iter().copied().collect();
         for (a, b) in existing {
             self.disconnect(a, b);
         }

@@ -21,6 +21,12 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> ng-lint (deny-all invariant gate: sans-io, determinism, bounds, panics, wire coverage, vendor lock)"
+cargo run -q --release -p ng_lint --bin ng-lint
+
+echo "==> ng-lint self-test (lexer, rule fixtures with goldens, seeded-violation acceptance checks)"
+cargo test -q -p ng_lint
+
 echo "==> cargo test -q (facade: integration + property suites)"
 timeout 900 cargo test -q
 
