@@ -259,6 +259,37 @@ impl NgNode {
         })
     }
 
+    /// Read-only poison validation: checks the evidence against this node's chain
+    /// without recording anything, and returns the epoch key block's id together
+    /// with the revocable amount — the coinbase value that key block pays to the
+    /// accused leader's address. The amount is a pure function of chain data, so
+    /// every honest node computes the same figure no matter when the poison
+    /// arrives relative to other traffic.
+    pub fn validate_poison(
+        &self,
+        poison: &PoisonTransaction,
+    ) -> Result<(Hash256, Amount), PoisonError> {
+        let parent = poison.pruned_header.prev;
+        let Some((epoch_id, epoch_key)) = self.chain.epoch_key_block(&parent) else {
+            return Err(PoisonError::UnknownParent);
+        };
+        if epoch_key.miner != poison.accused_leader {
+            return Err(PoisonError::WrongLeader);
+        }
+        if self.chain.store().is_in_main_chain(&poison.pruned_header.id()) {
+            return Err(PoisonError::HeaderOnMainChain);
+        }
+        verify_evidence(poison, &epoch_key.leader_pubkey)?;
+        let cheater = epoch_key.leader_pubkey.address();
+        let revocable = epoch_key
+            .coinbase
+            .iter()
+            .filter(|output| output.address == cheater)
+            .map(|output| output.amount)
+            .sum();
+        Ok((epoch_id, revocable))
+    }
+
     /// Validates a poison transaction against this node's chain view and, if valid,
     /// records it and returns its economic effect. `revoked_amount` is the accused
     /// leader's epoch compensation being invalidated.

@@ -9,6 +9,7 @@
 use crate::block::MicroHeader;
 use crate::params::NgParams;
 use ng_chain::amount::Amount;
+use ng_crypto::sha256::Hash256;
 use ng_crypto::signer::{verify_signature, SignatureBytes};
 use ng_crypto::PublicKey;
 use serde::{Deserialize, Serialize};
@@ -26,6 +27,23 @@ pub struct PoisonTransaction {
     /// Identity of the node placing the poison transaction (the current leader, who
     /// collects the bounty).
     pub poisoner: u64,
+}
+
+impl PoisonTransaction {
+    /// Canonical transaction id: a tagged hash over the evidence and the identities.
+    /// Competing poisons against the same cheater (several honest nodes detecting the
+    /// same fraud independently) are totally ordered by this id, and the network
+    /// converges on the smallest one.
+    pub fn txid(&self) -> Hash256 {
+        let mut preimage = self.pruned_header.bytes();
+        match &self.pruned_signature {
+            SignatureBytes::Schnorr(sig) => preimage.extend_from_slice(sig),
+            SignatureBytes::Simulated(hash) => preimage.extend_from_slice(&hash.0),
+        }
+        preimage.extend_from_slice(&self.accused_leader.to_le_bytes());
+        preimage.extend_from_slice(&self.poisoner.to_le_bytes());
+        ng_crypto::sha256::tagged_hash("BitcoinNG/poison", &preimage)
+    }
 }
 
 /// Why a poison transaction was rejected.
@@ -194,6 +212,20 @@ mod tests {
             effect.poisoner_reward + effect.burned,
             effect.revoked_amount
         );
+    }
+
+    #[test]
+    fn txid_is_deterministic_and_distinguishes_poisoners() {
+        let (header, sig, _) = signed_header(7, 6);
+        let a = PoisonTransaction {
+            pruned_header: header.clone(),
+            pruned_signature: sig.clone(),
+            accused_leader: 7,
+            poisoner: 9,
+        };
+        let b = PoisonTransaction { poisoner: 10, ..a.clone() };
+        assert_eq!(a.txid(), a.clone().txid());
+        assert_ne!(a.txid(), b.txid());
     }
 
     #[test]

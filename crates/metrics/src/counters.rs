@@ -104,6 +104,14 @@ pub struct NodeCounters {
     pub overlay_grafts: Counter,
     /// Eager links demoted to lazy after delivering a duplicate push.
     pub overlay_prunes: Counter,
+    /// Leader equivocations this node detected itself (fraud proofs constructed).
+    pub poison_detected: Counter,
+    /// Poison transactions flooded onward to peers.
+    pub poison_relayed: Counter,
+    /// Poison transactions validated and applied (revenue revoked).
+    pub poison_accepted: Counter,
+    /// Poison transactions dropped (invalid, duplicate, or losing competitor).
+    pub poison_rejected: Counter,
 }
 
 impl NodeCounters {
@@ -146,6 +154,10 @@ impl NodeCounters {
             compact_fallbacks: self.compact_fallbacks.get(),
             overlay_grafts: self.overlay_grafts.get(),
             overlay_prunes: self.overlay_prunes.get(),
+            poison_detected: self.poison_detected.get(),
+            poison_relayed: self.poison_relayed.get(),
+            poison_accepted: self.poison_accepted.get(),
+            poison_rejected: self.poison_rejected.get(),
         }
     }
 }
@@ -215,6 +227,14 @@ pub struct CounterSnapshot {
     pub overlay_grafts: u64,
     /// Eager links demoted to lazy after a duplicate push.
     pub overlay_prunes: u64,
+    /// Leader equivocations detected locally (fraud proofs constructed).
+    pub poison_detected: u64,
+    /// Poison transactions flooded onward to peers.
+    pub poison_relayed: u64,
+    /// Poison transactions validated and applied.
+    pub poison_accepted: u64,
+    /// Poison transactions dropped.
+    pub poison_rejected: u64,
 }
 
 /// Per-command wire-traffic accounting: how many messages and bytes of each

@@ -11,6 +11,7 @@ use ng_baseline::btc_block::BtcBlock;
 use ng_chain::transaction::{OutPoint, Transaction};
 use ng_chain::utxo::UtxoEntry;
 use ng_core::block::{KeyBlock, MicroBlock};
+use ng_core::poison::{poison_size_bytes, PoisonTransaction};
 use ng_crypto::pow::Work;
 use ng_crypto::sha256::Hash256;
 use serde::{Deserialize, Serialize};
@@ -146,6 +147,11 @@ pub enum Message {
     Graft(InvItem),
     /// Overlay move: demote this link to lazy (stop eager pushes to the sender).
     Prune,
+    /// Fraud proof against an equivocating leader (§4.5): the signed header of a
+    /// microblock the accused leader placed on a pruned branch. Floods like `tx` —
+    /// never routed through the overlay — so every honest node learns of the fraud
+    /// even when its eager links are degraded.
+    Poison(Box<PoisonTransaction>),
     /// Keepalive probe.
     Ping(u64),
     /// Keepalive response (echoes the probe nonce).
@@ -174,6 +180,7 @@ impl Message {
             Message::IHave(_) => "ihave",
             Message::Graft(_) => "graft",
             Message::Prune => "prune",
+            Message::Poison(_) => "poison",
             Message::Ping(_) => "ping",
             Message::Pong(_) => "pong",
         }
@@ -213,6 +220,7 @@ impl Message {
                 32 + txs.iter().map(|t| t.serialized_size() as u64).sum::<u64>()
             }
             Message::Graft(_) => INV,
+            Message::Poison(p) => poison_size_bytes(p),
             Message::Ping(_) | Message::Pong(_) => 8,
         };
         FRAME + body
@@ -368,6 +376,24 @@ mod tests {
             assert_eq!(decoded, msg);
             assert!(msg.wire_size() > 16, "cost model covers {}", msg.command());
         }
+    }
+
+    #[test]
+    fn poison_command_round_trips_and_is_costed() {
+        let micro = signed_micro(Payload::empty());
+        let poison = ng_core::poison::PoisonTransaction {
+            pruned_header: micro.header.clone(),
+            pruned_signature: micro.signature.clone(),
+            accused_leader: micro.header.leader,
+            poisoner: 9,
+        };
+        let msg = Message::Poison(Box::new(poison.clone()));
+        assert_eq!(msg.command(), "poison");
+        assert_eq!(msg.wire_size(), 16 + poison_size_bytes(&poison));
+        assert_eq!(msg.carried_inventory(), None, "poisons flood unconditionally");
+        let encoded = serde_json::to_vec(&msg).unwrap();
+        let decoded: Message = serde_json::from_slice(&encoded).unwrap();
+        assert_eq!(decoded, msg);
     }
 
     #[test]

@@ -326,6 +326,11 @@ impl Peer {
                 // The caller owns the object store and the overlay state machine.
                 vec![PeerAction::Deliver(overlay)]
             }
+            poison @ Message::Poison(_) => {
+                // Fraud proofs are validated and deduplicated by the engine, which
+                // owns the chain state the evidence is checked against.
+                vec![PeerAction::Deliver(poison)]
+            }
         }
     }
 }

@@ -10,6 +10,7 @@ use ng_chain::payload::Payload;
 use ng_chain::transaction::{OutPoint, TransactionBuilder};
 use ng_core::block::{MicroBlock, MicroHeader};
 use ng_core::params::NgParams;
+use ng_core::poison::PoisonTransaction;
 use ng_core::NgNode;
 use ng_crypto::keys::KeyPair;
 use ng_crypto::pow::Target;
@@ -59,6 +60,12 @@ fn every_variant(seed: u64) -> Vec<Message> {
         .output(Amount::from_sats(1 + seed), KeyPair::from_id(seed + 1).address())
         .payload(seed.to_le_bytes().to_vec())
         .build();
+    let poison = PoisonTransaction {
+        pruned_header: micro.header.clone(),
+        pruned_signature: micro.signature.clone(),
+        accused_leader: micro.header.leader,
+        poisoner: seed % 11,
+    };
     let btc = BtcBlock {
         prev: sha256(&seed.to_le_bytes()),
         time_ms: seed,
@@ -152,6 +159,7 @@ fn every_variant(seed: u64) -> Vec<Message> {
         Message::IHave(vec![InvItem::new(InvKind::MicroBlock, sha256(&seed.to_le_bytes()))]),
         Message::Graft(InvItem::new(InvKind::MicroBlock, sha256(b"graft"))),
         Message::Prune,
+        Message::Poison(Box::new(poison)),
         Message::Ping(seed),
         Message::Pong(seed.wrapping_mul(31)),
     ]
@@ -166,7 +174,7 @@ fn every_message_variant_is_covered() {
         vec![
             "version", "verack", "inv", "getdata", "block", "keyblock", "microblock",
             "tx", "getheaders", "headers", "getsnapshot", "snapshot", "cmpct",
-            "getblocktxn", "blocktxn", "ihave", "graft", "prune", "ping", "pong"
+            "getblocktxn", "blocktxn", "ihave", "graft", "prune", "poison", "ping", "pong"
         ]
     );
 }

@@ -30,10 +30,11 @@
 use ng_chain::amount::Amount;
 use ng_chain::error::TxError;
 use ng_chain::sigcache::{BatchExecutor, BatchVerifier, SigCache};
-use ng_chain::transaction::{OutPoint, Transaction};
+use ng_chain::transaction::{OutPoint, Transaction, TxOutput};
 use ng_chain::undo::BlockUndo;
 use ng_chain::utxo::{TxUndo, UtxoEntry, UtxoSet};
-use ng_core::block::NgBlock;
+use ng_core::block::{KeyBlock, NgBlock};
+use ng_crypto::keys::Address;
 use ng_core::chain::NgChainState;
 use ng_core::params::NgParams;
 use ng_crypto::sha256::Hash256;
@@ -525,6 +526,61 @@ impl ChainView {
     /// Rewinds the transactions of a partially connected block (connect failed
     /// midway): walk the recorded undos backwards, interleaving the replaced-entry
     /// restores at their recorded positions.
+    /// Applies the ledger effect of an accepted poison transaction (§4.5):
+    /// removes the epoch key block's still-unspent coinbase outputs paying the
+    /// accused leader and mints the poisoner's bounty as a new coinbase-class
+    /// output. Idempotent — re-asserting an already-applied poison (e.g. after a
+    /// reorg reconnected the epoch key block and resurrected the cheater's
+    /// outputs) removes only what is present and never duplicates the bounty.
+    ///
+    /// Determinism contract: the bounty entry's height is the epoch key block's
+    /// height — not the local tip height — because [`UtxoSet::entry_digest`]
+    /// hashes the height, and nodes apply the same poison at different local
+    /// times. Everything here is a pure function of (key block, poison), so every
+    /// honest node's commitment converges. Returns the amount actually removed.
+    pub fn apply_poison_revocation(
+        &mut self,
+        epoch_kb: &KeyBlock,
+        epoch_kb_id: Hash256,
+        epoch_height: u64,
+        reward_outpoint: OutPoint,
+        reward: Amount,
+        poisoner: Address,
+    ) -> Amount {
+        let cheater = epoch_kb.leader_pubkey.address();
+        let mut removed = Amount::ZERO;
+        for (vout, output) in epoch_kb.coinbase.iter().enumerate() {
+            if output.address != cheater {
+                continue;
+            }
+            let outpoint = OutPoint::new(epoch_kb_id, vout as u32);
+            if let Some(entry) = self.utxo.remove_unchecked(&outpoint) {
+                removed += entry.output.amount;
+            }
+        }
+        if !reward.is_zero() && !self.utxo.contains(&reward_outpoint) {
+            self.utxo.insert_unchecked(
+                reward_outpoint,
+                UtxoEntry {
+                    output: TxOutput::new(reward, poisoner),
+                    height: epoch_height,
+                    coinbase: true,
+                },
+            );
+        }
+        removed
+    }
+
+    /// Removes a poisoner bounty minted by [`Self::apply_poison_revocation`] —
+    /// either because a smaller-txid competing poison replaced it, or because the
+    /// epoch key block it rode on left the main chain. The revoked coinbase
+    /// outputs themselves need no restore here: a disconnect of the epoch key
+    /// block rewinds them via its undo record (removal of an already-absent entry
+    /// is a no-op), and a reconnect re-creates them for re-assertion.
+    pub fn revert_poison_reward(&mut self, reward_outpoint: &OutPoint) -> bool {
+        self.utxo.remove_unchecked(reward_outpoint).is_some()
+    }
+
     fn rollback_partial(&mut self, undo: &BlockUndo) {
         for (index, tx_undo) in undo.txs.iter().enumerate().rev() {
             self.utxo.unapply(tx_undo);

@@ -1,0 +1,215 @@
+//! Deterministic fault injection for [`SimNet`](crate::simnet::SimNet).
+//!
+//! A [`FaultPlan`] is a pre-generated, time-sorted list of [`Fault`]s that the
+//! scheduler interleaves with message and timer events: at equal virtual times
+//! the fault fires first, because a crash at `t` must kill the deliveries of
+//! `t`. Every plan is a pure function of its inputs — the churn generator draws
+//! from its own [`SimRng`] seeded inside the constructor, never from the
+//! network's scheduler RNG — so the same seed yields the same schedule and the
+//! determinism suite's byte-identical-trace guarantee survives chaos.
+//!
+//! The faults model the failure classes of the paper's deployment story:
+//! process crashes with cold restarts (state loss, resync from peers), churn
+//! under load, clock skew across validators, bandwidth-asymmetric links, and
+//! eclipse attacks that capture a victim's entire peer table. Crash/restart of
+//! a *durable* node (one whose engine carries a `FileStorage`) is driven by
+//! test code via [`SimNet::crash`](crate::simnet::SimNet::crash) and
+//! [`SimNet::restart_with`](crate::simnet::SimNet::restart_with), because
+//! reopening storage is I/O and the simulator stays sans-I/O.
+
+use ng_crypto::rng::SimRng;
+
+/// One injectable fault, applied at a scheduled virtual time.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Kill a node: every link severs (peers observe a disconnect), its timer
+    /// dies, and its engine is dropped on the spot. The node stays dark until a
+    /// `Restart`.
+    Crash {
+        /// The node to kill.
+        node: usize,
+    },
+    /// Cold-restart a crashed node with a fresh engine — all in-memory state is
+    /// lost, exactly like a process restart without durable storage — and
+    /// re-dial the peers it had when it crashed.
+    Restart {
+        /// The crashed node to bring back.
+        node: usize,
+    },
+    /// Offset the clock the node observes: every input it handles carries
+    /// `real_now + skew_ms` and its timer deadlines are mapped back. Positive
+    /// skew runs fast, negative runs slow.
+    ClockSkew {
+        /// The node whose clock drifts.
+        node: usize,
+        /// Offset in milliseconds (positive = fast, negative = slow).
+        skew_ms: i64,
+    },
+    /// Override the latency range of the directed link `from → to` (both
+    /// bounds inclusive, like the global config). Asymmetric routes are two
+    /// faults, one per direction.
+    LinkLatency {
+        /// Sending end of the directed link.
+        from: usize,
+        /// Receiving end of the directed link.
+        to: usize,
+        /// Minimum one-way latency in milliseconds.
+        min_ms: u64,
+        /// Maximum one-way latency in milliseconds (inclusive).
+        max_ms: u64,
+    },
+    /// Cap the throughput of the directed link `from → to`: each message adds
+    /// `wire_size / bytes_per_ms` of serialization delay and consecutive
+    /// arrivals are spaced accordingly (FIFO is preserved).
+    LinkBandwidth {
+        /// Sending end of the directed link.
+        from: usize,
+        /// Receiving end of the directed link.
+        to: usize,
+        /// Throughput cap in bytes per virtual millisecond (≥ 1).
+        bytes_per_ms: u64,
+    },
+    /// Capture the victim's whole peer table: sever every current link, then
+    /// connect only the attackers. The previous neighbor set is remembered for
+    /// `Release`.
+    Eclipse {
+        /// The node losing its honest peers.
+        victim: usize,
+        /// The peers that take over its slots.
+        attackers: Vec<usize>,
+    },
+    /// Undo an `Eclipse`: re-dial the remembered pre-eclipse neighbors.
+    /// Attacker links are left in place — a healed victim does not magically
+    /// know which peers were malicious.
+    Release {
+        /// The previously eclipsed node.
+        node: usize,
+    },
+    /// Sever one link (both ends observe the disconnect).
+    Sever {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// Establish one link (`a` dials `b`).
+    Link {
+        /// The dialing node.
+        a: usize,
+        /// The accepting node.
+        b: usize,
+    },
+    /// Change the global message-loss probability.
+    SetLoss {
+        /// Per-message drop probability in `[0, 1]`.
+        loss: f64,
+    },
+}
+
+/// A time-sorted schedule of faults, consumed by
+/// [`SimNet::run`](crate::simnet::SimNet::run).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// `(virtual ms, fault)`, sorted by time; equal times keep insertion order.
+    events: Vec<(u64, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Schedules one fault at the given virtual time (builder-style).
+    pub fn at(mut self, at_ms: u64, fault: Fault) -> Self {
+        self.events.push((at_ms, fault));
+        self.events.sort_by_key(|&(at, _)| at);
+        self
+    }
+
+    /// A seeded churn schedule: every listed node repeatedly crashes and
+    /// cold-restarts between `start_ms` and `end_ms`. Each node's first crash
+    /// lands at a seeded offset inside one period; each cycle is
+    /// `downtime_ms` dark plus a seeded gap of `[period_ms/2, 3·period_ms/2)`.
+    /// The draw order is fixed (nodes in the given order, cycles in time
+    /// order), so the schedule is a pure function of `(seed, nodes, window)`.
+    pub fn churn(
+        seed: u64,
+        nodes: &[usize],
+        start_ms: u64,
+        end_ms: u64,
+        period_ms: u64,
+        downtime_ms: u64,
+    ) -> Self {
+        assert!(period_ms >= 1, "churn needs a nonzero period");
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x4348_414f_535e_u64);
+        let mut plan = FaultPlan::new();
+        for &node in nodes {
+            let mut t = start_ms + rng.range_u64(0, period_ms);
+            while t.saturating_add(downtime_ms) < end_ms {
+                plan.events.push((t, Fault::Crash { node }));
+                plan.events.push((t + downtime_ms, Fault::Restart { node }));
+                t += downtime_ms + period_ms / 2 + rng.range_u64(0, period_ms);
+            }
+        }
+        plan.events.sort_by_key(|&(at, _)| at);
+        plan
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the plan into its sorted event list (scheduler intake).
+    pub(crate) fn into_events(self) -> Vec<(u64, Fault)> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_keeps_events_time_sorted() {
+        let plan = FaultPlan::new()
+            .at(500, Fault::Sever { a: 0, b: 1 })
+            .at(100, Fault::ClockSkew { node: 2, skew_ms: -40 })
+            .at(300, Fault::Link { a: 0, b: 1 });
+        let times: Vec<u64> = plan.into_events().iter().map(|&(at, _)| at).collect();
+        assert_eq!(times, vec![100, 300, 500]);
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_windowed() {
+        let a = FaultPlan::churn(9, &[1, 2, 3], 1_000, 20_000, 4_000, 500);
+        let b = FaultPlan::churn(9, &[1, 2, 3], 1_000, 20_000, 4_000, 500);
+        assert_eq!(format!("{:?}", a.events), format!("{:?}", b.events));
+        assert!(!a.is_empty(), "a 19s window at a 4s period churns");
+        let events = a.into_events();
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+        assert!(events.iter().all(|&(at, _)| (1_000..20_000).contains(&at)));
+        // Every crash is paired with a later restart of the same node.
+        let crashes = events
+            .iter()
+            .filter(|(_, f)| matches!(f, Fault::Crash { .. }))
+            .count();
+        let restarts = events
+            .iter()
+            .filter(|(_, f)| matches!(f, Fault::Restart { .. }))
+            .count();
+        assert_eq!(crashes, restarts);
+        let c = FaultPlan::churn(10, &[1, 2, 3], 1_000, 20_000, 4_000, 500);
+        assert_ne!(
+            format!("{:?}", events),
+            format!("{:?}", c.into_events()),
+            "different seed, different schedule"
+        );
+    }
+}

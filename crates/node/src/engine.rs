@@ -27,14 +27,17 @@
 //! seeds.
 
 use crate::chainstate::ChainView;
+use ng_chain::amount::Amount;
 use ng_chain::chainstore::InsertOutcome;
 use ng_chain::mempool::Mempool;
 use ng_chain::payload::Payload;
-use ng_chain::transaction::Transaction;
+use ng_chain::transaction::{OutPoint, Transaction};
 use ng_chain::utxo::UtxoSet;
 use ng_core::block::NgBlock;
 use ng_core::node::NgNode;
 use ng_core::params::NgParams;
+use ng_core::poison::{poison_effect, PoisonError, PoisonTransaction};
+use ng_crypto::keys::KeyPair;
 use ng_crypto::sha256::Hash256;
 use ng_net::message::{InvItem, InvKind, Message, ProtocolKind, WireSnapshot};
 use ng_net::overlay::{Overlay, OverlayConfig};
@@ -46,7 +49,7 @@ use ng_net::sync::{
 };
 use ng_net::GossipRelay;
 use serde::Serialize;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Static configuration of one engine (the protocol-relevant subset of the old
 /// daemon config — no addresses, no tick rates).
@@ -375,11 +378,77 @@ pub enum ReportEvent {
         /// The pruned connection key.
         peer: u64,
     },
+    /// This node observed a leader sign two microblocks over the same parent and
+    /// constructed the fraud proof itself (§4.5).
+    PoisonDetected {
+        /// The equivocating leader.
+        accused: u64,
+        /// Canonical id of the constructed poison transaction.
+        txid: Hash256,
+    },
+    /// A poison transaction (local or remote) passed validation and its revenue
+    /// revocation was applied to the ledger view.
+    PoisonAccepted {
+        /// The leader whose epoch revenue was revoked.
+        accused: u64,
+        /// The statically determined revocable amount, in satoshis.
+        revoked_sats: u64,
+    },
+    /// An incoming poison transaction was dropped: invalid evidence, a duplicate,
+    /// or a losing competitor of a poison already applied for the same epoch.
+    PoisonRejected {
+        /// Human-readable drop reason.
+        reason: String,
+    },
+    /// A poison transaction was flooded onward to this node's ready peers.
+    PoisonRelayed {
+        /// Canonical id of the relayed poison transaction.
+        txid: Hash256,
+    },
 }
 
 /// Cap on stashed orphan carriers (a misbehaving peer could otherwise grow the
 /// stash without bound by sending parentless blocks).
 const MAX_ORPHAN_CARRIERS: usize = 1024;
+
+/// Cap on tracked `(parent, leader)` → first-seen-microblock sightings for
+/// equivocation detection. Entries outlive their usefulness once the epoch
+/// closes; eviction drops the smallest key (deterministic across nodes).
+const MAX_MICRO_SIGHTINGS: usize = 4096;
+
+/// Cap on recorded poisons. The protocol admits at most one poison per cheater
+/// per epoch (§4.5), so this is reached only if hundreds of distinct leaders
+/// cheat in distinct epochs; past it, further poisons are rejected.
+const MAX_POISON_RECORDS: usize = 256;
+
+/// Cap on poisons parked while their epoch key block is still unknown (a node
+/// mid-sync receiving the flood before the history it judges against).
+const MAX_PENDING_POISONS: usize = 64;
+
+/// An accepted fraud proof and the statically determined facts its ledger
+/// effect derives from. The canonical poison per `(cheater, epoch)` is the one
+/// with the smallest [`PoisonTransaction::txid`]: several honest nodes can
+/// detect the same equivocation simultaneously and each names itself poisoner,
+/// so convergence needs a total order, and min-txid is one every node computes
+/// identically. A smaller-txid competitor replaces the incumbent (its bounty is
+/// reverted) and is re-flooded; anything else is dropped, so the flood
+/// terminates and the network converges on the minimum.
+#[derive(Clone, Debug)]
+struct PoisonRecord {
+    /// The canonical fraud proof.
+    poison: PoisonTransaction,
+    /// Cached [`PoisonTransaction::txid`]; the bounty is minted at `(txid, 0)`.
+    txid: Hash256,
+    /// The epoch key block whose coinbase pays the revoked revenue.
+    epoch_id: Hash256,
+    /// Height of that key block — the bounty entry's height, so every node's
+    /// entry digest matches no matter when it applied the poison.
+    epoch_height: u64,
+    /// The statically determined revocable amount.
+    revoked: Amount,
+    /// The poisoner's bounty (`poison_reward_percent` of `revoked`).
+    reward: Amount,
+}
 
 /// The pure Bitcoin-NG protocol engine. See the module docs for the contract.
 #[derive(Debug)]
@@ -438,6 +507,20 @@ pub struct Engine {
     /// a snapshot bootstrap. Forward sync ignores header records at or below it —
     /// they can never connect; the backfill owns that range.
     root_height: u64,
+    /// First-seen microblock id per `(parent, leader)`. A second distinct id under
+    /// the same key is an equivocation: the leader signed two microblocks at the
+    /// same height (§4.5), and this node constructs the fraud proof.
+    // ng-lint: bound(MAX_MICRO_SIGHTINGS)
+    micro_sightings: BTreeMap<(Hash256, u64), Hash256>,
+    /// Canonical accepted poison per `(accused leader, epoch key block)` — see
+    /// [`PoisonRecord`] for the min-txid convergence rule. Re-asserted against the
+    /// main chain after every ledger roll.
+    // ng-lint: bound(MAX_POISON_RECORDS)
+    poisons: BTreeMap<(u64, Hash256), PoisonRecord>,
+    /// Poisons whose epoch cannot be attributed yet, keyed by the unknown parent
+    /// block id; retried when that block arrives.
+    // ng-lint: bound(MAX_PENDING_POISONS)
+    pending_poisons: BTreeMap<Hash256, PoisonTransaction>,
 }
 
 /// Progress of a snapshot bootstrap: ask one ready peer at a time for the pinned
@@ -518,6 +601,9 @@ impl Engine {
             bootstrap,
             backfill: None,
             root_height: 0,
+            micro_sightings: BTreeMap::new(),
+            poisons: BTreeMap::new(),
+            pending_poisons: BTreeMap::new(),
         }
     }
 
@@ -594,6 +680,9 @@ impl Engine {
             bootstrap: None,
             backfill: None,
             root_height,
+            micro_sightings: BTreeMap::new(),
+            poisons: BTreeMap::new(),
+            pending_poisons: BTreeMap::new(),
         };
         // 1: replay stored blocks in their original acceptance order. A parent
         // missing because its branch was rooted away (or WAL-invalidated) just
@@ -769,6 +858,20 @@ impl Engine {
         self.node.is_leader()
     }
 
+    /// The `(accused leader, epoch key block)` keys of every recorded poison —
+    /// the fraud proofs this node has accepted and applied (§4.5).
+    pub fn poisoned(&self) -> Vec<(u64, Hash256)> {
+        self.poisons.keys().copied().collect()
+    }
+
+    /// Total revenue revoked across every recorded poison (the statically
+    /// determined amounts, not live balances).
+    pub fn poison_revoked_total(&self) -> Amount {
+        self.poisons
+            .values()
+            .fold(Amount::ZERO, |acc, record| acc + record.revoked)
+    }
+
     /// The node's view of the current leader.
     pub fn current_leader(&self) -> Option<u64> {
         self.node.current_leader()
@@ -931,6 +1034,18 @@ impl Engine {
                     // chain and discard anything fetched against genesis.
                     self.flush_routable(peer, std::mem::take(&mut routable), now_ms, effects);
                     effects.push(Effect::Report(ReportEvent::PeerReady { peer, node_id }));
+                    // Hand the fresh peer every recorded fraud proof: floods are
+                    // one-shot, so without this a node that was dark (eclipsed,
+                    // crashed, late-joining) while a poison spread would never
+                    // revoke the cheater and its commitment would diverge
+                    // forever. Bounded by MAX_POISON_RECORDS; duplicates are
+                    // dropped without relay on the receiving side.
+                    for record in self.poisons.values() {
+                        effects.push(Effect::Send {
+                            peer,
+                            message: Message::Poison(Box::new(record.poison.clone())),
+                        });
+                    }
                     if self.config.gossip.overlay {
                         self.overlay.peer_ready(peer);
                     }
@@ -1044,6 +1159,9 @@ impl Engine {
             }
             Message::Prune => {
                 self.overlay.on_prune(from);
+            }
+            Message::Poison(poison) => {
+                self.adopt_poison(Some(from), *poison, effects);
             }
             _ => {}
         }
@@ -1280,6 +1398,10 @@ impl Engine {
         // reconstruction of this block: the full copy is here.
         self.overlay.block_arrived(&id);
         self.compact.abandon(&id);
+        let micro_key = match &block {
+            NgBlock::Micro(mb) => Some((mb.header.prev, mb.header.leader)),
+            NgBlock::Key(_) => None,
+        };
         match self.node.on_block(block, now_ms) {
             Ok(InsertOutcome::Accepted {
                 tip_changed, reorg, ..
@@ -1308,6 +1430,16 @@ impl Engine {
                         self.stash_carrier(id, carrier);
                     }
                     self.flush_adopted_orphans(effects);
+                    // A stored sibling microblock under the same (parent, leader)
+                    // key is proof of equivocation — construct the fraud proof.
+                    if let Some(key) = micro_key {
+                        self.detect_equivocation(key, id, effects);
+                    }
+                    // A parked poison may have been waiting for exactly this block
+                    // to attribute its epoch.
+                    if let Some(parked) = self.pending_poisons.remove(&id) {
+                        self.adopt_poison(None, parked, effects);
+                    }
                 }
             }
             Ok(InsertOutcome::Duplicate) => {
@@ -1487,6 +1619,224 @@ impl Engine {
         }
     }
 
+    // ---- equivocation detection + poison transactions (§4.5) -------------------
+
+    /// Records a stored microblock's `(parent, leader)` sighting; a second distinct
+    /// microblock under the same key is an equivocation and this node constructs
+    /// the fraud proof. The cited sibling is the one off the local main chain: the
+    /// equal-work tie-break is a pure function of the candidate ids, so once both
+    /// siblings propagate every node agrees which one lost, and the proof
+    /// validates network-wide.
+    fn detect_equivocation(
+        &mut self,
+        key: (Hash256, u64),
+        id: Hash256,
+        effects: &mut Vec<Effect>,
+    ) {
+        match self.micro_sightings.get(&key).copied() {
+            None => {
+                while self.micro_sightings.len() >= MAX_MICRO_SIGHTINGS {
+                    let Some(oldest) = self.micro_sightings.keys().next().copied() else {
+                        break;
+                    };
+                    self.micro_sightings.remove(&oldest);
+                }
+                self.micro_sightings.insert(key, id);
+            }
+            Some(first) if first == id => {}
+            Some(first) => {
+                let store = self.node.chain().store();
+                let cite = match (store.is_in_main_chain(&first), store.is_in_main_chain(&id)) {
+                    (false, _) => first,
+                    (true, false) => id,
+                    // A linear main chain cannot hold two children of one parent.
+                    (true, true) => return,
+                };
+                let Some(micro) = self
+                    .node
+                    .chain()
+                    .get(&cite)
+                    .and_then(NgBlock::as_micro)
+                    .cloned()
+                else {
+                    return;
+                };
+                let Some(poison) = self.node.build_poison(&micro) else {
+                    return;
+                };
+                effects.push(Effect::Report(ReportEvent::PoisonDetected {
+                    accused: poison.accused_leader,
+                    txid: poison.txid(),
+                }));
+                self.adopt_poison(None, poison, effects);
+            }
+        }
+    }
+
+    /// Validates a poison transaction (locally constructed or delivered by a peer)
+    /// and, if it is the canonical one for its `(cheater, epoch)`, records it,
+    /// applies the revenue revocation to the ledger view and floods it onward.
+    /// `origin` is the delivering link (excluded from the flood); `None` marks a
+    /// locally constructed or re-tried poison.
+    fn adopt_poison(
+        &mut self,
+        origin: Option<u64>,
+        poison: PoisonTransaction,
+        effects: &mut Vec<Effect>,
+    ) {
+        let txid = poison.txid();
+        let (epoch_id, revoked) = match self.node.validate_poison(&poison) {
+            Ok(verdict) => verdict,
+            Err(err @ (PoisonError::UnknownParent | PoisonError::HeaderOnMainChain)) => {
+                // Both conditions can be transient, so park the proof instead of
+                // dropping it — floods are one-shot and never repeat.
+                // UnknownParent: this node is behind; the proof retries when the
+                // cited fork point arrives. HeaderOnMainChain: the cited sibling
+                // is currently this node's tip because the winning sibling is
+                // still in flight — the proof raced ahead of the reorg that
+                // makes it valid; every ledger roll retries the parked set.
+                // Bounded; an overflow just drops the proof (the flood is
+                // redundant, and a fresh handshake re-offers every record).
+                if self.pending_poisons.len() < MAX_PENDING_POISONS
+                    || self.pending_poisons.contains_key(&poison.pruned_header.prev)
+                {
+                    // Among competitors parked under one fork point, keep the
+                    // smallest txid — the one that would win adoption anyway.
+                    let slot = self
+                        .pending_poisons
+                        .entry(poison.pruned_header.prev)
+                        .or_insert_with(|| poison.clone());
+                    if slot.txid() > txid {
+                        *slot = poison;
+                    }
+                }
+                effects.push(Effect::Report(ReportEvent::PoisonRejected {
+                    reason: format!("{err} (parked)"),
+                }));
+                return;
+            }
+            Err(err) => {
+                effects.push(Effect::Report(ReportEvent::PoisonRejected {
+                    reason: err.to_string(),
+                }));
+                return;
+            }
+        };
+        let key = (poison.accused_leader, epoch_id);
+        match self.poisons.get(&key) {
+            Some(existing) if existing.txid <= txid => {
+                // A duplicate of the canonical poison, or a losing competitor:
+                // drop without relaying, so the flood terminates.
+                effects.push(Effect::Report(ReportEvent::PoisonRejected {
+                    reason: if existing.txid == txid {
+                        "duplicate poison".to_string()
+                    } else {
+                        "losing competitor of the canonical poison".to_string()
+                    },
+                }));
+                return;
+            }
+            Some(_) => {
+                // Smaller txid wins: revert the incumbent's bounty and replace it.
+                if let Some(old) = self.poisons.remove(&key) {
+                    self.view.revert_poison_reward(&OutPoint::new(old.txid, 0));
+                }
+            }
+            None => {
+                if self.poisons.len() >= MAX_POISON_RECORDS {
+                    effects.push(Effect::Report(ReportEvent::PoisonRejected {
+                        reason: "poison record capacity reached".to_string(),
+                    }));
+                    return;
+                }
+            }
+        }
+        let Some(epoch_height) = self.node.chain().store().height_of(&epoch_id) else {
+            effects.push(Effect::Report(ReportEvent::PoisonRejected {
+                reason: "epoch key block height unknown".to_string(),
+            }));
+            return;
+        };
+        let reward =
+            poison_effect(poison.accused_leader, revoked, &self.config.params).poisoner_reward;
+        self.poisons.insert(
+            key,
+            PoisonRecord {
+                poison: poison.clone(),
+                txid,
+                epoch_id,
+                epoch_height,
+                revoked,
+                reward,
+            },
+        );
+        self.assert_poisons();
+        effects.push(Effect::Report(ReportEvent::PoisonAccepted {
+            accused: poison.accused_leader,
+            revoked_sats: revoked.sats(),
+        }));
+        self.flood_poison(origin, poison, txid, effects);
+    }
+
+    /// Re-asserts every recorded poison against the current main chain: while the
+    /// epoch key block is on the main chain the revocation holds (idempotently —
+    /// a reorg that reconnects the key block resurrects the cheater's outputs via
+    /// its undo/connect cycle, and they are removed again here); while it is off
+    /// the main chain the bounty is reverted (the revoked outputs themselves were
+    /// rewound by the disconnect). Runs after every ledger roll, so the ledger
+    /// effect of a poison is a pure function of (main chain, poison set) and
+    /// every honest node's commitment converges.
+    fn assert_poisons(&mut self) {
+        if self.poisons.is_empty() {
+            return;
+        }
+        for record in self.poisons.values() {
+            let reward_outpoint = OutPoint::new(record.txid, 0);
+            if self.node.chain().store().is_in_main_chain(&record.epoch_id) {
+                let Some(NgBlock::Key(kb)) = self.node.chain().get(&record.epoch_id) else {
+                    continue;
+                };
+                self.view.apply_poison_revocation(
+                    kb,
+                    record.epoch_id,
+                    record.epoch_height,
+                    reward_outpoint,
+                    record.reward,
+                    KeyPair::from_id(record.poison.poisoner).address(),
+                );
+            } else {
+                self.view.revert_poison_reward(&reward_outpoint);
+            }
+        }
+    }
+
+    /// Floods a poison transaction to every ready peer except the link it arrived
+    /// on. Poisons never take the overlay: a fraud proof must reach every honest
+    /// node even when eager links are degraded, and its size makes the flood cheap.
+    fn flood_poison(
+        &mut self,
+        origin: Option<u64>,
+        poison: PoisonTransaction,
+        txid: Hash256,
+        effects: &mut Vec<Effect>,
+    ) {
+        let message = Message::Poison(Box::new(poison));
+        let mut relayed = false;
+        for peer in self.relay.ready_peers() {
+            if Some(peer) == origin {
+                continue;
+            }
+            effects.push(Effect::Send {
+                peer,
+                message: message.clone(),
+            });
+            relayed = true;
+        }
+        if relayed {
+            effects.push(Effect::Report(ReportEvent::PoisonRelayed { txid }));
+        }
+    }
+
     /// Rolls the incremental ledger view to the current tip and the mempool with it:
     /// reorg-disconnected transactions return to the pool (unless reconfirmed on the
     /// new branch), newly serialized transactions leave it. Per-block cost is
@@ -1539,6 +1889,20 @@ impl Engine {
                         self.orphan_carriers.remove(&gone);
                     }
                 }
+            }
+        }
+        // The roll may have moved the epoch key block of a recorded poison on or
+        // off the main chain; re-assert before the new view state is persisted.
+        self.assert_poisons();
+        // The roll may also have made a parked proof valid — most importantly a
+        // proof that raced ahead of the reorg demoting the sibling it cites
+        // (HeaderOnMainChain at arrival, valid now). Retry the whole parked
+        // set; anything still invalid re-parks via the same bounded path.
+        if !self.pending_poisons.is_empty() {
+            let parked: Vec<PoisonTransaction> =
+                std::mem::take(&mut self.pending_poisons).into_values().collect();
+            for poison in parked {
+                self.adopt_poison(None, poison, effects);
             }
         }
         self.persist_roll(&delta, effects);

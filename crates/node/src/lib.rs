@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod chainstate;
+pub mod chaos;
 pub mod daemon;
 pub mod engine;
 pub mod ledger;

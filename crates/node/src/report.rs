@@ -58,6 +58,10 @@ pub fn record(counters: &NodeCounters, event: &ReportEvent) {
         ReportEvent::CompactFallback { .. } => counters.compact_fallbacks.incr(),
         ReportEvent::OverlayGraft { .. } => counters.overlay_grafts.incr(),
         ReportEvent::OverlayPrune { .. } => counters.overlay_prunes.incr(),
+        ReportEvent::PoisonDetected { .. } => counters.poison_detected.incr(),
+        ReportEvent::PoisonRelayed { .. } => counters.poison_relayed.incr(),
+        ReportEvent::PoisonAccepted { .. } => counters.poison_accepted.incr(),
+        ReportEvent::PoisonRejected { .. } => counters.poison_rejected.incr(),
     }
 }
 

@@ -12,6 +12,7 @@
 //! the [`SimNet::trace_bytes`] of two runs are equal, which the determinism suite
 //! asserts across seeds.
 
+use crate::chaos::{Fault, FaultPlan};
 use crate::engine::{Effect, Engine, EngineConfig, GossipConfig, Input, ReportEvent};
 use crate::report::{record, NodeSnapshot};
 use crate::testnet::ConvergenceReport;
@@ -24,7 +25,7 @@ use ng_net::message::Message;
 use ng_net::sync::DEFAULT_HEADER_BATCH;
 use serde::Serialize;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
 
 /// Configuration of a simulated network.
 #[derive(Clone, Debug)]
@@ -175,6 +176,24 @@ pub struct SimNet {
     /// Per block id: every `(node, virtual ms)` acceptance, in arrival order.
     /// Filled only under [`SimConfig::record_arrivals`].
     arrivals: HashMap<Hash256, Vec<(usize, u64)>>,
+    /// Per node: constant offset added to the clock its engine observes. The
+    /// scheduler itself always runs on real virtual time; only the `now`
+    /// handed to `Engine::handle` (and timer deadlines mapped back) shift.
+    skews: Vec<i64>,
+    /// Per node: true while crashed — no dispatch, no transmit, dark.
+    down: Vec<bool>,
+    /// Per directed link: latency-range override (min, max inclusive).
+    /// Lookup-only (never iterated), so hash order cannot leak into schedules.
+    link_latency: HashMap<(usize, usize), (u64, u64)>,
+    /// Per directed link: throughput cap in bytes per virtual millisecond.
+    /// Lookup-only (never iterated).
+    link_bandwidth: HashMap<(usize, usize), u64>,
+    /// Per crashed/eclipsed node: the sorted neighbor set it had, re-dialed on
+    /// restart/release. Lookup-only (never iterated).
+    remembered: HashMap<usize, Vec<usize>>,
+    /// Pending fault schedule, time-sorted; `run` interleaves it with the
+    /// event queue (faults first at equal times).
+    plan: VecDeque<(u64, Fault)>,
 }
 
 fn canon(a: usize, b: usize) -> (usize, usize) {
@@ -207,6 +226,8 @@ impl SimNet {
         let counters = (0..config.nodes).map(|_| NodeCounters::new()).collect();
         let wire = (0..config.nodes).map(|_| WireStats::new()).collect();
         let timers = vec![None; config.nodes];
+        let skews = vec![0i64; config.nodes];
+        let down = vec![false; config.nodes];
         let rng = SimRng::seed_from_u64(config.seed);
         SimNet {
             config,
@@ -224,6 +245,12 @@ impl SimNet {
             trace: Vec::new(),
             wire,
             arrivals: HashMap::new(),
+            skews,
+            down,
+            link_latency: HashMap::new(),
+            link_bandwidth: HashMap::new(),
+            remembered: HashMap::new(),
+            plan: VecDeque::new(),
         }
     }
 
@@ -249,6 +276,8 @@ impl SimNet {
         self.counters.push(NodeCounters::new());
         self.wire.push(WireStats::new());
         self.timers.push(None);
+        self.skews.push(0);
+        self.down.push(false);
         self.config.nodes += 1;
         id
     }
@@ -410,6 +439,182 @@ impl SimNet {
         self.partition(&[&all]);
     }
 
+    // ---- chaos ----------------------------------------------------------------
+
+    /// Merges a [`FaultPlan`] into the pending schedule. `run` fires each fault
+    /// at its virtual time, before any message or timer event of that time.
+    pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
+        let mut merged: Vec<(u64, Fault)> = self.plan.drain(..).collect();
+        merged.extend(plan.into_events());
+        merged.sort_by_key(|&(at, _)| at);
+        self.plan = merged.into();
+    }
+
+    /// True while the node is crashed.
+    pub fn is_down(&self, node: usize) -> bool {
+        self.down[node]
+    }
+
+    /// Kills a node abruptly: the dying engine observes nothing, every peer
+    /// sees its connection drop, the armed timer dies, and the engine itself is
+    /// replaced by an inert placeholder and returned. Returning (rather than
+    /// dropping) the corpse lets durable scenarios take back ownership so
+    /// attached storage flushes and closes before a
+    /// [`Self::restart_with`] reopens the same directory.
+    pub fn crash(&mut self, node: usize) -> Engine {
+        assert!(!self.down[node], "node is already down");
+        self.down[node] = true;
+        self.timers[node] = None;
+        // BTreeSet iteration: neighbors come out sorted, so the sever order —
+        // and every PeerDisconnected dispatched to survivors — is deterministic.
+        let neighbors: Vec<usize> = self
+            .links
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == node {
+                    Some(b)
+                } else if b == node {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for &peer in &neighbors {
+            self.disconnect(node, peer);
+        }
+        self.remembered.insert(node, neighbors);
+        let placeholder = Engine::new(self.engines[node].config().clone());
+        std::mem::replace(&mut self.engines[node], placeholder)
+    }
+
+    /// Cold-restarts a crashed node: fresh engine, empty state, resync from the
+    /// peers it had at crash time.
+    pub fn restart_fresh(&mut self, node: usize) {
+        let engine = Engine::new(self.engines[node].config().clone());
+        self.restart_with(node, engine);
+    }
+
+    /// Restarts a crashed node with a caller-built engine — e.g. one restored
+    /// from the `FileStorage` the crashed instance was writing — and re-dials
+    /// the neighbors remembered at crash time (skipping any that are
+    /// themselves down).
+    pub fn restart_with(&mut self, node: usize, engine: Engine) {
+        assert!(self.down[node], "only a crashed node can restart");
+        self.engines[node] = engine;
+        self.down[node] = false;
+        self.timers[node] = None;
+        for peer in self.remembered.remove(&node).unwrap_or_default() {
+            if !self.down[peer] {
+                self.connect(node, peer);
+            }
+        }
+    }
+
+    /// Sets the constant clock skew a node observes (see [`Fault::ClockSkew`]).
+    /// Set skews before the node arms timers in the new frame; changing skew
+    /// under an armed timer leaves that deadline in the old frame.
+    pub fn set_clock_skew(&mut self, node: usize, skew_ms: i64) {
+        self.skews[node] = skew_ms;
+    }
+
+    /// Overrides the latency range of the directed link `from → to`.
+    pub fn set_link_latency(&mut self, from: usize, to: usize, min_ms: u64, max_ms: u64) {
+        assert!(min_ms <= max_ms, "latency range is empty");
+        self.link_latency.insert((from, to), (min_ms, max_ms));
+    }
+
+    /// Caps the throughput of the directed link `from → to` at `bytes_per_ms`.
+    pub fn set_link_bandwidth(&mut self, from: usize, to: usize, bytes_per_ms: u64) {
+        assert!(bytes_per_ms >= 1, "a zero-rate link never delivers");
+        self.link_bandwidth.insert((from, to), bytes_per_ms);
+    }
+
+    /// Eclipses a victim: severs every current link and connects only the
+    /// attackers. The pre-eclipse neighbor set is remembered for
+    /// [`Self::release`].
+    pub fn eclipse(&mut self, victim: usize, attackers: &[usize]) {
+        let neighbors: Vec<usize> = self
+            .links
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == victim {
+                    Some(b)
+                } else if b == victim {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for &peer in &neighbors {
+            self.disconnect(victim, peer);
+        }
+        self.remembered.insert(victim, neighbors);
+        for &attacker in attackers {
+            self.connect(victim, attacker);
+        }
+    }
+
+    /// Undoes an [`Self::eclipse`]: re-dials the remembered neighbors.
+    /// Attacker links stay up — a healed victim cannot tell who was malicious.
+    pub fn release(&mut self, node: usize) {
+        for peer in self.remembered.remove(&node).unwrap_or_default() {
+            if !self.down[peer] {
+                self.connect(node, peer);
+            }
+        }
+    }
+
+    /// The clock node `node` observes at real virtual time `real_ms`.
+    fn local_clock(&self, node: usize, real_ms: u64) -> u64 {
+        let skew = self.skews[node];
+        if skew >= 0 {
+            real_ms.saturating_add(skew as u64)
+        } else {
+            real_ms.saturating_sub(skew.unsigned_abs())
+        }
+    }
+
+    /// Maps a deadline the node expressed in its own (skewed) frame back onto
+    /// the scheduler's real clock.
+    fn real_deadline(&self, node: usize, local_ms: u64) -> u64 {
+        let skew = self.skews[node];
+        if skew >= 0 {
+            local_ms.saturating_sub(skew as u64)
+        } else {
+            local_ms.saturating_add(skew.unsigned_abs())
+        }
+    }
+
+    /// Applies one scheduled fault (see [`Fault`] for semantics).
+    fn apply_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::Crash { node } => {
+                // The corpse drops here; planned crashes model stateless nodes.
+                self.crash(node);
+            }
+            Fault::Restart { node } => self.restart_fresh(node),
+            Fault::ClockSkew { node, skew_ms } => self.set_clock_skew(node, skew_ms),
+            Fault::LinkLatency {
+                from,
+                to,
+                min_ms,
+                max_ms,
+            } => self.set_link_latency(from, to, min_ms, max_ms),
+            Fault::LinkBandwidth {
+                from,
+                to,
+                bytes_per_ms,
+            } => self.set_link_bandwidth(from, to, bytes_per_ms),
+            Fault::Eclipse { victim, attackers } => self.eclipse(victim, &attackers),
+            Fault::Release { node } => self.release(node),
+            Fault::Sever { a, b } => self.disconnect(a, b),
+            Fault::Link { a, b } => self.connect(a, b),
+            Fault::SetLoss { loss } => self.set_loss(loss),
+        }
+    }
+
     // ---- commands -------------------------------------------------------------
 
     /// Node `node` mines (and adopts and announces) a key block; returns its id.
@@ -458,27 +663,48 @@ impl SimNet {
     // ---- the scheduler --------------------------------------------------------
 
     /// Runs the network for `budget_ms` of virtual time, processing every queued
-    /// event that falls inside the window; the clock ends at `now + budget_ms`.
-    /// Returns true if the queue fully drained (the network went quiescent).
+    /// event and scheduled fault that falls inside the window; the clock ends at
+    /// `now + budget_ms`. Returns true if both the queue and the fault plan
+    /// fully drained (the network went quiescent with no chaos left to come).
     pub fn run(&mut self, budget_ms: u64) -> bool {
         let deadline = self.now.saturating_add(budget_ms);
-        while let Some(Reverse(head)) = self.queue.peek() {
+        loop {
             // A timer the engine superseded or cleared is dead weight: drop it
-            // instead of letting it count against quiescence.
-            if let SimEvent::Timer { node } = head.event {
-                if self.timers[node] != Some(head.at) {
-                    self.queue.pop();
-                    continue;
+            // instead of letting it count against quiescence or shadow a fault.
+            while let Some(Reverse(head)) = self.queue.peek() {
+                match head.event {
+                    SimEvent::Timer { node } if self.timers[node] != Some(head.at) => {
+                        self.queue.pop();
+                    }
+                    _ => break,
                 }
             }
-            if head.at > deadline {
-                self.now = deadline;
-                return false;
+            let next_fault = self.plan.front().map(|&(at, _)| at);
+            let next_event = self.queue.peek().map(|Reverse(s)| s.at);
+            match (next_fault, next_event) {
+                // Faults fire first at equal times: a crash at `t` must kill
+                // the deliveries of `t`.
+                (Some(fault_at), event_at)
+                    if fault_at <= deadline && event_at.is_none_or(|at| fault_at <= at) =>
+                {
+                    self.now = self.now.max(fault_at);
+                    let (_, fault) = self.plan.pop_front().expect("peeked above");
+                    self.apply_fault(fault);
+                }
+                (_, Some(event_at)) if event_at <= deadline => {
+                    self.step();
+                }
+                (None, None) => {
+                    self.now = deadline;
+                    return true;
+                }
+                _ => {
+                    // Whatever remains lies beyond the window.
+                    self.now = deadline;
+                    return false;
+                }
             }
-            self.step();
         }
-        self.now = deadline;
-        true
     }
 
     /// Processes the single next event; returns false when the queue is empty.
@@ -523,7 +749,11 @@ impl SimNet {
     /// Feeds one input to an engine and schedules/records its effects; returns the
     /// reported events so command wrappers can resolve results from them.
     fn dispatch(&mut self, node: usize, input: Input) -> Vec<ReportEvent> {
-        let effects = self.engines[node].handle(self.now, input);
+        if self.down[node] {
+            return Vec::new(); // a crashed process observes nothing
+        }
+        let local_now = self.local_clock(node, self.now);
+        let effects = self.engines[node].handle(local_now, input);
         let mut reports = Vec::new();
         for effect in effects {
             if self.config.record_trace {
@@ -542,8 +772,10 @@ impl SimNet {
                     }
                 }
                 Effect::SetTimer { deadline_ms } => {
-                    // Never schedule in the past; 1 ms is the clock's granularity.
-                    let at = deadline_ms.max(self.now + 1);
+                    // The engine expressed the deadline in its own (possibly
+                    // skewed) frame; map it back onto the scheduler's clock.
+                    // Never schedule in the past; 1 ms is the granularity.
+                    let at = self.real_deadline(node, deadline_ms).max(self.now + 1);
                     self.timers[node] = Some(at);
                     self.push(at, SimEvent::Timer { node });
                 }
@@ -581,6 +813,9 @@ impl SimNet {
         if !self.links.contains(&canon(from, to)) {
             return; // link died in the same effect batch
         }
+        if self.down[from] || self.down[to] {
+            return; // one endpoint is crashed; the wire is dead
+        }
         if self.muted.contains(&from) && !message.is_handshake() {
             return; // a stalling peer: the reply never leaves the node
         }
@@ -589,16 +824,27 @@ impl SimNet {
         if self.config.loss > 0.0 && !message.is_handshake() && self.rng.chance(self.config.loss) {
             return; // lost in flight
         }
-        let latency = if self.config.min_latency_ms == self.config.max_latency_ms {
-            self.config.min_latency_ms
+        let (min_latency, max_latency) = self
+            .link_latency
+            .get(&(from, to))
+            .copied()
+            .unwrap_or((self.config.min_latency_ms, self.config.max_latency_ms));
+        let latency = if min_latency == max_latency {
+            min_latency
         } else {
-            self.rng
-                .range_u64(self.config.min_latency_ms, self.config.max_latency_ms + 1)
+            self.rng.range_u64(min_latency, max_latency + 1)
         };
+        // A bandwidth-capped link adds serialization delay and spaces
+        // consecutive arrivals by at least it, bounding throughput at the cap.
+        let serialization = self
+            .link_bandwidth
+            .get(&(from, to))
+            .map(|rate| message.wire_size().div_ceil(*rate))
+            .unwrap_or(0);
         // FIFO per directed link, as TCP guarantees: a message never overtakes an
         // earlier one on the same link.
         let clock = self.link_clock.entry((from, to)).or_insert(0);
-        let at = (self.now + latency).max(*clock);
+        let at = (self.now + latency).max(*clock) + serialization;
         *clock = at;
         let epoch = self.epochs.get(&(from, to)).copied().unwrap_or(0);
         self.push(
@@ -632,9 +878,17 @@ impl SimNet {
             .collect()
     }
 
-    /// True when every node agrees on tip and UTXO commitment.
+    /// True when every live node agrees on tip and UTXO commitment. Crashed
+    /// nodes don't count: a dark process has no view to disagree with.
     pub fn converged(&self) -> bool {
-        self.engines.windows(2).all(|w| {
+        let up: Vec<&Engine> = self
+            .engines
+            .iter()
+            .enumerate()
+            .filter(|&(node, _)| !self.down[node])
+            .map(|(_, engine)| engine)
+            .collect();
+        up.windows(2).all(|w| {
             w[0].tip() == w[1].tip() && w[0].utxo_commitment() == w[1].utxo_commitment()
         })
     }
@@ -766,6 +1020,81 @@ mod tests {
             snaps[0].counters.timer_wakeups >= 1 || snaps[0].counters.microblocks_produced >= 1,
             "either a timer fired or production happened inline"
         );
+    }
+
+    #[test]
+    fn crash_and_cold_restart_resyncs() {
+        let mut net = SimNet::new(SimConfig::new(3, 21));
+        net.connect_mesh(&[0, 1, 2]);
+        net.run(1_000);
+        net.mine_key_block(0);
+        net.run(1_000);
+        net.crash(2);
+        assert!(net.is_down(2));
+        net.mine_key_block(0); // progress while node 2 is dark
+        net.run(1_000);
+        assert!(net.converged(), "live nodes agree while 2 is down");
+        net.restart_fresh(2);
+        assert!(net.run(30_000), "restarted node resyncs and goes quiescent");
+        assert!(net.converged(), "{}", net.report());
+        assert_eq!(net.engine(2).height(), 2, "cold restart caught up");
+    }
+
+    #[test]
+    fn fault_plan_interleaves_with_traffic() {
+        let mut net = SimNet::new(SimConfig::new(3, 33));
+        net.connect_mesh(&[0, 1, 2]);
+        net.run(1_000);
+        net.mine_key_block(0);
+        net.run(1_000);
+        let now = net.now_ms();
+        net.apply_fault_plan(
+            FaultPlan::new()
+                .at(now + 100, Fault::Crash { node: 1 })
+                .at(now + 2_000, Fault::Restart { node: 1 }),
+        );
+        net.mine_key_block(0);
+        net.run(500);
+        assert!(net.is_down(1), "planned crash fired inside the window");
+        assert!(net.run(30_000), "plan and queue both drain");
+        assert!(!net.is_down(1), "planned restart fired");
+        assert!(net.converged(), "{}", net.report());
+        assert_eq!(net.engine(1).height(), 2);
+    }
+
+    #[test]
+    fn skewed_clocks_and_a_slow_link_still_converge() {
+        let mut config = SimConfig::new(3, 55);
+        config.auto_microblocks = true;
+        let mut net = SimNet::new(config);
+        net.set_clock_skew(1, 250);
+        net.set_clock_skew(2, -150);
+        net.set_link_bandwidth(0, 1, 1); // 1 byte per ms: a crawling link
+        net.connect_mesh(&[0, 1, 2]);
+        net.run(2_000);
+        net.mine_key_block(0);
+        net.run(2_000);
+        assert!(net.submit_tx(1, test_tx(1)));
+        net.run(60_000);
+        assert!(net.converged(), "{}", net.report());
+        let snaps = net.snapshots();
+        assert!(snaps.iter().all(|s| s.mempool_len == 0), "pool drained");
+    }
+
+    #[test]
+    fn eclipse_isolates_until_release() {
+        let mut net = SimNet::new(SimConfig::new(5, 77));
+        net.connect_mesh(&[0, 1, 2, 3]); // node 4 is the future attacker, linkless
+        net.run(1_000);
+        net.mine_key_block(0);
+        net.run(1_000);
+        net.eclipse(3, &[4]);
+        net.mine_key_block(0); // honest progress the victim cannot see
+        net.run(2_000);
+        assert!(net.engine(3).height() < net.engine(0).height());
+        net.release(3);
+        assert!(net.run(30_000));
+        assert_eq!(net.engine(3).tip(), net.engine(0).tip(), "healed victim");
     }
 
     #[test]

@@ -65,6 +65,10 @@ timeout 300 cargo test -q -p ng_node --test testnet_convergence
 echo "==> cargo test -p ng_attacks -q (attack scenarios vs paper bounds, 300s budget)"
 timeout 300 cargo test -q -p ng_attacks
 
+echo "==> chaos suite (fault injection + equivocation fraud proofs: 16-seed sweep, eclipse, churn, long-range rewrite; SimNet, socket-free)"
+timeout 300 cargo test -q -p ng_attacks --test chaos_scenarios
+timeout 300 cargo test -q -p ng_node --test chaos_durability
+
 echo "==> cargo build --workspace --all-targets (benches, bins, examples)"
 cargo build --workspace --all-targets
 
