@@ -131,19 +131,15 @@ pub fn simulate_equivocation(config: EquivocationConfig) -> EquivocationOutcome 
         .on_block(NgBlock::Micro(conflicting.clone()), conflict_arrives_at)
         .expect("victim learns of the conflict");
 
-    // The observer sees both branches (in whichever order) and builds the poison.
+    // The observer sees both branches (in whichever order) and builds the poison
+    // from the pair: two signed headers under one parent are the proof of fraud.
     observer
         .on_block(NgBlock::Micro(conflicting.clone()), 2_100)
         .expect("observer accepts one branch");
     observer
         .on_block(NgBlock::Micro(paying.clone()), 2_150)
         .expect("observer buffers the other branch");
-    let pruned = if observer.chain().store().is_in_main_chain(&paying.id()) {
-        &conflicting
-    } else {
-        &paying
-    };
-    let poison = observer.build_poison(pruned);
+    let poison = observer.build_poison(&paying, &conflicting);
     let poison_available = poison.is_some();
     let poison_effect = poison.and_then(|p| {
         observer

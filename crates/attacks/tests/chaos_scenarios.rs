@@ -13,6 +13,7 @@
 use ng_chain::amount::Amount;
 use ng_core::block::{MicroBlock, MicroHeader};
 use ng_core::params::NgParams;
+use ng_core::poison::PoisonTransaction;
 use ng_crypto::keys::KeyPair;
 use ng_crypto::sha256::Hash256;
 use ng_crypto::signer::{SchnorrSigner, Signer};
@@ -136,6 +137,83 @@ fn equivocating_leader_is_poisoned_across_sixteen_seeds() {
         let relays: u64 = snaps.iter().map(|s| s.counters.poison_relayed).sum();
         assert!(relays >= 1, "seed {seed}: the proof was flooded");
     }
+}
+
+/// Regression for the framing attack the two-header evidence rule exists to
+/// stop: microblocks are innocently pruned whenever a competing key block forks
+/// off a leader's microblock tail, so a "proof" citing a single pruned header
+/// must convince nobody. The attacker here pairs the leader's real header with
+/// a fabricated sibling signed by the attacker's own key — the best a non-leader
+/// can do, since a genuine conflict needs two signatures only the leader can
+/// produce. Every node must reject the flood and leave the honest leader's
+/// epoch revenue untouched.
+#[test]
+fn honest_leader_cannot_be_framed_with_a_forged_conflict() {
+    let nodes = 5;
+    let mut net = net_with(nodes, 13, chaos_params());
+    let kb = net.mine_key_block(0);
+    net.run(1_000);
+    let micro_id = net.produce_microblock(0).expect("leader is due");
+    net.run(1_000);
+    let micro = net
+        .engine(0)
+        .node()
+        .chain()
+        .get(&micro_id)
+        .and_then(ng_core::block::NgBlock::as_micro)
+        .cloned()
+        .expect("leader's microblock is stored");
+
+    // Node 4 plays the attacker: fabricate a sibling header under the same
+    // parent, sign it with key 4 (not the leader's), flood the "fraud proof".
+    let forged_payload = ng_chain::payload::Payload::Transactions(vec![test_tx(0xF1)]);
+    let forged_header = MicroHeader {
+        prev: kb,
+        time_ms: micro.header.time_ms + 1,
+        payload_digest: forged_payload.digest(),
+        leader: 0,
+    };
+    let forged_signature =
+        SchnorrSigner::new(KeyPair::from_id(4)).sign(&forged_header.signing_hash());
+    let framing = PoisonTransaction {
+        header_a: micro.header.clone(),
+        signature_a: micro.signature.clone(),
+        header_b: forged_header,
+        signature_b: forged_signature,
+        accused_leader: 0,
+        poisoner: 4,
+    };
+    for victim in 0..nodes {
+        if victim == 4 {
+            continue;
+        }
+        net.inject_message(4, victim, Message::Poison(Box::new(framing.clone())));
+    }
+    assert!(net.run(5_000), "network goes quiescent");
+
+    let leader = KeyPair::from_id(0).address();
+    for node in 0..nodes {
+        let engine = net.engine(node);
+        assert!(
+            engine.poisoned().is_empty(),
+            "node {node} recorded no poison against the honest leader"
+        );
+        assert_eq!(engine.poison_revoked_total(), Amount::ZERO);
+        assert!(
+            engine.utxo().balance_of(&leader) > Amount::ZERO,
+            "node {node} left the honest leader's epoch revenue intact"
+        );
+    }
+    assert!(net.converged(), "{}", net.report());
+    let rejected: u64 = net
+        .snapshots()
+        .iter()
+        .map(|s| s.counters.poison_rejected)
+        .sum();
+    assert!(
+        rejected >= (nodes as u64) - 1,
+        "every framed node counted the rejection (got {rejected})"
+    );
 }
 
 #[test]

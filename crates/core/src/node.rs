@@ -245,39 +245,34 @@ impl NgNode {
         }
     }
 
-    /// Builds a poison transaction citing a pruned microblock this node observed
-    /// (§4.5). The microblock must not be on this node's main chain.
-    pub fn build_poison(&self, pruned: &MicroBlock) -> Option<PoisonTransaction> {
-        if self.chain.store().is_in_main_chain(&pruned.id()) {
-            return None;
-        }
-        Some(PoisonTransaction {
-            pruned_header: pruned.header.clone(),
-            pruned_signature: pruned.signature.clone(),
-            accused_leader: pruned.header.leader,
-            poisoner: self.id,
-        })
+    /// Builds a poison transaction from two conflicting microblocks this node
+    /// observed (§4.5): same parent, same leader, different contents. Returns
+    /// `None` unless the pair genuinely proves an equivocation — a single pruned
+    /// microblock is not fraud (competing key blocks prune honest tails all the
+    /// time), so honest leaders cannot be framed.
+    pub fn build_poison(&self, a: &MicroBlock, b: &MicroBlock) -> Option<PoisonTransaction> {
+        PoisonTransaction::from_conflict(a, b, self.id)
     }
 
     /// Read-only poison validation: checks the evidence against this node's chain
     /// without recording anything, and returns the epoch key block's id together
     /// with the revocable amount — the coinbase value that key block pays to the
-    /// accused leader's address. The amount is a pure function of chain data, so
-    /// every honest node computes the same figure no matter when the poison
-    /// arrives relative to other traffic.
+    /// accused leader's address. The evidence itself (two conflicting headers,
+    /// both signed by the epoch leader) is self-contained, so validity never
+    /// depends on which sibling this node's main chain happens to carry; the
+    /// amount is a pure function of chain data. Every honest node therefore
+    /// computes the same verdict and figure no matter when the poison arrives
+    /// relative to other traffic.
     pub fn validate_poison(
         &self,
         poison: &PoisonTransaction,
     ) -> Result<(Hash256, Amount), PoisonError> {
-        let parent = poison.pruned_header.prev;
+        let parent = poison.parent();
         let Some((epoch_id, epoch_key)) = self.chain.epoch_key_block(&parent) else {
             return Err(PoisonError::UnknownParent);
         };
         if epoch_key.miner != poison.accused_leader {
             return Err(PoisonError::WrongLeader);
-        }
-        if self.chain.store().is_in_main_chain(&poison.pruned_header.id()) {
-            return Err(PoisonError::HeaderOnMainChain);
         }
         verify_evidence(poison, &epoch_key.leader_pubkey)?;
         let cheater = epoch_key.leader_pubkey.address();
@@ -298,17 +293,13 @@ impl NgNode {
         poison: &PoisonTransaction,
         revoked_amount: Amount,
     ) -> Result<PoisonEffect, PoisonError> {
-        // The accused microblock's parent must be known so the epoch can be attributed.
-        let parent = poison.pruned_header.prev;
+        // The conflicting headers' parent must be known so the epoch can be attributed.
+        let parent = poison.parent();
         let Some((epoch_id, epoch_key)) = self.chain.epoch_key_block(&parent) else {
             return Err(PoisonError::UnknownParent);
         };
         if epoch_key.miner != poison.accused_leader {
             return Err(PoisonError::WrongLeader);
-        }
-        // The cited microblock must actually be off the main chain.
-        if self.chain.store().is_in_main_chain(&poison.pruned_header.id()) {
-            return Err(PoisonError::HeaderOnMainChain);
         }
         verify_evidence(poison, &epoch_key.leader_pubkey)?;
         if !self.chain.record_poison(poison.accused_leader, epoch_id) {
@@ -526,14 +517,10 @@ mod tests {
 
         carol.on_block(NgBlock::Micro(public.clone()), 1_210).unwrap();
         carol.on_block(NgBlock::Micro(secret.clone()), 1_211).unwrap();
-        // Exactly one of the two equivocating siblings ends up off carol's main chain;
-        // that one is the poison evidence.
-        let pruned = if carol.chain().store().is_in_main_chain(&secret.id()) {
-            &public
-        } else {
-            &secret
-        };
-        let poison = carol.build_poison(pruned).expect("evidence available");
+        // Both equivocating siblings together are the poison evidence: two signed
+        // headers with the same parent prove fraud regardless of which one carol's
+        // main chain carries.
+        let poison = carol.build_poison(&public, &secret).expect("evidence available");
         let effect = carol
             .accept_poison(&poison, Amount::from_sats(1_000))
             .unwrap();
@@ -547,27 +534,36 @@ mod tests {
     }
 
     #[test]
-    fn poison_rejected_when_block_is_on_main_chain() {
+    fn poison_requires_a_genuine_conflict() {
         let mut alice = NgNode::new(1, params(), 42);
         let mut carol = NgNode::new(3, params(), 42);
         let kb = alice.mine_and_adopt_key_block(1_000);
-        carol.on_block(NgBlock::Key(kb), 1_001).unwrap();
+        carol.on_block(NgBlock::Key(kb.clone()), 1_001).unwrap();
         let public = alice
             .produce_microblock(1_200, synthetic_payload(1, 0))
             .unwrap();
         carol.on_block(NgBlock::Micro(public.clone()), 1_201).unwrap();
-        // The public microblock is on the main chain: no poison can cite it.
-        assert!(carol.build_poison(&public).is_none());
+        // A single microblock — even cited twice — is no equivocation: honest
+        // leaders whose tails get pruned by a competing key block cannot be framed.
+        assert!(carol.build_poison(&public, &public).is_none());
         let bogus = PoisonTransaction {
-            pruned_header: public.header.clone(),
-            pruned_signature: public.signature.clone(),
+            header_a: public.header.clone(),
+            signature_a: public.signature.clone(),
+            header_b: public.header.clone(),
+            signature_b: public.signature.clone(),
             accused_leader: 1,
             poisoner: 3,
         };
         assert_eq!(
             carol.accept_poison(&bogus, Amount::from_sats(10)),
-            Err(PoisonError::HeaderOnMainChain)
+            Err(PoisonError::NoConflict)
         );
+        // Two microblocks at *different* heights are ordinary leadership, not fraud.
+        let successor = alice
+            .produce_microblock(1_400, synthetic_payload(2, 0))
+            .unwrap();
+        carol.on_block(NgBlock::Micro(successor.clone()), 1_401).unwrap();
+        assert!(carol.build_poison(&public, &successor).is_none());
     }
 
     #[test]

@@ -5,8 +5,17 @@
 //! behavior, we use a dedicated ledger entry that invalidates the revenue of fraudulent
 //! leaders ... the entry is called a poison transaction, and it contains the header of
 //! the first block in the pruned branch as a proof of fraud" (§4.5).
+//!
+//! The proof here is strictly stronger than the paper's sketch: it carries **both**
+//! conflicting signed headers — two distinct microblock headers with the same parent,
+//! signed by the same leader. That makes the evidence self-contained: its validity is
+//! a pure function of the two signatures, never of which sibling a particular node's
+//! main chain happens to carry. A single pruned header is *not* proof of fraud —
+//! microblocks are innocently pruned whenever a competing key block forks off a
+//! leader's microblock tail, and accepting one as evidence would let any peer revoke
+//! an honest leader's epoch revenue by citing such a casualty.
 
-use crate::block::MicroHeader;
+use crate::block::{MicroBlock, MicroHeader};
 use crate::params::NgParams;
 use ng_chain::amount::Amount;
 use ng_crypto::sha256::Hash256;
@@ -15,13 +24,18 @@ use ng_crypto::PublicKey;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// A poison transaction: evidence that a leader signed a microblock on a pruned branch.
+/// A poison transaction: evidence that a leader signed two conflicting microblocks
+/// (same parent, same leader, different contents) — an equivocation.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PoisonTransaction {
-    /// Header of the first microblock of the pruned branch.
-    pub pruned_header: MicroHeader,
-    /// The accused leader's signature over that header.
-    pub pruned_signature: SignatureBytes,
+    /// First of the two conflicting headers (canonically the smaller id).
+    pub header_a: MicroHeader,
+    /// The accused leader's signature over `header_a`.
+    pub signature_a: SignatureBytes,
+    /// Second conflicting header: same `prev` and leader as `header_a`, different id.
+    pub header_b: MicroHeader,
+    /// The accused leader's signature over `header_b`.
+    pub signature_b: SignatureBytes,
     /// Identity (miner id) of the accused leader.
     pub accused_leader: u64,
     /// Identity of the node placing the poison transaction (the current leader, who
@@ -30,31 +44,80 @@ pub struct PoisonTransaction {
 }
 
 impl PoisonTransaction {
+    /// Builds a proof from two conflicting microblocks, canonicalising the pair
+    /// order by header id so every observer of the same equivocation constructs the
+    /// same evidence bytes. Returns `None` unless the pair actually proves an
+    /// equivocation: same parent, same leader, distinct ids. Signatures are taken
+    /// from the blocks as observed — they are verified at acceptance time.
+    pub fn from_conflict(a: &MicroBlock, b: &MicroBlock, poisoner: u64) -> Option<Self> {
+        let (first, second) = if a.id() <= b.id() { (a, b) } else { (b, a) };
+        let poison = PoisonTransaction {
+            header_a: first.header.clone(),
+            signature_a: first.signature.clone(),
+            header_b: second.header.clone(),
+            signature_b: second.signature.clone(),
+            accused_leader: first.header.leader,
+            poisoner,
+        };
+        poison.check_conflict().ok()?;
+        Some(poison)
+    }
+
+    /// The shared parent of the two conflicting headers — the block the epoch is
+    /// attributed from.
+    pub fn parent(&self) -> Hash256 {
+        self.header_a.prev
+    }
+
+    /// Structural check that the cited pair can prove an equivocation at all: both
+    /// headers name the accused leader, share a parent, and are distinct. This is
+    /// the signature-free half of [`verify_evidence`]; it needs no chain context,
+    /// so it gates buffering of proofs whose epoch cannot be attributed yet.
+    pub fn check_conflict(&self) -> Result<(), PoisonError> {
+        if self.header_a.leader != self.accused_leader
+            || self.header_b.leader != self.accused_leader
+        {
+            return Err(PoisonError::WrongLeader);
+        }
+        if self.header_a.prev != self.header_b.prev || self.header_a.id() == self.header_b.id() {
+            return Err(PoisonError::NoConflict);
+        }
+        Ok(())
+    }
+
     /// Canonical transaction id: a tagged hash over the evidence and the identities.
     /// Competing poisons against the same cheater (several honest nodes detecting the
     /// same fraud independently) are totally ordered by this id, and the network
     /// converges on the smallest one.
     pub fn txid(&self) -> Hash256 {
-        let mut preimage = self.pruned_header.bytes();
-        match &self.pruned_signature {
-            SignatureBytes::Schnorr(sig) => preimage.extend_from_slice(sig),
-            SignatureBytes::Simulated(hash) => preimage.extend_from_slice(&hash.0),
-        }
+        let mut preimage = self.header_a.bytes();
+        append_signature(&mut preimage, &self.signature_a);
+        preimage.extend_from_slice(&self.header_b.bytes());
+        append_signature(&mut preimage, &self.signature_b);
         preimage.extend_from_slice(&self.accused_leader.to_le_bytes());
         preimage.extend_from_slice(&self.poisoner.to_le_bytes());
         ng_crypto::sha256::tagged_hash("BitcoinNG/poison", &preimage)
     }
 }
 
+fn append_signature(preimage: &mut Vec<u8>, signature: &SignatureBytes) {
+    match signature {
+        SignatureBytes::Schnorr(sig) => preimage.extend_from_slice(sig),
+        SignatureBytes::Simulated(hash) => preimage.extend_from_slice(&hash.0),
+    }
+}
+
 /// Why a poison transaction was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PoisonError {
-    /// The signature over the pruned header does not verify under the accused leader's
+    /// A cited header's signature does not verify under the accused leader's
     /// microblock key.
     BadEvidenceSignature,
-    /// The allegedly pruned microblock actually lies on the main chain — no fraud.
-    HeaderOnMainChain,
-    /// The pruned header's parent is unknown, so the fork cannot be attributed.
+    /// The two cited headers do not conflict: different parents, or the same header
+    /// twice — either way, no equivocation is proven.
+    NoConflict,
+    /// The conflicting headers' parent is unknown, so the fork cannot be attributed
+    /// to an epoch.
     UnknownParent,
     /// The accused leader was not the leader at the fork point.
     WrongLeader,
@@ -70,8 +133,8 @@ impl fmt::Display for PoisonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PoisonError::BadEvidenceSignature => write!(f, "evidence signature invalid"),
-            PoisonError::HeaderOnMainChain => write!(f, "cited microblock is on the main chain"),
-            PoisonError::UnknownParent => write!(f, "cited microblock has unknown parent"),
+            PoisonError::NoConflict => write!(f, "cited headers do not prove an equivocation"),
+            PoisonError::UnknownParent => write!(f, "conflicting headers have unknown parent"),
             PoisonError::WrongLeader => write!(f, "accused node was not the leader"),
             PoisonError::AlreadyPoisoned => write!(f, "leader already poisoned this epoch"),
             PoisonError::TooLate => write!(f, "poison transaction placed after revenue was spent"),
@@ -95,21 +158,22 @@ pub struct PoisonEffect {
     pub burned: Amount,
 }
 
-/// Verifies the *evidence* of a poison transaction: the signature over the pruned
-/// header must verify under the accused leader's microblock public key.
+/// Verifies the *evidence* of a poison transaction: the cited headers must form a
+/// genuine conflict ([`PoisonTransaction::check_conflict`]) and both signatures must
+/// verify under the accused leader's microblock public key. Nothing here depends on
+/// any node's main chain: an equivocation, once signed, is proof of fraud forever,
+/// no matter which sibling later wins.
 pub fn verify_evidence(
     poison: &PoisonTransaction,
     accused_pubkey: &PublicKey,
 ) -> Result<(), PoisonError> {
-    if poison.pruned_header.leader != poison.accused_leader {
-        return Err(PoisonError::WrongLeader);
-    }
-    verify_signature(
-        accused_pubkey,
-        &poison.pruned_header.signing_hash(),
-        &poison.pruned_signature,
-    )
-    .map_err(|_| PoisonError::BadEvidenceSignature)
+    poison.check_conflict()?;
+    let verify = |header: &MicroHeader, sig: &SignatureBytes| {
+        verify_signature(accused_pubkey, &header.signing_hash(), sig)
+    };
+    verify(&poison.header_a, &poison.signature_a)
+        .and_then(|()| verify(&poison.header_b, &poison.signature_b))
+        .map_err(|_| PoisonError::BadEvidenceSignature)
 }
 
 /// Computes the economic effect of an accepted poison transaction against a leader
@@ -130,11 +194,15 @@ pub fn poison_effect(
 
 /// Serialized size of a poison transaction in bytes (used for block-size accounting).
 pub fn poison_size_bytes(poison: &PoisonTransaction) -> u64 {
-    let sig = match &poison.pruned_signature {
-        SignatureBytes::Schnorr(_) => 65,
+    let sig = |signature: &SignatureBytes| match signature {
+        SignatureBytes::Schnorr(_) => 65u64,
         SignatureBytes::Simulated(_) => 32,
     };
-    poison.pruned_header.bytes().len() as u64 + sig + 16
+    poison.header_a.bytes().len() as u64
+        + sig(&poison.signature_a)
+        + poison.header_b.bytes().len() as u64
+        + sig(&poison.signature_b)
+        + 16
 }
 
 #[cfg(test)]
@@ -145,7 +213,7 @@ mod tests {
     use ng_crypto::sha256::sha256;
     use ng_crypto::signer::{SchnorrSigner, Signer};
 
-    fn signed_header(leader: u64, tag: u64) -> (MicroHeader, SignatureBytes, PublicKey) {
+    fn signed_micro(leader: u64, parent: &[u8], tag: u64) -> (MicroBlock, PublicKey) {
         let kp = KeyPair::from_id(leader);
         let payload = Payload::Synthetic {
             bytes: 100,
@@ -154,37 +222,72 @@ mod tests {
             tag,
         };
         let header = MicroHeader {
-            prev: sha256(b"some parent"),
+            prev: sha256(parent),
             time_ms: 1000,
             payload_digest: payload.digest(),
             leader,
         };
-        let sig = SchnorrSigner::new(kp).sign(&header.signing_hash());
-        (header, sig, kp.public)
+        let signature = SchnorrSigner::new(kp).sign(&header.signing_hash());
+        (
+            MicroBlock {
+                header,
+                payload,
+                signature,
+            },
+            kp.public,
+        )
+    }
+
+    fn conflicting_pair(leader: u64) -> (MicroBlock, MicroBlock, PublicKey) {
+        let (a, pubkey) = signed_micro(leader, b"some parent", 1);
+        let (b, _) = signed_micro(leader, b"some parent", 2);
+        (a, b, pubkey)
     }
 
     #[test]
     fn valid_evidence_accepted() {
-        let (header, sig, pubkey) = signed_header(7, 1);
-        let poison = PoisonTransaction {
-            pruned_header: header,
-            pruned_signature: sig,
-            accused_leader: 7,
-            poisoner: 9,
-        };
+        let (a, b, pubkey) = conflicting_pair(7);
+        let poison = PoisonTransaction::from_conflict(&a, &b, 9).expect("genuine conflict");
         assert!(verify_evidence(&poison, &pubkey).is_ok());
     }
 
     #[test]
-    fn forged_evidence_rejected() {
-        let (header, _, pubkey) = signed_header(7, 2);
-        let (_, other_sig, _) = signed_header(8, 3);
+    fn pair_order_is_canonical() {
+        let (a, b, _) = conflicting_pair(7);
+        let forward = PoisonTransaction::from_conflict(&a, &b, 9).expect("conflict");
+        let reversed = PoisonTransaction::from_conflict(&b, &a, 9).expect("conflict");
+        assert_eq!(forward, reversed);
+        assert_eq!(forward.txid(), reversed.txid());
+    }
+
+    #[test]
+    fn single_header_is_not_a_conflict() {
+        let (a, _, _) = conflicting_pair(7);
+        assert!(PoisonTransaction::from_conflict(&a, &a.clone(), 9).is_none());
+    }
+
+    #[test]
+    fn different_parents_are_not_a_conflict() {
+        let (a, _) = signed_micro(7, b"parent one", 1);
+        let (b, _) = signed_micro(7, b"parent two", 2);
+        assert!(PoisonTransaction::from_conflict(&a, &b, 9).is_none());
         let poison = PoisonTransaction {
-            pruned_header: header,
-            pruned_signature: other_sig,
+            header_a: a.header.clone(),
+            signature_a: a.signature.clone(),
+            header_b: b.header.clone(),
+            signature_b: b.signature.clone(),
             accused_leader: 7,
             poisoner: 9,
         };
+        assert_eq!(poison.check_conflict(), Err(PoisonError::NoConflict));
+    }
+
+    #[test]
+    fn forged_evidence_rejected() {
+        let (a, b, pubkey) = conflicting_pair(7);
+        let (other, _, _) = conflicting_pair(8);
+        let mut poison = PoisonTransaction::from_conflict(&a, &b, 9).expect("conflict");
+        poison.signature_b = other.signature;
         assert_eq!(
             verify_evidence(&poison, &pubkey),
             Err(PoisonError::BadEvidenceSignature)
@@ -193,13 +296,9 @@ mod tests {
 
     #[test]
     fn leader_mismatch_rejected() {
-        let (header, sig, pubkey) = signed_header(7, 4);
-        let poison = PoisonTransaction {
-            pruned_header: header,
-            pruned_signature: sig,
-            accused_leader: 8,
-            poisoner: 9,
-        };
+        let (a, b, pubkey) = conflicting_pair(7);
+        let mut poison = PoisonTransaction::from_conflict(&a, &b, 9).expect("conflict");
+        poison.accused_leader = 8;
         assert_eq!(verify_evidence(&poison, &pubkey), Err(PoisonError::WrongLeader));
     }
 
@@ -216,13 +315,8 @@ mod tests {
 
     #[test]
     fn txid_is_deterministic_and_distinguishes_poisoners() {
-        let (header, sig, _) = signed_header(7, 6);
-        let a = PoisonTransaction {
-            pruned_header: header.clone(),
-            pruned_signature: sig.clone(),
-            accused_leader: 7,
-            poisoner: 9,
-        };
+        let (first, second, _) = conflicting_pair(7);
+        let a = PoisonTransaction::from_conflict(&first, &second, 9).expect("conflict");
         let b = PoisonTransaction { poisoner: 10, ..a.clone() };
         assert_eq!(a.txid(), a.clone().txid());
         assert_ne!(a.txid(), b.txid());
@@ -230,13 +324,8 @@ mod tests {
 
     #[test]
     fn size_accounting_is_positive() {
-        let (header, sig, _) = signed_header(7, 5);
-        let poison = PoisonTransaction {
-            pruned_header: header,
-            pruned_signature: sig,
-            accused_leader: 7,
-            poisoner: 9,
-        };
-        assert!(poison_size_bytes(&poison) > 100);
+        let (a, b, _) = conflicting_pair(7);
+        let poison = PoisonTransaction::from_conflict(&a, &b, 9).expect("conflict");
+        assert!(poison_size_bytes(&poison) > 200);
     }
 }

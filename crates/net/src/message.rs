@@ -147,10 +147,11 @@ pub enum Message {
     Graft(InvItem),
     /// Overlay move: demote this link to lazy (stop eager pushes to the sender).
     Prune,
-    /// Fraud proof against an equivocating leader (§4.5): the signed header of a
-    /// microblock the accused leader placed on a pruned branch. Floods like `tx` —
-    /// never routed through the overlay — so every honest node learns of the fraud
-    /// even when its eager links are degraded.
+    /// Fraud proof against an equivocating leader (§4.5): two conflicting signed
+    /// microblock headers under one parent — self-contained evidence any node can
+    /// verify without chain context. Floods like `tx` — never routed through the
+    /// overlay — so every honest node learns of the fraud even when its eager
+    /// links are degraded.
     Poison(Box<PoisonTransaction>),
     /// Keepalive probe.
     Ping(u64),
@@ -381,12 +382,14 @@ mod tests {
     #[test]
     fn poison_command_round_trips_and_is_costed() {
         let micro = signed_micro(Payload::empty());
-        let poison = ng_core::poison::PoisonTransaction {
-            pruned_header: micro.header.clone(),
-            pruned_signature: micro.signature.clone(),
-            accused_leader: micro.header.leader,
-            poisoner: 9,
-        };
+        let sibling = signed_micro(Payload::Synthetic {
+            bytes: 64,
+            tx_count: 1,
+            total_fees: ng_chain::amount::Amount::from_sats(5),
+            tag: 7,
+        });
+        let poison = ng_core::poison::PoisonTransaction::from_conflict(&micro, &sibling, 9)
+            .expect("same parent and leader, different payloads: a genuine conflict");
         let msg = Message::Poison(Box::new(poison.clone()));
         assert_eq!(msg.command(), "poison");
         assert_eq!(msg.wire_size(), 16 + poison_size_bytes(&poison));

@@ -60,12 +60,26 @@ fn every_variant(seed: u64) -> Vec<Message> {
         .output(Amount::from_sats(1 + seed), KeyPair::from_id(seed + 1).address())
         .payload(seed.to_le_bytes().to_vec())
         .build();
-    let poison = PoisonTransaction {
-        pruned_header: micro.header.clone(),
-        pruned_signature: micro.signature.clone(),
-        accused_leader: micro.header.leader,
-        poisoner: seed % 11,
+    // A conflicting sibling of `micro`: same parent and leader, different payload.
+    let sibling_payload = Payload::Synthetic {
+        bytes: 100 + seed % 500,
+        tx_count: 1 + seed % 5,
+        total_fees: Amount::from_sats(seed % 7_000),
+        tag: seed.wrapping_add(1),
     };
+    let sibling_header = MicroHeader {
+        prev: key_block.id(),
+        time_ms: 2_001 + seed,
+        payload_digest: sibling_payload.digest(),
+        leader: node.id,
+    };
+    let sibling = MicroBlock {
+        signature: SchnorrSigner::new(*node.keys()).sign(&sibling_header.signing_hash()),
+        header: sibling_header,
+        payload: sibling_payload,
+    };
+    let poison = PoisonTransaction::from_conflict(&micro, &sibling, seed % 11)
+        .expect("two signed siblings under one parent form a conflict");
     let btc = BtcBlock {
         prev: sha256(&seed.to_le_bytes()),
         time_ms: seed,

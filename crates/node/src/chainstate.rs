@@ -135,6 +135,13 @@ pub struct ChainView {
     /// Reference-counted ids of transactions serialized on the connected prefix
     /// (counted, not set-membership: an unchecked chain may serialize one id twice).
     confirmed: HashMap<Hash256, u32>,
+    /// Poisoner-bounty outpoints currently minted (out-of-band, by
+    /// [`Self::apply_poison_revocation`]). A bounty absent from the UTXO set but
+    /// present here was *spent*, not unminted — re-asserting the poison must not
+    /// re-issue it, and a late competing poison must not mint a second one while
+    /// the first bounty's value is already in circulation. One entry per accepted
+    /// poison (the protocol caps those), removed on revert.
+    minted_bounties: std::collections::BTreeSet<OutPoint>,
     sig_cache: SigCache,
     /// Whether connects fully validate transactions (`NgParams::validate_transactions`).
     validate: bool,
@@ -165,6 +172,7 @@ impl ChainView {
             anchor: genesis,
             utxo: UtxoSet::with_maturity(params.coinbase_maturity),
             confirmed: HashMap::new(),
+            minted_bounties: std::collections::BTreeSet::new(),
             sig_cache: SigCache::default(),
             validate: params.validate_transactions,
             executor: None,
@@ -185,6 +193,7 @@ impl ChainView {
             anchor,
             utxo,
             confirmed,
+            minted_bounties: std::collections::BTreeSet::new(),
             sig_cache: SigCache::default(),
             validate: params.validate_transactions,
             executor: None,
@@ -558,17 +567,37 @@ impl ChainView {
                 removed += entry.output.amount;
             }
         }
-        if !reward.is_zero() && !self.utxo.contains(&reward_outpoint) {
-            self.utxo.insert_unchecked(
-                reward_outpoint,
-                UtxoEntry {
-                    output: TxOutput::new(reward, poisoner),
-                    height: epoch_height,
-                    coinbase: true,
-                },
-            );
+        if !reward.is_zero() {
+            if self.utxo.contains(&reward_outpoint) {
+                // Already present (e.g. restored from a snapshot taken after the
+                // mint): just record that it is ours, so a later spend is
+                // distinguishable from "never minted".
+                self.minted_bounties.insert(reward_outpoint);
+            } else if self.minted_bounties.insert(reward_outpoint) {
+                // First mint. If the insert reports the outpoint was already
+                // tracked, the bounty was minted earlier and has since been
+                // *spent* — its value is in circulation and re-minting it here
+                // (on the next re-assert after the spend) would inflate the
+                // supply.
+                self.utxo.insert_unchecked(
+                    reward_outpoint,
+                    UtxoEntry {
+                        output: TxOutput::new(reward, poisoner),
+                        height: epoch_height,
+                        coinbase: true,
+                    },
+                );
+            }
         }
         removed
+    }
+
+    /// True if a poisoner bounty was minted at `reward_outpoint` and has since
+    /// been spent: its value is irrevocably in circulation, so the poison that
+    /// minted it can no longer be displaced by a competitor (which would mint a
+    /// second bounty) and a re-assert must not re-issue it.
+    pub fn bounty_spent(&self, reward_outpoint: &OutPoint) -> bool {
+        self.minted_bounties.contains(reward_outpoint) && !self.utxo.contains(reward_outpoint)
     }
 
     /// Removes a poisoner bounty minted by [`Self::apply_poison_revocation`] —
@@ -578,6 +607,7 @@ impl ChainView {
     /// block rewinds them via its undo record (removal of an already-absent entry
     /// is a no-op), and a reconnect re-creates them for re-assertion.
     pub fn revert_poison_reward(&mut self, reward_outpoint: &OutPoint) -> bool {
+        self.minted_bounties.remove(reward_outpoint);
         self.utxo.remove_unchecked(reward_outpoint).is_some()
     }
 
@@ -988,5 +1018,44 @@ mod tests {
         assert_eq!(invalid[0].0, phantom.txid());
         assert!(matches!(invalid[0].1, TxError::MissingInput(_)));
         assert_eq!(view.commitment(), before, "filtering leaves the view unchanged");
+    }
+
+    #[test]
+    fn spent_bounty_is_never_reminted_and_revert_clears_tracking() {
+        let mut node = NgNode::new(1, unchecked_params(), 7);
+        let mut view = ChainView::new(node.chain().params(), node.chain().genesis_id());
+        let kb = node.mine_and_adopt_key_block(1_000);
+        view.sync(node.chain_mut()).unwrap();
+
+        let reward_outpoint = OutPoint::new(sha256(b"poison txid"), 0);
+        let poisoner = KeyPair::from_id(9).address();
+        let reward = Amount::from_sats(500);
+
+        let removed =
+            view.apply_poison_revocation(&kb, kb.id(), 1, reward_outpoint, reward, poisoner);
+        assert!(!removed.is_zero(), "leader coinbase revoked");
+        assert!(view.utxo().contains(&reward_outpoint), "bounty minted");
+        assert!(!view.bounty_spent(&reward_outpoint));
+
+        // Every ledger roll re-asserts: idempotent while the bounty is unspent.
+        let after_mint = view.utxo().commitment();
+        view.apply_poison_revocation(&kb, kb.id(), 1, reward_outpoint, reward, poisoner);
+        assert_eq!(view.utxo().commitment(), after_mint);
+
+        // The poisoner spends the matured bounty (modelled as a raw removal);
+        // subsequent re-asserts must not conjure a second copy of its value.
+        view.utxo.remove_unchecked(&reward_outpoint).expect("bounty present");
+        assert!(view.bounty_spent(&reward_outpoint));
+        let after_spend = view.utxo().commitment();
+        view.apply_poison_revocation(&kb, kb.id(), 1, reward_outpoint, reward, poisoner);
+        assert!(!view.utxo().contains(&reward_outpoint), "spent bounty not re-minted");
+        assert_eq!(view.utxo().commitment(), after_spend);
+
+        // Reverting (epoch key block left the main chain) clears the tracking, so
+        // a later re-assertion on reconnect mints cleanly again.
+        assert!(!view.revert_poison_reward(&reward_outpoint), "nothing left to remove");
+        assert!(!view.bounty_spent(&reward_outpoint));
+        view.apply_poison_revocation(&kb, kb.id(), 1, reward_outpoint, reward, poisoner);
+        assert!(view.utxo().contains(&reward_outpoint), "fresh mint after revert");
     }
 }

@@ -413,7 +413,9 @@ const MAX_ORPHAN_CARRIERS: usize = 1024;
 
 /// Cap on tracked `(parent, leader)` → first-seen-microblock sightings for
 /// equivocation detection. Entries outlive their usefulness once the epoch
-/// closes; eviction drops the smallest key (deterministic across nodes).
+/// closes; eviction drops the **oldest** sighting (insertion order), so
+/// sustained load sheds closed-epoch entries first and never silently disables
+/// detection for a still-active key that merely sorts low.
 const MAX_MICRO_SIGHTINGS: usize = 4096;
 
 /// Cap on recorded poisons. The protocol admits at most one poison per cheater
@@ -424,6 +426,13 @@ const MAX_POISON_RECORDS: usize = 256;
 /// Cap on poisons parked while their epoch key block is still unknown (a node
 /// mid-sync receiving the flood before the history it judges against).
 const MAX_PENDING_POISONS: usize = 64;
+
+/// Cap on poisons parked under one unknown fork point. A small list (rather
+/// than a single smallest-txid slot) keeps a genuine proof parked even when an
+/// attacker grinds competitors with smaller txids under the same parent key —
+/// displacing it would take [`MAX_PENDING_PER_PARENT`] shape-valid forgeries
+/// that all sort below it.
+const MAX_PENDING_PER_PARENT: usize = 4;
 
 /// An accepted fraud proof and the statically determined facts its ledger
 /// effect derives from. The canonical poison per `(cheater, epoch)` is the one
@@ -507,20 +516,31 @@ pub struct Engine {
     /// a snapshot bootstrap. Forward sync ignores header records at or below it —
     /// they can never connect; the backfill owns that range.
     root_height: u64,
-    /// First-seen microblock id per `(parent, leader)`. A second distinct id under
-    /// the same key is an equivocation: the leader signed two microblocks at the
-    /// same height (§4.5), and this node constructs the fraud proof.
+    /// First-seen microblock id per `(parent, leader)`, tagged with its insertion
+    /// sequence. A second distinct id under the same key is an equivocation: the
+    /// leader signed two microblocks at the same height (§4.5), and this node
+    /// constructs the fraud proof.
     // ng-lint: bound(MAX_MICRO_SIGHTINGS)
-    micro_sightings: BTreeMap<(Hash256, u64), Hash256>,
+    micro_sightings: BTreeMap<(Hash256, u64), (Hash256, u64)>,
+    /// Insertion order of `micro_sightings` keys, driving oldest-first eviction.
+    /// A queue entry whose sequence no longer matches the map's (the key was
+    /// evicted and later re-seen) is stale and skipped.
+    // ng-lint: bound(MAX_MICRO_SIGHTINGS)
+    sighting_order: std::collections::VecDeque<((Hash256, u64), u64)>,
+    /// Monotonic insertion counter for `micro_sightings` entries.
+    sighting_seq: u64,
     /// Canonical accepted poison per `(accused leader, epoch key block)` — see
     /// [`PoisonRecord`] for the min-txid convergence rule. Re-asserted against the
     /// main chain after every ledger roll.
     // ng-lint: bound(MAX_POISON_RECORDS)
     poisons: BTreeMap<(u64, Hash256), PoisonRecord>,
     /// Poisons whose epoch cannot be attributed yet, keyed by the unknown parent
-    /// block id; retried when that block arrives.
+    /// block id and retried when that block arrives. Each parent keeps a short
+    /// txid-sorted list ([`MAX_PENDING_PER_PARENT`]) of `(txid, proof)` pairs;
+    /// only shape-valid conflicts ([`PoisonTransaction::check_conflict`]) are
+    /// parked, so unverifiable garbage cannot displace a genuine proof.
     // ng-lint: bound(MAX_PENDING_POISONS)
-    pending_poisons: BTreeMap<Hash256, PoisonTransaction>,
+    pending_poisons: BTreeMap<Hash256, Vec<(Hash256, PoisonTransaction)>>,
 }
 
 /// Progress of a snapshot bootstrap: ask one ready peer at a time for the pinned
@@ -602,6 +622,8 @@ impl Engine {
             backfill: None,
             root_height: 0,
             micro_sightings: BTreeMap::new(),
+            sighting_order: std::collections::VecDeque::new(),
+            sighting_seq: 0,
             poisons: BTreeMap::new(),
             pending_poisons: BTreeMap::new(),
         }
@@ -681,6 +703,8 @@ impl Engine {
             backfill: None,
             root_height,
             micro_sightings: BTreeMap::new(),
+            sighting_order: std::collections::VecDeque::new(),
+            sighting_seq: 0,
             poisons: BTreeMap::new(),
             pending_poisons: BTreeMap::new(),
         };
@@ -1435,10 +1459,12 @@ impl Engine {
                     if let Some(key) = micro_key {
                         self.detect_equivocation(key, id, effects);
                     }
-                    // A parked poison may have been waiting for exactly this block
-                    // to attribute its epoch.
+                    // Parked poisons may have been waiting for exactly this block
+                    // to attribute their epoch.
                     if let Some(parked) = self.pending_poisons.remove(&id) {
-                        self.adopt_poison(None, parked, effects);
+                        for (_, poison) in parked {
+                            self.adopt_poison(None, poison, effects);
+                        }
                     }
                 }
             }
@@ -1623,45 +1649,43 @@ impl Engine {
 
     /// Records a stored microblock's `(parent, leader)` sighting; a second distinct
     /// microblock under the same key is an equivocation and this node constructs
-    /// the fraud proof. The cited sibling is the one off the local main chain: the
-    /// equal-work tie-break is a pure function of the candidate ids, so once both
-    /// siblings propagate every node agrees which one lost, and the proof
-    /// validates network-wide.
+    /// the fraud proof from **both** signed siblings. The evidence is therefore
+    /// self-contained — two conflicting headers under one parent, both signed by
+    /// the leader — and validates network-wide regardless of which sibling any
+    /// particular node's main chain carries.
     fn detect_equivocation(
         &mut self,
         key: (Hash256, u64),
         id: Hash256,
         effects: &mut Vec<Effect>,
     ) {
-        match self.micro_sightings.get(&key).copied() {
+        match self.micro_sightings.get(&key).map(|(first, _)| *first) {
             None => {
                 while self.micro_sightings.len() >= MAX_MICRO_SIGHTINGS {
-                    let Some(oldest) = self.micro_sightings.keys().next().copied() else {
+                    let Some((oldest, seq)) = self.sighting_order.pop_front() else {
                         break;
                     };
-                    self.micro_sightings.remove(&oldest);
+                    // Skip stale queue entries: the key was evicted earlier and
+                    // re-seen since, so the map holds a newer sighting.
+                    if self.micro_sightings.get(&oldest).is_some_and(|(_, s)| *s == seq) {
+                        self.micro_sightings.remove(&oldest);
+                    }
                 }
-                self.micro_sightings.insert(key, id);
+                let seq = self.sighting_seq;
+                self.sighting_seq += 1;
+                self.micro_sightings.insert(key, (id, seq));
+                self.sighting_order.push_back((key, seq));
             }
             Some(first) if first == id => {}
             Some(first) => {
-                let store = self.node.chain().store();
-                let cite = match (store.is_in_main_chain(&first), store.is_in_main_chain(&id)) {
-                    (false, _) => first,
-                    (true, false) => id,
-                    // A linear main chain cannot hold two children of one parent.
-                    (true, true) => return,
-                };
-                let Some(micro) = self
-                    .node
-                    .chain()
-                    .get(&cite)
-                    .and_then(NgBlock::as_micro)
-                    .cloned()
-                else {
+                let chain = self.node.chain();
+                let (Some(a), Some(b)) = (
+                    chain.get(&first).and_then(NgBlock::as_micro),
+                    chain.get(&id).and_then(NgBlock::as_micro),
+                ) else {
                     return;
                 };
-                let Some(poison) = self.node.build_poison(&micro) else {
+                let Some(poison) = self.node.build_poison(a, b) else {
                     return;
                 };
                 effects.push(Effect::Report(ReportEvent::PoisonDetected {
@@ -1687,28 +1711,17 @@ impl Engine {
         let txid = poison.txid();
         let (epoch_id, revoked) = match self.node.validate_poison(&poison) {
             Ok(verdict) => verdict,
-            Err(err @ (PoisonError::UnknownParent | PoisonError::HeaderOnMainChain)) => {
-                // Both conditions can be transient, so park the proof instead of
-                // dropping it — floods are one-shot and never repeat.
-                // UnknownParent: this node is behind; the proof retries when the
-                // cited fork point arrives. HeaderOnMainChain: the cited sibling
-                // is currently this node's tip because the winning sibling is
-                // still in flight — the proof raced ahead of the reorg that
-                // makes it valid; every ledger roll retries the parked set.
-                // Bounded; an overflow just drops the proof (the flood is
-                // redundant, and a fresh handshake re-offers every record).
-                if self.pending_poisons.len() < MAX_PENDING_POISONS
-                    || self.pending_poisons.contains_key(&poison.pruned_header.prev)
-                {
-                    // Among competitors parked under one fork point, keep the
-                    // smallest txid — the one that would win adoption anyway.
-                    let slot = self
-                        .pending_poisons
-                        .entry(poison.pruned_header.prev)
-                        .or_insert_with(|| poison.clone());
-                    if slot.txid() > txid {
-                        *slot = poison;
-                    }
+            Err(err @ PoisonError::UnknownParent) => {
+                // Transient: this node is behind and cannot attribute the epoch
+                // yet. Park the proof instead of dropping it — floods are
+                // one-shot and never repeat — and retry when the fork point
+                // arrives (and after every ledger roll). Only shape-valid
+                // conflicts park: garbage that could never validate must not
+                // occupy (or displace anything from) the bounded buffer.
+                // An overflow just drops the proof (the flood is redundant, and
+                // a fresh handshake re-offers every record).
+                if poison.check_conflict().is_ok() {
+                    self.park_poison(txid, poison);
                 }
                 effects.push(Effect::Report(ReportEvent::PoisonRejected {
                     reason: format!("{err} (parked)"),
@@ -1736,11 +1749,23 @@ impl Engine {
                 }));
                 return;
             }
-            Some(_) => {
-                // Smaller txid wins: revert the incumbent's bounty and replace it.
-                if let Some(old) = self.poisons.remove(&key) {
-                    self.view.revert_poison_reward(&OutPoint::new(old.txid, 0));
+            Some(existing) => {
+                // Smaller txid wins: revert the incumbent's bounty and replace
+                // it — unless that bounty already matured and was spent, in
+                // which case its value is irrevocably in circulation and
+                // minting a replacement bounty would inflate the supply. The
+                // late competitor is rejected instead; the network keeps the
+                // incumbent it converged on.
+                let old_outpoint = OutPoint::new(existing.txid, 0);
+                if self.view.bounty_spent(&old_outpoint) {
+                    effects.push(Effect::Report(ReportEvent::PoisonRejected {
+                        reason: "canonical poison bounty already spent; competitor too late"
+                            .to_string(),
+                    }));
+                    return;
                 }
+                self.view.revert_poison_reward(&old_outpoint);
+                self.poisons.remove(&key);
             }
             None => {
                 if self.poisons.len() >= MAX_POISON_RECORDS {
@@ -1778,12 +1803,55 @@ impl Engine {
         self.flood_poison(origin, poison, txid, effects);
     }
 
+    /// Parks a shape-valid proof whose epoch cannot be attributed yet under its
+    /// fork-point key. Each parent keeps the [`MAX_PENDING_PER_PARENT`] smallest
+    /// txids in sorted order; the global entry count stays under
+    /// [`MAX_PENDING_POISONS`] by shedding the largest parked txid across all
+    /// parents — deterministic, and the entry least likely to win adoption.
+    fn park_poison(&mut self, txid: Hash256, poison: PoisonTransaction) {
+        let parent = poison.parent();
+        let list = self.pending_poisons.entry(parent).or_default();
+        if let Err(at) = list.binary_search_by(|(parked, _)| parked.cmp(&txid)) {
+            if at < MAX_PENDING_PER_PARENT {
+                list.insert(at, (txid, poison));
+                list.truncate(MAX_PENDING_PER_PARENT);
+            }
+        }
+        if list.is_empty() {
+            self.pending_poisons.remove(&parent);
+            return;
+        }
+        loop {
+            let total: usize = self.pending_poisons.values().map(Vec::len).sum();
+            if total <= MAX_PENDING_POISONS {
+                break;
+            }
+            let Some((_, worst_parent)) = self
+                .pending_poisons
+                .iter()
+                .filter_map(|(p, l)| l.last().map(|(t, _)| (*t, *p)))
+                .max()
+            else {
+                break;
+            };
+            if let Some(l) = self.pending_poisons.get_mut(&worst_parent) {
+                l.pop();
+                if l.is_empty() {
+                    self.pending_poisons.remove(&worst_parent);
+                }
+            }
+        }
+    }
+
     /// Re-asserts every recorded poison against the current main chain: while the
     /// epoch key block is on the main chain the revocation holds (idempotently —
     /// a reorg that reconnects the key block resurrects the cheater's outputs via
     /// its undo/connect cycle, and they are removed again here); while it is off
     /// the main chain the bounty is reverted (the revoked outputs themselves were
-    /// rewound by the disconnect). Runs after every ledger roll, so the ledger
+    /// rewound by the disconnect). The evidence itself is chain-independent — two
+    /// conflicting signed headers prove the equivocation no matter which sibling
+    /// the current main chain carries — so the epoch key block's membership is the
+    /// *only* chain-dependent input. Runs after every ledger roll, so the ledger
     /// effect of a poison is a pure function of (main chain, poison set) and
     /// every honest node's commitment converges.
     fn assert_poisons(&mut self) {
@@ -1894,13 +1962,15 @@ impl Engine {
         // The roll may have moved the epoch key block of a recorded poison on or
         // off the main chain; re-assert before the new view state is persisted.
         self.assert_poisons();
-        // The roll may also have made a parked proof valid — most importantly a
-        // proof that raced ahead of the reorg demoting the sibling it cites
-        // (HeaderOnMainChain at arrival, valid now). Retry the whole parked
-        // set; anything still invalid re-parks via the same bounded path.
+        // The roll may also have made a parked proof attributable (its fork point
+        // connected as part of a multi-block adoption). Retry the whole parked
+        // set; anything still unattributable re-parks via the same bounded path.
         if !self.pending_poisons.is_empty() {
-            let parked: Vec<PoisonTransaction> =
-                std::mem::take(&mut self.pending_poisons).into_values().collect();
+            let parked: Vec<PoisonTransaction> = std::mem::take(&mut self.pending_poisons)
+                .into_values()
+                .flatten()
+                .map(|(_, poison)| poison)
+                .collect();
             for poison in parked {
                 self.adopt_poison(None, poison, effects);
             }

@@ -3,9 +3,9 @@
 //! Microblocks cost nothing to produce, so a malicious leader can sign two different
 //! microblocks with the same parent and show each half of the network a different
 //! ledger — the setup for a double spend. Bitcoin-NG deters this economically: any
-//! node that observes the equivocation can place a *poison transaction* containing the
-//! pruned header as proof of fraud, revoking the cheater's epoch revenue and collecting
-//! a bounty (§4.5).
+//! node that observes the equivocation can place a *poison transaction* citing both
+//! conflicting signed headers as proof of fraud, revoking the cheater's epoch revenue
+//! and collecting a bounty (§4.5).
 //!
 //! Run with:
 //!
@@ -78,17 +78,15 @@ fn main() {
     println!("\nCarol's tip: {}", carol.tip());
     println!("Dave's  tip: {}", dave.tip());
 
-    // Carol notices the equivocation: whichever sibling is off her main chain is the
-    // proof of fraud.
-    let pruned = if carol.chain().store().is_in_main_chain(&conflicting.id()) {
-        &honest_looking
-    } else {
-        &conflicting
-    };
-    let poison = carol.build_poison(pruned).expect("equivocation observed");
+    // Carol notices the equivocation: the two signed siblings together are the proof
+    // of fraud — self-contained evidence no main-chain state can argue with.
+    let poison = carol
+        .build_poison(&honest_looking, &conflicting)
+        .expect("equivocation observed");
     println!(
-        "\nCarol builds a poison transaction citing pruned microblock {}",
-        poison.pruned_header.id()
+        "\nCarol builds a poison transaction citing conflicting microblocks {} and {}",
+        poison.header_a.id(),
+        poison.header_b.id()
     );
 
     // Mallory's epoch revenue (block reward + her 40% of fees) is what gets revoked.
@@ -107,10 +105,11 @@ fn main() {
     assert_eq!(again, Err(PoisonError::AlreadyPoisoned));
     println!("\nA second poison against the same cheater is rejected: {:?}", again.unwrap_err());
 
-    // A poison transaction citing a main-chain microblock is rejected — honest leaders
-    // cannot be framed.
-    assert!(carol.build_poison(&honest_looking).is_none() || carol.build_poison(&conflicting).is_none());
-    println!("A microblock on the main chain cannot be used as fraud evidence — honest leaders are safe.");
+    // A single microblock — even a pruned one — is no evidence of fraud: a proof
+    // requires two distinct signed headers under one parent, so honest leaders whose
+    // tails are innocently pruned by a competing key block cannot be framed.
+    assert!(carol.build_poison(&honest_looking, &honest_looking).is_none());
+    println!("A lone (or pruned) microblock is not fraud evidence — honest leaders are safe.");
 
     println!("\nEquivocation is detectable, attributable, and unprofitable: the revenue Mallory");
     println!("hoped to double-spend is revoked before it matures (100-block coinbase maturity).");
